@@ -1,0 +1,130 @@
+"""Section 5.3.2: the U / C / D range-query experiments, full size.
+
+Paper setup: prefix B+-tree over 5000 points in z order, page capacity
+20; rectangular queries of several shapes x four volumes x five random
+locations; measured quantities are data-page accesses and efficiency.
+
+Reproduced findings asserted here:
+
+1. trends from the analysis hold in all experiments (pages grow with
+   volume; long-narrow shapes beat squarish ones for cost);
+2. the analytic prediction is an approximate upper bound, tightest for
+   U and loosest for D;
+3. efficiency increases with query volume;
+4. the most efficient shapes are square or twice-as-tall.
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.geometry import Grid
+from repro.experiments.harness import (
+    check_findings,
+    format_summary,
+    run_ucd_experiment,
+)
+from repro.workloads.datasets import PAPER_NPOINTS, PAPER_PAGE_CAPACITY
+
+GRID = Grid(ndims=2, depth=8)  # 256 x 256
+
+
+def run_full(name):
+    return run_ucd_experiment(
+        GRID,
+        name,
+        npoints=PAPER_NPOINTS,
+        page_capacity=PAPER_PAGE_CAPACITY,
+        locations=5,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def all_rows():
+    return {name: run_full(name)[1] for name in ("U", "C", "D")}
+
+
+@pytest.mark.parametrize("name", ["U", "C", "D"])
+def test_experiment_runs(benchmark, results_dir, name):
+    measurements, rows = benchmark.pedantic(
+        run_full, args=(name,), rounds=1, iterations=1
+    )
+    assert len(measurements) == 4 * 7 * 5  # volumes x aspects x locations
+    findings = check_findings(rows)
+    table = format_summary(rows)
+    save_result(
+        results_dir,
+        f"experiment_{name}.txt",
+        f"{table}\n\nfindings: {findings}",
+    )
+
+
+def test_finding1_trends_everywhere(all_rows):
+    for name, rows in all_rows.items():
+        findings = check_findings(rows)
+        assert findings.pages_grow_with_volume, name
+        assert findings.narrow_costs_more_than_square, name
+
+
+def test_finding2_prediction_upper_bound(all_rows):
+    u = check_findings(all_rows["U"])
+    assert u.prediction_upper_bound_fraction >= 0.6
+
+
+def test_finding2_ordering_u_closest_d_farthest(all_rows):
+    def deviation(rows):
+        return sum(
+            abs(r.mean_pages - r.predicted_pages) / r.predicted_pages
+            for r in rows
+        ) / len(rows)
+
+    assert deviation(all_rows["U"]) <= deviation(all_rows["D"])
+
+
+def test_finding3_efficiency_grows_with_volume(all_rows):
+    for name in ("U", "C"):
+        findings = check_findings(all_rows[name])
+        assert findings.efficiency_grows_with_volume, name
+
+
+def test_finding4_best_shapes(all_rows):
+    findings = check_findings(all_rows["U"])
+    assert 1.0 in findings.best_aspects or 0.5 in findings.best_aspects
+
+
+def test_finding3b_low_efficiency_means_few_pages(all_rows):
+    """'Low efficiency was usually accompanied by a low number of page
+    accesses (fortunately).'  The least efficient quartile of cells must
+    not be more expensive than the average cell."""
+    import statistics
+
+    for name, rows in all_rows.items():
+        ranked = sorted(rows, key=lambda r: r.mean_efficiency)
+        quartile = ranked[: max(1, len(ranked) // 4)]
+        low_eff_pages = statistics.fmean(r.mean_pages for r in quartile)
+        overall_pages = statistics.fmean(r.mean_pages for r in rows)
+        assert low_eff_pages <= overall_pages * 1.1, name
+
+
+def test_page_capacity_sensitivity(results_dir):
+    """Ablation: halving/doubling the page capacity scales page counts
+    roughly inversely (the analysis' N dependence)."""
+    lines = ["capacity  npages  pages/query"]
+    pages_by_capacity = {}
+    for capacity in (10, 20, 40):
+        _, rows = run_ucd_experiment(
+            GRID,
+            "U",
+            npoints=PAPER_NPOINTS,
+            page_capacity=capacity,
+            volumes=(0.04,),
+            aspects=(1.0,),
+            locations=5,
+            seed=0,
+        )
+        mean_pages = rows[0].mean_pages
+        pages_by_capacity[capacity] = mean_pages
+        lines.append(f"{capacity:>8}  {mean_pages:>11.1f}")
+    save_result(results_dir, "ablation_page_capacity.txt", "\n".join(lines))
+    assert pages_by_capacity[10] > pages_by_capacity[20] > pages_by_capacity[40]

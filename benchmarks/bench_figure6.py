@@ -1,0 +1,81 @@
+"""Figure 6: the page-boundary partition of the zkd B+-tree.
+
+The paper's setup verbatim: 5000 points, page capacity 20, three
+datasets (U, C, D).  Each bench builds the tree, renders the partition
+of the space induced by leaf-page boundaries, and asserts structural
+facts (page count near N/capacity; partitioning follows the data
+distribution).
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.geometry import Grid
+from repro.experiments.figures import figure6_partition_map
+from repro.experiments.harness import build_tree
+from repro.workloads.datasets import (
+    PAPER_NPOINTS,
+    PAPER_PAGE_CAPACITY,
+    make_dataset,
+)
+
+GRID = Grid(ndims=2, depth=7)  # 128x128: fine enough to see the shapes
+
+
+def build_and_render(name):
+    dataset = make_dataset(name, GRID, PAPER_NPOINTS, seed=0)
+    tree = build_tree(dataset, PAPER_PAGE_CAPACITY)
+    return dataset, tree, figure6_partition_map(tree, max_side=64)
+
+
+@pytest.mark.parametrize("name", ["U", "C", "D"])
+def test_figure6_partition(benchmark, results_dir, name):
+    dataset, tree, rendering = benchmark.pedantic(
+        build_and_render, args=(name,), rounds=1, iterations=1
+    )
+    # 5000 points at 20/page: between 250 (perfect packing) and ~500
+    # (half-full splits) data pages.
+    assert 250 <= tree.npages <= 520
+    save_result(
+        results_dir,
+        f"figure6_{name}.txt",
+        f"experiment {name}: {tree.npages} data pages, "
+        f"{len(tree)} points\n\n{rendering}",
+    )
+
+
+def test_figure6_diagonal_concentrates_pages():
+    """Experiment D packs nearly all pages along the x=y line: pixels
+    far from the diagonal share the few sparse pages."""
+    _, tree_d, _ = build_and_render("D")
+    matrix = tree_d.partition_map()
+    side = GRID.side
+    on_diag = {matrix[i][i] for i in range(side)}
+    off_diag = {
+        matrix[y][x]
+        for x in range(0, side, 4)
+        for y in range(0, side, 4)
+        if abs(x - y) > side // 4
+    }
+    # The diagonal crosses most pages; the far-off-diagonal area uses
+    # comparatively few distinct pages.
+    assert len(on_diag) > len(off_diag)
+
+
+def test_figure6_clusters_get_small_pages():
+    """Experiment C: pages inside a cluster cover little area; empty
+    space is covered by few large page regions."""
+    dataset, tree, _ = build_and_render("C")
+    matrix = tree.partition_map()
+    # Page region sizes in pixels.
+    from collections import Counter
+
+    region_size = Counter()
+    for row in matrix:
+        for page in row:
+            region_size[page] += 1
+    sizes = sorted(region_size.values())
+    # Strong skew: the smallest regions (dense clusters) are orders of
+    # magnitude smaller than the largest (empty space).
+    assert sizes[0] * 10 < sizes[-1]

@@ -1,0 +1,64 @@
+"""Regenerate Figures 1-5 (the paper's running example).
+
+Each bench rebuilds the figure's content, asserts it matches the paper
+exactly, times the underlying primitive, and saves the rendered figure.
+"""
+
+from conftest import save_result
+
+from repro.core.geometry import Box, Grid
+from repro.core.interleave import interleave
+from repro.experiments.figures import (
+    FIGURE_BOX,
+    FIGURE_GRID,
+    figure1_range_query,
+    figure2_decomposition,
+    figure3_consecutive_zvalues,
+    figure4_zorder_curve,
+    figure5_merge_trace,
+)
+
+
+def test_figure1_range_query_grid(benchmark, results_dir):
+    """Figure 1: the range query 1<=X<=3 & 0<=Y<=4 as a box of pixels."""
+    text = benchmark(figure1_range_query)
+    assert text.count("#") == 15
+    save_result(results_dir, "figure1.txt", text)
+
+
+def test_figure2_box_decomposition(benchmark, results_dir):
+    """Figure 2: decomposition of the box into labelled elements."""
+    labels, drawing = benchmark(figure2_decomposition)
+    # The labels of Figure 2 (the large element is 001 per the caption;
+    # the OCR'd figure shows it spanning two columns).
+    assert labels == ["00001", "00011", "001", "010010", "011000", "011010"]
+    save_result(results_dir, "figure2.txt", drawing)
+
+
+def test_figure3_consecutive_zvalues(benchmark, results_dir):
+    """Figure 3: z values inside element 001 are consecutive
+    (001000..001111) and share the prefix 001."""
+    codes, text = benchmark(figure3_consecutive_zvalues)
+    assert codes == list(range(0b001000, 0b001111 + 1))
+    assert all(format(c, "06b").startswith("001") for c in codes)
+    save_result(results_dir, "figure3.txt", text)
+
+
+def test_figure4_zorder_curve(benchmark, results_dir):
+    """Figure 4: the z-order curve; rank of [3, 5] is 27."""
+    matrix, text = benchmark(figure4_zorder_curve)
+    assert matrix[5][3] == 27
+    assert interleave((3, 5), 3) == 27
+    # Every rank appears exactly once.
+    ranks = sorted(r for row in matrix for r in row)
+    assert ranks == list(range(64))
+    save_result(results_dir, "figure4.txt", text)
+
+
+def test_figure5_range_search_merge(benchmark, results_dir):
+    """Figure 5: merging P and B reports exactly the in-box points."""
+    matches, text = benchmark(figure5_merge_trace)
+    assert set(matches) == {(1, 1), (2, 3), (2, 4)}
+    for p in matches:
+        assert FIGURE_BOX.contains_point(p)
+    save_result(results_dir, "figure5.txt", text)

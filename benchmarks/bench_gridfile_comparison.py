@@ -1,0 +1,97 @@
+"""The zkd B+-tree vs the dynamic grid file [NIEV84] (Section 2 survey).
+
+Both adapt to the data, and both answer range queries in few data-page
+touches.  The differentiator the paper's approach avoids is the grid
+file's *directory*: under skewed data (experiment D) the directory
+grows superlinearly while the B+-tree's index stays proportional to the
+data.  This bench measures both sides of that trade.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import save_result
+
+from repro.baselines.dynamic_gridfile import GridFile
+from repro.core.geometry import Grid
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads.datasets import (
+    PAPER_NPOINTS,
+    PAPER_PAGE_CAPACITY,
+    make_dataset,
+)
+from repro.workloads.queries import query_workload
+
+GRID = Grid(ndims=2, depth=8)
+
+
+def run_dataset(name):
+    dataset = make_dataset(name, GRID, PAPER_NPOINTS, seed=0)
+    specs = query_workload(
+        GRID, volumes=(0.01, 0.04), aspects=(1.0, 8.0), locations=4, seed=1
+    )
+    gridfile = GridFile(GRID, page_capacity=PAPER_PAGE_CAPACITY)
+    gridfile.insert_many(dataset.points)
+    gridfile.check_invariants()
+    zkd = ZkdTree(GRID, page_capacity=PAPER_PAGE_CAPACITY)
+    zkd.insert_many(dataset.points)
+
+    gf_pages = []
+    zkd_pages = []
+    for spec in specs:
+        gf_result = gridfile.range_query(spec.box)
+        zkd_result = zkd.range_query(spec.box)
+        assert gf_result.matches == zkd_result.matches  # differential
+        gf_pages.append(gf_result.pages_accessed)
+        zkd_pages.append(zkd_result.pages_accessed)
+    return {
+        "gf_mean_pages": statistics.fmean(gf_pages),
+        "zkd_mean_pages": statistics.fmean(zkd_pages),
+        "gf_buckets": gridfile.nbuckets,
+        "gf_directory": gridfile.directory_size,
+        "zkd_pages": zkd.npages,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: run_dataset(name) for name in ("U", "C", "D")}
+
+
+@pytest.mark.parametrize("name", ["U", "C", "D"])
+def test_runs(benchmark, results_dir, name):
+    row = benchmark.pedantic(run_dataset, args=(name,), rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        f"gridfile_vs_zkd_{name}.txt",
+        f"dataset {name} ({PAPER_NPOINTS} points)\n"
+        f"  grid file: {row['gf_mean_pages']:.1f} pages/query, "
+        f"{row['gf_buckets']} buckets, directory {row['gf_directory']} cells\n"
+        f"  zkd tree : {row['zkd_mean_pages']:.1f} pages/query, "
+        f"{row['zkd_pages']} data pages, index ~{row['zkd_pages'] // 30} "
+        f"inner nodes",
+    )
+
+
+def test_query_costs_comparable(results):
+    """Both adaptive structures answer in the same page-count ballpark."""
+    for name, row in results.items():
+        ratio = row["zkd_mean_pages"] / row["gf_mean_pages"]
+        assert 0.3 < ratio < 3.5, (name, ratio)
+
+
+def test_directory_explodes_on_skew(results):
+    """Experiment D vs U: the directory inflates far faster than the
+    data; the B+-tree's page count is distribution-oblivious."""
+    directory_ratio = results["D"]["gf_directory"] / results["U"]["gf_directory"]
+    zkd_ratio = results["D"]["zkd_pages"] / results["U"]["zkd_pages"]
+    assert directory_ratio > 3.0
+    assert zkd_ratio < 1.5
+
+
+def test_directory_overhead_vs_data(results):
+    """On skewed data the directory dwarfs the bucket count — pure
+    overhead that the z-order approach simply does not have."""
+    row = results["D"]
+    assert row["gf_directory"] > 5 * row["gf_buckets"]

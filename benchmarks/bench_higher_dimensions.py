@@ -1,0 +1,165 @@
+"""Future work delivered: "Experiments in higher dimensions ... are
+still needed" (end of Section 5.3.2).
+
+Repeats the page-access experiment in 3-d and 4-d: range queries still
+cost O(vN) pages, partial-match queries follow O(N^(1-t/k)), and
+"longer and narrower" still loses to cubes — the analysis is
+dimension-generic, as Section 3.3 promises ("Algorithms based on z
+order work without modification in all dimensions").
+"""
+
+import random
+import statistics
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.analysis import predicted_partial_match_pages
+from repro.core.geometry import Box, Grid
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads.datasets import uniform_dataset
+from repro.workloads.queries import partial_match_workload, query_shape
+
+
+def uniform_tree(grid, npoints, seed=0):
+    dataset = uniform_dataset(grid, npoints, seed)
+    tree = ZkdTree(grid, page_capacity=20)
+    tree.bulk_load(dataset.points)
+    return dataset, tree
+
+
+def mean_pages_for_shape(grid, tree, sizes, locations, rng):
+    pages = []
+    for _ in range(locations):
+        corner = tuple(
+            rng.randrange(grid.side - s + 1) for s in sizes
+        )
+        box = Box.from_corner_and_size(corner, sizes)
+        pages.append(tree.range_query(box).pages_accessed)
+    return statistics.fmean(pages)
+
+
+@pytest.mark.parametrize("ndims,depth", [(3, 5), (4, 4)])
+def test_range_pages_grow_with_volume(benchmark, results_dir, ndims, depth):
+    grid = Grid(ndims, depth)
+
+    def run():
+        _, tree = uniform_tree(grid, 5000)
+        rng = random.Random(1)
+        rows = []
+        for volume in (0.01, 0.04, 0.16):
+            sizes = query_shape(grid, volume, 1.0)
+            rows.append(
+                (volume, mean_pages_for_shape(grid, tree, sizes, 5, rng))
+            )
+        return tree.npages, rows
+
+    npages, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{ndims}-d, N = {npages} pages", f"{'volume':>7} {'pages':>7}"]
+    for volume, pages in rows:
+        lines.append(f"{volume:>7.2f} {pages:>7.1f}")
+    save_result(
+        results_dir, f"higher_dims_range_{ndims}d.txt", "\n".join(lines)
+    )
+    page_counts = [pages for _, pages in rows]
+    assert page_counts == sorted(page_counts)
+    # 16x the volume should cost clearly more than 2x the pages.
+    assert page_counts[-1] > 2 * page_counts[0]
+
+
+def test_partial_match_exponent_3d(benchmark, results_dir):
+    """O(N^(1-t/k)) in 3-d: t=2 much cheaper than t=1."""
+    grid = Grid(3, 5)
+
+    def run():
+        _, tree = uniform_tree(grid, 8000)
+        out = {}
+        for axes in ([0], [0, 1]):
+            boxes = partial_match_workload(grid, axes, count=10, seed=2)
+            out[len(axes)] = statistics.fmean(
+                tree.range_query(b).pages_accessed for b in boxes
+            )
+        return tree.npages, out
+
+    npages, observed = benchmark.pedantic(run, rounds=1, iterations=1)
+    pred = {
+        t: predicted_partial_match_pages(npages, 3, t) for t in (1, 2)
+    }
+    save_result(
+        results_dir,
+        "higher_dims_partial_match.txt",
+        f"3-d, N = {npages} pages\n"
+        f"t=1: observed {observed[1]:.1f}, predicted O({pred[1]:.1f})\n"
+        f"t=2: observed {observed[2]:.1f}, predicted O({pred[2]:.1f})",
+    )
+    assert observed[2] < observed[1]
+    assert observed[1] <= 4 * pred[1]
+    assert observed[2] <= 4 * pred[2]
+
+
+def test_shape_effect_3d(results_dir):
+    """Cube vs slab vs needle at equal volume in 3-d."""
+    grid = Grid(3, 5)
+    _, tree = uniform_tree(grid, 5000, seed=3)
+    rng = random.Random(4)
+    volume_pixels = int(0.02 * grid.npixels)
+    shapes = {
+        "cube": (10, 10, 10),
+        "slab": (32, 32, 1),
+        "needle": (32, 4, 8),
+    }
+    rows = {}
+    for name, sizes in shapes.items():
+        rows[name] = mean_pages_for_shape(grid, tree, sizes, 8, rng)
+    lines = [f"{'shape':>7} {'sizes':>13} {'pages':>7}"]
+    for name, sizes in shapes.items():
+        lines.append(f"{name:>7} {str(sizes):>13} {rows[name]:>7.1f}")
+    save_result(results_dir, "higher_dims_shape.txt", "\n".join(lines))
+    assert rows["cube"] <= rows["slab"]
+
+
+def test_bulk_load_vs_incremental(benchmark, results_dir):
+    """Loading ablation: bottom-up packing vs one-at-a-time inserts."""
+    import time
+
+    grid = Grid(2, 8)
+    dataset = uniform_dataset(grid, 5000, seed=5)
+
+    def incremental():
+        tree = ZkdTree(grid, page_capacity=20)
+        tree.insert_many(dataset.points)
+        return tree
+
+    def bulk():
+        tree = ZkdTree(grid, page_capacity=20)
+        tree.bulk_load(dataset.points)
+        return tree
+
+    start = time.perf_counter()
+    inc_tree = incremental()
+    inc_time = time.perf_counter() - start
+    start = time.perf_counter()
+    bulk_tree = bulk()
+    bulk_time = time.perf_counter() - start
+
+    box = Box(((30, 120), (40, 140)))
+    assert (
+        inc_tree.range_query(box).matches
+        == bulk_tree.range_query(box).matches
+    )
+    inc_pages = inc_tree.range_query(box).pages_accessed
+    bulk_pages = bulk_tree.range_query(box).pages_accessed
+    save_result(
+        results_dir,
+        "ablation_bulk_load.txt",
+        f"{'load':>11} {'seconds':>8} {'npages':>7} {'pages/query':>12}\n"
+        f"{'incremental':>11} {inc_time:>8.3f} {inc_tree.npages:>7} "
+        f"{inc_pages:>12}\n"
+        f"{'bulk':>11} {bulk_time:>8.3f} {bulk_tree.npages:>7} "
+        f"{bulk_pages:>12}",
+    )
+    assert bulk_tree.npages <= inc_tree.npages
+    assert bulk_pages <= inc_pages
+
+    benchmark.pedantic(bulk, rounds=1, iterations=1)

@@ -1,0 +1,114 @@
+"""Section 5.3.1: partial-match queries access O(N^(1 - t/k)) pages.
+
+Sweeps the database size with one of two axes fixed and compares the
+observed page-access growth against the predicted exponent; also checks
+the 3-d case (t = 1 and t = 2 of k = 3).
+"""
+
+import math
+import statistics
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.analysis import predicted_partial_match_pages
+from repro.core.geometry import Grid
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import partial_match_workload
+
+
+def mean_partial_match_pages(grid, npoints, axes, seed=0, queries=10):
+    dataset = make_dataset("U", grid, npoints, seed=seed)
+    tree = ZkdTree(grid, page_capacity=20)
+    tree.insert_many(dataset.points)
+    boxes = partial_match_workload(grid, axes, count=queries, seed=seed + 1)
+    pages = [tree.range_query(box).pages_accessed for box in boxes]
+    return statistics.fmean(pages), tree.npages
+
+
+def test_partial_match_scaling_2d(benchmark, results_dir):
+    """t=1, k=2: pages should grow ~ sqrt(N)."""
+    grid = Grid(2, 9)
+
+    def sweep():
+        return {
+            n: mean_partial_match_pages(grid, n, [0])
+            for n in (1000, 2000, 4000, 8000)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'points':>7} {'npages':>7} {'pages/query':>12} {'pred':>8}"]
+    for n, (pages, npages) in results.items():
+        pred = predicted_partial_match_pages(npages, 2, 1)
+        lines.append(f"{n:>7} {npages:>7} {pages:>12.1f} {pred:>8.1f}")
+    save_result(results_dir, "partial_match_2d.txt", "\n".join(lines))
+
+    (p1, n1), (p8, n8) = results[1000], results[8000]
+    observed_exponent = math.log(p8 / p1) / math.log(n8 / n1)
+    # Predicted exponent is 0.5; allow generous tolerance for the
+    # constant terms at this scale.
+    assert 0.2 < observed_exponent < 0.8
+
+
+def test_partial_match_scaling_3d(benchmark, results_dir):
+    """k=3: fixing more axes (t=2) costs fewer pages than t=1."""
+    grid = Grid(3, 6)
+
+    def run():
+        one_axis, npages = mean_partial_match_pages(grid, 8000, [0])
+        two_axes, _ = mean_partial_match_pages(grid, 8000, [0, 1])
+        return one_axis, two_axes, npages
+
+    one_axis, two_axes, npages = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    pred1 = predicted_partial_match_pages(npages, 3, 1)
+    pred2 = predicted_partial_match_pages(npages, 3, 2)
+    save_result(
+        results_dir,
+        "partial_match_3d.txt",
+        f"N={npages} pages\n"
+        f"t=1: observed {one_axis:.1f}, predicted O({pred1:.1f})\n"
+        f"t=2: observed {two_axes:.1f}, predicted O({pred2:.1f})",
+    )
+    assert two_axes < one_axis
+    # Both within the predicted order (generous constant).
+    assert one_axis <= 4 * pred1
+    assert two_axes <= 4 * pred2
+
+
+def test_partial_match_vs_restricted_range(benchmark, results_dir):
+    """A partial-match query is the extreme long-narrow shape; it
+    should cost more pages than a square of the same volume."""
+    grid = Grid(2, 8)
+    dataset = make_dataset("U", grid, 5000, seed=3)
+    tree = ZkdTree(grid, page_capacity=20)
+    tree.insert_many(dataset.points)
+
+    from repro.core.geometry import Box
+
+    side = grid.side
+    # Volume = side pixels: a 1 x 256 sliver vs a 16 x 16 square.
+    sliver_pages = statistics.fmean(
+        tree.range_query(Box(((x, x), (0, side - 1)))).pages_accessed
+        for x in range(40, 200, 16)
+    )
+
+    def square_cost():
+        return statistics.fmean(
+            tree.range_query(
+                Box(((x, x + 15), (x, x + 15)))
+            ).pages_accessed
+            for x in range(40, 200, 16)
+        )
+
+    square_pages = benchmark(square_cost)
+    save_result(
+        results_dir,
+        "partial_match_shape.txt",
+        f"1x{side} sliver: {sliver_pages:.1f} pages/query\n"
+        f"16x16 square:  {square_pages:.1f} pages/query",
+    )
+    assert sliver_pages > square_pages

@@ -1,0 +1,83 @@
+"""Planner validation: the Section 5.3.1 cost model steering access
+path choice, and where the index/scan crossover falls.
+
+For growing query volumes, measure actual pages for both access paths
+and record where the planner flips — the flip should sit near the true
+crossover.
+"""
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.geometry import Box, Grid
+from repro.db.database import SpatialDatabase
+from repro.db.planner import plan_range_query
+from repro.db.schema import Schema
+from repro.db.types import INTEGER, OID
+from repro.workloads.datasets import uniform_dataset
+
+GRID = Grid(ndims=2, depth=8)
+
+
+def build_db(npoints=5000):
+    db = SpatialDatabase(GRID, page_capacity=20)
+    db.create_table(
+        "pts", Schema.of(("p@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    dataset = uniform_dataset(GRID, npoints, seed=0)
+    db.insert_many(
+        "pts",
+        [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
+    )
+    db.create_index("pts_xy", "pts", ("x", "y"))
+    return db
+
+
+def test_crossover(benchmark, results_dir):
+    db = benchmark.pedantic(build_db, rounds=1, iterations=1)
+    entry = db._index_for("pts", ("x", "y"))
+    scan_pages = -(-len(db.table("pts")) // db.page_capacity)
+
+    lines = [
+        f"{'side':>5} {'vol%':>6} {'plan':>11} {'est':>7} "
+        f"{'actual idx pages':>17}"
+    ]
+    flip_seen = False
+    previous = None
+    for side in (8, 16, 32, 64, 96, 128, 192, 256):
+        box = Box(((0, side - 1), (0, side - 1)))
+        plan = plan_range_query(db, "pts", ("x", "y"), box)
+        actual = entry.tree.range_query(box).pages_accessed
+        lines.append(
+            f"{side:>5} {100 * plan.selectivity:>6.1f} {plan.method:>11} "
+            f"{plan.estimated_pages:>7.1f} {actual:>17}"
+        )
+        if previous == "index-scan" and plan.method == "table-scan":
+            flip_seen = True
+        previous = plan.method
+    lines.append(f"table scan: {scan_pages} pages")
+    save_result(results_dir, "planner_crossover.txt", "\n".join(lines))
+
+    # Small queries must plan as index scans, the whole space as a scan.
+    small = plan_range_query(db, "pts", ("x", "y"), Box(((0, 7), (0, 7))))
+    huge = plan_range_query(db, "pts", ("x", "y"), GRID.whole_space())
+    assert small.method == "index-scan"
+    assert huge.method == "table-scan"
+    assert flip_seen
+
+
+def test_estimates_track_actuals(results_dir):
+    """The predicted index cost stays within a small factor of the
+    measured pages across the sweep (it is a bound-flavoured model)."""
+    db = build_db()
+    entry = db._index_for("pts", ("x", "y"))
+    for side in (8, 32, 64, 128):
+        box = Box(((10, 10 + side - 1), (20, 20 + side - 1)))
+        if box.clipped_to(GRID.whole_space()) != box:
+            continue
+        plan = plan_range_query(db, "pts", ("x", "y"), box)
+        actual = entry.tree.range_query(box).pages_accessed
+        if plan.method == "index-scan":
+            assert plan.estimated_pages >= 0.4 * actual
+            assert plan.estimated_pages <= 4.0 * max(actual, 1)

@@ -1,0 +1,102 @@
+"""Section 5.2: preservation of proximity and the block/page structure.
+
+* z-distance distributions for spatial neighbours at growing offsets —
+  "proximity in space in any direction usually corresponds to proximity
+  in z order; the greater the discrepancy, the less likely it is";
+* probability that neighbours share a fixed-size page;
+* the pages-per-block bound (6 in 2-d) checked exhaustively on
+  block-aligned neighbourhoods.
+"""
+
+import random
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.geometry import Box, Grid
+from repro.core.proximity import (
+    neighbour_page_probability,
+    page_cover_count,
+    proximity_profile,
+)
+
+GRID = Grid(ndims=2, depth=9)  # 512 x 512
+
+
+def test_proximity_profiles(benchmark, results_dir):
+    def sweep():
+        rng = random.Random(0)
+        return [
+            proximity_profile(GRID, (offset, 0), samples=2000, rng=rng)
+            for offset in (1, 2, 4, 8, 16, 32)
+        ]
+
+    profiles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'offset':>7} {'median|dz|':>11} {'p90':>10} {'max':>10}"
+    ]
+    for p in profiles:
+        lines.append(
+            f"{p.offset[0]:>7} {p.median:>11.0f} {p.quantile_90:>10.0f} "
+            f"{p.maximum:>10}"
+        )
+    save_result(results_dir, "proximity_profiles.txt", "\n".join(lines))
+    medians = [p.median for p in profiles]
+    assert medians == sorted(medians)  # farther in space, farther in z
+    # Tail thinness: p90 well under the maximum at every offset.
+    assert all(p.quantile_90 * 2 <= p.maximum for p in profiles)
+
+
+def test_same_page_probability(benchmark, results_dir):
+    def sweep():
+        rng = random.Random(1)
+        out = []
+        for page_codes in (64, 256, 1024):
+            out.append(
+                (
+                    page_codes,
+                    neighbour_page_probability(
+                        GRID, (1, 0), page_codes, samples=2000, rng=rng
+                    ),
+                    neighbour_page_probability(
+                        GRID, (0, 1), page_codes, samples=2000, rng=rng
+                    ),
+                )
+            )
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'page_codes':>10} {'P(same|dx=1)':>13} {'P(same|dy=1)':>13}"]
+    for codes, px, py in rows:
+        lines.append(f"{codes:>10} {px:>13.3f} {py:>13.3f}")
+    save_result(results_dir, "proximity_same_page.txt", "\n".join(lines))
+    # Larger pages keep neighbours together more often.
+    xs = [px for _, px, _ in rows]
+    assert xs == sorted(xs)
+    # Far above the random-pair baseline.
+    assert rows[0][1] > 10 * (64 / GRID.npixels)
+
+
+def test_pages_per_block_bound(benchmark, results_dir):
+    """Exhaustively check the 2-d bound: a block-shaped window overlaps
+    at most 6 fixed-size pages, wherever it sits."""
+    grid = Grid(2, 6)
+    page_codes = 64  # page = 64 consecutive codes; block = 8x8 pixels
+
+    def worst_case():
+        worst = 0
+        for x in range(grid.side - 8):
+            for y in range(grid.side - 8):
+                box = Box(((x, x + 7), (y, y + 7)))
+                worst = max(worst, page_cover_count(grid, box, page_codes))
+        return worst
+
+    worst = benchmark.pedantic(worst_case, rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "proximity_block_bound.txt",
+        f"worst pages overlapped by an 8x8 window (page=64 codes): {worst}\n"
+        "paper's bound for 2-d: 6",
+    )
+    assert worst <= 6

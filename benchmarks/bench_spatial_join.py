@@ -1,0 +1,116 @@
+"""Section 4: the spatial join ``R[zr ◇ zs]S`` end to end through the
+mini DBMS — Decompose, join, duplicate-eliminating projection.
+"""
+
+import random
+
+import pytest
+
+from conftest import save_result
+
+from repro.core.geometry import Box, Grid
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.db.spatial import decompose_objects, overlap_query, spatial_join
+from repro.db.types import OID, SPATIAL_OBJECT, SpatialObject
+
+GRID = Grid(ndims=2, depth=7)
+
+
+def random_boxes(n, seed, max_size=24):
+    rng = random.Random(seed)
+    out = {}
+    for i in range(n):
+        w = rng.randint(2, max_size)
+        h = rng.randint(2, max_size)
+        x = rng.randrange(GRID.side - w)
+        y = rng.randrange(GRID.side - h)
+        out[f"obj{i}"] = Box(((x, x + w - 1), (y, y + h - 1)))
+    return out
+
+
+def objects_relation(name, id_col, boxes):
+    return Relation(
+        name,
+        Schema.of((id_col, OID), ("shape", SPATIAL_OBJECT)),
+        [
+            (label, SpatialObject.from_box(label, box))
+            for label, box in boxes.items()
+        ],
+    )
+
+
+def test_overlap_query_end_to_end(benchmark, results_dir):
+    boxes_p = random_boxes(30, seed=1)
+    boxes_q = random_boxes(30, seed=2)
+    p = objects_relation("P", "p@", boxes_p)
+    q = objects_relation("Q", "q@", boxes_q)
+
+    result = benchmark.pedantic(
+        lambda: overlap_query(p, q, "shape", "p@", "q@", grid=GRID),
+        rounds=1,
+        iterations=1,
+    )
+    expected = {
+        (np_, nq)
+        for np_, bp in boxes_p.items()
+        for nq, bq in boxes_q.items()
+        if bp.intersects(bq)
+    }
+    assert set(result.rows) == expected
+    save_result(
+        results_dir,
+        "spatial_join_overlap.txt",
+        f"30 x 30 objects -> {len(result)} overlapping pairs "
+        f"(brute force agrees: {len(expected)})",
+    )
+
+
+def test_join_output_before_projection(results_dir):
+    """The RS relation notes each overlap 'many times'; the projection
+    eliminates the redundancy — measure the redundancy factor."""
+    boxes_p = random_boxes(15, seed=3)
+    boxes_q = random_boxes(15, seed=4)
+    p = objects_relation("P", "p@", boxes_p)
+    q = objects_relation("Q", "q@", boxes_q)
+    r = decompose_objects(p, "shape", GRID, element_col="zr")
+    s = decompose_objects(q, "shape", GRID, element_col="zs")
+    rs = spatial_join(r, s, "zr", "zs", GRID)
+    distinct_pairs = {
+        (row[0], row[2]) for row in rs
+    }
+    redundancy = len(rs) / max(1, len(distinct_pairs))
+    save_result(
+        results_dir,
+        "spatial_join_redundancy.txt",
+        f"RS rows: {len(rs)}; distinct pairs: {len(distinct_pairs)}; "
+        f"redundancy factor: {redundancy:.1f}",
+    )
+    assert len(rs) >= len(distinct_pairs)
+
+
+def test_join_cost_linear_in_elements(benchmark, results_dir):
+    """The merge join touches each element once: doubling the inputs
+    roughly doubles the work (plus output)."""
+    import time
+
+    def run(n):
+        boxes_p = random_boxes(n, seed=5, max_size=10)
+        boxes_q = random_boxes(n, seed=6, max_size=10)
+        r = decompose_objects(
+            objects_relation("P", "p@", boxes_p), "shape", GRID, "zr"
+        )
+        s = decompose_objects(
+            objects_relation("Q", "q@", boxes_q), "shape", GRID, "zs"
+        )
+        start = time.perf_counter()
+        rs = spatial_join(r, s, "zr", "zs", GRID)
+        return len(r) + len(s), len(rs), time.perf_counter() - start
+
+    rows = [run(n) for n in (20, 40, 80)]
+    lines = [f"{'elements':>9} {'output':>7} {'seconds':>9}"]
+    for nelem, nout, secs in rows:
+        lines.append(f"{nelem:>9} {nout:>7} {secs:>9.5f}")
+    save_result(results_dir, "spatial_join_scaling.txt", "\n".join(lines))
+
+    benchmark(lambda: run(40))

@@ -1,0 +1,24 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's figures or experimental
+results, asserts its qualitative claims, and writes the reproduced
+table/figure to ``benchmarks/results/`` so EXPERIMENTS.md can point at
+concrete artifacts.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")

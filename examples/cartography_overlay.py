@@ -1,0 +1,74 @@
+"""Cartography: polygon overlay and global-property queries.
+
+The paper's motivating application (Section 1: "automated cartography,
+geographic information processing").  Two map layers — land use and
+flood risk — are rasterized through approximate geometry, overlaid, and
+analysed, all on element sequences.
+
+Run:  python examples/cartography_overlay.py
+"""
+
+from repro import Grid, Box
+from repro.core.components import label_components
+from repro.core.geometry import circle_classifier, polygon_classifier
+from repro.core.overlay import ElementRegion, map_overlay
+
+grid = Grid(ndims=2, depth=7)  # a 128 x 128 map
+
+# ----------------------------------------------------------------------
+# Layer 1: land use.  Polygons arrive from "specialized processors" as
+# inside/outside/boundary oracles; the DBMS only sees elements.
+# ----------------------------------------------------------------------
+land_use = {
+    "forest": ElementRegion.from_object(
+        grid, polygon_classifier([(5, 60), (60, 70), (70, 120), (10, 115)])
+    ),
+    "farmland": ElementRegion.from_object(
+        grid, polygon_classifier([(60, 5), (120, 10), (115, 60), (65, 55)])
+    ),
+    "town": ElementRegion.from_box(grid, Box(((20, 55), (15, 45)))),
+}
+
+# Layer 2: flood risk zones around two rivers.
+flood_risk = {
+    "river_a": ElementRegion.from_object(
+        grid, circle_classifier((40, 40), 25.0)
+    ),
+    "river_b": ElementRegion.from_object(
+        grid, circle_classifier((95, 95), 30.0)
+    ),
+}
+
+print("layer areas (pixels):")
+for name, region in {**land_use, **flood_risk}.items():
+    print(f"  {name:<10} {region.area():>6}")
+
+# ----------------------------------------------------------------------
+# Overlay: which land-use polygons intersect which flood zones, and by
+# how much?  Candidate pairs come from the spatial join; faces from
+# interval intersection.
+# ----------------------------------------------------------------------
+faces = map_overlay(land_use, flood_risk)
+print("\noverlay faces (land use x flood zone):")
+for (use, zone), face in sorted(faces.items()):
+    share = face.area() / land_use[use].area()
+    print(f"  {use:<10} x {zone:<8} {face.area():>6} px "
+          f"({share:.0%} of the {use})")
+
+# ----------------------------------------------------------------------
+# Boolean map algebra: the safe (non-flood) part of the town.
+# ----------------------------------------------------------------------
+all_flood = flood_risk["river_a"] | flood_risk["river_b"]
+safe_town = land_use["town"] - all_flood
+print(f"\ntown area outside flood zones: {safe_town.area()} of "
+      f"{land_use['town'].area()} px")
+
+# ----------------------------------------------------------------------
+# Global properties (Section 6): how many distinct flooded patches of
+# forest are there, and how large is each?
+# ----------------------------------------------------------------------
+flooded_forest = land_use["forest"] & all_flood
+components = label_components(grid, flooded_forest.elements())
+print(f"\nflooded forest patches: {components.ncomponents}")
+for label, area in sorted(components.areas().items()):
+    print(f"  patch {label}: {area} px")

@@ -1,0 +1,57 @@
+"""Reproduce the paper's evaluation at full size from one script.
+
+Runs the U / C / D experiments of Section 5.3.2 (5000 points, 20-point
+pages, shapes x volumes x locations), prints the summary tables with
+analytic predictions, renders Figure 6's partition maps, and reports the
+paper's four findings.
+
+Run:  python examples/reproduce_experiments.py          (about a minute)
+"""
+
+from repro import Grid
+from repro.experiments.figures import figure6_partition_map
+from repro.experiments.harness import (
+    build_tree,
+    check_findings,
+    format_summary,
+    run_ucd_experiment,
+)
+from repro.workloads.datasets import (
+    PAPER_NPOINTS,
+    PAPER_PAGE_CAPACITY,
+    make_dataset,
+)
+
+GRID = Grid(ndims=2, depth=8)  # 256 x 256
+
+for name in ("U", "C", "D"):
+    print(f"\n=== experiment {name} "
+          f"({PAPER_NPOINTS} points, {PAPER_PAGE_CAPACITY}/page) ===")
+    measurements, rows = run_ucd_experiment(
+        GRID,
+        name,
+        npoints=PAPER_NPOINTS,
+        page_capacity=PAPER_PAGE_CAPACITY,
+        locations=5,
+        seed=0,
+    )
+    print(format_summary(rows))
+    findings = check_findings(rows)
+    print(f"\nfindings for {name}:")
+    print(f"  pages grow with volume:        "
+          f"{findings.pages_grow_with_volume}")
+    print(f"  narrow costlier than square:   "
+          f"{findings.narrow_costs_more_than_square}")
+    print(f"  prediction is an upper bound:  "
+          f"{findings.prediction_upper_bound_fraction:.0%} of cells")
+    print(f"  efficiency grows with volume:  "
+          f"{findings.efficiency_grows_with_volume}")
+    print(f"  most efficient aspects:        {findings.best_aspects}")
+
+print("\n=== Figure 6: page-boundary partitions (64x64 sample) ===")
+small_grid = Grid(ndims=2, depth=7)
+for name in ("U", "C", "D"):
+    dataset = make_dataset(name, small_grid, PAPER_NPOINTS, seed=0)
+    tree = build_tree(dataset, PAPER_PAGE_CAPACITY)
+    print(f"\nexperiment {name}: {tree.npages} data pages")
+    print(figure6_partition_map(tree, max_side=48))

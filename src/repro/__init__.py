@@ -1,0 +1,93 @@
+"""repro — a reproduction of Orenstein, *Spatial Query Processing in an
+Object-Oriented Database System* (SIGMOD 1986).
+
+Subpackages
+-----------
+``repro.core``
+    Approximate geometry: z values, elements, decomposition, the
+    merge-based range search, the spatial-join kernel, space/page
+    analysis, and the Section 6 algorithms (overlay, connected
+    components, interference detection).
+``repro.storage``
+    Pages, buffer management and the zkd prefix B+-tree.
+``repro.db``
+    A miniature relational DBMS with the element domain, the
+    ``Decompose`` operator and the spatial join ``R[zr ◇ zs]S``.
+``repro.baselines``
+    The kd tree of [BENT75], a region quadtree, a fixed-grid directory
+    and a heap-file scan.
+``repro.workloads``
+    The U / C / D datasets and query generators of Section 5.3.2.
+``repro.experiments``
+    Harness and figure renderers that regenerate the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import Grid, Box, ZkdTree
+>>> tree = ZkdTree(Grid(ndims=2, depth=6))
+>>> tree.insert((10, 20)); tree.insert((40, 50))
+>>> result = tree.range_query(Box(((0, 31), (0, 31))))
+>>> result.matches
+((10, 20),)
+"""
+
+from repro.core import (
+    Box,
+    CoverMode,
+    Element,
+    ElementRegion,
+    Grid,
+    IntervalSet,
+    Solid,
+    ZValue,
+    bigmin,
+    box_classifier,
+    brute_force_search,
+    circle_classifier,
+    decompose,
+    decompose_box,
+    deinterleave,
+    detect_interference,
+    interleave,
+    label_components,
+    map_overlay,
+    overlapping_pairs,
+    polygon_classifier,
+    range_search,
+    spatial_join,
+)
+from repro.db import SpatialDatabase
+from repro.storage import BPlusTree, QueryResult, ZkdTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Grid",
+    "Box",
+    "ZValue",
+    "Element",
+    "CoverMode",
+    "IntervalSet",
+    "ElementRegion",
+    "Solid",
+    "interleave",
+    "deinterleave",
+    "bigmin",
+    "decompose",
+    "decompose_box",
+    "box_classifier",
+    "circle_classifier",
+    "polygon_classifier",
+    "range_search",
+    "brute_force_search",
+    "spatial_join",
+    "overlapping_pairs",
+    "map_overlay",
+    "label_components",
+    "detect_interference",
+    "BPlusTree",
+    "ZkdTree",
+    "QueryResult",
+    "SpatialDatabase",
+]

@@ -1,0 +1,24 @@
+"""Comparison structures: the kd tree of [BENT75] (the paper's stated
+yardstick), the dynamic grid file of [NIEV84], a region quadtree (the
+IPV relative), a fixed-grid directory (the static strawman) and a
+heap-file scan (the floor)."""
+
+from repro.baselines.dynamic_gridfile import GridFile
+from repro.baselines.gridfile import FixedGridIndex
+from repro.baselines.kdtree import KdTree
+from repro.baselines.linearscan import HeapFile
+from repro.baselines.quadtree import (
+    RegionQuadtree,
+    elements_to_quadtree_leaves,
+    quadtree_leaves_to_elements,
+)
+
+__all__ = [
+    "KdTree",
+    "GridFile",
+    "RegionQuadtree",
+    "quadtree_leaves_to_elements",
+    "elements_to_quadtree_leaves",
+    "FixedGridIndex",
+    "HeapFile",
+]

@@ -1,0 +1,310 @@
+"""The grid file of Nievergelt, Hinterberger & Sevcik [NIEV84] — the
+flagship "grid method" in the paper's Section 2 survey.
+
+A dynamic, symmetric multi-key file: per-axis *linear scales* cut the
+space into a directory of cells; each cell points to a bucket (data
+page); a bucket may serve a box-shaped group of cells.  Inserting into
+a full bucket either splits the bucket's cell region between two
+buckets, or — when the bucket serves a single cell — refines a linear
+scale, doubling a directory slice.
+
+Included as the adaptive competitor to the zkd B+-tree: it answers
+range queries in few bucket touches, but pays with directory growth —
+superlinear under skewed data (the benches show the directory exploding
+on the diagonal dataset while the B+-tree is oblivious).
+
+Simplifications vs. the full paper: scales split at pixel midpoints,
+buddy-system bucket merging on deletion is omitted (deletes just shrink
+buckets), and the directory is an in-memory dict.  None of these affect
+the query-cost or directory-growth behaviour being compared.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import MergeStats
+from repro.storage.prefix_btree import QueryResult
+
+__all__ = ["GridFile"]
+
+Point = Tuple[int, ...]
+Cell = Tuple[int, ...]
+
+
+class _Bucket:
+    __slots__ = ("bucket_id", "cells", "points")
+
+    def __init__(self, bucket_id: int, cells: Tuple[Tuple[int, int], ...]):
+        self.bucket_id = bucket_id
+        #: Inclusive cell-index ranges per axis (the bucket's region).
+        self.cells = cells
+        self.points: List[Point] = []
+
+    def cell_extent(self, axis: int) -> int:
+        lo, hi = self.cells[axis]
+        return hi - lo + 1
+
+
+class GridFile:
+    """A dynamic grid file over integer grid points."""
+
+    def __init__(self, grid: Grid, page_capacity: int = 20) -> None:
+        if page_capacity < 1:
+            raise ValueError("page capacity must be positive")
+        self.grid = grid
+        self.page_capacity = page_capacity
+        #: Per-axis sorted interval boundaries: interval i covers
+        #: pixels [scales[axis][i], scales[axis][i+1]).
+        self.scales: List[List[int]] = [
+            [0, grid.side] for _ in range(grid.ndims)
+        ]
+        self._buckets: Dict[int, _Bucket] = {}
+        self._directory: Dict[Cell, int] = {}
+        self._next_bucket = 0
+        first = self._new_bucket(
+            tuple((0, 0) for _ in range(grid.ndims))
+        )
+        self._directory[(0,) * grid.ndims] = first.bucket_id
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def nbuckets(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def directory_size(self) -> int:
+        """Number of directory cells — the grid file's Achilles heel."""
+        size = 1
+        for scale in self.scales:
+            size *= len(scale) - 1
+        return size
+
+    @property
+    def npages(self) -> int:
+        return sum(self._bucket_pages(b) for b in self._buckets.values())
+
+    def _bucket_pages(self, bucket: _Bucket) -> int:
+        return max(1, math.ceil(len(bucket.points) / self.page_capacity))
+
+    def check_invariants(self) -> None:
+        """Structural validation for the tests."""
+        total = 0
+        for cell, bucket_id in self._directory.items():
+            bucket = self._buckets[bucket_id]
+            for axis, index in enumerate(cell):
+                lo, hi = bucket.cells[axis]
+                assert lo <= index <= hi, (cell, bucket.cells)
+        ncells = 1
+        for scale in self.scales:
+            assert scale == sorted(set(scale))
+            ncells *= len(scale) - 1
+        assert len(self._directory) == ncells, "directory has holes"
+        for bucket in self._buckets.values():
+            total += len(bucket.points)
+            for point in bucket.points:
+                assert self._bucket_for(point) is bucket, (
+                    point,
+                    bucket.cells,
+                )
+        assert total == self._count
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def _cell_of(self, point: Sequence[int]) -> Cell:
+        return tuple(
+            bisect.bisect_right(self.scales[axis], point[axis]) - 1
+            for axis in range(self.grid.ndims)
+        )
+
+    def _bucket_for(self, point: Sequence[int]) -> _Bucket:
+        return self._buckets[self._directory[self._cell_of(point)]]
+
+    def _new_bucket(self, cells: Tuple[Tuple[int, int], ...]) -> _Bucket:
+        bucket = _Bucket(self._next_bucket, cells)
+        self._buckets[self._next_bucket] = bucket
+        self._next_bucket += 1
+        return bucket
+
+    def _cells_in(self, region: Tuple[Tuple[int, int], ...]):
+        def rec(axis: int, prefix: Cell):
+            if axis == self.grid.ndims:
+                yield prefix
+                return
+            lo, hi = region[axis]
+            for index in range(lo, hi + 1):
+                yield from rec(axis + 1, prefix + (index,))
+
+        yield from rec(0, ())
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[int]) -> None:
+        point = tuple(point)
+        self.grid.validate_point(point)
+        bucket = self._bucket_for(point)
+        bucket.points.append(point)
+        self._count += 1
+        guard = 0
+        while len(bucket.points) > self.page_capacity:
+            if not self._split_bucket(bucket):
+                break  # unsplittable: indistinguishable points overflow
+            bucket = self._bucket_for(point)
+            guard += 1
+            if guard > 4 * self.grid.total_bits:
+                raise AssertionError("split loop did not terminate")
+
+    def insert_many(self, points: Iterable[Sequence[int]]) -> None:
+        for point in points:
+            self.insert(point)
+
+    def delete(self, point: Sequence[int]) -> bool:
+        point = tuple(point)
+        bucket = self._bucket_for(point)
+        try:
+            bucket.points.remove(point)
+        except ValueError:
+            return False
+        self._count -= 1
+        return True
+
+    # -- splitting ---------------------------------------------------------
+
+    def _split_bucket(self, bucket: _Bucket) -> bool:
+        """Split ``bucket``; returns False when impossible (every cell
+        interval is one pixel wide and the region is a single cell)."""
+        # Case 1: the bucket serves several cells along some axis —
+        # split the cell region without touching the scales.
+        split_axis = None
+        for axis in range(self.grid.ndims):
+            if bucket.cell_extent(axis) > 1:
+                if split_axis is None or bucket.cell_extent(
+                    axis
+                ) > bucket.cell_extent(split_axis):
+                    split_axis = axis
+        if split_axis is not None:
+            return self._split_region(bucket, split_axis)
+        # Case 2: single cell — refine the scale along the axis whose
+        # interval is widest (in pixels).
+        cell = tuple(lo for lo, _ in bucket.cells)
+        best_axis = None
+        best_width = 1
+        for axis in range(self.grid.ndims):
+            index = cell[axis]
+            width = self.scales[axis][index + 1] - self.scales[axis][index]
+            if width > best_width:
+                best_width = width
+                best_axis = axis
+        if best_axis is None:
+            return False  # one-pixel cell: cannot refine further
+        self._refine_scale(best_axis, cell[best_axis])
+        # The refinement doubled this cell; the bucket now spans two
+        # cells along best_axis and can be region-split.
+        return self._split_region(self._buckets[bucket.bucket_id], best_axis)
+
+    def _split_region(self, bucket: _Bucket, axis: int) -> bool:
+        lo, hi = bucket.cells[axis]
+        mid = (lo + hi) // 2
+        low_cells = list(bucket.cells)
+        high_cells = list(bucket.cells)
+        low_cells[axis] = (lo, mid)
+        high_cells[axis] = (mid + 1, hi)
+        sibling = self._new_bucket(tuple(high_cells))
+        bucket.cells = tuple(low_cells)
+        # Re-point the directory cells of the upper half.
+        for cell in self._cells_in(sibling.cells):
+            self._directory[cell] = sibling.bucket_id
+        # Repartition the points by pixel boundary of cell `mid+1`.
+        boundary = self.scales[axis][mid + 1]
+        low_points = [p for p in bucket.points if p[axis] < boundary]
+        sibling.points = [p for p in bucket.points if p[axis] >= boundary]
+        bucket.points = low_points
+        return True
+
+    def _refine_scale(self, axis: int, interval_index: int) -> None:
+        """Split interval ``interval_index`` of ``axis`` at its pixel
+        midpoint, doubling the directory slice and shifting every
+        bucket's cell indices above the split."""
+        scale = self.scales[axis]
+        left = scale[interval_index]
+        right = scale[interval_index + 1]
+        midpoint = (left + right) // 2
+        assert left < midpoint < right
+        scale.insert(interval_index + 1, midpoint)
+        # Shift bucket cell ranges beyond the split point.
+        for bucket in self._buckets.values():
+            lo, hi = bucket.cells[axis]
+            new_lo = lo + 1 if lo > interval_index else lo
+            new_hi = hi + 1 if hi >= interval_index else hi
+            # A bucket covering the split interval now covers both
+            # halves: lo <= interval_index <= hi -> hi grows by one.
+            cells = list(bucket.cells)
+            cells[axis] = (new_lo, new_hi)
+            bucket.cells = tuple(cells)
+        # Rebuild the directory along this axis (indices shifted).
+        new_directory: Dict[Cell, int] = {}
+        for cell, bucket_id in self._directory.items():
+            index = cell[axis]
+            if index < interval_index:
+                new_directory[cell] = bucket_id
+            elif index == interval_index:
+                low = list(cell)
+                high = list(cell)
+                high[axis] = index + 1
+                new_directory[tuple(low)] = bucket_id
+                new_directory[tuple(high)] = bucket_id
+            else:
+                shifted = list(cell)
+                shifted[axis] = index + 1
+                new_directory[tuple(shifted)] = bucket_id
+        self._directory = new_directory
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_query(self, box: Box) -> QueryResult:
+        clipped = box.clipped_to(self.grid.whole_space())
+        if clipped is None:
+            return QueryResult((), 0, 0, MergeStats())
+        cell_ranges = []
+        for axis, (lo, hi) in enumerate(clipped.ranges):
+            scale = self.scales[axis]
+            first = bisect.bisect_right(scale, lo) - 1
+            last = bisect.bisect_right(scale, hi) - 1
+            cell_ranges.append((first, last))
+        bucket_ids = {
+            self._directory[cell]
+            for cell in self._cells_in(tuple(cell_ranges))
+        }
+        matches: List[Point] = []
+        pages = 0
+        records = 0
+        for bucket_id in bucket_ids:
+            bucket = self._buckets[bucket_id]
+            pages += self._bucket_pages(bucket)
+            records += len(bucket.points)
+            matches.extend(
+                p for p in bucket.points if clipped.contains_point(p)
+            )
+        matches.sort(key=lambda p: self.grid.zvalue(p).bits)
+        return QueryResult(
+            matches=tuple(matches),
+            pages_accessed=pages,
+            records_on_pages=records,
+            merge=MergeStats(matches=len(matches)),
+        )

@@ -1,0 +1,119 @@
+"""A fixed-grid directory index — the simplest of the grid methods the
+paper surveys ([MERR78], [NIEV84], [TAMM81]).
+
+The space is cut into ``cells_per_axis**k`` equal cells; each cell owns
+a chain of data pages.  Range queries touch every page of every cell the
+query box overlaps.  Compared with the zkd B+-tree, the directory wastes
+pages on empty or skewed regions (experiment C and D territory) because
+its partition cannot adapt — the contrast the benches quantify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import MergeStats
+from repro.storage.prefix_btree import QueryResult
+
+__all__ = ["FixedGridIndex"]
+
+Point = Tuple[int, ...]
+
+
+class FixedGridIndex:
+    """A uniform grid directory with chained fixed-capacity pages."""
+
+    def __init__(
+        self, grid: Grid, cells_per_axis: int, page_capacity: int = 20
+    ) -> None:
+        if cells_per_axis < 1:
+            raise ValueError("need at least one cell per axis")
+        if grid.side % cells_per_axis:
+            raise ValueError(
+                f"cells_per_axis {cells_per_axis} must divide side {grid.side}"
+            )
+        if page_capacity < 1:
+            raise ValueError("page capacity must be positive")
+        self.grid = grid
+        self.cells_per_axis = cells_per_axis
+        self.cell_extent = grid.side // cells_per_axis
+        self.page_capacity = page_capacity
+        self._cells: Dict[Tuple[int, ...], List[Point]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _cell_of(self, point: Point) -> Tuple[int, ...]:
+        return tuple(c // self.cell_extent for c in point)
+
+    def insert(self, point: Sequence[int]) -> None:
+        point = tuple(point)
+        self.grid.validate_point(point)
+        self._cells.setdefault(self._cell_of(point), []).append(point)
+        self._count += 1
+
+    def insert_many(self, points: Iterable[Sequence[int]]) -> None:
+        for point in points:
+            self.insert(point)
+
+    def delete(self, point: Sequence[int]) -> bool:
+        point = tuple(point)
+        bucket = self._cells.get(self._cell_of(point))
+        if not bucket:
+            return False
+        try:
+            bucket.remove(point)
+        except ValueError:
+            return False
+        self._count -= 1
+        return True
+
+    def _pages_in_cell(self, cell: Tuple[int, ...]) -> int:
+        n = len(self._cells.get(cell, ()))
+        # An allocated cell always holds at least one page; unallocated
+        # (never-written) cells cost nothing.
+        if cell not in self._cells:
+            return 0
+        return max(1, math.ceil(n / self.page_capacity))
+
+    @property
+    def npages(self) -> int:
+        return sum(self._pages_in_cell(cell) for cell in self._cells)
+
+    def range_query(self, box: Box) -> QueryResult:
+        clipped = box.clipped_to(self.grid.whole_space())
+        if clipped is None:
+            return QueryResult((), 0, 0, MergeStats())
+        cell_ranges = [
+            (lo // self.cell_extent, hi // self.cell_extent)
+            for lo, hi in clipped.ranges
+        ]
+        matches: List[Point] = []
+        pages = 0
+        records = 0
+
+        def visit(axis: int, prefix: Tuple[int, ...]) -> None:
+            nonlocal pages, records
+            if axis == self.grid.ndims:
+                bucket = self._cells.get(prefix)
+                if bucket is None:
+                    return
+                pages += self._pages_in_cell(prefix)
+                records += len(bucket)
+                matches.extend(p for p in bucket if clipped.contains_point(p))
+                return
+            lo, hi = cell_ranges[axis]
+            for c in range(lo, hi + 1):
+                visit(axis + 1, prefix + (c,))
+
+        visit(0, ())
+        matches.sort(key=lambda p: self.grid.zvalue(p).bits)
+        return QueryResult(
+            matches=tuple(matches),
+            pages_accessed=pages,
+            records_on_pages=records,
+            merge=MergeStats(matches=len(matches)),
+        )

@@ -1,0 +1,65 @@
+"""Sequential scan over a heap file — the no-index floor.
+
+Every query reads every data page.  Included so the benches can show
+where indexing stops paying: for queries covering most of the space,
+``O(vN)`` approaches ``N`` and the scan is competitive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import MergeStats
+from repro.storage.prefix_btree import QueryResult
+
+__all__ = ["HeapFile"]
+
+Point = Tuple[int, ...]
+
+
+class HeapFile:
+    """Points in insertion order, packed onto fixed-capacity pages."""
+
+    def __init__(self, grid: Grid, page_capacity: int = 20) -> None:
+        if page_capacity < 1:
+            raise ValueError("page capacity must be positive")
+        self.grid = grid
+        self.page_capacity = page_capacity
+        self._points: List[Point] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def insert(self, point: Sequence[int]) -> None:
+        point = tuple(point)
+        self.grid.validate_point(point)
+        self._points.append(point)
+
+    def insert_many(self, points: Iterable[Sequence[int]]) -> None:
+        for point in points:
+            self.insert(point)
+
+    def delete(self, point: Sequence[int]) -> bool:
+        try:
+            self._points.remove(tuple(point))
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def npages(self) -> int:
+        return max(1, math.ceil(len(self._points) / self.page_capacity))
+
+    def range_query(self, box: Box) -> QueryResult:
+        matches = sorted(
+            (p for p in self._points if box.contains_point(p)),
+            key=lambda p: self.grid.zvalue(p).bits,
+        )
+        return QueryResult(
+            matches=tuple(matches),
+            pages_accessed=self.npages,
+            records_on_pages=len(self._points),
+            merge=MergeStats(matches=len(matches)),
+        )

@@ -1,0 +1,153 @@
+"""Region quadtrees — the IPV structure AG generalizes (Section 2).
+
+The paper's survey ties the AG element representation to the quadtree
+literature ([SAME85a], [GARG82]'s linear quadtree).  This module makes
+the connection executable:
+
+* :class:`RegionQuadtree` — a classic 2-d region quadtree built from a
+  classification oracle, splitting all axes simultaneously;
+* conversions proving the equivalence the paper asserts: a quadtree
+  leaf at depth ``m`` *is* an AG element of even z length ``2m``
+  (Gargantini's linear quadtree keys are exactly z values read two bits
+  at a time), and any AG decomposition coarsens to a quadtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.decompose import Element
+from repro.core.geometry import (
+    BOUNDARY,
+    INSIDE,
+    OUTSIDE,
+    Box,
+    Classification,
+    ClassifyFn,
+    Grid,
+)
+from repro.core.zvalue import ZValue
+
+__all__ = [
+    "RegionQuadtree",
+    "quadtree_leaves_to_elements",
+    "elements_to_quadtree_leaves",
+]
+
+
+@dataclass(frozen=True)
+class _QuadLeaf:
+    z: ZValue  # even-length z value naming the quadrant
+    black: bool
+
+
+class RegionQuadtree:
+    """A 2-d region quadtree stored as its linear-quadtree leaf list.
+
+    Leaves are kept in z order (that is what makes the linear quadtree
+    "linear"); black leaves are the object's quadrants.
+    """
+
+    def __init__(self, grid: Grid, leaves: Sequence[_QuadLeaf]) -> None:
+        if grid.ndims != 2:
+            raise ValueError("quadtrees are 2-d")
+        self.grid = grid
+        self._leaves = tuple(leaves)
+
+    @classmethod
+    def build(
+        cls,
+        grid: Grid,
+        classify: ClassifyFn,
+        max_level: Optional[int] = None,
+    ) -> "RegionQuadtree":
+        """Build by recursive 4-way splitting down to pixels (or
+        ``max_level`` quadtree levels)."""
+        if grid.ndims != 2:
+            raise ValueError("quadtrees are 2-d")
+        limit = grid.depth if max_level is None else max_level
+        if not 0 <= limit <= grid.depth:
+            raise ValueError(f"max_level {max_level} outside [0, {grid.depth}]")
+        leaves: List[_QuadLeaf] = []
+
+        def rec(z: ZValue, region: Box) -> None:
+            side = classify(region)
+            if side is OUTSIDE:
+                leaves.append(_QuadLeaf(z, black=False))
+                return
+            if side is INSIDE:
+                leaves.append(_QuadLeaf(z, black=True))
+                return
+            if z.length // 2 >= limit:
+                # Boundary at the cut-off: conservatively black.
+                leaves.append(_QuadLeaf(z, black=True))
+                return
+            (xlo, xhi), (ylo, yhi) = region.ranges
+            xmid = (xlo + xhi) // 2
+            ymid = (ylo + yhi) // 2
+            # Quadrants in z order: (SW), (SE) ... following bit pairs
+            # x-bit then y-bit, matching the AG interleave convention.
+            quads = [
+                (0, 0, Box(((xlo, xmid), (ylo, ymid)))),
+                (0, 1, Box(((xlo, xmid), (ymid + 1, yhi)))),
+                (1, 0, Box(((xmid + 1, xhi), (ylo, ymid)))),
+                (1, 1, Box(((xmid + 1, xhi), (ymid + 1, yhi)))),
+            ]
+            for xbit, ybit, sub in quads:
+                rec(z.child(xbit).child(ybit), sub)
+
+        rec(ZValue.empty(), grid.whole_space())
+        return cls(grid, leaves)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def leaves(self) -> Tuple[_QuadLeaf, ...]:
+        return self._leaves
+
+    def black_leaves(self) -> List[_QuadLeaf]:
+        return [leaf for leaf in self._leaves if leaf.black]
+
+    def black_area(self) -> int:
+        total_bits = self.grid.total_bits
+        return sum(
+            1 << (total_bits - leaf.z.length) for leaf in self.black_leaves()
+        )
+
+    def is_black(self, coords: Sequence[int]) -> bool:
+        z = self.grid.zvalue(coords)
+        for leaf in self._leaves:
+            if leaf.z.contains(z):
+                return leaf.black
+        raise AssertionError("quadtree leaves do not cover the space")
+
+    def nleaves(self) -> int:
+        return len(self._leaves)
+
+
+def quadtree_leaves_to_elements(
+    tree: RegionQuadtree,
+) -> List[Element]:
+    """Black quadtree leaves as AG elements — the embedding direction of
+    the equivalence (every quadtree is an AG decomposition)."""
+    return [
+        Element.of(leaf.z, tree.grid) for leaf in tree.black_leaves()
+    ]
+
+
+def elements_to_quadtree_leaves(
+    grid: Grid, elements: Sequence[Element]
+) -> List[ZValue]:
+    """Round AG elements down to quadtree quadrants: an element of odd z
+    length (a "bintree" node) splits into its two even-length children.
+    Returns black quadrant z values in z order."""
+    out: List[ZValue] = []
+    for element in sorted(elements, key=lambda e: e.zlo):
+        z = element.zvalue
+        if z.length % 2 == 0:
+            out.append(z)
+        else:
+            out.append(z.child(0))
+            out.append(z.child(1))
+    return out

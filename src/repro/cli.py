@@ -1,0 +1,229 @@
+"""Command-line interface: reproduce the paper from a terminal.
+
+    python -m repro figures                 # Figures 1-5
+    python -m repro experiment U            # Section 5.3.2, experiment U
+    python -m repro partition C             # Figure 6 for experiment C
+    python -m repro compare D               # zkd vs kd tree vs grid vs scan
+    python -m repro space 109 91            # Section 5.1: E(U,V), coarsening
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import (
+    bit_span,
+    coarsening_tradeoff,
+    element_count_2d,
+)
+from repro.core.geometry import Grid
+from repro.experiments.comparison import compare_structures, format_comparison
+from repro.experiments.figures import (
+    figure1_range_query,
+    figure2_decomposition,
+    figure3_consecutive_zvalues,
+    figure4_zorder_curve,
+    figure5_merge_trace,
+    figure6_partition_map,
+)
+from repro.experiments.harness import (
+    build_tree,
+    check_findings,
+    format_summary,
+    run_ucd_experiment,
+)
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Orenstein (SIGMOD 1986): spatial query "
+            "processing with z-order approximate geometry."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="print Figures 1-5 (the running example)")
+
+    for name, help_text in (
+        ("experiment", "run one of the Section 5.3.2 experiments"),
+        ("partition", "render Figure 6's page partition for a dataset"),
+        ("compare", "compare zkd B+-tree with the baselines"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "dataset", choices=["U", "C", "D"], help="point distribution"
+        )
+        cmd.add_argument(
+            "--points", type=int, default=5000, help="dataset size"
+        )
+        cmd.add_argument(
+            "--depth", type=int, default=8, help="grid depth (side = 2**depth)"
+        )
+        cmd.add_argument(
+            "--capacity", type=int, default=20, help="points per data page"
+        )
+        cmd.add_argument("--seed", type=int, default=0)
+        if name == "experiment":
+            cmd.add_argument(
+                "--locations", type=int, default=5,
+                help="random query locations per shape/volume cell",
+            )
+        if name == "partition":
+            cmd.add_argument(
+                "--side", type=int, default=64, help="rendered map side"
+            )
+
+    space = sub.add_parser(
+        "space", help="Section 5.1 analysis of a U x V box decomposition"
+    )
+    space.add_argument("width", type=int)
+    space.add_argument("height", type=int)
+    space.add_argument("--depth", type=int, default=10)
+
+    report = sub.add_parser(
+        "report", help="run the whole evaluation and emit a markdown report"
+    )
+    report.add_argument("--points", type=int, default=5000)
+    report.add_argument("--depth", type=int, default=8)
+    report.add_argument("--capacity", type=int, default=20)
+    report.add_argument("--locations", type=int, default=5)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "-o", "--output", default="-", help="file path, or - for stdout"
+    )
+
+    return parser
+
+
+def _cmd_figures(out) -> None:
+    out.write("Figure 1: the range query 1<=X<=3 & 0<=Y<=4\n")
+    out.write(figure1_range_query() + "\n\n")
+    labels, drawing = figure2_decomposition()
+    out.write("Figure 2: decomposition of the box\n")
+    out.write(drawing + "\n\n")
+    _, fig3 = figure3_consecutive_zvalues()
+    out.write("Figure 3: consecutive z values inside an element\n")
+    out.write(fig3 + "\n\n")
+    _, fig4 = figure4_zorder_curve()
+    out.write("Figure 4: z-order ranks ([3,5] -> 27)\n")
+    out.write(fig4 + "\n\n")
+    _, fig5 = figure5_merge_trace()
+    out.write("Figure 5: the range-search merge\n")
+    out.write(fig5 + "\n")
+
+
+def _cmd_experiment(args, out) -> None:
+    grid = Grid(ndims=2, depth=args.depth)
+    _, rows = run_ucd_experiment(
+        grid,
+        args.dataset,
+        npoints=args.points,
+        page_capacity=args.capacity,
+        locations=args.locations,
+        seed=args.seed,
+    )
+    out.write(format_summary(rows) + "\n\n")
+    findings = check_findings(rows)
+    out.write(f"pages grow with volume:       {findings.pages_grow_with_volume}\n")
+    out.write(
+        "narrow costlier than square:  "
+        f"{findings.narrow_costs_more_than_square}\n"
+    )
+    out.write(
+        "prediction is an upper bound: "
+        f"{findings.prediction_upper_bound_fraction:.0%} of cells\n"
+    )
+    out.write(
+        "efficiency grows with volume: "
+        f"{findings.efficiency_grows_with_volume}\n"
+    )
+    out.write(f"most efficient aspects:       {findings.best_aspects}\n")
+
+
+def _cmd_partition(args, out) -> None:
+    grid = Grid(ndims=2, depth=args.depth)
+    dataset = make_dataset(args.dataset, grid, args.points, args.seed)
+    tree = build_tree(dataset, args.capacity)
+    out.write(
+        f"experiment {args.dataset}: {len(tree)} points on "
+        f"{tree.npages} data pages\n"
+    )
+    out.write(figure6_partition_map(tree, max_side=args.side) + "\n")
+
+
+def _cmd_compare(args, out) -> None:
+    grid = Grid(ndims=2, depth=args.depth)
+    dataset = make_dataset(args.dataset, grid, args.points, args.seed)
+    specs = query_workload(grid, locations=3, seed=args.seed + 1)
+    rows = compare_structures(dataset, specs, args.capacity)
+    out.write(format_comparison(rows) + "\n")
+
+
+def _cmd_space(args, out) -> None:
+    u, v = args.width, args.height
+    count = element_count_2d(u, v, args.depth)
+    out.write(f"E({u}, {v}) at depth {args.depth}: {count} elements\n")
+    out.write(f"bit span of U|V: {bit_span(u | v)}\n")
+    out.write(
+        f"cyclicity check: E({2 * u}, {2 * v}) = "
+        f"{element_count_2d(2 * u, 2 * v, args.depth + 1)}\n\n"
+    )
+    out.write("coarsening trade-off (zeroing the last m bits):\n")
+    out.write(
+        f"{'m':>2} {'U_prime':>8} {'V_prime':>8} {'elements':>9} "
+        f"{'reduction':>10} {'area_err':>9}\n"
+    )
+    for m in range(0, min(8, args.depth)):
+        t = coarsening_tradeoff((u, v), args.depth, m)
+        out.write(
+            f"{m:>2} {t.coarsened_sizes[0]:>8} {t.coarsened_sizes[1]:>8} "
+            f"{t.elements_after:>9} {t.element_reduction:>10.2%} "
+            f"{t.volume_error:>9.2%}\n"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        _cmd_figures(out)
+    elif args.command == "experiment":
+        _cmd_experiment(args, out)
+    elif args.command == "partition":
+        _cmd_partition(args, out)
+    elif args.command == "compare":
+        _cmd_compare(args, out)
+    elif args.command == "space":
+        _cmd_space(args, out)
+    elif args.command == "report":
+        from repro.experiments.report import write_report
+
+        if args.output == "-":
+            write_report(
+                out,
+                npoints=args.points,
+                depth=args.depth,
+                page_capacity=args.capacity,
+                locations=args.locations,
+                seed=args.seed,
+            )
+        else:
+            with open(args.output, "w") as handle:
+                write_report(
+                    handle,
+                    npoints=args.points,
+                    depth=args.depth,
+                    page_capacity=args.capacity,
+                    locations=args.locations,
+                    seed=args.seed,
+                )
+            out.write(f"report written to {args.output}\n")
+    return 0

@@ -1,0 +1,249 @@
+"""Space and page-access analysis (Sections 5.1 and 5.3.1).
+
+Implements, as executable mathematics, the analytical results the paper
+reports from [OREN83]:
+
+* ``E(U, V)`` — the number of elements in the decomposition of a
+  ``U x V`` box whose lower-left corner is at the origin.  We provide an
+  exact ``O(d**2)``-state recurrence (:func:`element_count`) equivalent
+  to the closed form of [OREN83], in any dimension.  Tests verify the
+  paper's two stated facts: strong dependence on the bit span of
+  ``U OR V``, and cyclicity ``E(U, V) = E(2U, 2V)``.
+* The boundary-expansion ("coarser grid") optimization: rounding sizes up
+  so their last ``m`` bits are zero trades a small relative area error
+  for a large drop in element count.
+* The fixed-size-page block model of Section 5.2/5.3.1: the space is
+  partitioned into equal rectangular blocks, each holding at most a
+  dimension-dependent constant number of pages (6 in 2d, 28/3 in 3d);
+  counting blocks covered by a query yields the ``O(vN)`` range-query
+  and ``O(N**(1 - t/k))`` partial-match page-access predictions, which
+  "match the performance predicted for kd trees".
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Sequence, Tuple
+
+__all__ = [
+    "element_count",
+    "element_count_2d",
+    "bit_span",
+    "coarsen_size",
+    "CoarseningTradeoff",
+    "coarsening_tradeoff",
+    "pages_per_block_bound",
+    "block_shape",
+    "predicted_range_pages",
+    "predicted_partial_match_pages",
+]
+
+
+def element_count(sizes: Sequence[int], depth: int) -> int:
+    """``E(U_1, ..., U_k)``: elements in the decomposition of the box
+    ``[0, U_1-1] x ... x [0, U_k-1]`` in a ``2**depth``-per-axis grid.
+
+    Exact; computed by a memoized recurrence over the splitting tree.
+    Only the anchored-at-origin case has a size-only answer — that is the
+    case analyzed in Section 5.1.
+    """
+    side = 1 << depth
+    sizes = tuple(int(s) for s in sizes)
+    ndims = len(sizes)
+    if ndims == 0:
+        raise ValueError("need at least one dimension")
+    for size in sizes:
+        if not 0 <= size <= side:
+            raise ValueError(f"size {size} outside [0, {side}]")
+
+    @functools.lru_cache(maxsize=None)
+    def rec(extents: Tuple[int, ...], covered: Tuple[int, ...], axis: int) -> int:
+        if any(c <= 0 for c in covered):
+            return 0
+        if all(c >= e for c, e in zip(covered, extents)):
+            return 1
+        half = extents[axis] // 2
+        low_ext = extents[:axis] + (half,) + extents[axis + 1 :]
+        next_axis = (axis + 1) % ndims
+        low_cov = (
+            covered[:axis] + (min(covered[axis], half),) + covered[axis + 1 :]
+        )
+        high_cov = (
+            covered[:axis] + (covered[axis] - half,) + covered[axis + 1 :]
+        )
+        return rec(low_ext, low_cov, next_axis) + rec(
+            low_ext, high_cov, next_axis
+        )
+
+    return rec((side,) * ndims, sizes, 0)
+
+
+def element_count_2d(width: int, height: int, depth: int) -> int:
+    """``E(U, V)`` for the 2-d case analyzed in the paper."""
+    return element_count((width, height), depth)
+
+
+def bit_span(value: int) -> int:
+    """Number of bit positions between the first and last 1 bits of
+    ``value``, inclusive — the quantity ``E(U, V)`` is "highly dependent
+    on" when applied to ``U OR V`` (Section 5.1).
+
+    ``bit_span(0b01101101) == 7``; ``bit_span(0b01110000) == 3``;
+    ``bit_span(0) == 0``.
+    """
+    if value == 0:
+        return 0
+    low = (value & -value).bit_length()
+    high = value.bit_length()
+    return high - low + 1
+
+
+def coarsen_size(size: int, m: int) -> int:
+    """Round ``size`` up so that its last ``m`` bits are zero.
+
+    This is the paper's construction: "if U = 01101101 and m = 4, then
+    U' = 01110000" — equivalent to using a grid ``2**m`` times coarser.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    step = 1 << m
+    return (size + step - 1) // step * step
+
+
+@dataclass(frozen=True)
+class CoarseningTradeoff:
+    """Effect of zeroing the last ``m`` bits of both box sizes."""
+
+    m: int
+    original_sizes: Tuple[int, ...]
+    coarsened_sizes: Tuple[int, ...]
+    elements_before: int
+    elements_after: int
+    volume_before: int
+    volume_after: int
+
+    @property
+    def element_reduction(self) -> float:
+        if self.elements_before == 0:
+            return 0.0
+        return 1.0 - self.elements_after / self.elements_before
+
+    @property
+    def volume_error(self) -> float:
+        """Relative growth in covered volume — "the imprecision of the
+        approximation grows slowly"."""
+        if self.volume_before == 0:
+            return 0.0
+        return self.volume_after / self.volume_before - 1.0
+
+
+def coarsening_tradeoff(
+    sizes: Sequence[int], depth: int, m: int
+) -> CoarseningTradeoff:
+    """Quantify the Section 5.1 optimization for a given ``m``."""
+    original = tuple(int(s) for s in sizes)
+    side = 1 << depth
+    coarse = tuple(min(coarsen_size(s, m), side) for s in original)
+
+    def volume(extents: Sequence[int]) -> int:
+        v = 1
+        for e in extents:
+            v *= e
+        return v
+
+    return CoarseningTradeoff(
+        m=m,
+        original_sizes=original,
+        coarsened_sizes=coarse,
+        elements_before=element_count(original, depth),
+        elements_after=element_count(coarse, depth),
+        volume_before=volume(original),
+        volume_after=volume(coarse),
+    )
+
+
+#: Upper bounds on the number of pages per rectangular block under the
+#: fixed-size-page assumption (Section 5.2): "6 in 2d, 28/3 in 3d".
+_PAGES_PER_BLOCK: Dict[int, Fraction] = {
+    1: Fraction(2),
+    2: Fraction(6),
+    3: Fraction(28, 3),
+}
+
+
+def pages_per_block_bound(ndims: int) -> Fraction:
+    """The dimension-dependent bound on pages per block.
+
+    The paper states the 2-d and 3-d constants; the 1-d value (two pages
+    can straddle a block) follows from the same argument.  Higher
+    dimensions were not published — we raise rather than guess.
+    """
+    try:
+        return _PAGES_PER_BLOCK[ndims]
+    except KeyError:
+        raise ValueError(
+            f"pages-per-block bound not published for {ndims}-d"
+        ) from None
+
+
+def block_shape(npixels_per_block: int, ndims: int) -> Tuple[int, ...]:
+    """Side lengths of the rectangular blocks of the Section 5.2 model.
+
+    Blocks arise from cutting the splitting tree at a fixed depth, so
+    each side is a power of two and the earlier-split axes are at most a
+    factor of two shorter.  ``npixels_per_block`` is rounded up to a
+    power of two.
+    """
+    if npixels_per_block < 1:
+        raise ValueError("blocks must contain at least one pixel")
+    free_bits = max(0, (npixels_per_block - 1).bit_length())
+    base, extra = divmod(free_bits, ndims)
+    # Splitting cycles x, y, ...: earlier axes have been split at least
+    # as many times, so the *last* `extra` axes keep one more free bit
+    # (are twice as long).
+    return tuple(
+        1 << (base + 1 if axis >= ndims - extra else base)
+        for axis in range(ndims)
+    )
+
+
+def predicted_range_pages(
+    query_sizes: Sequence[int],
+    side: int,
+    total_pages: int,
+    ndims: int,
+) -> float:
+    """Predicted data-page accesses for a range query (Section 5.3.1).
+
+    Block-counting model: the space is tiled by equal rectangular blocks
+    of at most :func:`pages_per_block_bound` pages each; a query touches
+    every block it overlaps.  The leading term is ``v * N`` where ``v``
+    is the query's fractional volume; lower-order terms account for
+    blocks straddling the query border.
+    """
+    if total_pages < 1:
+        raise ValueError("need at least one page")
+    space = side**ndims
+    bound = float(pages_per_block_bound(ndims))
+    nblocks = max(1.0, total_pages / bound)
+    pixels_per_block = space / nblocks
+    shape = block_shape(max(1, round(pixels_per_block)), ndims)
+    blocks_covered = 1.0
+    for q, s in zip(query_sizes, shape):
+        blocks_covered *= q / s + 1.0
+    return min(float(total_pages), bound * blocks_covered)
+
+
+def predicted_partial_match_pages(
+    total_pages: int, ndims: int, restricted: int
+) -> float:
+    """Predicted page accesses for a partial-match query:
+    ``O(N**(1 - t/k))`` with ``t`` of ``k`` attributes fixed."""
+    if not 0 <= restricted < ndims:
+        raise ValueError("partial match requires 0 <= t < k")
+    return float(total_pages) ** (1.0 - restricted / ndims)

@@ -1,0 +1,167 @@
+"""Connected-component labelling on element sequences (Section 6).
+
+"Another class of spatial queries has to do with the computing of
+'global' properties.  E.g., how many black objects are in a given
+picture?  What is the area of each object? ... We have developed an AG
+version of the algorithm that can be expressed very concisely."
+
+The algorithm here works directly on a z-ordered sequence of disjoint
+elements (the AG representation of a black-and-white picture):
+
+1. for every element and every *positive* axis direction, form the
+   one-pixel-thick neighbour slab beyond that face;
+2. decompose the slab into elements; each is a contiguous run of z
+   codes, so the stored elements intersecting it form a contiguous run
+   of the (sorted, disjoint) input sequence, found by binary search;
+3. union-find merges adjacent elements; component areas fall out as sums
+   of element volumes.
+
+Face connectivity (4-connectivity in 2d, 6 in 3d) matches the classic
+raster algorithms.  Total cost is ``O(n * k * log n)`` element-level
+work — independent of pixel counts, i.e. driven by object surface, not
+volume, as the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+
+__all__ = ["UnionFind", "ConnectedComponents", "label_components"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+        self._size = [1] * size
+        self.nsets = size
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.nsets -= 1
+        return True
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+
+@dataclass(frozen=True)
+class ConnectedComponents:
+    """Labelling result: per-element labels plus global properties."""
+
+    grid: Grid
+    elements: Tuple[Element, ...]
+    labels: Tuple[int, ...]
+
+    @property
+    def ncomponents(self) -> int:
+        return len(set(self.labels))
+
+    def areas(self) -> Dict[int, int]:
+        """Pixel count of every component — the paper's "what is the
+        area of each object?" global query."""
+        out: Dict[int, int] = {}
+        for element, label in zip(self.elements, self.labels):
+            out[label] = out.get(label, 0) + element.npixels
+        return out
+
+    def component_of_point(self, coords: Sequence[int]) -> Optional[int]:
+        """Label of the component covering ``coords``, or ``None``."""
+        z = self.grid.zvalue(coords).bits
+        index = _find_covering(self.elements, z)
+        if index is None:
+            return None
+        return self.labels[index]
+
+    def members(self, label: int) -> List[Element]:
+        return [
+            e for e, lab in zip(self.elements, self.labels) if lab == label
+        ]
+
+
+def _find_covering(elements: Sequence[Element], z: int) -> Optional[int]:
+    """Index of the element whose z-interval covers ``z``, if any."""
+    los = [e.zlo for e in elements]
+    index = bisect.bisect_right(los, z) - 1
+    if index >= 0 and elements[index].zhi >= z:
+        return index
+    return None
+
+
+def label_components(
+    grid: Grid, elements: Iterable[Element]
+) -> ConnectedComponents:
+    """Label the face-connected components of a set of black elements.
+
+    ``elements`` must be pairwise disjoint; they are sorted internally.
+    """
+    elems = sorted(elements, key=lambda e: e.zlo)
+    for prev, cur in zip(elems, elems[1:]):
+        if cur.zlo <= prev.zhi:
+            raise ValueError(
+                f"elements overlap: {prev} and {cur} — decompositions of a "
+                "single picture are disjoint by construction"
+            )
+    los = [e.zlo for e in elems]
+    uf = UnionFind(len(elems))
+    space = grid.whole_space()
+
+    def merge_interval(source: int, zlo: int, zhi: int) -> None:
+        """Union ``source`` with every stored element whose z-interval
+        intersects ``[zlo, zhi]`` — a contiguous run of the input."""
+        start = bisect.bisect_right(los, zlo) - 1
+        if start >= 0 and elems[start].zhi < zlo:
+            start += 1
+        start = max(start, 0)
+        for index in range(start, len(elems)):
+            if elems[index].zlo > zhi:
+                break
+            if elems[index].zhi >= zlo:
+                uf.union(source, index)
+
+    for index, element in enumerate(elems):
+        box = grid.region_box(element.zvalue)
+        for axis in range(grid.ndims):
+            hi = box.ranges[axis][1]
+            if hi + 1 >= grid.side:
+                continue
+            slab_ranges = list(box.ranges)
+            slab_ranges[axis] = (hi + 1, hi + 1)
+            slab = Box(tuple(slab_ranges)).clipped_to(space)
+            if slab is None:
+                continue
+            for neighbour in decompose_box(grid, slab):
+                zlo, zhi = neighbour.interval(grid.total_bits)
+                merge_interval(index, zlo, zhi)
+
+    labels = [uf.find(i) for i in range(len(elems))]
+    # Renumber labels densely in first-appearance (z) order.
+    dense: Dict[int, int] = {}
+    for root in labels:
+        if root not in dense:
+            dense[root] = len(dense)
+    return ConnectedComponents(
+        grid=grid,
+        elements=tuple(elems),
+        labels=tuple(dense[root] for root in labels),
+    )

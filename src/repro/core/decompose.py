@@ -1,0 +1,283 @@
+"""Decomposition of spatial objects into elements (Section 3.1).
+
+A spatial object is approximated by the set of grid regions ("elements")
+that a recursive splitting process leaves unsplit: regions entirely
+inside the object are emitted whole, regions outside are discarded, and
+regions crossing the boundary are split further — down to single pixels
+or an optional coarser cut-off depth.
+
+The recursion visits children low-half first, so elements are produced
+**already sorted in z order**, which is what the merge-based algorithms
+of Sections 3.3 and 4 require.  :class:`ElementCursor` exposes the same
+stream lazily with a ``seek`` operation, supporting the paper's
+optimization that "elements of the box may be generated on demand, i.e.
+when a sequential or random access on sequence B is performed".
+
+Boundary handling at the cut-off depth is selectable:
+
+* ``CoverMode.OUTER`` — emit boundary regions, producing a superset of
+  the object (safe for filtering: no false negatives);
+* ``CoverMode.INNER`` — drop them, producing a subset.
+
+For pixel-aligned boxes the two coincide at full depth because a single
+pixel is never BOUNDARY.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.geometry import (
+    BOUNDARY,
+    INSIDE,
+    OUTSIDE,
+    Box,
+    ClassifyFn,
+    Grid,
+    box_classifier,
+)
+from repro.core.zvalue import ZValue
+
+__all__ = [
+    "CoverMode",
+    "Element",
+    "decompose",
+    "decompose_box",
+    "count_elements",
+    "ElementCursor",
+    "BoxElementCursor",
+]
+
+
+class CoverMode(enum.Enum):
+    """What to do with regions still crossing the boundary at the
+    cut-off depth."""
+
+    OUTER = "outer"  # emit them: decomposition covers the object
+    INNER = "inner"  # drop them: decomposition is contained in the object
+
+
+@dataclass(frozen=True)
+class Element:
+    """An element together with its z-interval in a fixed grid.
+
+    ``zlo``/``zhi`` are the extreme full-resolution z codes of the pixels
+    in the element's region — "each element corresponds to a range of z
+    values" (Section 3.3, step 2).
+    """
+
+    zvalue: ZValue
+    zlo: int
+    zhi: int
+
+    @classmethod
+    def of(cls, zvalue: ZValue, grid: Grid) -> "Element":
+        lo, hi = zvalue.interval(grid.total_bits)
+        return cls(zvalue, lo, hi)
+
+    @property
+    def npixels(self) -> int:
+        return self.zhi - self.zlo + 1
+
+    def contains_code(self, z: int) -> bool:
+        return self.zlo <= z <= self.zhi
+
+    def __str__(self) -> str:
+        return f"Element({self.zvalue} [{self.zlo}, {self.zhi}])"
+
+
+def decompose(
+    grid: Grid,
+    classify: ClassifyFn,
+    max_depth: Optional[int] = None,
+    cover: CoverMode = CoverMode.OUTER,
+) -> List[ZValue]:
+    """Decompose an arbitrary spatial object into z-ordered elements.
+
+    ``classify`` is the object's oracle (see :mod:`repro.core.geometry`).
+    ``max_depth`` limits splitting to z values of at most that many bits
+    (default: full resolution, ``grid.total_bits``); lowering it is the
+    "coarser grid" optimization of Section 5.1.
+    """
+    return list(_iter_elements(grid, classify, max_depth, cover))
+
+
+def decompose_box(
+    grid: Grid,
+    box: Box,
+    max_depth: Optional[int] = None,
+    cover: CoverMode = CoverMode.OUTER,
+) -> List[ZValue]:
+    """Decompose an axis-aligned box (the paper's ``decompose(b: box)``).
+
+    This is the first RangeSearch algorithm of [OREN84]; Figure 2 shows
+    the decomposition of the box ``[1..3] x [0..4]`` of Figure 1.
+    """
+    clipped = box.clipped_to(grid.whole_space())
+    if clipped is None:
+        return []
+    return decompose(grid, box_classifier(clipped), max_depth, cover)
+
+
+def count_elements(
+    grid: Grid,
+    classify: ClassifyFn,
+    max_depth: Optional[int] = None,
+    cover: CoverMode = CoverMode.OUTER,
+) -> int:
+    """Number of elements a decomposition would produce, without
+    materializing them (used by the space analysis of Section 5.1)."""
+    return sum(1 for _ in _iter_elements(grid, classify, max_depth, cover))
+
+
+def _iter_elements(
+    grid: Grid,
+    classify: ClassifyFn,
+    max_depth: Optional[int],
+    cover: CoverMode,
+) -> Iterator[ZValue]:
+    limit = grid.total_bits if max_depth is None else max_depth
+    if not 0 <= limit <= grid.total_bits:
+        raise ValueError(
+            f"max_depth {max_depth} outside [0, {grid.total_bits}]"
+        )
+
+    def rec(z: ZValue, region: Box) -> Iterator[ZValue]:
+        side = classify(region)
+        if side is OUTSIDE:
+            return
+        if side is INSIDE:
+            yield z
+            return
+        if z.length >= limit:
+            if cover is CoverMode.OUTER:
+                yield z
+            return
+        for child_z, child_region in split_region(grid, region, z):
+            yield from rec(child_z, child_region)
+
+    yield from rec(ZValue.empty(), grid.whole_space())
+
+
+def split_region(
+    grid: Grid, region: Box, z: ZValue
+) -> Tuple[Tuple[ZValue, Box], Tuple[ZValue, Box]]:
+    """Split ``region`` along the axis the splitting policy dictates.
+
+    Returns the (low, high) halves as ``(zvalue, box)`` pairs, in z order.
+    """
+    axis = z.split_axis(grid.ndims)
+    lo, hi = region.ranges[axis]
+    if lo == hi:
+        raise ValueError(f"cannot split single-pixel axis {axis} of {region}")
+    mid = (lo + hi) // 2
+    low_ranges = list(region.ranges)
+    high_ranges = list(region.ranges)
+    low_ranges[axis] = (lo, mid)
+    high_ranges[axis] = (mid + 1, hi)
+    return (
+        (z.child(0), Box(tuple(low_ranges))),
+        (z.child(1), Box(tuple(high_ranges))),
+    )
+
+
+class ElementCursor:
+    """Lazy, seekable stream of a decomposition's elements in z order.
+
+    Supports the two access patterns of the merge (Section 3.3): ``step``
+    (sequential) and ``seek`` (random access to the next element whose
+    z-interval ends at or after a target z code).  Only the part of the
+    recursion tree actually visited is ever expanded.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        classify: ClassifyFn,
+        max_depth: Optional[int] = None,
+        cover: CoverMode = CoverMode.OUTER,
+    ) -> None:
+        self._grid = grid
+        self._classify = classify
+        self._limit = grid.total_bits if max_depth is None else max_depth
+        if not 0 <= self._limit <= grid.total_bits:
+            raise ValueError(
+                f"max_depth {max_depth} outside [0, {grid.total_bits}]"
+            )
+        self._cover = cover
+        # Stack of pending (zvalue, region) nodes; the top of the stack is
+        # the earliest region in z order.
+        self._stack: List[Tuple[ZValue, Box]] = [
+            (ZValue.empty(), grid.whole_space())
+        ]
+        self._current: Optional[Element] = None
+        self._exhausted = False
+        self.nodes_expanded = 0
+        self.step()
+
+    @property
+    def current(self) -> Optional[Element]:
+        """The element under the cursor, or ``None`` when exhausted."""
+        return self._current
+
+    def step(self) -> Optional[Element]:
+        """Advance to the next element (sequential access)."""
+        return self._advance(floor=0)
+
+    def seek(self, z: int) -> Optional[Element]:
+        """Advance to the first element with ``zhi >= z``.
+
+        If the current element already qualifies the cursor does not
+        move.  This is the random access used to skip "parts of the space
+        that could not possibly contribute to the result".
+        """
+        if self._current is not None and self._current.zhi >= z:
+            return self._current
+        return self._advance(floor=z)
+
+    def _advance(self, floor: int) -> Optional[Element]:
+        grid = self._grid
+        total = grid.total_bits
+        while self._stack:
+            z, region = self._stack.pop()
+            zhi = z.zhi(total)
+            if zhi < floor:
+                continue  # entirely before the target: skip unexpanded
+            side = self._classify(region)
+            if side is OUTSIDE:
+                continue
+            if side is INSIDE or z.length >= self._limit:
+                if side is BOUNDARY and self._cover is not CoverMode.OUTER:
+                    continue
+                self._current = Element.of(z, grid)
+                return self._current
+            self.nodes_expanded += 1
+            low, high = split_region(grid, region, z)
+            self._stack.append(high)
+            self._stack.append(low)
+        self._current = None
+        self._exhausted = True
+        return None
+
+    def __iter__(self) -> Iterator[Element]:
+        while self._current is not None:
+            yield self._current
+            self.step()
+
+
+class BoxElementCursor(ElementCursor):
+    """Element cursor for a box query — sequence *B* of the range-search
+    algorithm, generated on demand."""
+
+    def __init__(
+        self, grid: Grid, box: Box, max_depth: Optional[int] = None
+    ) -> None:
+        clipped = box.clipped_to(grid.whole_space())
+        if clipped is None:
+            # Degenerate: query entirely outside the space.
+            classify: ClassifyFn = lambda region: OUTSIDE  # noqa: E731
+        else:
+            classify = box_classifier(clipped)
+        super().__init__(grid, classify, max_depth, CoverMode.OUTER)

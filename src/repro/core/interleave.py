@@ -1,0 +1,111 @@
+"""Bit-interleaving primitives (the ``shuffle`` of Section 4).
+
+A point in a k-dimensional grid of resolution ``2**depth`` per axis is
+mapped to a single integer by interleaving the bits of its coordinates,
+most significant bit first, dimension 0 first.  The paper calls the
+resulting bitstring a *z value* and the induced total order *z order*
+(Section 3.2, Figure 4).
+
+These functions operate on plain integers.  The richer variable-length
+bitstring view (needed for elements, which are prefixes of full-resolution
+z values) lives in :mod:`repro.core.zvalue`.
+
+Bit layout
+----------
+With ``k`` dimensions and ``depth`` bits per coordinate, the interleaved
+code has ``k * depth`` bits.  Reading the code from its most significant
+bit, the bits are::
+
+    x0 y0 z0 ... x1 y1 z1 ... x(depth-1) y(depth-1) z(depth-1)
+
+where ``x0`` is the most significant bit of dimension 0, matching the
+paper's convention of "interleaving these bits (starting with X)"
+(Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "interleave",
+    "deinterleave",
+    "zrank",
+    "bit_at",
+    "set_bit",
+]
+
+
+def bit_at(value: int, index: int, width: int) -> int:
+    """Return bit ``index`` of ``value``, counting from the most
+    significant bit of a ``width``-bit representation.
+
+    ``bit_at(0b100, 0, 3)`` is ``1``; ``bit_at(0b100, 2, 3)`` is ``0``.
+    """
+    if not 0 <= index < width:
+        raise IndexError(f"bit index {index} out of range for width {width}")
+    return (value >> (width - 1 - index)) & 1
+
+
+def set_bit(value: int, index: int, width: int, bit: int) -> int:
+    """Return ``value`` with bit ``index`` (MSB-first in a ``width``-bit
+    representation) set to ``bit``."""
+    if not 0 <= index < width:
+        raise IndexError(f"bit index {index} out of range for width {width}")
+    mask = 1 << (width - 1 - index)
+    if bit:
+        return value | mask
+    return value & ~mask
+
+
+def interleave(coords: Sequence[int], depth: int) -> int:
+    """Interleave the bits of ``coords`` into a single z code.
+
+    Each coordinate must lie in ``[0, 2**depth)``.  The result has
+    ``len(coords) * depth`` significant bits.
+
+    >>> interleave((3, 5), 3)   # Figure 4: [3, 5] -> 011011 = 27
+    27
+    """
+    ndims = len(coords)
+    if ndims == 0:
+        raise ValueError("need at least one coordinate")
+    limit = 1 << depth
+    for axis, c in enumerate(coords):
+        if not 0 <= c < limit:
+            raise ValueError(
+                f"coordinate {c} on axis {axis} outside [0, {limit}) "
+                f"for depth {depth}"
+            )
+    code = 0
+    for level in range(depth):
+        for axis in range(ndims):
+            code = (code << 1) | bit_at(coords[axis], level, depth)
+    return code
+
+
+def deinterleave(code: int, ndims: int, depth: int) -> Tuple[int, ...]:
+    """Invert :func:`interleave` (the ``unshuffle`` of Section 4).
+
+    >>> deinterleave(27, 2, 3)
+    (3, 5)
+    """
+    if ndims <= 0:
+        raise ValueError("ndims must be positive")
+    total = ndims * depth
+    if not 0 <= code < (1 << total):
+        raise ValueError(f"code {code} outside [0, 2**{total})")
+    coords = [0] * ndims
+    for index in range(total):
+        level, axis = divmod(index, ndims)
+        coords[axis] = set_bit(coords[axis], level, depth, bit_at(code, index, total))
+    return tuple(coords)
+
+
+def zrank(coords: Sequence[int], depth: int) -> int:
+    """The rank of a point along the z-order curve (Figure 4).
+
+    Alias of :func:`interleave`, named for readability when the integer is
+    used as a curve position rather than a key.
+    """
+    return interleave(coords, depth)

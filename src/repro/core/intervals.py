@@ -1,0 +1,220 @@
+"""Z-interval set algebra — "the reduction to 1d" made explicit.
+
+Section 3.3 observes that algorithms based on z order "work without
+modification in all dimensions ... because of the reduction to 1d": a
+decomposed spatial object *is* a set of disjoint integer intervals of z
+codes.  This module implements that 1-d view:
+
+* :class:`IntervalSet` — a canonical (sorted, disjoint, coalesced) set of
+  inclusive integer intervals with union / intersection / difference /
+  complement;
+* conversions between element sequences and interval sets, including the
+  re-decomposition of an arbitrary interval into the maximal dyadic
+  elements that tile it.
+
+Polygon overlay (:mod:`repro.core.overlay`) and connected-component
+labelling (:mod:`repro.core.components`) are built on these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.decompose import Element
+from repro.core.geometry import Grid
+from repro.core.zvalue import ZValue
+
+__all__ = [
+    "IntervalSet",
+    "elements_to_intervals",
+    "intervals_to_elements",
+    "interval_to_elements",
+]
+
+
+class IntervalSet:
+    """An immutable set of integers represented as sorted, disjoint,
+    coalesced inclusive intervals ``[lo, hi]``."""
+
+    __slots__ = ("_runs",)
+
+    def __init__(self, runs: Iterable[Tuple[int, int]] = ()) -> None:
+        self._runs: Tuple[Tuple[int, int], ...] = self._normalize(runs)
+
+    @staticmethod
+    def _normalize(
+        runs: Iterable[Tuple[int, int]]
+    ) -> Tuple[Tuple[int, int], ...]:
+        items = sorted((lo, hi) for lo, hi in runs)
+        out: List[Tuple[int, int]] = []
+        for lo, hi in items:
+            if lo > hi:
+                raise ValueError(f"empty interval [{lo}, {hi}]")
+            if out and lo <= out[-1][1] + 1:
+                out[-1] = (out[-1][0], max(out[-1][1], hi))
+            else:
+                out.append((lo, hi))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def runs(self) -> Tuple[Tuple[int, int], ...]:
+        return self._runs
+
+    def __bool__(self) -> bool:
+        return bool(self._runs)
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._runs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._runs == other._runs
+
+    def __hash__(self) -> int:
+        return hash(self._runs)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{lo}, {hi}]" for lo, hi in self._runs)
+        return f"IntervalSet({body})"
+
+    def __contains__(self, value: int) -> bool:
+        lo, hi = 0, len(self._runs) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            rlo, rhi = self._runs[mid]
+            if value < rlo:
+                hi = mid - 1
+            elif value > rhi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def cardinality(self) -> int:
+        """Total number of integers covered (pixel count / area)."""
+        return sum(hi - lo + 1 for lo, hi in self._runs)
+
+    # ------------------------------------------------------------------
+    # Boolean operations (linear merges)
+    # ------------------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(list(self._runs) + list(other._runs))
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Tuple[int, int]] = []
+        i = j = 0
+        a, b = self._runs, other._runs
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Tuple[int, int]] = []
+        j = 0
+        b = other._runs
+        for lo, hi in self._runs:
+            cur = lo
+            while j < len(b) and b[j][1] < cur:
+                j += 1
+            k = j
+            while k < len(b) and b[k][0] <= hi:
+                blo, bhi = b[k]
+                if blo > cur:
+                    out.append((cur, blo - 1))
+                cur = max(cur, bhi + 1)
+                if cur > hi:
+                    break
+                k += 1
+            if cur <= hi:
+                out.append((cur, hi))
+        return IntervalSet(out)
+
+    def symmetric_difference(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other).union(other.difference(self))
+
+    def complement(self, universe_hi: int, universe_lo: int = 0) -> "IntervalSet":
+        """Complement within ``[universe_lo, universe_hi]``."""
+        whole = IntervalSet([(universe_lo, universe_hi)])
+        return whole.difference(self)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        i = j = 0
+        a, b = self._runs, other._runs
+        while i < len(a) and j < len(b):
+            if a[i][1] < b[j][0]:
+                i += 1
+            elif b[j][1] < a[i][0]:
+                j += 1
+            else:
+                return True
+        return False
+
+    def contains_set(self, other: "IntervalSet") -> bool:
+        return other.difference(self).cardinality() == 0
+
+
+# ----------------------------------------------------------------------
+# Element <-> interval conversions
+# ----------------------------------------------------------------------
+
+
+def elements_to_intervals(
+    elements: Iterable[Element],
+) -> IntervalSet:
+    """Collapse a decomposition into its set of z codes."""
+    return IntervalSet((e.zlo, e.zhi) for e in elements)
+
+
+def interval_to_elements(lo: int, hi: int, grid: Grid) -> List[Element]:
+    """Tile an arbitrary inclusive z interval with maximal dyadic
+    elements, in z order.
+
+    Greedy: repeatedly take the largest power-of-two block that starts at
+    the current position, is aligned to its own size, and fits.  Produces
+    at most ``2 * total_bits`` elements.
+    """
+    if lo > hi:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    total = grid.total_bits
+    if lo < 0 or hi >= (1 << total):
+        raise ValueError(f"interval [{lo}, {hi}] outside the grid's z codes")
+    out: List[Element] = []
+    cur = lo
+    while cur <= hi:
+        # Largest size: limited by alignment of cur and by remaining span.
+        align = (cur & -cur).bit_length() - 1 if cur else total
+        span = (hi - cur + 1).bit_length() - 1
+        size_log = min(align, span, total)
+        size = 1 << size_log
+        zvalue = ZValue(cur >> size_log, total - size_log)
+        out.append(Element(zvalue, cur, cur + size - 1))
+        cur += size
+    return out
+
+
+def intervals_to_elements(intervals: IntervalSet, grid: Grid) -> List[Element]:
+    """Canonical element sequence (z-ordered, disjoint, maximal dyadic)
+    covering exactly the z codes of ``intervals``."""
+    out: List[Element] = []
+    for lo, hi in intervals:
+        out.extend(interval_to_elements(lo, hi, grid))
+    return out

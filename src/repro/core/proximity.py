@@ -1,0 +1,136 @@
+"""Proximity preservation measurements (Section 5.2).
+
+The paper's claim: "Proximity in space in any direction usually
+corresponds to proximity in z order.  The greater the discrepancy, the
+less likely it is to occur."  This module measures that relationship
+empirically so the benches can reproduce the claim's shape:
+
+* the distribution of z-distance over pairs of pixels at a given spatial
+  offset (the discrepancy distribution);
+* the probability that spatial neighbours land within a z-distance
+  budget — e.g. on the same fixed-size page;
+* the page-cover statistics behind the fixed-size-page analysis: how
+  many distinct pages (z-ranges of a given length) a small spatial
+  neighbourhood touches.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+from repro.core.interleave import interleave
+
+__all__ = [
+    "ProximityProfile",
+    "proximity_profile",
+    "neighbour_page_probability",
+    "page_cover_count",
+]
+
+
+@dataclass(frozen=True)
+class ProximityProfile:
+    """Summary of z-distances for pixel pairs at a fixed spatial offset."""
+
+    offset: Tuple[int, ...]
+    samples: int
+    mean: float
+    median: float
+    minimum: int
+    maximum: int
+    quantile_90: float
+
+    def __str__(self) -> str:
+        return (
+            f"offset={self.offset} n={self.samples} "
+            f"median|dz|={self.median:.0f} p90={self.quantile_90:.0f}"
+        )
+
+
+def _sample_points(
+    grid: Grid, offset: Sequence[int], samples: int, rng: random.Random
+) -> List[Tuple[int, ...]]:
+    side = grid.side
+    highs = [side - 1 - abs(o) for o in offset]
+    if any(h < 0 for h in highs):
+        raise ValueError(f"offset {tuple(offset)} larger than the grid")
+    points = []
+    for _ in range(samples):
+        base = tuple(rng.randint(0, h) for h in highs)
+        points.append(
+            tuple(b + (abs(o) if o < 0 else 0) for b, o in zip(base, offset))
+        )
+    return points
+
+
+def proximity_profile(
+    grid: Grid,
+    offset: Sequence[int],
+    samples: int = 1000,
+    rng: Optional[random.Random] = None,
+) -> ProximityProfile:
+    """Distribution of ``|z(p) - z(p + offset)|`` over random pixels.
+
+    A small median relative to the number of codes demonstrates
+    preservation of proximity; a heavy but thin tail demonstrates that
+    "the greater the discrepancy, the less likely it is to occur".
+    """
+    rng = rng or random.Random(0)
+    offset = tuple(offset)
+    distances = []
+    for p in _sample_points(grid, offset, samples, rng):
+        q = tuple(c + o for c, o in zip(p, offset))
+        distances.append(
+            abs(interleave(p, grid.depth) - interleave(q, grid.depth))
+        )
+    distances.sort()
+    return ProximityProfile(
+        offset=offset,
+        samples=samples,
+        mean=statistics.fmean(distances),
+        median=statistics.median(distances),
+        minimum=distances[0],
+        maximum=distances[-1],
+        quantile_90=distances[min(len(distances) - 1, (len(distances) * 9) // 10)],
+    )
+
+
+def neighbour_page_probability(
+    grid: Grid,
+    offset: Sequence[int],
+    page_codes: int,
+    samples: int = 1000,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Probability that two pixels at ``offset`` fall on the same page,
+    when pages are consecutive runs of ``page_codes`` z codes."""
+    if page_codes < 1:
+        raise ValueError("pages must hold at least one code")
+    rng = rng or random.Random(0)
+    offset = tuple(offset)
+    same = 0
+    for p in _sample_points(grid, offset, samples, rng):
+        q = tuple(c + o for c, o in zip(p, offset))
+        zp = interleave(p, grid.depth)
+        zq = interleave(q, grid.depth)
+        if zp // page_codes == zq // page_codes:
+            same += 1
+    return same / samples
+
+
+def page_cover_count(grid: Grid, box: Box, page_codes: int) -> int:
+    """Number of distinct fixed-size pages whose z-range intersects
+    ``box`` — the block-counting quantity of the Section 5.2 analysis.
+
+    Exact (iterates the box's pixels); use on small boxes.
+    """
+    if page_codes < 1:
+        raise ValueError("pages must hold at least one code")
+    pages = {
+        interleave(pixel, grid.depth) // page_codes for pixel in box.pixels()
+    }
+    return len(pages)

@@ -1,0 +1,285 @@
+"""The merge-based range-search algorithm (Section 3.3, Figure 5).
+
+Points are kept as a z-ordered sequence *P* of ``[z, pt]`` records; the
+query box is decomposed into a z-ordered sequence *B* of ``[zlo, zhi]``
+elements.  A merge of the two sequences reports each point whose z code
+falls inside some box element.  Three variants are provided:
+
+* :func:`range_search` — the paper's optimized algorithm: when the
+  sequences diverge, a *random access* skips ahead ("parts of the space
+  that could not possibly contribute to the result are skipped"), and
+  the box elements are generated lazily on demand;
+* :func:`range_search_simple` — the unoptimized O(\\|P\\| + \\|B\\|) merge
+  over fully materialized sequences (ablation baseline);
+* :func:`range_search_bigmin` — a decomposition-free variant that jumps
+  with :func:`repro.core.zorder.bigmin` instead of box elements
+  (ablation: what the skipping would look like without sequence B).
+
+All variants work over any point source implementing the small
+:class:`ZCursor` interface — a sorted in-memory list here, the zkd
+B+-tree of :mod:`repro.storage.prefix_btree` in the experiments — which
+is exactly the paper's point: "any data structure that supports both
+random and sequential accessing can be used".
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.core.decompose import BoxElementCursor, Element
+from repro.core.geometry import Box, Grid
+from repro.core.zorder import bigmin, box_zbounds, zcode_in_box
+
+__all__ = [
+    "PointRecord",
+    "ZCursor",
+    "SortedPointCursor",
+    "MergeStats",
+    "merge_search",
+    "range_search",
+    "object_search",
+    "range_search_simple",
+    "range_search_bigmin",
+    "brute_force_search",
+    "build_point_sequence",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class PointRecord(Generic[T]):
+    """A member of sequence P: ``[z, pt]`` (Section 3.3, step 1)."""
+
+    z: int
+    payload: T
+
+
+class ZCursor(Generic[T]):
+    """Sequential + random access over a z-ordered record sequence.
+
+    Subclasses implement :attr:`current`, :meth:`step` and :meth:`seek`.
+    """
+
+    @property
+    def current(self) -> Optional[PointRecord[T]]:
+        raise NotImplementedError
+
+    def step(self) -> Optional[PointRecord[T]]:
+        """Advance to the next record."""
+        raise NotImplementedError
+
+    def seek(self, z: int) -> Optional[PointRecord[T]]:
+        """Advance to the first record with z code ``>= z``; never moves
+        backwards."""
+        raise NotImplementedError
+
+
+class SortedPointCursor(ZCursor[T]):
+    """A :class:`ZCursor` over an in-memory list sorted by z code."""
+
+    def __init__(self, records: Sequence[PointRecord[T]]) -> None:
+        self._records = list(records)
+        self._keys = [r.z for r in self._records]
+        if any(a > b for a, b in zip(self._keys, self._keys[1:])):
+            raise ValueError("records are not sorted by z code")
+        self._index = 0
+        self.steps = 0
+        self.seeks = 0
+
+    @property
+    def current(self) -> Optional[PointRecord[T]]:
+        if self._index < len(self._records):
+            return self._records[self._index]
+        return None
+
+    def step(self) -> Optional[PointRecord[T]]:
+        if self._index < len(self._records):
+            self._index += 1
+            self.steps += 1
+        return self.current
+
+    def seek(self, z: int) -> Optional[PointRecord[T]]:
+        target = bisect.bisect_left(self._keys, z, lo=self._index)
+        if target != self._index:
+            self.seeks += 1
+            self._index = target
+        return self.current
+
+
+@dataclass
+class MergeStats:
+    """Bookkeeping for one merge run (used by benches and tests)."""
+
+    points_examined: int = 0
+    point_seeks: int = 0
+    elements_generated: int = 0
+    element_seeks: int = 0
+    matches: int = 0
+
+
+def build_point_sequence(
+    grid: Grid, points: Iterable[Sequence[int]]
+) -> List[PointRecord[Tuple[int, ...]]]:
+    """Step 1 of the algorithm: shuffle every point and sort by z.
+
+    The payload is the point's coordinate tuple (standing in for "a
+    description of the point (e.g. the identifier)").
+    """
+    records = [
+        PointRecord(grid.zvalue(p).bits, tuple(p)) for p in points
+    ]
+    records.sort(key=lambda r: r.z)
+    return records
+
+
+def merge_search(
+    points: ZCursor[T],
+    elements: "ElementCursorLike",
+    stats: Optional[MergeStats] = None,
+) -> Iterator[T]:
+    """The optimized merge of Section 3.3 over *any* seekable element
+    stream: lazy element generation + bidirectional skipping.
+
+    ``elements`` needs ``current``, ``step()`` and ``seek(z)`` returning
+    objects with ``zlo``/``zhi`` — :class:`repro.core.decompose.
+    ElementCursor` and its box specialization qualify, so the same merge
+    answers box queries, circle queries, polygon queries, or any query
+    region a specialized processor can classify.
+    """
+    b = elements.current
+    p = points.current
+    while b is not None and p is not None:
+        if p.z < b.zlo:
+            # Random access into P: skip points before this element.
+            p = points.seek(b.zlo)
+            if stats:
+                stats.point_seeks += 1
+        elif p.z > b.zhi:
+            # Random access into B: skip elements before this point.
+            b = elements.seek(p.z)
+            if stats:
+                stats.element_seeks += 1
+        else:
+            if stats:
+                stats.matches += 1
+                stats.points_examined += 1
+            yield p.payload
+            p = points.step()
+    if stats:
+        stats.elements_generated = getattr(elements, "nodes_expanded", 0)
+
+
+def range_search(
+    points: ZCursor[T],
+    grid: Grid,
+    box: Box,
+    stats: Optional[MergeStats] = None,
+) -> Iterator[T]:
+    """Optimized merge for a box query: lazy box decomposition +
+    bidirectional skipping.  Yields all points inside ``box`` in z order.
+    """
+    yield from merge_search(points, BoxElementCursor(grid, box), stats)
+
+
+def object_search(
+    points: ZCursor[T],
+    grid: Grid,
+    classify: "ClassifyFn",
+    stats: Optional[MergeStats] = None,
+    max_depth: Optional[int] = None,
+) -> Iterator[T]:
+    """Range search against an *arbitrary* query region.
+
+    ``classify`` is the region's inside/outside/boundary oracle; the
+    merge runs against the lazy decomposition of that region, so a
+    circle query or polygon query costs the same machinery as a box.
+    With ``max_depth`` the region is coarsened (OUTER cover), making the
+    result a superset to be refined by the caller.
+    """
+    from repro.core.decompose import ElementCursor
+
+    cursor = ElementCursor(grid, classify, max_depth=max_depth)
+    yield from merge_search(points, cursor, stats)
+
+
+def range_search_simple(
+    points: Sequence[PointRecord[T]],
+    elements: Sequence[Element],
+    stats: Optional[MergeStats] = None,
+) -> Iterator[T]:
+    """The plain merge of step 3, O(len(P) + len(B)), no random access.
+
+    ``elements`` must be z-ordered and pairwise disjoint (as produced by
+    :func:`repro.core.decompose.decompose_box`).
+    """
+    pi = 0
+    bi = 0
+    while pi < len(points) and bi < len(elements):
+        p = points[pi]
+        b = elements[bi]
+        if stats:
+            stats.points_examined += 1
+        if p.z < b.zlo:
+            pi += 1
+        elif p.z > b.zhi:
+            bi += 1
+        else:
+            if stats:
+                stats.matches += 1
+            yield p.payload
+            pi += 1
+    if stats:
+        stats.elements_generated = len(elements)
+
+
+def range_search_bigmin(
+    points: ZCursor[T],
+    grid: Grid,
+    box: Box,
+    stats: Optional[MergeStats] = None,
+) -> Iterator[T]:
+    """Decomposition-free variant: test each candidate point directly
+    against the box and jump with BIGMIN on a miss."""
+    clipped = box.clipped_to(grid.whole_space())
+    if clipped is None:
+        return
+    zmin, zmax = box_zbounds(clipped, grid.depth)
+    p = points.seek(zmin)
+    while p is not None and p.z <= zmax:
+        if stats:
+            stats.points_examined += 1
+        if zcode_in_box(p.z, clipped, grid.depth):
+            if stats:
+                stats.matches += 1
+            yield p.payload
+            p = points.step()
+        else:
+            nxt = bigmin(p.z, clipped, grid.depth)
+            if nxt is None:
+                break
+            p = points.seek(nxt)
+            if stats:
+                stats.point_seeks += 1
+
+
+def brute_force_search(
+    grid: Grid, points: Iterable[Sequence[int]], box: Box
+) -> List[Tuple[int, ...]]:
+    """Ground truth for tests: scan every point."""
+    return sorted(
+        (tuple(p) for p in points if box.contains_point(p)),
+        key=lambda p: grid.zvalue(p).bits,
+    )

@@ -1,0 +1,87 @@
+"""The spatial join kernel: ``R[zr ◇ zs]S`` (Section 4).
+
+Given two z-ordered sequences of elements (each tagged with the
+identifier of the spatial object it came from), the spatial join
+identifies every pair ``(r, s)`` such that ``contains(zr, zs)`` or
+``contains(zs, zr)`` — i.e. one element's region contains the other's,
+which for decomposed objects witnesses an overlap between the objects.
+
+Because elements produced by the splitting policy can only be related by
+containment or precedence (Section 3.2), the join is a single sweep over
+the two sequences merged in z order, maintaining one stack of "active"
+(not yet expired) elements per input.  Cost is
+``O(len(R) + len(S) + output)``.
+
+The higher-level relational operator that wraps this kernel — including
+the ``Decompose``/flatten step and the duplicate-eliminating projection
+of the paper's usage scenario — lives in :mod:`repro.db.spatial`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Iterable, Iterator, List, Sequence, Set, Tuple, TypeVar
+
+from repro.core.decompose import Element
+
+__all__ = ["spatial_join", "overlapping_pairs", "TaggedElement"]
+
+R = TypeVar("R")
+S = TypeVar("S")
+
+#: An element tagged with the object (tuple payload) that produced it.
+TaggedElement = Tuple[Element, R]
+
+
+def _sort_key(item: TaggedElement) -> Tuple[int, int]:
+    element, _ = item
+    # zlo ascending, then *containers first* (larger interval first) so a
+    # region precedes everything nested inside it.
+    return (element.zlo, -element.zhi)
+
+
+def spatial_join(
+    r_elements: Iterable[TaggedElement],
+    s_elements: Iterable[TaggedElement],
+) -> Iterator[Tuple[R, S, Element, Element]]:
+    """Yield ``(r_payload, s_payload, r_element, s_element)`` for every
+    containment-related pair of elements.
+
+    Both inputs must be iterables of ``(Element, payload)``; they are
+    merged in z order internally, so any z-ordered or unordered input
+    works (unordered inputs are sorted first).
+    """
+    r_sorted = sorted(r_elements, key=_sort_key)
+    s_sorted = sorted(s_elements, key=_sort_key)
+    merged = heapq.merge(
+        ((_sort_key(item), 0, item) for item in r_sorted),
+        ((_sort_key(item), 1, item) for item in s_sorted),
+    )
+    r_active: List[TaggedElement] = []
+    s_active: List[TaggedElement] = []
+    for _, side, (element, payload) in merged:
+        for stack in (r_active, s_active):
+            while stack and stack[-1][0].zhi < element.zlo:
+                stack.pop()
+        if side == 0:
+            # Every live S element contains (or equals) the new R element.
+            for s_elem, s_payload in s_active:
+                yield payload, s_payload, element, s_elem
+            r_active.append((element, payload))
+        else:
+            for r_elem, r_payload in r_active:
+                yield r_payload, payload, r_elem, element
+            s_active.append((element, payload))
+
+
+def overlapping_pairs(
+    r_elements: Iterable[TaggedElement],
+    s_elements: Iterable[TaggedElement],
+) -> Set[Tuple[R, S]]:
+    """The projection step of the paper's scenario: distinct object pairs
+    whose decompositions overlap ("Projecting out the zr and zs fields
+    eliminates this redundancy")."""
+    return {
+        (r_payload, s_payload)
+        for r_payload, s_payload, _, _ in spatial_join(r_elements, s_elements)
+    }

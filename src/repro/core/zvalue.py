@@ -1,0 +1,307 @@
+"""Variable-length z values — the *element* object class of Section 4.
+
+An element is "just a variable-length bitstring (that has a spatial
+interpretation)".  A z value of length ``L`` names the region obtained
+after ``L`` recursive binary splits of the space, the split direction
+cycling through the axes starting with dimension 0 (x).  The empty
+bitstring names the whole space.
+
+The class supports exactly the operations the paper requires of the
+element domain (Section 4):
+
+* ``shuffle``   — construct the z value of a region (classmethods
+  :meth:`ZValue.from_point` and :meth:`ZValue.from_region`);
+* ``unshuffle`` — recover the region (:meth:`ZValue.region`);
+* ``precedes``  — lexicographic comparison (rich comparison operators);
+* ``contains``  — prefix test (:meth:`ZValue.contains`, ``in``).
+
+plus the z-interval view ``[zlo, zhi]`` used by the range-search merge
+(Section 3.3): within a fixed full resolution, the pixels of a region
+occupy a *consecutive* run of full-length z codes (Figure 3).
+
+Lexicographic order on bitstrings
+---------------------------------
+``"01" < "0110" < "0111" < "1"``.  A proper prefix precedes its
+extensions.  For elements produced by the recursive splitting policy the
+only possible relationships are containment and precedence; partial
+overlap cannot occur (Section 3.2) — a property the test suite checks by
+exhaustion and with hypothesis.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterator, Sequence, Tuple
+
+from repro.core.interleave import bit_at, deinterleave, interleave
+
+__all__ = ["ZValue", "zvalue_of_point"]
+
+
+@functools.total_ordering
+class ZValue:
+    """An immutable variable-length bitstring ordered lexicographically.
+
+    Stored as ``(bits, length)`` where ``bits`` is the value of the
+    bitstring read as a binary integer (so ``ZValue(0b001, 3)`` is the
+    string ``"001"``).
+    """
+
+    __slots__ = ("_bits", "_length")
+
+    def __init__(self, bits: int, length: int) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if bits < 0 or bits >= (1 << length):
+            raise ValueError(f"bits {bits:#b} do not fit in {length} bits")
+        self._bits = bits
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ZValue":
+        """The z value of the entire space (zero splits)."""
+        return cls(0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "ZValue":
+        """Parse a bitstring such as ``"001"`` (Figure 2 labels)."""
+        if text and set(text) - {"0", "1"}:
+            raise ValueError(f"not a bitstring: {text!r}")
+        return cls(int(text, 2) if text else 0, len(text))
+
+    @classmethod
+    def from_point(cls, coords: Sequence[int], depth: int) -> "ZValue":
+        """Shuffle a grid point into its full-resolution z value.
+
+        This is the paper's ``shuffle([x:x, y:y])`` — an element that
+        "contains a single pixel" (Section 4).
+        """
+        ndims = len(coords)
+        return cls(interleave(coords, depth), ndims * depth)
+
+    @classmethod
+    def from_region(
+        cls, los: Sequence[int], lengths: Sequence[int], depth: int
+    ) -> "ZValue":
+        """Shuffle a dyadic region into its z value.
+
+        ``los[j]`` is the low corner of the region on axis ``j`` and
+        ``lengths[j]`` the number of leading coordinate bits the region
+        fixes on that axis (so its extent is ``2**(depth - lengths[j])``
+        pixels).  Because splits cycle through the axes starting at axis
+        0, a valid region satisfies ``lengths[0] >= lengths[1] >= ... >=
+        lengths[k-1] >= lengths[0] - 1``.
+        """
+        ndims = len(los)
+        if len(lengths) != ndims:
+            raise ValueError("los and lengths must have equal length")
+        for j in range(ndims):
+            if not 0 <= lengths[j] <= depth:
+                raise ValueError(f"prefix length {lengths[j]} outside [0, {depth}]")
+            if j and not lengths[j - 1] >= lengths[j] >= lengths[0] - 1:
+                raise ValueError(
+                    "prefix lengths do not describe a region reachable by "
+                    f"cyclic splitting: {tuple(lengths)}"
+                )
+            extent = 1 << (depth - lengths[j])
+            if los[j] % extent:
+                raise ValueError(
+                    f"low corner {los[j]} on axis {j} not aligned to "
+                    f"region extent {extent}"
+                )
+        total = sum(lengths)
+        bits = 0
+        for index in range(total):
+            level, axis = divmod(index, ndims)
+            bits = (bits << 1) | bit_at(los[axis], level, depth)
+        return cls(bits, total)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def bit(self, index: int) -> int:
+        """Bit ``index`` counted from the left (MSB first)."""
+        return bit_at(self._bits, index, self._length)
+
+    def __str__(self) -> str:
+        return format(self._bits, f"0{self._length}b") if self._length else ""
+
+    def __repr__(self) -> str:
+        return f"ZValue({str(self)!r})"
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        return (self.bit(i) for i in range(self._length))
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._length))
+
+    # ------------------------------------------------------------------
+    # Order: lexicographic on the bitstring (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZValue):
+            return NotImplemented
+        return self._bits == other._bits and self._length == other._length
+
+    def __lt__(self, other: "ZValue") -> bool:
+        if not isinstance(other, ZValue):
+            return NotImplemented
+        common = min(self._length, other._length)
+        mine = self._bits >> (self._length - common)
+        theirs = other._bits >> (other._length - common)
+        if mine != theirs:
+            return mine < theirs
+        return self._length < other._length
+
+    def precedes(self, other: "ZValue") -> bool:
+        """Strict precedence in z order (the paper's ``precedes``)."""
+        return self < other
+
+    # ------------------------------------------------------------------
+    # Containment: prefix test (Section 4)
+    # ------------------------------------------------------------------
+
+    def is_prefix_of(self, other: "ZValue") -> bool:
+        if self._length > other._length:
+            return False
+        return (other._bits >> (other._length - self._length)) == self._bits
+
+    def contains(self, other: "ZValue") -> bool:
+        """True when this element's region contains ``other``'s.
+
+        ``e1 contains e2`` iff ``z1`` is a prefix of ``z2`` (Section 4).
+        A region contains itself.
+        """
+        return self.is_prefix_of(other)
+
+    def __contains__(self, other: "ZValue") -> bool:
+        return self.contains(other)
+
+    def is_related_to(self, other: "ZValue") -> bool:
+        """True when one of the two elements contains the other."""
+        return self.contains(other) or other.contains(self)
+
+    def common_prefix(self, other: "ZValue") -> "ZValue":
+        """Longest common prefix — the smallest region containing both."""
+        common = min(self._length, other._length)
+        mine = self._bits >> (self._length - common)
+        theirs = other._bits >> (other._length - common)
+        diff = mine ^ theirs
+        keep = common if not diff else common - diff.bit_length()
+        return ZValue(mine >> (common - keep), keep)
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+
+    def child(self, bit: int) -> "ZValue":
+        """Append one split bit (0 = low half, 1 = high half)."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        return ZValue((self._bits << 1) | bit, self._length + 1)
+
+    def parent(self) -> "ZValue":
+        if self._length == 0:
+            raise ValueError("the whole space has no parent")
+        return ZValue(self._bits >> 1, self._length - 1)
+
+    def concat(self, other: "ZValue") -> "ZValue":
+        return ZValue(
+            (self._bits << other._length) | other._bits,
+            self._length + other._length,
+        )
+
+    def split_axis(self, ndims: int) -> int:
+        """The axis discriminated by this element's *next* split."""
+        return self._length % ndims
+
+    # ------------------------------------------------------------------
+    # The z-interval view (Section 3.3, Figure 3)
+    # ------------------------------------------------------------------
+
+    def zlo(self, total_bits: int) -> int:
+        """Smallest full-resolution z code inside this region."""
+        pad = total_bits - self._length
+        if pad < 0:
+            raise ValueError(
+                f"element of length {self._length} too long for "
+                f"{total_bits} total bits"
+            )
+        return self._bits << pad
+
+    def zhi(self, total_bits: int) -> int:
+        """Largest full-resolution z code inside this region."""
+        pad = total_bits - self._length
+        if pad < 0:
+            raise ValueError(
+                f"element of length {self._length} too long for "
+                f"{total_bits} total bits"
+            )
+        return (self._bits << pad) | ((1 << pad) - 1)
+
+    def interval(self, total_bits: int) -> Tuple[int, int]:
+        """The consecutive run ``[zlo, zhi]`` of z codes in this region."""
+        return self.zlo(total_bits), self.zhi(total_bits)
+
+    # ------------------------------------------------------------------
+    # Unshuffle (Section 4)
+    # ------------------------------------------------------------------
+
+    def axis_prefix_lengths(self, ndims: int) -> Tuple[int, ...]:
+        """How many leading coordinate bits this z value fixes per axis."""
+        if ndims <= 0:
+            raise ValueError("ndims must be positive")
+        return tuple(
+            (self._length - axis + ndims - 1) // ndims for axis in range(ndims)
+        )
+
+    def region(self, ndims: int, depth: int) -> Tuple[Tuple[int, int], ...]:
+        """Unshuffle: the per-axis inclusive pixel ranges of this region.
+
+        Returns ``((lo_0, hi_0), ..., (lo_{k-1}, hi_{k-1}))``.
+        """
+        lengths = self.axis_prefix_lengths(ndims)
+        if lengths[0] > depth:
+            raise ValueError(
+                f"element of length {self._length} too deep for depth {depth}"
+            )
+        los = [0] * ndims
+        for index in range(self._length):
+            level, axis = divmod(index, ndims)
+            if self.bit(index):
+                los[axis] |= 1 << (depth - 1 - level)
+        return tuple(
+            (los[axis], los[axis] + (1 << (depth - lengths[axis])) - 1)
+            for axis in range(ndims)
+        )
+
+    def point(self, ndims: int, depth: int) -> Tuple[int, ...]:
+        """Unshuffle a full-resolution z value back to its pixel."""
+        if self._length != ndims * depth:
+            raise ValueError(
+                f"length {self._length} is not full resolution "
+                f"({ndims} * {depth} bits)"
+            )
+        return deinterleave(self._bits, ndims, depth)
+
+
+def zvalue_of_point(coords: Sequence[int], depth: int) -> int:
+    """Convenience: the integer z code of a grid point."""
+    return interleave(coords, depth)

@@ -1,0 +1,125 @@
+"""Aggregation operators: group-by with count/sum/min/max/avg.
+
+The paper's "global property" queries (Section 6: how many objects,
+what is the area of each) become ordinary aggregations once the spatial
+work has produced a flat relation — e.g. grouping a component-labelled
+element relation by label and summing element volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.relation import Relation
+from repro.db.schema import Column, Schema
+from repro.db.types import FLOAT, INTEGER, Domain
+
+__all__ = ["AggregateSpec", "aggregate", "COUNT", "SUM", "MIN", "MAX", "AVG"]
+
+
+class AggregateSpec:
+    """One aggregate column: a function over the group's values."""
+
+    def __init__(
+        self,
+        kind: str,
+        column: Optional[str],
+        output: str,
+        domain: Optional[Domain],
+        fold: Callable[[List[Any]], Any],
+    ) -> None:
+        self.kind = kind
+        self.column = column
+        self.output = output
+        #: ``None`` means "inherit the source column's domain".
+        self.domain = domain
+        self.fold = fold
+
+    def resolve_domain(self, schema) -> Domain:
+        if self.domain is not None:
+            return self.domain
+        return schema.column(self.column).domain
+
+    def __repr__(self) -> str:
+        target = self.column or "*"
+        return f"{self.kind}({target}) as {self.output}"
+
+
+def COUNT(output: str = "count") -> AggregateSpec:
+    return AggregateSpec("count", None, output, INTEGER, len)
+
+
+def SUM(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec("sum", column, output or f"sum_{column}", None, sum)
+
+
+def MIN(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec("min", column, output or f"min_{column}", None, min)
+
+
+def MAX(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec("max", column, output or f"max_{column}", None, max)
+
+
+def AVG(column: str, output: Optional[str] = None) -> AggregateSpec:
+    return AggregateSpec(
+        "avg",
+        column,
+        output or f"avg_{column}",
+        FLOAT,
+        lambda values: sum(values) / len(values),
+    )
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    name: str = "",
+) -> Relation:
+    """Group ``relation`` by the given columns and fold each group.
+
+    With an empty ``group_by`` the whole relation forms one group (a
+    scalar aggregate); an empty input then yields zero rows rather than
+    an undefined fold.
+    """
+    if not aggregates:
+        raise ValueError("at least one aggregate is required")
+    group_indices = [relation.schema.index_of(c) for c in group_by]
+    value_indices = [
+        relation.schema.index_of(spec.column)
+        if spec.column is not None
+        else None
+        for spec in aggregates
+    ]
+    for spec in aggregates:
+        if spec.kind != "count" and spec.column is None:
+            raise ValueError(f"{spec.kind} needs a column")
+
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in relation:
+        key = tuple(row[i] for i in group_indices)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    key_columns = [relation.schema.column(c) for c in group_by]
+    agg_columns = [
+        Column(spec.output, spec.resolve_domain(relation.schema))
+        for spec in aggregates
+    ]
+    schema = Schema(key_columns + agg_columns)
+    out = Relation(name or f"aggregate({relation.name})", schema)
+    for key in order:
+        rows = groups[key]
+        folded = []
+        for spec, index in zip(aggregates, value_indices):
+            values = rows if index is None else [r[index] for r in rows]
+            result = spec.fold(values)
+            if spec.domain is FLOAT:
+                result = float(result)
+            folded.append(result)
+        out.insert(key + tuple(folded))
+    return out

@@ -1,0 +1,104 @@
+"""System catalog: named relations and their spatial indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.storage.prefix_btree import ZkdTree
+
+__all__ = ["Catalog", "IndexEntry"]
+
+
+class IndexEntry:
+    """A zkd B+-tree index over coordinate columns of a relation."""
+
+    def __init__(
+        self,
+        index_name: str,
+        relation_name: str,
+        coord_cols: Tuple[str, ...],
+        tree: ZkdTree,
+    ) -> None:
+        self.index_name = index_name
+        self.relation_name = relation_name
+        self.coord_cols = coord_cols
+        self.tree = tree
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.coord_cols)
+        return f"IndexEntry({self.index_name!r} on {self.relation_name}({cols}))"
+
+
+class Catalog:
+    """Name -> relation / index registry with uniqueness enforcement."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._indexes: Dict[str, IndexEntry] = {}
+
+    # -- relations --------------------------------------------------------
+
+    def create_relation(self, name: str, schema: Schema) -> Relation:
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already exists")
+        relation = Relation(name, schema)
+        self._relations[name] = relation
+        return relation
+
+    def register(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise ValueError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(
+                f"no relation {name!r}; have {sorted(self._relations)}"
+            ) from None
+
+    def drop_relation(self, name: str) -> None:
+        self.relation(name)  # raise if absent
+        del self._relations[name]
+        for index_name in [
+            n
+            for n, entry in self._indexes.items()
+            if entry.relation_name == name
+        ]:
+            del self._indexes[index_name]
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    # -- indexes ------------------------------------------------------------
+
+    def register_index(self, entry: IndexEntry) -> None:
+        if entry.index_name in self._indexes:
+            raise ValueError(f"index {entry.index_name!r} already exists")
+        self.relation(entry.relation_name)  # must exist
+        self._indexes[entry.index_name] = entry
+
+    def index(self, name: str) -> IndexEntry:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(
+                f"no index {name!r}; have {sorted(self._indexes)}"
+            ) from None
+
+    def indexes_on(self, relation_name: str) -> List[IndexEntry]:
+        return [
+            entry
+            for entry in self._indexes.values()
+            if entry.relation_name == relation_name
+        ]
+
+    def drop_index(self, name: str) -> None:
+        self.index(name)
+        del self._indexes[name]

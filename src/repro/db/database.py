@@ -1,0 +1,279 @@
+"""The database facade — PROBE's spatial query processing in miniature.
+
+:class:`SpatialDatabase` ties the pieces together: a catalog of typed
+relations, zkd B+-tree indexes over coordinate columns, the spatial
+operators of Section 4, and index-accelerated range queries that fall
+back to the relational plan when no index exists.
+
+This is deliberately a thin coordination layer; every algorithm lives in
+:mod:`repro.core` (approximate geometry) or :mod:`repro.storage` (file
+organization) — which is the paper's architectural thesis: the DBMS
+needs only "very minor modifications" to support spatial queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+from repro.db.catalog import Catalog, IndexEntry
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.db.spatial import overlap_query, range_search_plan
+from repro.storage.buffer import ReplacementPolicy
+from repro.storage.prefix_btree import QueryResult, ZkdTree
+
+__all__ = ["SpatialDatabase"]
+
+
+class SpatialDatabase:
+    """A small object-oriented DBMS with built-in approximate geometry.
+
+    >>> from repro.db.types import OID, INTEGER
+    >>> from repro.db.schema import Schema
+    >>> from repro.core.geometry import Grid, Box
+    >>> db = SpatialDatabase(Grid(ndims=2, depth=6))
+    >>> _ = db.create_table("cities", Schema.of(
+    ...     ("city@", OID), ("x", INTEGER), ("y", INTEGER)))
+    >>> db.insert("cities", ("rome", 10, 20))
+    >>> _ = db.create_index("cities_xy", "cities", ("x", "y"))
+    >>> result = db.range_query("cities", ("x", "y"), Box(((0, 15), (0, 63))))
+    >>> result.rows
+    [('rome', 10, 20)]
+    """
+
+    def __init__(self, grid: Grid, page_capacity: int = 20) -> None:
+        self.grid = grid
+        self.page_capacity = page_capacity
+        self.catalog = Catalog()
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Relation:
+        return self.catalog.create_relation(name, schema)
+
+    def table(self, name: str) -> Relation:
+        return self.catalog.relation(name)
+
+    def insert(self, table: str, row: Sequence[Any]) -> None:
+        relation = self.catalog.relation(table)
+        relation.insert(row)
+        for entry in self.catalog.indexes_on(table):
+            entry.tree.insert(self._coords(relation, row, entry.coord_cols))
+
+    def insert_many(self, table: str, rows: Sequence[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(table, row)
+
+    def _coords(
+        self, relation: Relation, row: Sequence[Any], cols: Tuple[str, ...]
+    ) -> Tuple[int, ...]:
+        return tuple(row[relation.schema.index_of(c)] for c in cols)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def create_index(
+        self,
+        index_name: str,
+        table: str,
+        coord_cols: Sequence[str],
+        buffer_frames: int = 8,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+    ) -> IndexEntry:
+        """Build a zkd B+-tree over coordinate columns of ``table``.
+
+        The index stores coordinate tuples in z order; existing rows are
+        loaded immediately and later inserts are maintained.
+        """
+        relation = self.catalog.relation(table)
+        cols = tuple(coord_cols)
+        if len(cols) != self.grid.ndims:
+            raise ValueError(
+                f"index needs {self.grid.ndims} coordinate columns"
+            )
+        tree = ZkdTree(
+            self.grid,
+            page_capacity=self.page_capacity,
+            buffer_frames=buffer_frames,
+            policy=policy,
+        )
+        for row in relation:
+            tree.insert(self._coords(relation, row, cols))
+        entry = IndexEntry(index_name, table, cols, tree)
+        self.catalog.register_index(entry)
+        return entry
+
+    def _index_for(
+        self, table: str, coord_cols: Sequence[str]
+    ) -> Optional[IndexEntry]:
+        cols = tuple(coord_cols)
+        for entry in self.catalog.indexes_on(table):
+            if entry.coord_cols == cols:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_query(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        box: Box,
+    ) -> Relation:
+        """Rows of ``table`` whose coordinates fall inside ``box``.
+
+        Planned by predicted page cost (Section 5.3.1's analysis as a
+        cost model): an index scan through a matching zkd index when it
+        is estimated cheaper, a scan otherwise; without an index the
+        relational spatial-join plan of Section 4 evaluates the query.
+        Use :meth:`explain_range_query` to see the decision.
+        """
+        from repro.db.planner import plan_range_query
+
+        return plan_range_query(self, table, coord_cols, box).execute()
+
+    def explain_range_query(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        box: Box,
+    ) -> str:
+        """The access plan (and its cost estimates) as text."""
+        from repro.db.planner import plan_range_query
+
+        return plan_range_query(self, table, coord_cols, box).explain()
+
+    # -- execution methods used by the planner ---------------------------
+
+    def _filter_rows(
+        self, table: str, cols: Tuple[str, ...], matched: set, name: str
+    ) -> Relation:
+        relation = self.catalog.relation(table)
+        out = Relation(name, relation.schema)
+        for row in relation:
+            if self._coords(relation, row, cols) in matched:
+                out.insert(row)
+        return out
+
+    def _range_query_via_index(
+        self, entry: IndexEntry, table: str, box: Box
+    ) -> Relation:
+        matched = set(entry.tree.range_query(box).matches)
+        return self._filter_rows(
+            table, entry.coord_cols, matched, f"range({table})"
+        )
+
+    def _range_query_via_scan(
+        self, table: str, coord_cols: Sequence[str], box: Box
+    ) -> Relation:
+        relation = self.catalog.relation(table)
+        cols = tuple(coord_cols)
+        out = Relation(f"range({table})", relation.schema)
+        for row in relation:
+            if box.contains_point(self._coords(relation, row, cols)):
+                out.insert(row)
+        return out
+
+    def _range_query_via_plan(
+        self, table: str, coord_cols: Sequence[str], box: Box
+    ) -> Relation:
+        relation = self.catalog.relation(table)
+        plan = range_search_plan(relation, list(coord_cols), box, self.grid)
+        return self._filter_rows(
+            table, tuple(coord_cols), set(plan.rows), f"range({table})"
+        )
+
+    def range_query_stats(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        box: Box,
+    ) -> QueryResult:
+        """Index-only range query returning the paper's cost measures.
+
+        Requires an index on ``coord_cols``.
+        """
+        entry = self._index_for(table, coord_cols)
+        if entry is None:
+            raise ValueError(
+                f"no index on {table}({', '.join(coord_cols)})"
+            )
+        return entry.tree.range_query(box)
+
+    def proximity_query(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        center: Sequence[int],
+        radius: float,
+    ) -> Relation:
+        """Rows within Euclidean ``radius`` of ``center`` — Section 6's
+        proximity queries, translated into an overlap query against a
+        ball.  Requires a matching index."""
+        entry = self._index_for(table, coord_cols)
+        if entry is None:
+            raise ValueError(
+                f"no index on {table}({', '.join(coord_cols)})"
+            )
+        relation = self.catalog.relation(table)
+        matched = set(entry.tree.within_distance(center, radius).matches)
+        out = Relation(f"near({table})", relation.schema)
+        for row in relation:
+            if self._coords(relation, row, entry.coord_cols) in matched:
+                out.insert(row)
+        return out
+
+    def nearest_neighbours(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        center: Sequence[int],
+        k: int = 1,
+    ) -> Relation:
+        """The ``k`` rows nearest to ``center``.  Requires an index."""
+        entry = self._index_for(table, coord_cols)
+        if entry is None:
+            raise ValueError(
+                f"no index on {table}({', '.join(coord_cols)})"
+            )
+        relation = self.catalog.relation(table)
+        ranked = entry.tree.nearest_neighbours(center, k)
+        rank = {point: i for i, point in enumerate(ranked)}
+        rows = sorted(
+            (
+                row
+                for row in relation
+                if self._coords(relation, row, entry.coord_cols) in rank
+            ),
+            key=lambda row: rank[
+                self._coords(relation, row, entry.coord_cols)
+            ],
+        )[:k]
+        return Relation(f"knn({table})", relation.schema, rows)
+
+    def overlap_query(
+        self,
+        table_p: str,
+        table_q: str,
+        object_col: str,
+        id_col_p: str,
+        id_col_q: Optional[str] = None,
+        max_depth: Optional[int] = None,
+    ) -> Relation:
+        """Which objects of ``table_p`` overlap which of ``table_q``?
+        The full Decompose / spatial-join / project pipeline."""
+        return overlap_query(
+            self.catalog.relation(table_p),
+            self.catalog.relation(table_q),
+            object_col,
+            id_col_p,
+            id_col_q,
+            grid=self.grid,
+            max_depth=max_depth,
+        )

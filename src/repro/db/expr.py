@@ -1,0 +1,167 @@
+"""Predicate and scalar expressions for the query operators.
+
+A tiny expression language over rows: column references, literals,
+comparisons, boolean connectives, and the element-domain predicates
+``precedes`` and ``contains`` (Section 4).  Expressions are bound to a
+schema once and then evaluated per row, so column lookups are O(1).
+
+>>> from repro.db.schema import Schema
+>>> from repro.db.types import INTEGER
+>>> schema = Schema.of(("x", INTEGER), ("y", INTEGER))
+>>> predicate = (col("x") >= lit(2)) & (col("y") < col("x"))
+>>> bound = predicate.bind(schema)
+>>> bound((3, 1)), bound((3, 5))
+(True, False)
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence, Tuple
+
+from repro.core.zvalue import ZValue
+from repro.db.schema import Schema
+
+__all__ = ["Expr", "col", "lit", "element_contains", "element_precedes"]
+
+Row = Tuple[Any, ...]
+BoundExpr = Callable[[Row], Any]
+
+
+class Expr:
+    """A deferred expression; ``bind`` compiles it against a schema."""
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        raise NotImplementedError
+
+    # -- comparisons ----------------------------------------------------
+
+    def _compare(self, other: "Expr", op: Callable[[Any, Any], bool]) -> "Expr":
+        other = _as_expr(other)
+        return _Binary(self, other, op)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare(other, operator.eq)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._compare(other, operator.ne)
+
+    def __lt__(self, other):
+        return self._compare(other, operator.lt)
+
+    def __le__(self, other):
+        return self._compare(other, operator.le)
+
+    def __gt__(self, other):
+        return self._compare(other, operator.gt)
+
+    def __ge__(self, other):
+        return self._compare(other, operator.ge)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- arithmetic ------------------------------------------------------
+
+    def __add__(self, other):
+        return _Binary(self, _as_expr(other), operator.add)
+
+    def __sub__(self, other):
+        return _Binary(self, _as_expr(other), operator.sub)
+
+    def __mul__(self, other):
+        return _Binary(self, _as_expr(other), operator.mul)
+
+    # -- boolean connectives ----------------------------------------------
+
+    def __and__(self, other):
+        return _Binary(self, _as_expr(other), lambda a, b: bool(a) and bool(b))
+
+    def __or__(self, other):
+        return _Binary(self, _as_expr(other), lambda a, b: bool(a) or bool(b))
+
+    def __invert__(self):
+        return _Unary(self, lambda a: not a)
+
+    def between(self, low: Any, high: Any) -> "Expr":
+        """Inclusive range predicate — one conjunct of a range query."""
+        return (self >= _as_expr(low)) & (self <= _as_expr(high))
+
+
+class _Col(Expr):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        index = schema.index_of(self.name)
+        return lambda row: row[index]
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class _Lit(Expr):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class _Binary(Expr):
+    def __init__(self, left: Expr, right: Expr, op: Callable[[Any, Any], Any]) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        lf = self.left.bind(schema)
+        rf = self.right.bind(schema)
+        op = self.op
+        return lambda row: op(lf(row), rf(row))
+
+
+class _Unary(Expr):
+    def __init__(self, inner: Expr, op: Callable[[Any], Any]) -> None:
+        self.inner = inner
+        self.op = op
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        f = self.inner.bind(schema)
+        op = self.op
+        return lambda row: op(f(row))
+
+
+def col(name: str) -> Expr:
+    """Reference a column by name."""
+    return _Col(name)
+
+
+def lit(value: Any) -> Expr:
+    """A literal constant."""
+    return _Lit(value)
+
+
+def _as_expr(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else _Lit(value)
+
+
+def element_contains(e1: Any, e2: Any) -> Expr:
+    """``contains(e1, e2)`` on element-valued expressions."""
+
+    def op(a: ZValue, b: ZValue) -> bool:
+        return a.contains(b)
+
+    return _Binary(_as_expr(e1), _as_expr(e2), op)
+
+
+def element_precedes(e1: Any, e2: Any) -> Expr:
+    """``precedes(e1, e2)`` on element-valued expressions."""
+
+    def op(a: ZValue, b: ZValue) -> bool:
+        return a.precedes(b)
+
+    return _Binary(_as_expr(e1), _as_expr(e2), op)

@@ -1,0 +1,175 @@
+"""Relational algebra operators (materializing, relation -> relation).
+
+Classic operators only; the spatial operators (``Decompose`` and the
+spatial join) live in :mod:`repro.db.spatial`.  All operators produce
+fresh relations and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.db.expr import Expr
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+
+__all__ = [
+    "select",
+    "project",
+    "distinct",
+    "rename",
+    "sort",
+    "limit",
+    "cross_product",
+    "natural_join",
+    "equi_join",
+    "union",
+]
+
+
+def select(relation: Relation, predicate: Expr, name: str = "") -> Relation:
+    """Rows satisfying ``predicate``."""
+    bound = predicate.bind(relation.schema)
+    return Relation(
+        name or f"select({relation.name})",
+        relation.schema,
+        (row for row in relation if bound(row)),
+    )
+
+
+def project(
+    relation: Relation, names: Sequence[str], name: str = ""
+) -> Relation:
+    """Keep only ``names`` columns (bag semantics: duplicates remain,
+    as in the paper's intermediate results)."""
+    indices = [relation.schema.index_of(n) for n in names]
+    return Relation(
+        name or f"project({relation.name})",
+        relation.schema.project(names),
+        (tuple(row[i] for i in indices) for row in relation),
+    )
+
+
+def distinct(relation: Relation, name: str = "") -> Relation:
+    """Duplicate elimination — the paper's final projection step
+    "eliminates this redundancy"."""
+    seen = set()
+    rows: List[Tuple[Any, ...]] = []
+    for row in relation:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Relation(name or f"distinct({relation.name})", relation.schema, rows)
+
+
+def rename(relation: Relation, mapping: dict, name: str = "") -> Relation:
+    return Relation(
+        name or relation.name,
+        relation.schema.rename(mapping),
+        relation.rows,
+    )
+
+
+def sort(
+    relation: Relation,
+    names: Sequence[str],
+    reverse: bool = False,
+    name: str = "",
+) -> Relation:
+    """Order rows by the given columns.  With an element column this is
+    a z-order sort — "existing sort utilities can be used to create z
+    ordered sequences" (Section 4)."""
+    indices = [relation.schema.index_of(n) for n in names]
+    rows = sorted(
+        relation,
+        key=lambda row: tuple(row[i] for i in indices),
+        reverse=reverse,
+    )
+    return Relation(name or f"sort({relation.name})", relation.schema, rows)
+
+
+def limit(relation: Relation, count: int, name: str = "") -> Relation:
+    if count < 0:
+        raise ValueError("limit must be non-negative")
+    return Relation(
+        name or f"limit({relation.name})",
+        relation.schema,
+        relation.rows[:count],
+    )
+
+
+def cross_product(left: Relation, right: Relation, name: str = "") -> Relation:
+    schema = _join_schema(left, right)
+    return Relation(
+        name or f"product({left.name},{right.name})",
+        schema,
+        (lrow + rrow for lrow in left for rrow in right),
+    )
+
+
+def _join_schema(left: Relation, right: Relation) -> Schema:
+    collisions = set(left.schema.names) & set(right.schema.names)
+    if collisions:
+        return left.schema.concat(
+            right.schema, prefix_self="left_", prefix_other="right_"
+        )
+    return left.schema.concat(right.schema)
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    left_col: str,
+    right_col: str,
+    name: str = "",
+) -> Relation:
+    """Hash join on one column pair."""
+    lidx = left.schema.index_of(left_col)
+    ridx = right.schema.index_of(right_col)
+    table: dict = {}
+    for row in left:
+        table.setdefault(row[lidx], []).append(row)
+    schema = _join_schema(left, right)
+    out = Relation(name or f"join({left.name},{right.name})", schema)
+    for rrow in right:
+        for lrow in table.get(rrow[ridx], ()):
+            out.insert(lrow + rrow)
+    return out
+
+
+def natural_join(left: Relation, right: Relation, name: str = "") -> Relation:
+    """Join on all shared column names."""
+    shared = [n for n in left.schema.names if right.schema.has_column(n)]
+    if not shared:
+        return cross_product(left, right, name)
+    lidx = [left.schema.index_of(n) for n in shared]
+    ridx = [right.schema.index_of(n) for n in shared]
+    keep_right = [
+        i
+        for i, n in enumerate(right.schema.names)
+        if n not in shared
+    ]
+    schema = Schema(
+        list(left.schema.columns)
+        + [right.schema.columns[i] for i in keep_right]
+    )
+    table: dict = {}
+    for row in left:
+        key = tuple(row[i] for i in lidx)
+        table.setdefault(key, []).append(row)
+    out = Relation(name or f"njoin({left.name},{right.name})", schema)
+    for rrow in right:
+        key = tuple(rrow[i] for i in ridx)
+        for lrow in table.get(key, ()):
+            out.insert(lrow + tuple(rrow[i] for i in keep_right))
+    return out
+
+
+def union(left: Relation, right: Relation, name: str = "") -> Relation:
+    if left.schema != right.schema:
+        raise ValueError("union requires identical schemas")
+    return Relation(
+        name or f"union({left.name},{right.name})",
+        left.schema,
+        left.rows + right.rows,
+    )

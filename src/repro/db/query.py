@@ -1,0 +1,136 @@
+"""A fluent query interface over :class:`SpatialDatabase`.
+
+Composes the relational operators with the spatial access paths so a
+complete query — spatial window, scalar predicates, projection,
+ordering — reads as one chain:
+
+>>> from repro.core.geometry import Grid, Box
+>>> from repro.db import SpatialDatabase, Schema, OID, INTEGER, col
+>>> from repro.db.query import Query
+>>> db = SpatialDatabase(Grid(2, 6))
+>>> _ = db.create_table("cities", Schema.of(
+...     ("name@", OID), ("x", INTEGER), ("y", INTEGER), ("pop", INTEGER)))
+>>> db.insert_many("cities", [
+...     ("rome", 10, 20, 900), ("oslo", 11, 21, 600),
+...     ("faro", 50, 50, 60)])
+>>> (Query(db, "cities")
+...     .within(("x", "y"), Box(((0, 30), (0, 30))))
+...     .where(col("pop") >= 500)
+...     .select("name@", "pop")
+...     .order_by("pop", descending=True)
+...     .run().rows)
+[('rome', 900), ('oslo', 600)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box
+from repro.db.expr import Expr
+from repro.db.operators import distinct as distinct_op
+from repro.db.operators import limit as limit_op
+from repro.db.operators import project, select, sort
+from repro.db.relation import Relation
+
+__all__ = ["Query"]
+
+
+class Query:
+    """An immutable-ish builder: each method returns ``self`` for
+    chaining and records one step; :meth:`run` executes them in the
+    canonical order (spatial window, predicates, projection, distinct,
+    ordering, limit)."""
+
+    def __init__(self, database, table: str) -> None:
+        self._db = database
+        self._table = table
+        self._window: Optional[Tuple[Tuple[str, ...], Box]] = None
+        self._predicates: List[Expr] = []
+        self._projection: Optional[List[str]] = None
+        self._distinct = False
+        self._order: Optional[Tuple[List[str], bool]] = None
+        self._limit: Optional[int] = None
+
+    # -- builders ----------------------------------------------------------
+
+    def within(self, coord_cols: Sequence[str], box: Box) -> "Query":
+        """Restrict to rows whose coordinates fall inside ``box`` (the
+        spatial window; planned through the zkd index when one fits)."""
+        if self._window is not None:
+            raise ValueError("only one spatial window per query")
+        self._window = (tuple(coord_cols), box)
+        return self
+
+    def where(self, predicate: Expr) -> "Query":
+        self._predicates.append(predicate)
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        if self._projection is not None:
+            raise ValueError("select() already applied")
+        self._projection = list(columns)
+        return self
+
+    def distinct(self) -> "Query":
+        self._distinct = True
+        return self
+
+    def order_by(self, *columns: str, descending: bool = False) -> "Query":
+        if self._order is not None:
+            raise ValueError("order_by() already applied")
+        self._order = (list(columns), descending)
+        return self
+
+    def limit(self, count: int) -> "Query":
+        if self._limit is not None:
+            raise ValueError("limit() already applied")
+        self._limit = count
+        return self
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> Relation:
+        if self._window is not None:
+            cols, box = self._window
+            out = self._db.range_query(self._table, cols, box)
+        else:
+            base = self._db.table(self._table)
+            out = Relation(f"scan({self._table})", base.schema, base.rows)
+        for predicate in self._predicates:
+            out = select(out, predicate)
+        if self._projection is not None:
+            out = project(out, self._projection)
+        if self._distinct:
+            out = distinct_op(out)
+        if self._order is not None:
+            columns, descending = self._order
+            out = sort(out, columns, reverse=descending)
+        if self._limit is not None:
+            out = limit_op(out, self._limit)
+        return out
+
+    def count(self) -> int:
+        return len(self.run())
+
+    def explain(self) -> str:
+        lines = [f"Query({self._table})"]
+        if self._window is not None:
+            cols, box = self._window
+            spatial = self._db.explain_range_query(self._table, cols, box)
+            lines.extend("  " + line for line in spatial.splitlines())
+        else:
+            lines.append("  full table scan")
+        if self._predicates:
+            lines.append(f"  filter: {len(self._predicates)} predicate(s)")
+        if self._projection is not None:
+            lines.append(f"  project: {', '.join(self._projection)}")
+        if self._distinct:
+            lines.append("  distinct")
+        if self._order is not None:
+            columns, descending = self._order
+            direction = "desc" if descending else "asc"
+            lines.append(f"  order by: {', '.join(columns)} {direction}")
+        if self._limit is not None:
+            lines.append(f"  limit: {self._limit}")
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Relations: schema + a multiset of typed rows."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.db.schema import Schema
+
+__all__ = ["Relation"]
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """An in-memory relation (bag semantics, like the paper's 1NF
+    intermediate results — duplicate (p@, q@) pairs appear until the
+    final projection removes them)."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: List[Row] = [schema.validate_row(r) for r in rows]
+
+    def insert(self, row: Sequence[Any]) -> None:
+        self._rows.append(self.schema.validate_row(row))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> List[Row]:
+        return list(self._rows)
+
+    def column_values(self, name: str) -> List[Any]:
+        index = self.schema.index_of(name)
+        return [row[index] for row in self._rows]
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self._rows)} rows)"
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for examples and docs."""
+        header = " | ".join(self.schema.names)
+        rule = "-" * len(header)
+        body = [
+            " | ".join(str(v) for v in row) for row in self._rows[:limit]
+        ]
+        if len(self._rows) > limit:
+            body.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join([header, rule, *body])

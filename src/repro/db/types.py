@@ -1,0 +1,187 @@
+"""Domains (attribute types), including the *element* object class.
+
+Section 4: "One obvious addition is a domain for the 'element' object
+class.  Recall that an element is just a variable-length bitstring (that
+has a spatial interpretation)."  :class:`ElementDomain` is that domain;
+its class-level operations are exactly the five the paper lists —
+``shuffle``, ``unshuffle``, ``decompose``, ``precedes``, ``contains``.
+
+:class:`SpatialObjectDomain` holds whole spatial objects (a name plus
+the inside/outside/boundary oracle of the object's "specialized
+processor"); the ``Decompose`` relational operator turns a relation of
+objects into a 1NF relation of elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.decompose import decompose_box
+from repro.core.geometry import Box, ClassifyFn, Grid
+from repro.core.zvalue import ZValue
+
+__all__ = [
+    "Domain",
+    "IntegerDomain",
+    "FloatDomain",
+    "StringDomain",
+    "BooleanDomain",
+    "OidDomain",
+    "ElementDomain",
+    "SpatialObject",
+    "SpatialObjectDomain",
+    "INTEGER",
+    "FLOAT",
+    "STRING",
+    "BOOLEAN",
+    "OID",
+    "ELEMENT",
+    "SPATIAL_OBJECT",
+]
+
+
+class Domain:
+    """Base class of attribute domains."""
+
+    name: str = "domain"
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` (possibly normalized) or raise ``TypeError``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class IntegerDomain(Domain):
+    name = "integer"
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"not an integer: {value!r}")
+        return value
+
+
+class FloatDomain(Domain):
+    name = "float"
+
+    def validate(self, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(f"not a number: {value!r}")
+        return float(value)
+
+
+class StringDomain(Domain):
+    name = "string"
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise TypeError(f"not a string: {value!r}")
+        return value
+
+
+class BooleanDomain(Domain):
+    name = "boolean"
+
+    def validate(self, value: Any) -> bool:
+        if not isinstance(value, bool):
+            raise TypeError(f"not a boolean: {value!r}")
+        return value
+
+
+class OidDomain(Domain):
+    """Object identifiers — the ``p@`` of the paper's notation."""
+
+    name = "oid"
+
+    def validate(self, value: Any) -> Any:
+        if isinstance(value, bool) or not isinstance(value, (int, str)):
+            raise TypeError(f"not an object identifier: {value!r}")
+        return value
+
+
+class ElementDomain(Domain):
+    """The built-in element object class (Section 4).
+
+    Values are :class:`~repro.core.zvalue.ZValue` instances.  The five
+    operations the paper requires are exposed as static methods so a
+    query (or user code) can call them uniformly.
+    """
+
+    name = "element"
+
+    def validate(self, value: Any) -> ZValue:
+        if not isinstance(value, ZValue):
+            raise TypeError(f"not an element: {value!r}")
+        return value
+
+    # -- the paper's five operations ------------------------------------
+
+    @staticmethod
+    def shuffle(region: Sequence[Tuple[int, int]], grid: Grid) -> ZValue:
+        """``shuffle(r: region) -> element``."""
+        return grid.element_of_box(Box(tuple(region)))
+
+    @staticmethod
+    def unshuffle(element: ZValue, grid: Grid) -> Tuple[Tuple[int, int], ...]:
+        """``unshuffle(e: element) -> region``."""
+        return element.region(grid.ndims, grid.depth)
+
+    @staticmethod
+    def decompose(box: Box, grid: Grid) -> List[ZValue]:
+        """``decompose(b: box) -> set of elements``."""
+        return decompose_box(grid, box)
+
+    @staticmethod
+    def precedes(e1: ZValue, e2: ZValue) -> bool:
+        """``precedes(e1, e2: element) -> boolean``."""
+        return e1.precedes(e2)
+
+    @staticmethod
+    def contains(e1: ZValue, e2: ZValue) -> bool:
+        """``contains(e1, e2: element) -> boolean``."""
+        return e1.contains(e2)
+
+
+@dataclass(frozen=True)
+class SpatialObject:
+    """A spatial object as the DBMS sees it: an identifier and the
+    oracle supplied by its specialized processor."""
+
+    label: str
+    classify: ClassifyFn
+
+    def __repr__(self) -> str:
+        return f"SpatialObject({self.label!r})"
+
+    @classmethod
+    def from_box(cls, label: str, box: Box) -> "SpatialObject":
+        from repro.core.geometry import box_classifier
+
+        return cls(label=label, classify=box_classifier(box))
+
+
+class SpatialObjectDomain(Domain):
+    name = "spatial_object"
+
+    def validate(self, value: Any) -> SpatialObject:
+        if not isinstance(value, SpatialObject):
+            raise TypeError(f"not a spatial object: {value!r}")
+        return value
+
+
+# Singleton instances — domains are stateless.
+INTEGER = IntegerDomain()
+FLOAT = FloatDomain()
+STRING = StringDomain()
+BOOLEAN = BooleanDomain()
+OID = OidDomain()
+ELEMENT = ElementDomain()
+SPATIAL_OBJECT = SpatialObjectDomain()

@@ -1,0 +1,49 @@
+"""Experiment drivers: the U/C/D harness of Section 5.3.2, the
+structure comparison behind the "comparable to the kd tree" claim, and
+text renderings of Figures 1-6."""
+
+from repro.experiments.comparison import (
+    StructureSummary,
+    compare_structures,
+    format_comparison,
+)
+from repro.experiments.figures import (
+    figure1_range_query,
+    figure2_decomposition,
+    figure3_consecutive_zvalues,
+    figure4_zorder_curve,
+    figure5_merge_trace,
+    figure6_partition_map,
+)
+from repro.experiments.harness import (
+    Findings,
+    Measurement,
+    SummaryRow,
+    build_tree,
+    check_findings,
+    format_summary,
+    run_queries,
+    run_ucd_experiment,
+    summarize,
+)
+
+__all__ = [
+    "Measurement",
+    "SummaryRow",
+    "build_tree",
+    "run_queries",
+    "summarize",
+    "run_ucd_experiment",
+    "format_summary",
+    "Findings",
+    "check_findings",
+    "StructureSummary",
+    "compare_structures",
+    "format_comparison",
+    "figure1_range_query",
+    "figure2_decomposition",
+    "figure3_consecutive_zvalues",
+    "figure4_zorder_curve",
+    "figure5_merge_trace",
+    "figure6_partition_map",
+]

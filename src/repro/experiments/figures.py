@@ -1,0 +1,170 @@
+"""Text renderings of the paper's six figures.
+
+Each ``figure*`` function regenerates the content of the corresponding
+figure as a plain-text drawing plus the underlying data, so the benches
+can both display and assert on them.  Grids are drawn with y increasing
+upward, matching the paper's axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.interleave import interleave
+from repro.core.rangesearch import (
+    MergeStats,
+    PointRecord,
+    SortedPointCursor,
+    build_point_sequence,
+    range_search,
+)
+from repro.storage.prefix_btree import ZkdTree
+
+__all__ = [
+    "figure1_range_query",
+    "figure2_decomposition",
+    "figure3_consecutive_zvalues",
+    "figure4_zorder_curve",
+    "figure5_merge_trace",
+    "figure6_partition_map",
+]
+
+#: The running example of Figures 1, 2 and 5: 1 <= X <= 3 & 0 <= Y <= 4.
+FIGURE_BOX = Box(((1, 3), (0, 4)))
+FIGURE_GRID = Grid(ndims=2, depth=3)
+
+
+def figure1_range_query(
+    grid: Grid = FIGURE_GRID, box: Box = FIGURE_BOX
+) -> str:
+    """Figure 1: the spatial interpretation of a range query — the
+    query box over the pixel grid."""
+    side = grid.side
+    rows = []
+    for y in range(side - 1, -1, -1):
+        cells = []
+        for x in range(side):
+            cells.append("#" if box.contains_point((x, y)) else ".")
+        rows.append(f"{y:>2} " + " ".join(cells))
+    rows.append("   " + " ".join(str(x) for x in range(side)))
+    return "\n".join(rows)
+
+
+def figure2_decomposition(
+    grid: Grid = FIGURE_GRID, box: Box = FIGURE_BOX
+) -> Tuple[List[str], str]:
+    """Figure 2: the decomposition of the box, each element labelled
+    with its z value.  Returns (labels in z order, drawing)."""
+    zvalues = decompose_box(grid, box)
+    labels = [str(z) for z in zvalues]
+    # Draw: letter per element.
+    letters: Dict[Tuple[int, int], str] = {}
+    for index, z in enumerate(zvalues):
+        mark = chr(ord("a") + index % 26)
+        (xlo, xhi), (ylo, yhi) = z.region(grid.ndims, grid.depth)
+        for x in range(xlo, xhi + 1):
+            for y in range(ylo, yhi + 1):
+                letters[(x, y)] = mark
+    side = grid.side
+    rows = []
+    for y in range(side - 1, -1, -1):
+        rows.append(
+            f"{y:>2} "
+            + " ".join(letters.get((x, y), ".") for x in range(side))
+        )
+    legend = [
+        f"  {chr(ord('a') + i % 26)} = {label}"
+        for i, label in enumerate(labels)
+    ]
+    return labels, "\n".join(rows + ["", "elements (z order):"] + legend)
+
+
+def figure3_consecutive_zvalues(
+    grid: Grid = FIGURE_GRID, element_bits: str = "001"
+) -> Tuple[List[int], str]:
+    """Figure 3: the z values of the pixels inside one element are
+    consecutive and share the element's bitstring as a prefix."""
+    from repro.core.zvalue import ZValue
+
+    z = ZValue.from_string(element_bits)
+    (xlo, xhi), (ylo, yhi) = z.region(grid.ndims, grid.depth)
+    codes = sorted(
+        interleave((x, y), grid.depth)
+        for x in range(xlo, xhi + 1)
+        for y in range(ylo, yhi + 1)
+    )
+    total = grid.total_bits
+    lines = [
+        f"element {element_bits}: region [{xlo}..{xhi}] x [{ylo}..{yhi}]",
+        f"z codes: {codes[0]} .. {codes[-1]} "
+        f"({format(codes[0], f'0{total}b')} .. {format(codes[-1], f'0{total}b')})",
+    ]
+    return codes, "\n".join(lines)
+
+
+def figure4_zorder_curve(grid: Grid = FIGURE_GRID) -> Tuple[List[List[int]], str]:
+    """Figure 4: the rank of each pixel along the z-order curve.
+    E.g. [3, 5] -> (011, 101) -> 011011 = 27."""
+    side = grid.side
+    matrix = [
+        [interleave((x, y), grid.depth) for x in range(side)]
+        for y in range(side)
+    ]
+    width = len(str(side * side - 1))
+    rows = []
+    for y in range(side - 1, -1, -1):
+        rows.append(
+            f"{y:>2} "
+            + " ".join(f"{matrix[y][x]:>{width}}" for x in range(side))
+        )
+    return matrix, "\n".join(rows)
+
+
+def figure5_merge_trace(
+    grid: Grid = FIGURE_GRID,
+    box: Box = FIGURE_BOX,
+    points: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Tuple[List[Tuple[int, ...]], str]:
+    """Figure 5: the merge of the point sequence P and the box's element
+    sequence B, reporting containments."""
+    if points is None:
+        points = [(0, 1), (1, 1), (2, 3), (3, 6), (5, 2), (6, 6), (2, 4)]
+    records = build_point_sequence(grid, points)
+    elements = [
+        Element.of(z, grid) for z in decompose_box(grid, box)
+    ]
+    stats = MergeStats()
+    matches = list(
+        range_search(SortedPointCursor(records), grid, box, stats)
+    )
+    lines = ["P (z, point):"]
+    lines += [f"  {r.z:>3} {r.payload}" for r in records]
+    lines.append("B (zlo, zhi):")
+    lines += [f"  [{e.zlo:>3}, {e.zhi:>3}] = {e.zvalue}" for e in elements]
+    lines.append(f"matches: {matches}")
+    return matches, "\n".join(lines)
+
+
+def figure6_partition_map(tree: ZkdTree, max_side: int = 64) -> str:
+    """Figure 6: the spatial partition induced by the zkd B+-tree's page
+    boundaries.  Each pixel is drawn with a glyph identifying its page;
+    boundaries between pages appear as glyph changes.
+
+    For grids larger than ``max_side`` the map is sampled down.
+    """
+    grid = tree.grid
+    if grid.ndims != 2:
+        raise ValueError("figure 6 is 2-d")
+    matrix = tree.partition_map()
+    side = grid.side
+    step = max(1, side // max_side)
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    rows = []
+    for y in range(side - step, -1, -step):
+        row = "".join(
+            glyphs[matrix[y][x] % len(glyphs)] for x in range(0, side, step)
+        )
+        rows.append(row)
+    return "\n".join(rows)

@@ -1,0 +1,251 @@
+"""Experiment harness for Section 5.3.2 (experiments U, C, D).
+
+Builds the paper's setup — a zkd (prefix) B+-tree with 20-point pages
+over 5000 points — runs the shape x volume x location query workload,
+and reports the paper's two measures per query:
+
+* the number of data pages accessed,
+* the efficiency (relevant records / records on retrieved pages),
+
+next to the analytic prediction of Section 5.3.1, so the paper's
+qualitative findings can be checked mechanically:
+
+1. trends predicted by the analysis appear in all experiments (pages
+   grow with volume; long-narrow shapes cost more than squarish);
+2. the prediction is (approximately) an upper bound;
+3. efficiency increases with query volume;
+4. the best shapes are square or twice as tall as wide.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import predicted_range_pages
+from repro.core.geometry import Box, Grid
+from repro.storage.prefix_btree import QueryResult, ZkdTree
+from repro.workloads.datasets import Dataset, make_dataset
+from repro.workloads.queries import QuerySpec, query_workload
+
+__all__ = [
+    "Measurement",
+    "SummaryRow",
+    "build_tree",
+    "run_queries",
+    "summarize",
+    "run_ucd_experiment",
+    "format_summary",
+    "Findings",
+    "check_findings",
+]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One query's observed and predicted costs."""
+
+    dataset: str
+    spec: QuerySpec
+    pages: int
+    predicted_pages: float
+    efficiency: float
+    matches: int
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """Aggregate over the locations of one (volume, aspect) cell."""
+
+    dataset: str
+    volume_fraction: float
+    aspect: float
+    mean_pages: float
+    max_pages: int
+    predicted_pages: float
+    mean_efficiency: float
+    mean_matches: float
+
+    @property
+    def within_prediction(self) -> bool:
+        return self.mean_pages <= self.predicted_pages
+
+
+def build_tree(dataset: Dataset, page_capacity: int = 20) -> ZkdTree:
+    """The experimental structure: points in z order, fixed-size pages."""
+    tree = ZkdTree(dataset.grid, page_capacity=page_capacity)
+    tree.insert_many(dataset.points)
+    return tree
+
+
+def run_queries(
+    dataset: Dataset,
+    tree: ZkdTree,
+    specs: Sequence[QuerySpec],
+) -> List[Measurement]:
+    grid = dataset.grid
+    total_pages = tree.npages
+    out = []
+    for spec in specs:
+        result = tree.range_query(spec.box)
+        predicted = predicted_range_pages(
+            spec.box.sizes, grid.side, total_pages, grid.ndims
+        )
+        out.append(
+            Measurement(
+                dataset=dataset.name,
+                spec=spec,
+                pages=result.pages_accessed,
+                predicted_pages=predicted,
+                efficiency=result.efficiency,
+                matches=result.nmatches,
+            )
+        )
+    return out
+
+
+def summarize(measurements: Iterable[Measurement]) -> List[SummaryRow]:
+    """Collapse the location dimension; one row per (volume, aspect)."""
+    cells: Dict[Tuple[str, float, float], List[Measurement]] = {}
+    for m in measurements:
+        key = (m.dataset, m.spec.volume_fraction, m.spec.aspect)
+        cells.setdefault(key, []).append(m)
+    rows = []
+    for (dataset, volume, aspect), group in sorted(cells.items()):
+        rows.append(
+            SummaryRow(
+                dataset=dataset,
+                volume_fraction=volume,
+                aspect=aspect,
+                mean_pages=statistics.fmean(m.pages for m in group),
+                max_pages=max(m.pages for m in group),
+                predicted_pages=statistics.fmean(
+                    m.predicted_pages for m in group
+                ),
+                mean_efficiency=statistics.fmean(
+                    m.efficiency for m in group
+                ),
+                mean_matches=statistics.fmean(m.matches for m in group),
+            )
+        )
+    return rows
+
+
+def run_ucd_experiment(
+    grid: Grid,
+    dataset_name: str,
+    npoints: int = 5000,
+    page_capacity: int = 20,
+    volumes: Optional[Sequence[float]] = None,
+    aspects: Optional[Sequence[float]] = None,
+    locations: int = 5,
+    seed: int = 0,
+) -> Tuple[List[Measurement], List[SummaryRow]]:
+    """One full experiment (U, C or D) end to end."""
+    dataset = make_dataset(dataset_name, grid, npoints, seed)
+    tree = build_tree(dataset, page_capacity)
+    kwargs = {}
+    if volumes is not None:
+        kwargs["volumes"] = volumes
+    if aspects is not None:
+        kwargs["aspects"] = aspects
+    specs = query_workload(grid, locations=locations, seed=seed + 1, **kwargs)
+    measurements = run_queries(dataset, tree, specs)
+    return measurements, summarize(measurements)
+
+
+def format_summary(rows: Sequence[SummaryRow]) -> str:
+    """Fixed-width table, one row per (dataset, volume, aspect)."""
+    header = (
+        f"{'set':>3} {'volume':>7} {'aspect':>8} {'pages':>7} "
+        f"{'max':>5} {'pred':>7} {'eff':>6} {'matches':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.dataset:>3} {row.volume_fraction:>7.3f} "
+            f"{row.aspect:>8.3f} {row.mean_pages:>7.1f} "
+            f"{row.max_pages:>5d} {row.predicted_pages:>7.1f} "
+            f"{row.mean_efficiency:>6.3f} {row.mean_matches:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Findings:
+    """Mechanical checks of the paper's four experimental findings."""
+
+    pages_grow_with_volume: bool
+    narrow_costs_more_than_square: bool
+    prediction_upper_bound_fraction: float
+    efficiency_grows_with_volume: bool
+    best_aspects: Tuple[float, ...]
+
+
+def check_findings(rows: Sequence[SummaryRow]) -> Findings:
+    """Evaluate the paper's reported findings on a summary table
+    (single dataset)."""
+    datasets = {row.dataset for row in rows}
+    if len(datasets) != 1:
+        raise ValueError("check one dataset at a time")
+
+    by_aspect: Dict[float, List[SummaryRow]] = {}
+    for row in rows:
+        by_aspect.setdefault(row.aspect, []).append(row)
+
+    # 1a. pages grow with volume (averaged over aspects, monotone up to
+    # noise; experiment D is noisy per-aspect at small scales, as the
+    # paper itself observes).
+    volumes_sorted = sorted({row.volume_fraction for row in rows})
+    pages_by_volume = [
+        statistics.fmean(
+            r.mean_pages for r in rows if r.volume_fraction == v
+        )
+        for v in volumes_sorted
+    ]
+    grow = all(
+        earlier <= later * 1.1
+        for earlier, later in zip(pages_by_volume, pages_by_volume[1:])
+    )
+
+    # 1b. long-narrow costs more than square at equal volume.
+    volumes = sorted({row.volume_fraction for row in rows})
+    narrow_worse = True
+    for volume in volumes:
+        cell = {r.aspect: r for r in rows if r.volume_fraction == volume}
+        if 1.0 in cell:
+            square = cell[1.0].mean_pages
+            extremes = [
+                r.mean_pages
+                for a, r in cell.items()
+                if max(a, 1 / a) >= 8
+            ]
+            if extremes and max(extremes) < square:
+                narrow_worse = False
+
+    # 2. prediction is an upper bound "except for a few data points".
+    bound_fraction = sum(r.within_prediction for r in rows) / len(rows)
+
+    # 3. efficiency increases with volume (averaged over aspects).
+    eff_by_volume = [
+        statistics.fmean(
+            r.mean_efficiency for r in rows if r.volume_fraction == v
+        )
+        for v in volumes
+    ]
+    eff_grow = all(a <= b * 1.15 for a, b in zip(eff_by_volume, eff_by_volume[1:]))
+
+    # 4. which aspects achieve the best efficiency (averaged over volume).
+    aspect_eff = {
+        aspect: statistics.fmean(r.mean_efficiency for r in group)
+        for aspect, group in by_aspect.items()
+    }
+    ranked = sorted(aspect_eff, key=aspect_eff.get, reverse=True)
+    return Findings(
+        pages_grow_with_volume=grow,
+        narrow_costs_more_than_square=narrow_worse,
+        prediction_upper_bound_fraction=bound_fraction,
+        efficiency_grows_with_volume=eff_grow,
+        best_aspects=tuple(ranked[:2]),
+    )

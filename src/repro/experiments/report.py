@@ -1,0 +1,121 @@
+"""One-shot reproduction report: run the paper's evaluation and emit a
+self-contained markdown document with every table and finding.
+
+Used by ``python -m repro report`` and by the bench suite's final
+artifact; everything is recomputed from scratch, so the report always
+reflects the code it shipped with.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional, Sequence, TextIO
+
+from repro.core.analysis import coarsening_tradeoff, element_count_2d
+from repro.core.geometry import Grid
+from repro.experiments.comparison import compare_structures, format_comparison
+from repro.experiments.figures import (
+    figure1_range_query,
+    figure2_decomposition,
+    figure4_zorder_curve,
+    figure6_partition_map,
+)
+from repro.experiments.harness import (
+    build_tree,
+    check_findings,
+    format_summary,
+    run_ucd_experiment,
+)
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+__all__ = ["write_report", "generate_report"]
+
+
+def write_report(
+    out: TextIO,
+    npoints: int = 5000,
+    depth: int = 8,
+    page_capacity: int = 20,
+    locations: int = 5,
+    seed: int = 0,
+) -> None:
+    """Run the full evaluation and write the markdown report."""
+    grid = Grid(ndims=2, depth=depth)
+    out.write("# Reproduction report\n\n")
+    out.write(
+        f"Setup: {npoints} points per dataset, {grid.side}x{grid.side} "
+        f"grid, {page_capacity}-point pages, {locations} query locations "
+        f"per cell, seed {seed}.\n\n"
+    )
+
+    out.write("## Figures 1/2/4 (the running example)\n\n")
+    out.write("```\n" + figure1_range_query() + "\n```\n\n")
+    labels, drawing = figure2_decomposition()
+    out.write(f"Figure 2 element labels: `{' '.join(labels)}`\n\n")
+    _, curve = figure4_zorder_curve()
+    out.write("```\n" + curve + "\n```\n\n")
+
+    out.write("## Section 5.1: space analysis\n\n")
+    out.write(
+        f"- cyclicity: E(100, 37) = {element_count_2d(100, 37, 9)} and "
+        f"E(200, 74) = {element_count_2d(200, 74, 10)}\n"
+    )
+    trade = coarsening_tradeoff((109, 91), depth=8, m=4)
+    out.write(
+        f"- coarsening m=4 on a 109x91 box: "
+        f"{trade.elements_before} -> {trade.elements_after} elements "
+        f"({trade.element_reduction:.0%} fewer) for "
+        f"{trade.volume_error:.1%} extra area\n\n"
+    )
+
+    out.write("## Section 5.3.2: experiments U, C, D\n\n")
+    for name in ("U", "C", "D"):
+        _, rows = run_ucd_experiment(
+            grid,
+            name,
+            npoints=npoints,
+            page_capacity=page_capacity,
+            locations=locations,
+            seed=seed,
+        )
+        findings = check_findings(rows)
+        out.write(f"### Experiment {name}\n\n")
+        out.write("```\n" + format_summary(rows) + "\n```\n\n")
+        out.write(
+            f"- pages grow with volume: {findings.pages_grow_with_volume}\n"
+            f"- narrow costlier than square: "
+            f"{findings.narrow_costs_more_than_square}\n"
+            f"- prediction an upper bound on "
+            f"{findings.prediction_upper_bound_fraction:.0%} of cells\n"
+            f"- efficiency grows with volume: "
+            f"{findings.efficiency_grows_with_volume}\n"
+            f"- best aspects: {findings.best_aspects}\n\n"
+        )
+
+    out.write("## Structure comparison (abstract claim)\n\n")
+    for name in ("U", "C", "D"):
+        dataset = make_dataset(name, grid, npoints, seed=seed)
+        specs = query_workload(grid, locations=3, seed=seed + 1)
+        table = format_comparison(
+            compare_structures(dataset, specs, page_capacity)
+        )
+        out.write(f"### Dataset {name}\n\n```\n" + table + "\n```\n\n")
+
+    out.write("## Figure 6: page partitions\n\n")
+    small_grid = Grid(ndims=2, depth=min(depth, 7))
+    for name in ("U", "C", "D"):
+        dataset = make_dataset(name, small_grid, npoints, seed=seed)
+        tree = build_tree(dataset, page_capacity)
+        out.write(
+            f"### Experiment {name} ({tree.npages} pages)\n\n```\n"
+            + figure6_partition_map(tree, max_side=48)
+            + "\n```\n\n"
+        )
+
+
+def generate_report(**kwargs) -> str:
+    """The report as a string (convenience for tests and the CLI)."""
+    buffer = io.StringIO()
+    write_report(buffer, **kwargs)
+    return buffer.getvalue()

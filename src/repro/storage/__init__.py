@@ -1,0 +1,39 @@
+"""Storage engine substrate: pages, buffering, and the zkd B+-tree.
+
+The paper's integration claim (Section 4) is that approximate geometry
+needs nothing beyond what a conventional DBMS already has: a file
+organization with random + sequential access (a B+-tree) and ordinary
+buffer management (LRU).  This package supplies exactly those pieces,
+instrumented so the experiments can count data-page accesses.
+"""
+
+from repro.storage.btree import (
+    BPlusTree,
+    BTreeCursor,
+    separator_prefix_length,
+    shortest_separator,
+)
+from repro.storage.buffer import BufferManager, ReplacementPolicy
+from repro.storage.diskstore import FilePageStore, PageOverflowError
+from repro.storage.element_tree import ElementTree, JoinStats, tree_spatial_join
+from repro.storage.page import Page, PageStore, Record
+from repro.storage.prefix_btree import QueryResult, ZkdTree
+
+__all__ = [
+    "Page",
+    "PageStore",
+    "FilePageStore",
+    "PageOverflowError",
+    "Record",
+    "BufferManager",
+    "ReplacementPolicy",
+    "BPlusTree",
+    "BTreeCursor",
+    "shortest_separator",
+    "separator_prefix_length",
+    "QueryResult",
+    "ZkdTree",
+    "ElementTree",
+    "JoinStats",
+    "tree_spatial_join",
+]

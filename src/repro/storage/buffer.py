@@ -1,0 +1,137 @@
+"""Buffer management.
+
+Section 4: "The LRU buffering strategy will work well because of our
+reliance on merging in AG algorithms: each page is accessed at most
+once, its contents are processed, and then the page will not be needed
+again for the rest of the merge."
+
+:class:`BufferManager` caches pages from a :class:`~repro.storage.page.
+PageStore` under a replacement policy.  LRU is the default; FIFO and MRU
+are provided so the benches can demonstrate *why* LRU (or indeed any
+policy) is fine for merge-driven access patterns — the paper's claim is
+really that merges make replacement policy irrelevant, which the
+ablation bench confirms.
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+from typing import Dict, Optional
+
+from repro.storage.page import Page, PageStore
+
+__all__ = ["ReplacementPolicy", "BufferManager"]
+
+
+class ReplacementPolicy(enum.Enum):
+    LRU = "lru"
+    FIFO = "fifo"
+    MRU = "mru"
+
+
+class BufferManager:
+    """A page cache with pluggable replacement and hit/miss accounting."""
+
+    def __init__(
+        self,
+        store: PageStore,
+        capacity: int = 8,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("buffer needs at least one frame")
+        self._store = store
+        self._capacity = capacity
+        self._policy = policy
+        # Ordered dict: iteration order is eviction-relevant order.
+        self._frames: "collections.OrderedDict[int, Page]" = (
+            collections.OrderedDict()
+        )
+        self._dirty: Dict[int, bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def store(self) -> PageStore:
+        return self._store
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page through the cache."""
+        if page_id in self._frames:
+            self.hits += 1
+            if self._policy in (ReplacementPolicy.LRU, ReplacementPolicy.MRU):
+                self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        page = self._store.read(page_id)
+        self._admit(page_id, page)
+        return page
+
+    def put(self, page: Page, dirty: bool = True) -> None:
+        """Install a (possibly new or modified) page in the cache."""
+        if page.page_id in self._frames:
+            self._frames[page.page_id] = page
+            self._frames.move_to_end(page.page_id)
+            self._dirty[page.page_id] = self._dirty.get(page.page_id, False) or dirty
+            return
+        self._admit(page.page_id, page, dirty)
+
+    def peek(self, page_id: int) -> Page:
+        """Coherent, uncounted read: the buffered (possibly dirty) copy
+        when present, the stored copy otherwise.  For introspection and
+        structure maintenance, not for data-path accesses."""
+        if page_id in self._frames:
+            return self._frames[page_id]
+        return self._store.peek(page_id)
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id not in self._frames:
+            raise KeyError(f"page {page_id} is not buffered")
+        self._dirty[page_id] = True
+
+    def _admit(self, page_id: int, page: Page, dirty: bool = False) -> None:
+        while len(self._frames) >= self._capacity:
+            self._evict_one()
+        self._frames[page_id] = page
+        self._dirty[page_id] = dirty
+
+    def _evict_one(self) -> None:
+        if self._policy is ReplacementPolicy.MRU:
+            victim_id, victim = self._frames.popitem(last=True)
+        else:  # LRU and FIFO both evict the oldest entry; they differ
+            # only in whether `get` refreshes recency (see `get`).
+            victim_id, victim = self._frames.popitem(last=False)
+        if self._dirty.pop(victim_id, False):
+            self._store.write(victim)
+        self.evictions += 1
+
+    def flush(self) -> None:
+        """Write back every dirty page (kept cached)."""
+        for page_id, page in self._frames.items():
+            if self._dirty.get(page_id):
+                self._store.write(page)
+                self._dirty[page_id] = False
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page from the cache without write-back (after free)."""
+        self._frames.pop(page_id, None)
+        self._dirty.pop(page_id, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

@@ -1,0 +1,311 @@
+"""A file-backed page store: the same interface as the in-memory
+:class:`~repro.storage.page.PageStore`, persisted to a single file of
+fixed-size binary pages.
+
+Section 4's integration claim is that spatial data needs nothing
+special from the storage layer — z values are integer keys, pages are
+pages.  This module makes that concrete: the zkd B+-tree runs unchanged
+on top of a real file, and a tree written by one process can be
+reopened and queried by another.
+
+File layout
+-----------
+A fixed-size header page, then one slot per page id::
+
+    header:  magic | page_size | page_capacity | next_id
+    page:    used flag | next_page (+1, 0 = none) | nrecords |
+             nrecords x (key, payload) records | zero padding
+
+Records are encoded with a small self-describing codec covering the
+payload types the library stores (ints, strings, bytes, tuples/lists,
+None, bools, floats).  A page whose encoding exceeds ``page_size``
+raises :class:`PageOverflowError` — the physical analogue of the
+in-memory capacity check, which remains the primary bound.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import Any, BinaryIO, Dict, Iterator, List, Optional, Tuple
+
+from repro.storage.page import Page
+
+__all__ = ["PageOverflowError", "FilePageStore", "encode_value", "decode_value"]
+
+_MAGIC = b"ZKD1"
+_HEADER = struct.Struct("<4sIII")  # magic, page_size, capacity, next_id
+_PAGE_HEAD = struct.Struct("<BII")  # used, next_page + 1, nrecords
+
+
+class PageOverflowError(ValueError):
+    """A page's encoded form does not fit in ``page_size`` bytes."""
+
+
+# ----------------------------------------------------------------------
+# Value codec: tag byte + payload.
+# ----------------------------------------------------------------------
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_TUPLE = 7
+_T_LIST = 8
+
+
+def encode_value(value: Any, out: io.BytesIO) -> None:
+    """Serialize one payload value (tag + body)."""
+    if value is None:
+        out.write(bytes([_T_NONE]))
+    elif value is False:
+        out.write(bytes([_T_FALSE]))
+    elif value is True:
+        out.write(bytes([_T_TRUE]))
+    elif isinstance(value, int):
+        body = value.to_bytes(
+            (value.bit_length() + 8) // 8 or 1, "big", signed=True
+        )
+        out.write(bytes([_T_INT]))
+        out.write(struct.pack("<I", len(body)))
+        out.write(body)
+    elif isinstance(value, float):
+        out.write(bytes([_T_FLOAT]))
+        out.write(struct.pack("<d", value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.write(bytes([_T_STR]))
+        out.write(struct.pack("<I", len(body)))
+        out.write(body)
+    elif isinstance(value, bytes):
+        out.write(bytes([_T_BYTES]))
+        out.write(struct.pack("<I", len(value)))
+        out.write(value)
+    elif isinstance(value, (tuple, list)):
+        out.write(bytes([_T_TUPLE if isinstance(value, tuple) else _T_LIST]))
+        out.write(struct.pack("<I", len(value)))
+        for item in value:
+            encode_value(item, out)
+    else:
+        raise TypeError(f"cannot persist value of type {type(value).__name__}")
+
+
+def decode_value(data: io.BytesIO) -> Any:
+    tag = data.read(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_INT:
+        (length,) = struct.unpack("<I", data.read(4))
+        return int.from_bytes(data.read(length), "big", signed=True)
+    if tag == _T_FLOAT:
+        return struct.unpack("<d", data.read(8))[0]
+    if tag == _T_STR:
+        (length,) = struct.unpack("<I", data.read(4))
+        return data.read(length).decode("utf-8")
+    if tag == _T_BYTES:
+        (length,) = struct.unpack("<I", data.read(4))
+        return data.read(length)
+    if tag in (_T_TUPLE, _T_LIST):
+        (length,) = struct.unpack("<I", data.read(4))
+        items = [decode_value(data) for _ in range(length)]
+        return tuple(items) if tag == _T_TUPLE else items
+    raise ValueError(f"corrupt page: unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+
+class FilePageStore:
+    """Drop-in replacement for :class:`PageStore` backed by a file.
+
+    Implements the same protocol (``page_capacity``, ``allocate``,
+    ``read``, ``write``, ``free``, ``peek``, ``page_ids``, ``reads``,
+    ``writes``, ``allocations``, ``len``), so ``BPlusTree`` and
+    ``ZkdTree`` run on it unchanged.  ``read`` always deserializes from
+    the file (the BufferManager above it provides caching), so the
+    read/write counters measure true file I/O.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_capacity: Optional[int] = None,
+        page_size: int = 4096,
+    ) -> None:
+        self.path = path
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        self._file: BinaryIO = open(path, "r+b" if exists else "w+b")
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        if exists:
+            self._load_header()
+            if page_capacity is not None and page_capacity != self.page_capacity:
+                raise ValueError(
+                    f"file has capacity {self.page_capacity}, "
+                    f"requested {page_capacity}"
+                )
+        else:
+            if page_capacity is None:
+                raise ValueError("a new store needs a page_capacity")
+            if page_capacity < 2:
+                raise ValueError("page capacity must be at least 2")
+            if page_size < 64:
+                raise ValueError("page size must be at least 64 bytes")
+            self.page_capacity = page_capacity
+            self.page_size = page_size
+            self._next_id = 0
+            self._live: Dict[int, bool] = {}
+            self._flush_header()
+            return
+        # Discover live pages.
+        self._live = {}
+        for page_id in range(self._next_id):
+            head = self._read_raw_head(page_id)
+            if head is not None and head[0]:
+                self._live[page_id] = True
+
+    # -- header ----------------------------------------------------------
+
+    def _flush_header(self) -> None:
+        self._file.seek(0)
+        self._file.write(
+            _HEADER.pack(_MAGIC, self.page_size, self.page_capacity, self._next_id)
+        )
+        self._file.flush()
+
+    def _load_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise ValueError(f"{self.path}: truncated header")
+        magic, page_size, capacity, next_id = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise ValueError(f"{self.path}: not a zkd page file")
+        self.page_size = page_size
+        self.page_capacity = capacity
+        self._next_id = next_id
+
+    def _offset(self, page_id: int) -> int:
+        return self.page_size + page_id * self.page_size
+
+    def _read_raw_head(self, page_id: int) -> Optional[Tuple[int, int, int]]:
+        self._file.seek(self._offset(page_id))
+        raw = self._file.read(_PAGE_HEAD.size)
+        if len(raw) < _PAGE_HEAD.size:
+            return None
+        return _PAGE_HEAD.unpack(raw)
+
+    # -- PageStore protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def page_ids(self) -> List[int]:
+        return sorted(self._live)
+
+    def allocate(self) -> Page:
+        page = Page(page_id=self._next_id, capacity=self.page_capacity)
+        self._next_id += 1
+        self.allocations += 1
+        self._live[page.page_id] = True
+        self._write_page(page)
+        self._flush_header()
+        return page
+
+    def _encode_page(self, page: Page) -> bytes:
+        body = io.BytesIO()
+        for key, payload in page.records:
+            body.write(struct.pack("<Q", key))
+            encode_value(payload, body)
+        encoded = body.getvalue()
+        head = _PAGE_HEAD.pack(
+            1,
+            0 if page.next_page is None else page.next_page + 1,
+            page.nrecords,
+        )
+        total = len(head) + len(encoded)
+        if total > self.page_size:
+            raise PageOverflowError(
+                f"page {page.page_id} needs {total} bytes, "
+                f"page size is {self.page_size}"
+            )
+        return head + encoded + b"\x00" * (self.page_size - total)
+
+    def _write_page(self, page: Page) -> None:
+        self._file.seek(self._offset(page.page_id))
+        self._file.write(self._encode_page(page))
+
+    def read(self, page_id: int) -> Page:
+        if page_id not in self._live:
+            raise KeyError(f"no such page: {page_id}")
+        self.reads += 1
+        return self._read_page(page_id)
+
+    def _read_page(self, page_id: int) -> Page:
+        self._file.seek(self._offset(page_id))
+        raw = self._file.read(self.page_size)
+        used, next_plus_one, nrecords = _PAGE_HEAD.unpack(
+            raw[: _PAGE_HEAD.size]
+        )
+        if not used:
+            raise KeyError(f"page {page_id} is free")
+        data = io.BytesIO(raw[_PAGE_HEAD.size :])
+        records = []
+        for _ in range(nrecords):
+            (key,) = struct.unpack("<Q", data.read(8))
+            records.append((key, decode_value(data)))
+        return Page(
+            page_id=page_id,
+            capacity=self.page_capacity,
+            records=records,
+            next_page=None if next_plus_one == 0 else next_plus_one - 1,
+        )
+
+    def write(self, page: Page) -> None:
+        if page.page_id not in self._live:
+            raise KeyError(f"no such page: {page.page_id}")
+        self.writes += 1
+        self._write_page(page)
+
+    def free(self, page_id: int) -> None:
+        if page_id not in self._live:
+            raise KeyError(f"no such page: {page_id}")
+        del self._live[page_id]
+        self._file.seek(self._offset(page_id))
+        self._file.write(_PAGE_HEAD.pack(0, 0, 0))
+
+    def peek(self, page_id: int) -> Page:
+        if page_id not in self._live:
+            raise KeyError(f"no such page: {page_id}")
+        return self._read_page(page_id)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush to the OS and ask for durability."""
+        self._flush_header()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._flush_header()
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,169 @@
+"""Element relations stored in B+-trees, and the paged spatial join.
+
+Section 4 closes with: "Implementations of spatial join that
+incorporate the optimizations discussed above will be designed in the
+next phase of PROBE research.  However, it is already clear that
+existing DBMS facilities provide what is needed" — B-trees for the
+z-ordered sequences, merging, LRU buffering.  This module builds that
+next phase:
+
+* :class:`ElementTree` — a relation of tagged elements kept in a prefix
+  B+-tree keyed on ``zlo`` (so the sequence-set scan *is* the z-ordered
+  element sequence);
+* :func:`tree_spatial_join` — the stack-based containment merge running
+  directly over two trees' leaf chains, streaming both sides and
+  counting the data pages it touches.  Each page of each input is read
+  exactly once (the access pattern that makes LRU trivially optimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.decompose import Element
+from repro.core.geometry import Grid
+from repro.core.zvalue import ZValue
+from repro.storage.btree import BPlusTree, BTreeCursor
+from repro.storage.buffer import BufferManager, ReplacementPolicy
+from repro.storage.page import PageStore
+
+__all__ = ["ElementTree", "JoinStats", "tree_spatial_join"]
+
+
+class ElementTree:
+    """A persistent, z-ordered relation of ``(element, payload)`` rows.
+
+    Keys are ``zlo``; the stored value is ``(zvalue_bits, zvalue_len,
+    payload)`` so the element can be reconstructed without the grid.
+    Scanning the leaf chain yields the relation in exactly the order the
+    spatial join requires (``zlo`` ascending, containers before their
+    contents — guaranteed because a container's ``zlo`` equals its first
+    descendant's and B+-tree duplicates preserve insertion order only
+    loosely, so ties are re-ordered in the join's sweep).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        page_capacity: int = 20,
+        buffer_frames: int = 8,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        store: Optional[PageStore] = None,
+    ) -> None:
+        self.grid = grid
+        self.store = store if store is not None else PageStore(page_capacity)
+        self.buffer = BufferManager(self.store, buffer_frames, policy)
+        self.tree = BPlusTree(
+            self.store,
+            self.buffer,
+            total_bits=grid.total_bits,
+        )
+
+    def insert(self, element: Element, payload: Any) -> None:
+        self.tree.insert(
+            element.zlo,
+            (element.zvalue.bits, element.zvalue.length, payload),
+        )
+
+    def insert_zvalues(self, zvalues: Iterable[ZValue], payload: Any) -> None:
+        """Insert a whole decomposition under one object tag."""
+        for zvalue in zvalues:
+            self.insert(Element.of(zvalue, self.grid), payload)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def npages(self) -> int:
+        return self.tree.nleaves
+
+    def scan(self) -> Iterator[Tuple[Element, Any]]:
+        """All rows in z order (counts page accesses)."""
+        cursor = self.tree.cursor()
+        record = cursor.current
+        while record is not None:
+            bits, length, payload = record.payload
+            zvalue = ZValue(bits, length)
+            yield Element.of(zvalue, self.grid), payload
+            record = cursor.step()
+
+
+@dataclass
+class JoinStats:
+    """Cost accounting for one tree-to-tree spatial join."""
+
+    r_pages: int = 0
+    s_pages: int = 0
+    output_pairs: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.r_pages + self.s_pages
+
+
+def tree_spatial_join(
+    r_tree: ElementTree,
+    s_tree: ElementTree,
+    stats: Optional[JoinStats] = None,
+) -> Iterator[Tuple[Any, Any, Element, Element]]:
+    """``R[zr ◇ zs]S`` streamed over two B+-trees' leaf chains.
+
+    Single forward pass over each input; both sides' rows are drawn in
+    ``(zlo, -zhi)`` order (a bounded reorder buffer absorbs same-``zlo``
+    ties the trees stored in arbitrary order), and the containment
+    sweep mirrors :func:`repro.core.spatialjoin.spatial_join`.
+    """
+    r_tree.tree.reset_access_log()
+    s_tree.tree.reset_access_log()
+
+    def ordered(tree: ElementTree) -> Iterator[Tuple[Element, Any]]:
+        """Scan, reordering same-zlo runs to put containers first."""
+        run: List[Tuple[Element, Any]] = []
+        run_zlo: Optional[int] = None
+        for element, payload in tree.scan():
+            if run_zlo is not None and element.zlo != run_zlo:
+                run.sort(key=lambda item: -item[0].zhi)
+                yield from run
+                run = []
+            run_zlo = element.zlo
+            run.append((element, payload))
+        run.sort(key=lambda item: -item[0].zhi)
+        yield from run
+
+    r_iter = ordered(r_tree)
+    s_iter = ordered(s_tree)
+    r_next = next(r_iter, None)
+    s_next = next(s_iter, None)
+    r_active: List[Tuple[Element, Any]] = []
+    s_active: List[Tuple[Element, Any]] = []
+
+    def sort_key(item: Tuple[Element, Any]) -> Tuple[int, int]:
+        return (item[0].zlo, -item[0].zhi)
+
+    while r_next is not None or s_next is not None:
+        take_r = s_next is None or (
+            r_next is not None and sort_key(r_next) <= sort_key(s_next)
+        )
+        element, payload = r_next if take_r else s_next  # type: ignore[misc]
+        for stack in (r_active, s_active):
+            while stack and stack[-1][0].zhi < element.zlo:
+                stack.pop()
+        if take_r:
+            for s_elem, s_payload in s_active:
+                if stats:
+                    stats.output_pairs += 1
+                yield payload, s_payload, element, s_elem
+            r_active.append((element, payload))
+            r_next = next(r_iter, None)
+        else:
+            for r_elem, r_payload in r_active:
+                if stats:
+                    stats.output_pairs += 1
+                yield r_payload, payload, r_elem, element
+            s_active.append((element, payload))
+            s_next = next(s_iter, None)
+
+    if stats:
+        stats.r_pages = len(set(r_tree.tree.leaf_accesses))
+        stats.s_pages = len(set(s_tree.tree.leaf_accesses))

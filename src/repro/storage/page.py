@@ -1,0 +1,163 @@
+"""Disk-page model.
+
+The experiments of Section 5.3.2 measure "the number of (data) pages
+accessed for each query" with "page capacity ... 20 points".  A
+:class:`Page` is therefore a fixed-capacity container of ``(key, value)``
+records kept sorted by key; :class:`PageStore` plays the disk, counting
+physical reads and writes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Record", "Page", "PageStore"]
+
+Record = Tuple[int, Any]
+
+
+@dataclass
+class Page:
+    """A fixed-capacity data page of key-sorted records.
+
+    ``next_page`` links leaf pages into the sequence-set chain of the
+    B+-tree, giving the sequential access the merge algorithms need.
+    """
+
+    page_id: int
+    capacity: int
+    records: List[Record] = field(default_factory=list)
+    next_page: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 2:
+            raise ValueError("pages must hold at least two records")
+
+    @property
+    def nrecords(self) -> int:
+        return len(self.records)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+    @property
+    def low_key(self) -> int:
+        if not self.records:
+            raise ValueError(f"page {self.page_id} is empty")
+        return self.records[0][0]
+
+    @property
+    def high_key(self) -> int:
+        if not self.records:
+            raise ValueError(f"page {self.page_id} is empty")
+        return self.records[-1][0]
+
+    def keys(self) -> List[int]:
+        return [key for key, _ in self.records]
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert keeping key order (duplicates allowed, stable)."""
+        if self.is_full:
+            raise ValueError(f"page {self.page_id} is full")
+        index = bisect.bisect_right(self.keys(), key)
+        self.records.insert(index, (key, value))
+
+    def remove(self, key: int, value: Any = None) -> bool:
+        """Remove one record with ``key`` (and ``value`` when given).
+        Returns whether a record was removed."""
+        keys = self.keys()
+        index = bisect.bisect_left(keys, key)
+        while index < len(self.records) and self.records[index][0] == key:
+            if value is None or self.records[index][1] == value:
+                del self.records[index]
+                return True
+            index += 1
+        return False
+
+    def find(self, key: int) -> List[Any]:
+        """All values stored under ``key``."""
+        keys = self.keys()
+        lo = bisect.bisect_left(keys, key)
+        hi = bisect.bisect_right(keys, key)
+        return [value for _, value in self.records[lo:hi]]
+
+    def split(self, new_page_id: int) -> "Page":
+        """Move the upper half of the records to a fresh page and return
+        it; the chain pointer is threaded through."""
+        mid = len(self.records) // 2
+        sibling = Page(
+            page_id=new_page_id,
+            capacity=self.capacity,
+            records=self.records[mid:],
+            next_page=self.next_page,
+        )
+        self.records = self.records[:mid]
+        self.next_page = new_page_id
+        return sibling
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+
+class PageStore:
+    """An in-memory stand-in for the disk: a dictionary of pages with
+    read/write accounting.
+
+    All page traffic in the storage engine flows through :meth:`read`
+    and :meth:`write`; the experiment harness snapshots the counters to
+    measure per-query I/O.
+    """
+
+    def __init__(self, page_capacity: int) -> None:
+        if page_capacity < 2:
+            raise ValueError("page capacity must be at least 2")
+        self.page_capacity = page_capacity
+        self._pages: Dict[int, Page] = {}
+        self._next_id = 0
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page_ids(self) -> List[int]:
+        return sorted(self._pages)
+
+    def allocate(self) -> Page:
+        page = Page(page_id=self._next_id, capacity=self.page_capacity)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        self.allocations += 1
+        return page
+
+    def read(self, page_id: int) -> Page:
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"no such page: {page_id}") from None
+        self.reads += 1
+        return page
+
+    def write(self, page: Page) -> None:
+        if page.page_id not in self._pages:
+            raise KeyError(f"no such page: {page.page_id}")
+        self._pages[page.page_id] = page
+        self.writes += 1
+
+    def free(self, page_id: int) -> None:
+        try:
+            del self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"no such page: {page_id}") from None
+
+    def peek(self, page_id: int) -> Page:
+        """Read without counting — for tests and figure rendering only."""
+        return self._pages[page_id]

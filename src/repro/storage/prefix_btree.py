@@ -1,0 +1,298 @@
+"""The zkd B+-tree: points stored in z order in a prefix B+-tree.
+
+This is the structure of the paper's experiments (Section 5.3.2,
+Figure 6): each point is shuffled to its z code and inserted into a
+B+-tree whose leaves are fixed-capacity data pages ("Page capacity was
+20 points").  Range queries run the merge-based algorithm of Section 3.3
+directly against the leaf chain, using the tree's random access to skip.
+
+Per-query measurements match the paper's:
+
+* ``pages`` — distinct data (leaf) pages touched;
+* ``efficiency`` — the fraction of the records on the touched pages
+  that satisfy the query ("a measure indicating how much 'relevant'
+  data was on each retrieved page").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, ClassifyFn, Grid, circle_classifier
+from repro.core.rangesearch import (
+    MergeStats,
+    object_search,
+    range_search,
+    range_search_bigmin,
+)
+from repro.storage.btree import BPlusTree, BTreeCursor
+from repro.storage.buffer import BufferManager, ReplacementPolicy
+from repro.storage.page import PageStore
+
+__all__ = ["QueryResult", "ZkdTree"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome and cost of one range query."""
+
+    matches: Tuple[Point, ...]
+    pages_accessed: int
+    records_on_pages: int
+    merge: MergeStats
+
+    @property
+    def nmatches(self) -> int:
+        return len(self.matches)
+
+    @property
+    def efficiency(self) -> float:
+        """Relevant records / records on retrieved pages (0 when no page
+        was touched)."""
+        if self.records_on_pages == 0:
+            return 0.0
+        return len(self.matches) / self.records_on_pages
+
+
+class ZkdTree:
+    """Points of a :class:`~repro.core.geometry.Grid` stored in z order.
+
+    Parameters mirror the experiment setup: ``page_capacity`` is the
+    number of points per data page, ``buffer_frames`` the cache size
+    (the merge makes its value nearly irrelevant — see the buffer-policy
+    bench), ``order`` the inner-node fan-out.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        page_capacity: int = 20,
+        buffer_frames: int = 8,
+        order: int = 32,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        store=None,
+    ) -> None:
+        self.grid = grid
+        self.store = store if store is not None else PageStore(page_capacity)
+        self.buffer = BufferManager(self.store, buffer_frames, policy)
+        self.tree = BPlusTree(
+            self.store,
+            self.buffer,
+            order=order,
+            total_bits=grid.total_bits,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        grid: Grid,
+        store,
+        buffer_frames: int = 8,
+        order: int = 32,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+    ) -> "ZkdTree":
+        """Reattach to an existing leaf chain (e.g. a
+        :class:`~repro.storage.diskstore.FilePageStore` file written by
+        an earlier session); the in-memory index is rebuilt."""
+        tree = cls.__new__(cls)
+        tree.grid = grid
+        tree.store = store
+        tree.buffer = BufferManager(store, buffer_frames, policy)
+        tree.tree = BPlusTree.open(
+            store, tree.buffer, order=order, total_bits=grid.total_bits
+        )
+        return tree
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Sequence[int]) -> None:
+        point = tuple(point)
+        self.grid.validate_point(point)
+        self.tree.insert(self.grid.zvalue(point).bits, point)
+
+    def insert_many(self, points: Iterable[Sequence[int]]) -> None:
+        for point in points:
+            self.insert(point)
+
+    def bulk_load(
+        self, points: Iterable[Sequence[int]], fill_factor: float = 1.0
+    ) -> None:
+        """Sort the points by z value and pack them bottom-up — the
+        fast load path for an initially empty tree."""
+
+        def records():
+            for point in points:
+                point_t = tuple(point)
+                self.grid.validate_point(point_t)
+                yield self.grid.zvalue(point_t).bits, point_t
+
+        self.tree.bulk_load(records(), fill_factor)
+
+    def delete(self, point: Sequence[int]) -> bool:
+        point = tuple(point)
+        self.grid.validate_point(point)
+        return self.tree.delete(self.grid.zvalue(point).bits, point)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        point = tuple(point)
+        return point in self.tree.search(self.grid.zvalue(point).bits)
+
+    @property
+    def npages(self) -> int:
+        """Number of data pages (the ``N`` of the analysis)."""
+        return self.tree.nleaves
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_query(self, box: Box, use_bigmin: bool = False) -> QueryResult:
+        """All points inside ``box`` plus the paper's cost measures."""
+        self.tree.reset_access_log()
+        stats = MergeStats()
+        cursor = BTreeCursor(self.tree)
+        if use_bigmin:
+            matches = tuple(
+                range_search_bigmin(cursor, self.grid, box, stats)
+            )
+        else:
+            matches = tuple(range_search(cursor, self.grid, box, stats))
+        touched = sorted(set(self.tree.leaf_accesses))
+        records = sum(
+            self.buffer.peek(page_id).nrecords for page_id in touched
+        )
+        return QueryResult(
+            matches=matches,
+            pages_accessed=len(touched),
+            records_on_pages=records,
+            merge=stats,
+        )
+
+    def partial_match_query(
+        self, fixed: Sequence[Optional[int]]
+    ) -> QueryResult:
+        """A partial-match query: ``fixed[j]`` pins axis ``j`` to a value
+        or leaves it unrestricted (``None``) — Section 5.3.1."""
+        if len(fixed) != self.grid.ndims:
+            raise ValueError("one entry per axis required")
+        side = self.grid.side
+        ranges = []
+        for j, value in enumerate(fixed):
+            if value is None:
+                ranges.append((0, side - 1))
+            else:
+                if not 0 <= value < side:
+                    raise ValueError(f"axis {j} value {value} outside grid")
+                ranges.append((value, value))
+        return self.range_query(Box(tuple(ranges)))
+
+    def object_query(
+        self, classify: ClassifyFn, max_depth: Optional[int] = None
+    ) -> QueryResult:
+        """Range search against an arbitrary query region given by its
+        inside/outside/boundary oracle (Section 6: containment and
+        proximity queries reduce to the same merge)."""
+        self.tree.reset_access_log()
+        stats = MergeStats()
+        cursor = BTreeCursor(self.tree)
+        matches = tuple(
+            object_search(cursor, self.grid, classify, stats, max_depth)
+        )
+        touched = sorted(set(self.tree.leaf_accesses))
+        records = sum(
+            self.buffer.peek(page_id).nrecords for page_id in touched
+        )
+        return QueryResult(
+            matches=matches,
+            pages_accessed=len(touched),
+            records_on_pages=records,
+            merge=stats,
+        )
+
+    def within_distance(
+        self, center: Sequence[int], radius: float
+    ) -> QueryResult:
+        """Proximity query: all points within Euclidean ``radius`` of
+        ``center`` — translated into an overlap query against a ball,
+        exactly as Section 6 prescribes."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return self.object_query(circle_classifier(tuple(center), radius))
+
+    def nearest_neighbours(
+        self, center: Sequence[int], k: int = 1
+    ) -> List[Point]:
+        """The ``k`` stored points nearest to ``center`` (Euclidean),
+        found by growing proximity queries (doubling radius) and a final
+        exact cut.  Ties broken by z order."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if len(self.tree) == 0:
+            return []
+        center = tuple(center)
+        self.grid.validate_point(center)
+        k = min(k, len(self.tree))
+        radius = 1.0
+        max_radius = self.grid.side * math.sqrt(self.grid.ndims)
+        candidates: List[Point] = []
+        while True:
+            candidates = list(self.within_distance(center, radius).matches)
+            if len(candidates) >= k or radius > max_radius:
+                break
+            radius *= 2
+        # With >= k candidates inside radius r, the k-th nearest point
+        # lies within r, so every true answer is among the candidates.
+        def distance2(p: Point) -> float:
+            return sum((a - b) ** 2 for a, b in zip(p, center))
+
+        candidates.sort(
+            key=lambda p: (distance2(p), self.grid.zvalue(p).bits)
+        )
+        return candidates[:k]
+
+    def points(self) -> List[Point]:
+        """All stored points in z order (counts page accesses)."""
+        return [payload for _, payload in self.tree.items()]
+
+    # ------------------------------------------------------------------
+    # Figure 6 introspection
+    # ------------------------------------------------------------------
+
+    def page_of_point(self, point: Sequence[int]) -> int:
+        """Ordinal of the leaf page whose key interval covers ``point``
+        (pixels between stored points belong to the page that would
+        receive them) — the partition Figure 6 renders."""
+        z = self.grid.zvalue(point).bits
+        bounds = self.tree.partition_boundaries()
+        # First page whose low key is <= z; pages tile [0, 2**bits).
+        import bisect as _bisect
+
+        index = _bisect.bisect_right(bounds, z) - 1
+        return max(index, 0)
+
+    def partition_map(self) -> List[List[int]]:
+        """For 2-d grids: a ``side x side`` matrix of page ordinals
+        (row = y, column = x) — the raw material of Figure 6."""
+        if self.grid.ndims != 2:
+            raise ValueError("partition_map is 2-d only")
+        bounds = self.tree.partition_boundaries()
+        import bisect as _bisect
+
+        side = self.grid.side
+        rows: List[List[int]] = []
+        for y in range(side):
+            row = []
+            for x in range(side):
+                z = self.grid.zvalue((x, y)).bits
+                row.append(max(_bisect.bisect_right(bounds, z) - 1, 0))
+            rows.append(row)
+        return rows

@@ -1,0 +1,40 @@
+"""Reproducible workload generators for the Section 5.3.2 experiments:
+the U / C / D datasets and the shape x volume x location query grids."""
+
+from repro.workloads.datasets import (
+    PAPER_NPOINTS,
+    PAPER_PAGE_CAPACITY,
+    Dataset,
+    clustered_dataset,
+    diagonal_dataset,
+    make_dataset,
+    uniform_dataset,
+)
+from repro.workloads.queries import (
+    PAPER_ASPECTS,
+    PAPER_LOCATIONS,
+    PAPER_VOLUMES,
+    QuerySpec,
+    partial_match_workload,
+    query_shape,
+    query_workload,
+    random_query_boxes,
+)
+
+__all__ = [
+    "Dataset",
+    "uniform_dataset",
+    "clustered_dataset",
+    "diagonal_dataset",
+    "make_dataset",
+    "PAPER_NPOINTS",
+    "PAPER_PAGE_CAPACITY",
+    "QuerySpec",
+    "query_shape",
+    "random_query_boxes",
+    "query_workload",
+    "partial_match_workload",
+    "PAPER_VOLUMES",
+    "PAPER_ASPECTS",
+    "PAPER_LOCATIONS",
+]

@@ -1,0 +1,133 @@
+"""The three experimental point distributions of Section 5.3.2.
+
+"Three sets of experiments were run, 1) uniformly distributed data
+(experiment U), 2) 'clustered' data - 50 small clusters of 100 points
+each (experiment C), 3) 'diagonally' distributed data - points uniformly
+distributed along the x=y line (experiment D)."
+
+All generators are seeded and deterministic; coordinates are integer
+grid pixels.  The paper used 5000 points — the defaults reproduce that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Grid
+
+__all__ = [
+    "Dataset",
+    "uniform_dataset",
+    "clustered_dataset",
+    "diagonal_dataset",
+    "make_dataset",
+    "PAPER_NPOINTS",
+    "PAPER_PAGE_CAPACITY",
+]
+
+Point = Tuple[int, ...]
+
+#: Experiment constants from Section 5.3.2.
+PAPER_NPOINTS = 5000
+PAPER_PAGE_CAPACITY = 20
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named, reproducible point set."""
+
+    name: str
+    grid: Grid
+    points: Tuple[Point, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def uniform_dataset(
+    grid: Grid, npoints: int = PAPER_NPOINTS, seed: int = 0
+) -> Dataset:
+    """Experiment U: points uniform over the whole grid."""
+    rng = random.Random(seed)
+    side = grid.side
+    points = tuple(
+        tuple(rng.randrange(side) for _ in range(grid.ndims))
+        for _ in range(npoints)
+    )
+    return Dataset("U", grid, points, seed)
+
+
+def clustered_dataset(
+    grid: Grid,
+    nclusters: int = 50,
+    per_cluster: int = 100,
+    cluster_extent_fraction: float = 0.03,
+    seed: int = 0,
+) -> Dataset:
+    """Experiment C: ``nclusters`` small square clusters of
+    ``per_cluster`` points each (defaults: 50 x 100 = 5000 points).
+
+    Each cluster is a uniform square patch whose side is
+    ``cluster_extent_fraction`` of the grid side.
+    """
+    rng = random.Random(seed)
+    side = grid.side
+    extent = max(1, int(side * cluster_extent_fraction))
+    points: List[Point] = []
+    for _ in range(nclusters):
+        corner = tuple(
+            rng.randrange(side - extent + 1) for _ in range(grid.ndims)
+        )
+        for _ in range(per_cluster):
+            points.append(
+                tuple(c + rng.randrange(extent) for c in corner)
+            )
+    return Dataset("C", grid, tuple(points), seed)
+
+
+def diagonal_dataset(
+    grid: Grid,
+    npoints: int = PAPER_NPOINTS,
+    jitter: int = 0,
+    seed: int = 0,
+) -> Dataset:
+    """Experiment D: points uniform along the line ``x = y`` (every
+    axis equal), with optional +/- ``jitter`` pixels of noise."""
+    rng = random.Random(seed)
+    side = grid.side
+    points: List[Point] = []
+    for _ in range(npoints):
+        base = rng.randrange(side)
+        if jitter:
+            point = tuple(
+                min(side - 1, max(0, base + rng.randint(-jitter, jitter)))
+                for _ in range(grid.ndims)
+            )
+        else:
+            point = (base,) * grid.ndims
+        points.append(point)
+    return Dataset("D", grid, tuple(points), seed)
+
+
+def make_dataset(
+    name: str,
+    grid: Grid,
+    npoints: int = PAPER_NPOINTS,
+    seed: int = 0,
+) -> Dataset:
+    """Dispatch on the paper's experiment letter (U, C or D)."""
+    key = name.upper()
+    if key == "U":
+        return uniform_dataset(grid, npoints, seed)
+    if key == "C":
+        if npoints % 50:
+            raise ValueError("experiment C wants a multiple of 50 points")
+        return clustered_dataset(
+            grid, nclusters=50, per_cluster=npoints // 50, seed=seed
+        )
+    if key == "D":
+        return diagonal_dataset(grid, npoints, seed=seed)
+    raise ValueError(f"unknown dataset {name!r}; expected U, C or D")

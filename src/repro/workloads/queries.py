@@ -1,0 +1,155 @@
+"""Query workloads: rectangular queries by shape and volume.
+
+Section 5.3.2: "queries of various rectangular shapes (and four
+different volumes) were run in five randomly selected locations."
+A query is parameterized by
+
+* ``volume_fraction`` — the fraction of the space it covers (the ``v``
+  of the ``O(vN)`` prediction);
+* ``aspect`` — width/height ratio (1 = square, 2 = twice as wide,
+  1/2 = twice as tall, ... long-narrow shapes approximate partial-match
+  queries).
+
+Generators are seeded; locations are uniform over placements that keep
+the box inside the grid.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+
+__all__ = [
+    "QuerySpec",
+    "query_shape",
+    "random_query_boxes",
+    "query_workload",
+    "partial_match_workload",
+    "PAPER_VOLUMES",
+    "PAPER_ASPECTS",
+    "PAPER_LOCATIONS",
+]
+
+#: Four query volumes (fractions of the space), as in the paper.
+PAPER_VOLUMES = (0.01, 0.02, 0.04, 0.08)
+
+#: Query shapes: square, 2:1 both ways, 8:1 both ways, 32:1 both ways.
+#: aspect = width / height; < 1 is "tall", > 1 is "wide".
+PAPER_ASPECTS = (1.0, 2.0, 0.5, 8.0, 0.125, 32.0, 0.03125)
+
+#: Five randomly selected locations per (volume, shape) combination.
+PAPER_LOCATIONS = 5
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query with its workload coordinates."""
+
+    box: Box
+    volume_fraction: float
+    aspect: float
+    location_index: int
+
+
+def query_shape(
+    grid: Grid, volume_fraction: float, aspect: float
+) -> Tuple[int, ...]:
+    """Integer side lengths of a query box with the given fractional
+    volume and (2-d) aspect ratio, clipped to the grid.
+
+    In k > 2 dimensions the aspect stretches axis 0 against axis 1 and
+    leaves the remaining axes at the geometric mean.
+    """
+    if not 0 < volume_fraction <= 1:
+        raise ValueError("volume_fraction must be in (0, 1]")
+    if aspect <= 0:
+        raise ValueError("aspect must be positive")
+    side = grid.side
+    k = grid.ndims
+    target = volume_fraction * side**k
+    base = target ** (1.0 / k)
+    sizes = [base] * k
+    sizes[0] = base * math.sqrt(aspect)
+    if k > 1:
+        sizes[1] = base / math.sqrt(aspect)
+    rounded = tuple(
+        max(1, min(side, round(s))) for s in sizes
+    )
+    return rounded
+
+
+def random_query_boxes(
+    grid: Grid,
+    sizes: Sequence[int],
+    count: int,
+    rng: random.Random,
+) -> List[Box]:
+    """``count`` boxes of the given size at uniform in-bounds corners."""
+    side = grid.side
+    for size in sizes:
+        if not 1 <= size <= side:
+            raise ValueError(f"size {size} outside [1, {side}]")
+    out = []
+    for _ in range(count):
+        corner = tuple(
+            rng.randrange(side - size + 1) for size in sizes
+        )
+        out.append(Box.from_corner_and_size(corner, sizes))
+    return out
+
+
+def query_workload(
+    grid: Grid,
+    volumes: Sequence[float] = PAPER_VOLUMES,
+    aspects: Sequence[float] = PAPER_ASPECTS,
+    locations: int = PAPER_LOCATIONS,
+    seed: int = 0,
+) -> List[QuerySpec]:
+    """The full shape x volume x location cross product."""
+    rng = random.Random(seed)
+    specs: List[QuerySpec] = []
+    for volume in volumes:
+        for aspect in aspects:
+            sizes = query_shape(grid, volume, aspect)
+            for index, box in enumerate(
+                random_query_boxes(grid, sizes, locations, rng)
+            ):
+                specs.append(
+                    QuerySpec(
+                        box=box,
+                        volume_fraction=volume,
+                        aspect=aspect,
+                        location_index=index,
+                    )
+                )
+    return specs
+
+
+def partial_match_workload(
+    grid: Grid,
+    restricted_axes: Sequence[int],
+    count: int,
+    seed: int = 0,
+) -> List[Box]:
+    """Partial-match queries: the listed axes are pinned to random
+    values, the rest are unrestricted (Section 5.3.1)."""
+    rng = random.Random(seed)
+    side = grid.side
+    axes = set(restricted_axes)
+    if not axes <= set(range(grid.ndims)):
+        raise ValueError(f"axes {sorted(axes)} outside the grid")
+    out = []
+    for _ in range(count):
+        ranges = []
+        for axis in range(grid.ndims):
+            if axis in axes:
+                value = rng.randrange(side)
+                ranges.append((value, value))
+            else:
+                ranges.append((0, side - 1))
+        out.append(Box(tuple(ranges)))
+    return out

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+
+
+@pytest.fixture
+def grid8() -> Grid:
+    """The paper's 8x8 figure grid (d = 3)."""
+    return Grid(ndims=2, depth=3)
+
+
+@pytest.fixture
+def grid64() -> Grid:
+    """A 64x64 grid, big enough for interesting workloads."""
+    return Grid(ndims=2, depth=6)
+
+
+@pytest.fixture
+def grid3d() -> Grid:
+    """A small 3-d grid (16 per axis)."""
+    return Grid(ndims=3, depth=4)
+
+
+@pytest.fixture
+def figure_box() -> Box:
+    """The running example box of Figures 1/2/5: 1<=X<=3 & 0<=Y<=4."""
+    return Box(((1, 3), (0, 4)))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xA6)
+
+
+def random_box(rng: random.Random, grid: Grid) -> Box:
+    """A uniformly random in-bounds box."""
+    ranges = []
+    for _ in range(grid.ndims):
+        a = rng.randrange(grid.side)
+        b = rng.randrange(grid.side)
+        ranges.append((min(a, b), max(a, b)))
+    return Box(tuple(ranges))
+
+
+def random_points(rng: random.Random, grid: Grid, n: int):
+    return [
+        tuple(rng.randrange(grid.side) for _ in range(grid.ndims))
+        for _ in range(n)
+    ]

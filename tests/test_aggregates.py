@@ -1,0 +1,108 @@
+"""Tests for group-by aggregation, including the spatial global-property
+workflow (component areas through the relational layer)."""
+
+import pytest
+
+from repro.db.aggregates import AVG, COUNT, MAX, MIN, SUM, aggregate
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.db.types import FLOAT, INTEGER, STRING
+
+
+def sales():
+    schema = Schema.of(
+        ("region", STRING), ("item", STRING), ("units", INTEGER)
+    )
+    return Relation(
+        "sales",
+        schema,
+        [
+            ("north", "ore", 10),
+            ("north", "ore", 5),
+            ("north", "fish", 2),
+            ("south", "ore", 7),
+            ("south", "fish", 20),
+        ],
+    )
+
+
+class TestAggregate:
+    def test_count_by_group(self):
+        out = aggregate(sales(), ["region"], [COUNT()])
+        assert sorted(out.rows) == [("north", 3), ("south", 2)]
+
+    def test_sum_min_max(self):
+        out = aggregate(
+            sales(), ["region"], [SUM("units"), MIN("units"), MAX("units")]
+        )
+        rows = {r[0]: r[1:] for r in out}
+        assert rows["north"] == (17, 2, 10)
+        assert rows["south"] == (27, 7, 20)
+
+    def test_avg_is_float(self):
+        out = aggregate(sales(), ["region"], [AVG("units")])
+        rows = dict(out.rows)
+        assert rows["north"] == pytest.approx(17 / 3)
+        assert out.schema.column("avg_units").domain == FLOAT
+
+    def test_multi_column_grouping(self):
+        out = aggregate(sales(), ["region", "item"], [SUM("units")])
+        assert ("north", "ore", 15) in out.rows
+        assert len(out) == 4
+
+    def test_scalar_aggregate(self):
+        out = aggregate(sales(), [], [COUNT(), SUM("units")])
+        assert out.rows == [(5, 44)]
+
+    def test_empty_relation_scalar(self):
+        empty = Relation("t", Schema.of(("x", INTEGER)))
+        out = aggregate(empty, [], [COUNT()])
+        assert out.rows == []  # no groups, no undefined folds
+
+    def test_group_order_is_first_appearance(self):
+        out = aggregate(sales(), ["region"], [COUNT()])
+        assert [r[0] for r in out] == ["north", "south"]
+
+    def test_custom_output_names(self):
+        out = aggregate(sales(), ["region"], [SUM("units", "total")])
+        assert out.schema.names == ["region", "total"]
+
+    def test_requires_aggregates(self):
+        with pytest.raises(ValueError):
+            aggregate(sales(), ["region"], [])
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError):
+            aggregate(sales(), ["region"], [SUM("nope")])
+
+
+class TestSpatialGlobalProperties:
+    def test_component_areas_through_relations(self, grid64):
+        """Section 6's global queries as a relational pipeline: label
+        components, flatten to a relation, group by label, sum areas."""
+        from repro.core.components import label_components
+        from repro.core.decompose import Element, decompose_box
+        from repro.core.geometry import Box
+
+        elements = []
+        for box in (Box(((0, 3), (0, 3))), Box(((10, 17), (10, 13)))):
+            elements.extend(
+                Element.of(z, grid64) for z in decompose_box(grid64, box)
+            )
+        cc = label_components(grid64, elements)
+
+        schema = Schema.of(("label", INTEGER), ("npixels", INTEGER))
+        rel = Relation(
+            "black_elements",
+            schema,
+            [
+                (label, element.npixels)
+                for element, label in zip(cc.elements, cc.labels)
+            ],
+        )
+        out = aggregate(
+            rel, ["label"], [COUNT("elements"), SUM("npixels", "area")]
+        )
+        areas = {row[0]: row[2] for row in out}
+        assert sorted(areas.values()) == [16, 32]
+        assert len(areas) == cc.ncomponents

@@ -1,0 +1,214 @@
+"""Tests for the Section 5.1 / 5.3.1 analysis."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    bit_span,
+    block_shape,
+    coarsen_size,
+    coarsening_tradeoff,
+    element_count,
+    element_count_2d,
+    pages_per_block_bound,
+    predicted_partial_match_pages,
+    predicted_range_pages,
+)
+from repro.core.decompose import decompose_box
+from repro.core.geometry import Box, Grid
+
+
+class TestElementCount:
+    def test_matches_actual_decomposition_2d(self):
+        grid = Grid(2, 4)
+        for u in range(0, 17, 3):
+            for v in range(0, 17, 5):
+                if u == 0 or v == 0:
+                    assert element_count((u, v), 4) == 0
+                    continue
+                actual = len(
+                    decompose_box(grid, Box(((0, u - 1), (0, v - 1))))
+                )
+                assert element_count((u, v), 4) == actual, (u, v)
+
+    def test_matches_actual_decomposition_3d(self):
+        grid = Grid(3, 3)
+        for sizes in [(3, 5, 2), (8, 8, 8), (7, 1, 4)]:
+            box = Box(tuple((0, s - 1) for s in sizes))
+            assert element_count(sizes, 3) == len(decompose_box(grid, box))
+
+    def test_whole_space_is_one(self):
+        assert element_count((16, 16), 4) == 1
+        assert element_count((8, 8, 8), 3) == 1
+
+    def test_empty_box(self):
+        assert element_count((0, 5), 4) == 0
+
+    def test_cyclic_property(self):
+        """Section 5.1: E(U, V) = E(2U, 2V)."""
+        for u, v in [(3, 5), (7, 2), (13, 9), (1, 1), (11, 16)]:
+            assert element_count_2d(u, v, 6) == element_count_2d(
+                2 * u, 2 * v, 7
+            )
+
+    @given(st.integers(1, 32), st.integers(1, 32))
+    def test_cyclic_property_hypothesis(self, u, v):
+        assert element_count_2d(u, v, 5) == element_count_2d(2 * u, 2 * v, 6)
+
+    def test_power_of_two_boxes_are_cheap(self):
+        # Aligned dyadic boxes need very few elements.
+        assert element_count_2d(16, 16, 6) == 1
+        assert element_count_2d(16, 32, 6) <= 2
+
+    def test_bit_span_drives_growth(self):
+        """Section 5.1: E is highly dependent on the bit span of U|V.
+        Zeroing low bits (smaller span) must not increase the count."""
+        depth = 8
+        u, v = 0b01101101, 0b01011011
+        baseline = element_count_2d(u, v, depth)
+        coarse = element_count_2d(
+            coarsen_size(u, 4), coarsen_size(v, 4), depth
+        )
+        assert bit_span(
+            coarsen_size(u, 4) | coarsen_size(v, 4)
+        ) < bit_span(u | v)
+        assert coarse < baseline
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            element_count((5,), 2)  # 5 > 4
+        with pytest.raises(ValueError):
+            element_count((), 3)
+
+
+class TestBitSpan:
+    def test_examples(self):
+        assert bit_span(0b01101101) == 7
+        assert bit_span(0b01110000) == 3
+        assert bit_span(0) == 0
+        assert bit_span(1) == 1
+        assert bit_span(0b1000) == 1
+        assert bit_span(0b1001) == 4
+
+
+class TestCoarsening:
+    def test_paper_example(self):
+        """Section 5.1: "if U = 01101101 and m = 4, then U' = 01110000"."""
+        assert coarsen_size(0b01101101, 4) == 0b01110000
+
+    def test_zero_m_is_identity(self):
+        assert coarsen_size(123, 0) == 123
+
+    def test_already_aligned(self):
+        assert coarsen_size(0b0110000, 4) == 0b0110000
+
+    def test_monotone_and_aligned(self):
+        for size in range(0, 200, 7):
+            for m in range(6):
+                out = coarsen_size(size, m)
+                assert out >= size
+                assert out % (1 << m) == 0
+                assert out - size < (1 << m)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            coarsen_size(-1, 2)
+        with pytest.raises(ValueError):
+            coarsen_size(1, -2)
+
+    def test_tradeoff_reduces_elements_slow_error_growth(self):
+        """The optimization: fewer elements, slowly growing area error."""
+        t = coarsening_tradeoff((109, 91), depth=8, m=4)
+        assert t.elements_after < t.elements_before
+        assert 0 <= t.volume_error < 0.5
+        assert t.element_reduction > 0.3
+
+    def test_tradeoff_m_zero_is_noop(self):
+        t = coarsening_tradeoff((109, 91), depth=8, m=0)
+        assert t.elements_after == t.elements_before
+        assert t.volume_error == 0.0
+
+    def test_error_grows_slowly_with_m(self):
+        """Going one level coarser at most doubles... in fact the error
+        stays small relative to the element savings."""
+        errors = [
+            coarsening_tradeoff((109, 91), depth=8, m=m).volume_error
+            for m in range(6)
+        ]
+        assert all(e < 0.6 for e in errors)
+        assert errors == sorted(errors)  # monotone in m
+
+
+class TestBlocks:
+    def test_published_constants(self):
+        assert pages_per_block_bound(2) == 6
+        assert pages_per_block_bound(3) == Fraction(28, 3)
+        assert pages_per_block_bound(1) == 2
+
+    def test_unpublished_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            pages_per_block_bound(4)
+
+    def test_block_shape_power_of_two_sides(self):
+        for pixels in (1, 2, 4, 64, 100, 4096):
+            for k in (1, 2, 3):
+                shape = block_shape(pixels, k)
+                assert len(shape) == k
+                for s in shape:
+                    assert s & (s - 1) == 0
+                total = 1
+                for s in shape:
+                    total *= s
+                assert total >= pixels
+
+    def test_block_shape_aspect_at_most_two(self):
+        for pixels in (2, 8, 32, 128, 512):
+            shape = block_shape(pixels, 2)
+            assert max(shape) <= 2 * min(shape)
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            block_shape(0, 2)
+
+
+class TestPredictions:
+    def test_range_leading_term_is_vN(self):
+        """Section 5.3.1: O(vN) pages for a range query."""
+        side, n_pages = 1024, 100_000
+        big = predicted_range_pages((512, 512), side, n_pages, 2)
+        small = predicted_range_pages((128, 128), side, n_pages, 2)
+        # Volume ratio is 16; with many pages the boundary terms fade
+        # and the prediction scales near-linearly in v.
+        assert 10 < big / small <= 16
+
+    def test_range_clamped_to_total(self):
+        assert (
+            predicted_range_pages((1024, 1024), 1024, 100, 2) <= 100
+        )
+
+    def test_long_narrow_costs_more(self):
+        """Same volume, worse shape -> more predicted pages."""
+        side, n_pages = 1024, 1000
+        square = predicted_range_pages((64, 64), side, n_pages, 2)
+        narrow = predicted_range_pages((1024, 4), side, n_pages, 2)
+        assert narrow > square
+
+    def test_partial_match_exponent(self):
+        """Section 5.3.1: O(N^(1 - t/k)) pages."""
+        assert predicted_partial_match_pages(10000, 2, 1) == pytest.approx(
+            100.0
+        )
+        assert predicted_partial_match_pages(1000, 3, 1) == pytest.approx(
+            1000 ** (2 / 3)
+        )
+        assert predicted_partial_match_pages(1000, 3, 0) == 1000.0
+
+    def test_partial_match_rejects_t_equal_k(self):
+        with pytest.raises(ValueError):
+            predicted_partial_match_pages(1000, 2, 2)
+
+    def test_range_rejects_no_pages(self):
+        with pytest.raises(ValueError):
+            predicted_range_pages((4, 4), 16, 0, 2)

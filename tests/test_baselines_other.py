@@ -1,0 +1,153 @@
+"""Tests for the quadtree, grid-file and heap-scan baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.gridfile import FixedGridIndex
+from repro.baselines.linearscan import HeapFile
+from repro.baselines.quadtree import (
+    RegionQuadtree,
+    elements_to_quadtree_leaves,
+    quadtree_leaves_to_elements,
+)
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid, box_classifier, circle_classifier
+from repro.core.intervals import elements_to_intervals
+from repro.core.rangesearch import brute_force_search
+
+from conftest import random_box, random_points
+
+
+class TestRegionQuadtree:
+    def test_black_area_matches_object(self):
+        grid = Grid(2, 4)
+        box = Box(((2, 9), (4, 13)))
+        tree = RegionQuadtree.build(grid, box_classifier(box))
+        assert tree.black_area() == box.volume
+
+    def test_is_black_per_pixel(self):
+        grid = Grid(2, 4)
+        classify = circle_classifier((8, 8), 5.0)
+        tree = RegionQuadtree.build(grid, classify)
+        for x in range(16):
+            for y in range(16):
+                expected = (x - 8) ** 2 + (y - 8) ** 2 <= 25
+                assert tree.is_black((x, y)) == expected
+
+    def test_leaves_have_even_z_length(self):
+        grid = Grid(2, 4)
+        tree = RegionQuadtree.build(grid, box_classifier(Box(((1, 6), (2, 9)))))
+        assert all(leaf.z.length % 2 == 0 for leaf in tree.leaves)
+
+    def test_leaves_in_z_order(self):
+        grid = Grid(2, 4)
+        tree = RegionQuadtree.build(grid, box_classifier(Box(((1, 6), (2, 9)))))
+        zs = [leaf.z for leaf in tree.leaves]
+        assert zs == sorted(zs)
+
+    def test_max_level_conservative(self):
+        grid = Grid(2, 5)
+        classify = circle_classifier((16, 16), 9.0)
+        coarse = RegionQuadtree.build(grid, classify, max_level=3)
+        fine = RegionQuadtree.build(grid, classify)
+        assert coarse.black_area() >= fine.black_area()
+        assert coarse.nleaves() <= fine.nleaves()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            RegionQuadtree.build(Grid(3, 3), lambda r: None)
+
+    def test_quadtree_elements_equivalence(self):
+        """The unification claim: black quadtree leaves ARE an AG
+        decomposition covering the same pixels as decompose_box."""
+        grid = Grid(2, 4)
+        box = Box(((2, 9), (4, 13)))
+        tree = RegionQuadtree.build(grid, box_classifier(box))
+        quad_elements = quadtree_leaves_to_elements(tree)
+        ag_elements = [Element.of(z, grid) for z in decompose_box(grid, box)]
+        assert elements_to_intervals(quad_elements) == elements_to_intervals(
+            ag_elements
+        )
+
+    def test_elements_to_quadtree_leaves_even_lengths(self):
+        grid = Grid(2, 4)
+        box = Box(((2, 9), (4, 13)))
+        ag_elements = [Element.of(z, grid) for z in decompose_box(grid, box)]
+        leaves = elements_to_quadtree_leaves(grid, ag_elements)
+        assert all(z.length % 2 == 0 for z in leaves)
+        back = [Element.of(z, grid) for z in leaves]
+        assert elements_to_intervals(back) == elements_to_intervals(
+            ag_elements
+        )
+
+
+class TestFixedGridIndex:
+    def test_matches_brute_force(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        index = FixedGridIndex(grid64, cells_per_axis=8, page_capacity=10)
+        index.insert_many(points)
+        for _ in range(10):
+            box = random_box(rng, grid64)
+            result = index.range_query(box)
+            assert list(result.matches) == brute_force_search(
+                grid64, points, box
+            )
+
+    def test_cells_must_divide_side(self, grid64):
+        with pytest.raises(ValueError):
+            FixedGridIndex(grid64, cells_per_axis=3)
+
+    def test_delete(self, grid64):
+        index = FixedGridIndex(grid64, 8)
+        index.insert((1, 1))
+        assert index.delete((1, 1))
+        assert not index.delete((1, 1))
+        assert len(index) == 0
+
+    def test_page_accounting_counts_overflow(self, grid64):
+        index = FixedGridIndex(grid64, cells_per_axis=64, page_capacity=2)
+        for _ in range(10):
+            index.insert((0, 0))  # one cell, 5 pages
+        assert index.npages == 5
+        result = index.range_query(Box(((0, 0), (0, 0))))
+        assert result.pages_accessed == 5
+
+    def test_skew_hurts_grid_directory(self, grid64, rng):
+        """Diagonal data leaves most cells empty; queries on the
+        diagonal hit overflowing cells — the adaptivity gap the paper's
+        dynamic structures close."""
+        diagonal = [(i, i) for i in range(64) for _ in range(4)]
+        index = FixedGridIndex(grid64, cells_per_axis=8, page_capacity=8)
+        index.insert_many(diagonal)
+        on_diag = index.range_query(Box(((0, 7), (0, 7))))
+        assert on_diag.pages_accessed >= 4  # 8 cells x 32 pts / 8 cap
+
+    def test_query_outside_grid(self, grid64):
+        index = FixedGridIndex(grid64, 8)
+        index.insert((1, 1))
+        assert index.range_query(Box(((70, 80), (70, 80)))).matches == ()
+
+
+class TestHeapFile:
+    def test_matches_brute_force(self, grid64, rng):
+        points = random_points(rng, grid64, 200)
+        heap = HeapFile(grid64, page_capacity=20)
+        heap.insert_many(points)
+        box = random_box(rng, grid64)
+        assert list(heap.range_query(box).matches) == brute_force_search(
+            grid64, points, box
+        )
+
+    def test_always_scans_everything(self, grid64, rng):
+        heap = HeapFile(grid64, page_capacity=10)
+        heap.insert_many(random_points(rng, grid64, 100))
+        tiny = heap.range_query(Box(((0, 0), (0, 0))))
+        assert tiny.pages_accessed == heap.npages == 10
+        assert tiny.records_on_pages == 100
+
+    def test_delete(self, grid64):
+        heap = HeapFile(grid64)
+        heap.insert((1, 1))
+        assert heap.delete((1, 1))
+        assert not heap.delete((1, 1))

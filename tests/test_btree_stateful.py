@@ -1,0 +1,103 @@
+"""Stateful property-based testing of the B+-tree against a model.
+
+Hypothesis drives random sequences of insert/delete/search/scan/seek
+operations; after every step the tree must agree with a sorted-list
+model and pass its structural invariant check.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import settings
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferManager
+from repro.storage.page import PageStore
+
+KEYS = st.integers(min_value=0, max_value=255)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    @initialize(
+        capacity=st.sampled_from([4, 6, 8]),
+        order=st.sampled_from([3, 4, 6]),
+        frames=st.sampled_from([2, 4]),
+    )
+    def setup(self, capacity, order, frames):
+        store = PageStore(capacity)
+        self.tree = BPlusTree(
+            store,
+            BufferManager(store, frames),
+            order=order,
+            total_bits=8,
+        )
+        self.model = []
+        self.counter = 0
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        value = self.counter
+        self.counter += 1
+        self.tree.insert(key, value)
+        self.model.append((key, value))
+
+    @rule(key=KEYS)
+    def delete_key(self, key):
+        existing = sorted(
+            (v for k, v in self.model if k == key)
+        )
+        removed = self.tree.delete(key)
+        if existing:
+            assert removed
+            # The tree removes *one* record with that key; mirror by
+            # removing the one it actually removed (detected below by
+            # comparing search results is overkill — remove any one and
+            # fix up via full comparison in the invariant instead).
+            remaining = self.tree.search(key)
+            gone = set(existing) - set(remaining)
+            assert len(gone) == 1
+            self.model.remove((key, gone.pop()))
+        else:
+            assert not removed
+
+    @rule(key=KEYS)
+    def search(self, key):
+        expected = sorted(v for k, v in self.model if k == key)
+        assert sorted(self.tree.search(key)) == expected
+
+    @rule(start=KEYS)
+    def seek_and_scan(self, start):
+        cursor = self.tree.cursor(start=start)
+        got = []
+        record = cursor.current
+        while record is not None and len(got) < 10:
+            got.append((record.z, record.payload))
+            record = cursor.step()
+        expected = sorted(
+            ((k, v) for k, v in self.model if k >= start)
+        )[: len(got)]
+        assert sorted(got) == sorted(expected)
+        if got:
+            assert [k for k, _ in got] == sorted(k for k, _ in got)
+
+    @invariant()
+    def structure_is_valid(self):
+        if not hasattr(self, "tree"):
+            return
+        self.tree.check_invariants()
+
+    @invariant()
+    def full_scan_matches_model(self):
+        if not hasattr(self, "tree"):
+            return
+        assert sorted(self.tree.items()) == sorted(self.model)
+
+
+BTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestBTreeStateful = BTreeMachine.TestCase

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_dataset_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "X"])
+
+
+class TestFigures:
+    def test_prints_all_figures(self):
+        code, text = run(["figures"])
+        assert code == 0
+        for fig in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+            assert fig in text
+        assert "27" in text  # rank of [3,5]
+        assert "001" in text  # the big element of Figure 2
+
+
+class TestExperiment:
+    def test_small_run(self):
+        code, text = run(
+            [
+                "experiment", "U",
+                "--points", "500",
+                "--depth", "7",
+                "--locations", "2",
+            ]
+        )
+        assert code == 0
+        assert "volume" in text
+        assert "pages grow with volume" in text
+
+    def test_all_datasets(self):
+        for name in ("U", "C", "D"):
+            code, text = run(
+                [
+                    "experiment", name,
+                    "--points", "500",
+                    "--depth", "6",
+                    "--locations", "1",
+                ]
+            )
+            assert code == 0
+            assert name in text
+
+
+class TestPartition:
+    def test_renders_map(self):
+        code, text = run(
+            [
+                "partition", "C",
+                "--points", "500",
+                "--depth", "6",
+                "--side", "16",
+            ]
+        )
+        assert code == 0
+        lines = text.splitlines()
+        assert "data pages" in lines[0]
+        assert len(lines) == 17  # header + 16 map rows
+
+
+class TestCompare:
+    def test_comparison_table(self):
+        code, text = run(
+            ["compare", "U", "--points", "400", "--depth", "6"]
+        )
+        assert code == 0
+        for structure in ("zkd-btree", "kd-tree", "grid-file", "heap-scan"):
+            assert structure in text
+
+
+class TestSpace:
+    def test_analysis_output(self):
+        code, text = run(["space", "109", "91", "--depth", "8"])
+        assert code == 0
+        assert "E(109, 91)" in text
+        assert "cyclicity check" in text
+        assert "coarsening" in text

@@ -1,0 +1,195 @@
+"""Tests for connected-component labelling on element sequences."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.components import ConnectedComponents, UnionFind, label_components
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.intervals import intervals_to_elements, IntervalSet
+
+
+def elements_of_boxes(grid, boxes):
+    out = []
+    for box in boxes:
+        out.extend(Element.of(z, grid) for z in decompose_box(grid, box))
+    return out
+
+
+def elements_of_pixels(grid, pixels):
+    """Disjoint single-pixel elements (canonicalized via intervals)."""
+    intervals = IntervalSet(
+        (grid.zvalue(p).bits, grid.zvalue(p).bits) for p in pixels
+    )
+    return intervals_to_elements(intervals, grid)
+
+
+def flood_fill_count(grid, pixels):
+    """Ground truth: 4-connectivity flood fill over the pixel set."""
+    pixels = set(pixels)
+    seen = set()
+    count = 0
+    sizes = []
+    for start in sorted(pixels):
+        if start in seen:
+            continue
+        count += 1
+        stack = [start]
+        seen.add(start)
+        size = 0
+        while stack:
+            p = stack.pop()
+            size += 1
+            for axis in range(grid.ndims):
+                for delta in (-1, 1):
+                    q = tuple(
+                        c + (delta if i == axis else 0)
+                        for i, c in enumerate(p)
+                    )
+                    if q in pixels and q not in seen:
+                        seen.add(q)
+                        stack.append(q)
+        sizes.append(size)
+    return count, sorted(sizes)
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = UnionFind(5)
+        assert uf.nsets == 5
+        assert uf.union(0, 1)
+        assert not uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert not uf.same(0, 2)
+        assert uf.nsets == 4
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.same(0, 3)
+        assert uf.nsets == 1
+
+
+class TestLabelComponents:
+    def test_two_separate_squares(self, grid64):
+        elements = elements_of_boxes(
+            grid64, [Box(((0, 3), (0, 3))), Box(((10, 13), (10, 13)))]
+        )
+        cc = label_components(grid64, elements)
+        assert cc.ncomponents == 2
+        assert sorted(cc.areas().values()) == [16, 16]
+
+    def test_touching_squares_merge(self, grid64):
+        elements = elements_of_boxes(
+            grid64, [Box(((0, 3), (0, 3))), Box(((4, 7), (0, 3)))]
+        )
+        cc = label_components(grid64, elements)
+        assert cc.ncomponents == 1
+        assert list(cc.areas().values()) == [32]
+
+    def test_diagonal_contact_does_not_merge(self, grid64):
+        # 4-connectivity: corner contact is not adjacency.
+        elements = elements_of_pixels(grid64, [(0, 0), (1, 1)])
+        cc = label_components(grid64, elements)
+        assert cc.ncomponents == 2
+
+    def test_l_shape_single_component(self, grid64):
+        elements = elements_of_boxes(
+            grid64, [Box(((0, 7), (0, 1))), Box(((0, 1), (2, 7)))]
+        )
+        cc = label_components(grid64, elements)
+        assert cc.ncomponents == 1
+
+    def test_empty_input(self, grid64):
+        cc = label_components(grid64, [])
+        assert cc.ncomponents == 0
+        assert cc.areas() == {}
+
+    def test_rejects_overlapping_elements(self, grid64):
+        box = Box(((0, 3), (0, 3)))
+        elements = elements_of_boxes(grid64, [box]) * 2
+        with pytest.raises(ValueError):
+            label_components(grid64, elements)
+
+    def test_component_of_point(self, grid64):
+        elements = elements_of_boxes(
+            grid64, [Box(((0, 3), (0, 3))), Box(((10, 13), (10, 13)))]
+        )
+        cc = label_components(grid64, elements)
+        a = cc.component_of_point((1, 1))
+        b = cc.component_of_point((11, 11))
+        assert a is not None and b is not None and a != b
+        assert cc.component_of_point((30, 30)) is None
+
+    def test_members(self, grid64):
+        elements = elements_of_boxes(grid64, [Box(((0, 3), (0, 3)))])
+        cc = label_components(grid64, elements)
+        label = cc.component_of_point((0, 0))
+        assert sum(e.npixels for e in cc.members(label)) == 16
+
+    def test_labels_dense_and_stable(self, grid64):
+        elements = elements_of_boxes(
+            grid64,
+            [
+                Box(((0, 1), (0, 1))),
+                Box(((10, 11), (10, 11))),
+                Box(((30, 31), (30, 31))),
+            ],
+        )
+        cc = label_components(grid64, elements)
+        assert set(cc.labels) == {0, 1, 2}
+
+    def test_ring_is_one_component(self):
+        grid = Grid(2, 4)
+        ring = [
+            (x, y)
+            for x in range(2, 10)
+            for y in range(2, 10)
+            if x in (2, 9) or y in (2, 9)
+        ]
+        cc = label_components(grid, elements_of_pixels(grid, ring))
+        assert cc.ncomponents == 1
+
+    def test_checkerboard_all_isolated(self):
+        grid = Grid(2, 3)
+        pixels = [(x, y) for x in range(8) for y in range(8) if (x + y) % 2 == 0]
+        cc = label_components(grid, elements_of_pixels(grid, pixels))
+        assert cc.ncomponents == len(pixels)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_flood_fill(self, seed):
+        grid = Grid(2, 4)
+        rng = random.Random(seed)
+        pixels = {
+            (rng.randrange(16), rng.randrange(16))
+            for _ in range(rng.randint(0, 60))
+        }
+        cc = label_components(grid, elements_of_pixels(grid, pixels))
+        expected_count, expected_sizes = flood_fill_count(grid, pixels)
+        assert cc.ncomponents == expected_count
+        assert sorted(cc.areas().values()) == expected_sizes
+
+    def test_3d_adjacency(self, grid3d):
+        elements = elements_of_boxes(
+            grid3d,
+            [
+                Box(((0, 1), (0, 1), (0, 1))),
+                Box(((2, 3), (0, 1), (0, 1))),  # face-adjacent on x
+                Box(((8, 9), (8, 9), (8, 9))),  # far away
+            ],
+        )
+        cc = label_components(grid3d, elements)
+        assert cc.ncomponents == 2
+
+    def test_mixed_element_sizes(self, grid64):
+        # A large element adjacent to single pixels merges with them.
+        elements = elements_of_boxes(grid64, [Box(((0, 7), (0, 7)))])
+        elements += elements_of_pixels(grid64, [(8, 0), (9, 0)])
+        cc = label_components(grid64, elements)
+        assert cc.ncomponents == 1
+        assert list(cc.areas().values()) == [66]

@@ -1,0 +1,171 @@
+"""Tests for the SpatialDatabase facade and catalog."""
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.db.catalog import Catalog, IndexEntry
+from repro.db.database import SpatialDatabase
+from repro.db.schema import Schema
+from repro.db.types import INTEGER, OID, SPATIAL_OBJECT, SpatialObject
+from repro.storage.prefix_btree import ZkdTree
+
+from conftest import random_points
+
+
+def make_db(grid=None):
+    db = SpatialDatabase(grid or Grid(2, 6))
+    db.create_table(
+        "cities", Schema.of(("city@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    return db
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        cat = Catalog()
+        rel = cat.create_relation("t", Schema.of(("x", INTEGER)))
+        assert cat.relation("t") is rel
+        assert cat.relation_names() == ["t"]
+        assert cat.has_relation("t")
+
+    def test_duplicate_relation_rejected(self):
+        cat = Catalog()
+        cat.create_relation("t", Schema.of(("x", INTEGER)))
+        with pytest.raises(ValueError):
+            cat.create_relation("t", Schema.of(("x", INTEGER)))
+
+    def test_missing_relation(self):
+        with pytest.raises(KeyError):
+            Catalog().relation("nope")
+
+    def test_drop_relation_drops_indexes(self):
+        cat = Catalog()
+        cat.create_relation(
+            "t", Schema.of(("x", INTEGER), ("y", INTEGER))
+        )
+        tree = ZkdTree(Grid(2, 4))
+        cat.register_index(IndexEntry("ix", "t", ("x", "y"), tree))
+        cat.drop_relation("t")
+        assert not cat.has_relation("t")
+        with pytest.raises(KeyError):
+            cat.index("ix")
+
+    def test_index_requires_relation(self):
+        cat = Catalog()
+        tree = ZkdTree(Grid(2, 4))
+        with pytest.raises(KeyError):
+            cat.register_index(IndexEntry("ix", "absent", ("x", "y"), tree))
+
+    def test_duplicate_index_rejected(self):
+        cat = Catalog()
+        cat.create_relation("t", Schema.of(("x", INTEGER), ("y", INTEGER)))
+        tree = ZkdTree(Grid(2, 4))
+        cat.register_index(IndexEntry("ix", "t", ("x", "y"), tree))
+        with pytest.raises(ValueError):
+            cat.register_index(IndexEntry("ix", "t", ("x", "y"), tree))
+
+    def test_indexes_on(self):
+        cat = Catalog()
+        cat.create_relation("t", Schema.of(("x", INTEGER), ("y", INTEGER)))
+        tree = ZkdTree(Grid(2, 4))
+        entry = IndexEntry("ix", "t", ("x", "y"), tree)
+        cat.register_index(entry)
+        assert cat.indexes_on("t") == [entry]
+        assert cat.indexes_on("other") == []
+
+    def test_drop_index(self):
+        cat = Catalog()
+        cat.create_relation("t", Schema.of(("x", INTEGER), ("y", INTEGER)))
+        cat.register_index(IndexEntry("ix", "t", ("x", "y"), ZkdTree(Grid(2, 4))))
+        cat.drop_index("ix")
+        with pytest.raises(KeyError):
+            cat.drop_index("ix")
+
+
+class TestSpatialDatabase:
+    def test_insert_and_range_query_without_index(self, rng):
+        db = make_db()
+        rows = [
+            (f"c{i}", x, y)
+            for i, (x, y) in enumerate(random_points(rng, db.grid, 100))
+        ]
+        db.insert_many("cities", rows)
+        box = Box(((10, 30), (20, 50)))
+        result = db.range_query("cities", ("x", "y"), box)
+        expected = sorted(
+            (x, y) for _, x, y in rows if 10 <= x <= 30 and 20 <= y <= 50
+        )
+        assert sorted((x, y) for _, x, y in result.rows) == expected
+
+    def test_index_accelerated_query_agrees(self, rng):
+        db = make_db()
+        rows = [
+            (f"c{i}", x, y)
+            for i, (x, y) in enumerate(random_points(rng, db.grid, 150))
+        ]
+        db.insert_many("cities", rows)
+        box = Box(((5, 45), (10, 60)))
+        plan_result = sorted(db.range_query("cities", ("x", "y"), box).rows)
+        db.create_index("cities_xy", "cities", ("x", "y"))
+        index_result = sorted(db.range_query("cities", ("x", "y"), box).rows)
+        assert plan_result == index_result
+
+    def test_index_maintained_on_insert(self):
+        db = make_db()
+        db.create_index("cities_xy", "cities", ("x", "y"))
+        db.insert("cities", ("late", 10, 10))
+        result = db.range_query("cities", ("x", "y"), Box(((10, 10), (10, 10))))
+        assert result.rows == [("late", 10, 10)]
+
+    def test_range_query_stats_requires_index(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.range_query_stats("cities", ("x", "y"), Box(((0, 1), (0, 1))))
+
+    def test_range_query_stats(self, rng):
+        db = make_db()
+        rows = [
+            (f"c{i}", x, y)
+            for i, (x, y) in enumerate(random_points(rng, db.grid, 200))
+        ]
+        db.insert_many("cities", rows)
+        db.create_index("cities_xy", "cities", ("x", "y"))
+        stats = db.range_query_stats(
+            "cities", ("x", "y"), Box(((0, 31), (0, 31)))
+        )
+        assert stats.pages_accessed > 0
+        assert 0.0 <= stats.efficiency <= 1.0
+
+    def test_index_dimension_check(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.create_index("bad", "cities", ("x",))
+
+    def test_doctest_scenario(self):
+        db = SpatialDatabase(Grid(ndims=2, depth=6))
+        db.create_table(
+            "cities", Schema.of(("city@", OID), ("x", INTEGER), ("y", INTEGER))
+        )
+        db.insert("cities", ("rome", 10, 20))
+        db.create_index("cities_xy", "cities", ("x", "y"))
+        result = db.range_query("cities", ("x", "y"), Box(((0, 15), (0, 63))))
+        assert result.rows == [("rome", 10, 20)]
+
+    def test_overlap_query_through_facade(self):
+        db = SpatialDatabase(Grid(2, 6))
+        db.create_table(
+            "parcels", Schema.of(("p@", OID), ("shape", SPATIAL_OBJECT))
+        )
+        db.create_table(
+            "zones", Schema.of(("q@", OID), ("shape", SPATIAL_OBJECT))
+        )
+        db.insert(
+            "parcels",
+            ("p1", SpatialObject.from_box("p1", Box(((0, 15), (0, 15))))),
+        )
+        db.insert(
+            "zones",
+            ("zA", SpatialObject.from_box("zA", Box(((10, 20), (10, 20))))),
+        )
+        result = db.overlap_query("parcels", "zones", "shape", "p@", "q@")
+        assert result.rows == [("p1", "zA")]

@@ -1,0 +1,230 @@
+"""Tests for schemas, relations, expressions and classic operators."""
+
+import pytest
+
+from repro.db.expr import col, element_contains, element_precedes, lit
+from repro.db.operators import (
+    cross_product,
+    distinct,
+    equi_join,
+    limit,
+    natural_join,
+    project,
+    rename,
+    select,
+    sort,
+    union,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Column, Schema
+from repro.db.types import ELEMENT, INTEGER, OID, STRING
+
+
+def people():
+    schema = Schema.of(("id", INTEGER), ("name", STRING), ("age", INTEGER))
+    return Relation(
+        "people",
+        schema,
+        [(1, "ada", 36), (2, "alan", 41), (3, "grace", 85), (4, "edsger", 72)],
+    )
+
+
+class TestSchema:
+    def test_of_and_lookup(self):
+        schema = Schema.of(("x", INTEGER), ("y", INTEGER))
+        assert schema.names == ["x", "y"]
+        assert schema.index_of("y") == 1
+        assert schema.column("x").domain == INTEGER
+        assert schema.has_column("x")
+        assert not schema.has_column("z")
+
+    def test_missing_column(self):
+        schema = Schema.of(("x", INTEGER))
+        with pytest.raises(KeyError):
+            schema.index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.of(("x", INTEGER), ("x", STRING))
+
+    def test_bad_column_name(self):
+        with pytest.raises(ValueError):
+            Column("has space", INTEGER)
+        # @ and _ are allowed (the paper's p@ style).
+        Column("p@", INTEGER)
+        Column("right_p@", INTEGER)
+
+    def test_validate_row(self):
+        schema = Schema.of(("x", INTEGER), ("name", STRING))
+        assert schema.validate_row((1, "a")) == (1, "a")
+        with pytest.raises(ValueError):
+            schema.validate_row((1,))
+        with pytest.raises(TypeError):
+            schema.validate_row(("one", "a"))
+
+    def test_project_and_rename(self):
+        schema = Schema.of(("x", INTEGER), ("y", INTEGER))
+        assert schema.project(["y"]).names == ["y"]
+        assert schema.rename({"x": "xx"}).names == ["xx", "y"]
+
+    def test_concat_with_prefixes(self):
+        a = Schema.of(("x", INTEGER))
+        b = Schema.of(("x", INTEGER))
+        combined = a.concat(b, prefix_self="l_", prefix_other="r_")
+        assert combined.names == ["l_x", "r_x"]
+
+    def test_equality(self):
+        assert Schema.of(("x", INTEGER)) == Schema.of(("x", INTEGER))
+        assert Schema.of(("x", INTEGER)) != Schema.of(("x", STRING))
+
+
+class TestRelation:
+    def test_insert_validates(self):
+        r = Relation("t", Schema.of(("x", INTEGER)))
+        r.insert((1,))
+        with pytest.raises(TypeError):
+            r.insert(("one",))
+        assert len(r) == 1
+
+    def test_column_values(self):
+        r = people()
+        assert r.column_values("name") == ["ada", "alan", "grace", "edsger"]
+
+    def test_pretty(self):
+        text = people().pretty(limit=2)
+        assert "ada" in text and "more rows" in text
+
+    def test_repr(self):
+        assert "4 rows" in repr(people())
+
+
+class TestExpressions:
+    def test_comparisons(self):
+        r = people()
+        assert len(select(r, col("age") > 50)) == 2
+        assert len(select(r, col("age") >= 41)) == 3
+        assert len(select(r, col("age") == 36)) == 1
+        assert len(select(r, col("age") != 36)) == 3
+        assert len(select(r, col("age") < lit(41))) == 1
+        assert len(select(r, col("age") <= 41)) == 2
+
+    def test_boolean_connectives(self):
+        r = people()
+        out = select(r, (col("age") > 40) & (col("name") == "alan"))
+        assert out.rows == [(2, "alan", 41)]
+        out = select(r, (col("age") > 80) | (col("age") < 40))
+        assert len(out) == 2
+        out = select(r, ~(col("age") > 40))
+        assert len(out) == 1
+
+    def test_between(self):
+        r = people()
+        assert len(select(r, col("age").between(40, 80))) == 2
+
+    def test_arithmetic(self):
+        r = people()
+        out = select(r, col("age") + col("id") > 85)
+        assert len(out) == 1  # grace: 85 + 3 = 88
+
+    def test_column_to_column(self):
+        schema = Schema.of(("a", INTEGER), ("b", INTEGER))
+        r = Relation("t", schema, [(1, 2), (3, 3), (5, 4)])
+        assert len(select(r, col("a") < col("b"))) == 1
+
+    def test_element_predicates(self):
+        from repro.core.zvalue import ZValue
+
+        schema = Schema.of(("e1", ELEMENT), ("e2", ELEMENT))
+        r = Relation(
+            "t",
+            schema,
+            [
+                (ZValue.from_string("00"), ZValue.from_string("001")),
+                (ZValue.from_string("01"), ZValue.from_string("001")),
+            ],
+        )
+        out = select(r, element_contains(col("e1"), col("e2")))
+        assert len(out) == 1
+        out = select(r, element_precedes(col("e1"), col("e2")))
+        assert len(out) == 1
+
+
+class TestOperators:
+    def test_project_bag_semantics(self):
+        schema = Schema.of(("x", INTEGER), ("y", INTEGER))
+        r = Relation("t", schema, [(1, 1), (1, 2)])
+        out = project(r, ["x"])
+        assert out.rows == [(1,), (1,)]  # duplicates kept
+
+    def test_distinct(self):
+        schema = Schema.of(("x", INTEGER))
+        r = Relation("t", schema, [(1,), (1,), (2,)])
+        assert distinct(r).rows == [(1,), (2,)]
+
+    def test_sort(self):
+        out = sort(people(), ["age"])
+        assert [row[2] for row in out] == [36, 41, 72, 85]
+        out = sort(people(), ["age"], reverse=True)
+        assert [row[2] for row in out] == [85, 72, 41, 36]
+
+    def test_limit(self):
+        assert len(limit(people(), 2)) == 2
+        with pytest.raises(ValueError):
+            limit(people(), -1)
+
+    def test_rename_operator(self):
+        out = rename(people(), {"name": "who"})
+        assert out.schema.names == ["id", "who", "age"]
+
+    def test_cross_product(self):
+        a = Relation("a", Schema.of(("x", INTEGER)), [(1,), (2,)])
+        b = Relation("b", Schema.of(("y", INTEGER)), [(10,), (20,)])
+        out = cross_product(a, b)
+        assert len(out) == 4
+        assert out.schema.names == ["x", "y"]
+
+    def test_cross_product_collision_prefixes(self):
+        a = Relation("a", Schema.of(("x", INTEGER)), [(1,)])
+        b = Relation("b", Schema.of(("x", INTEGER)), [(2,)])
+        out = cross_product(a, b)
+        assert out.schema.names == ["left_x", "right_x"]
+
+    def test_equi_join(self):
+        a = Relation(
+            "a", Schema.of(("id", INTEGER), ("city", STRING)),
+            [(1, "rome"), (2, "oslo")],
+        )
+        b = Relation(
+            "b", Schema.of(("pid", INTEGER), ("age", INTEGER)),
+            [(1, 30), (1, 31), (3, 9)],
+        )
+        out = equi_join(a, b, "id", "pid")
+        assert len(out) == 2
+        assert all(row[0] == row[2] for row in out)
+
+    def test_natural_join(self):
+        a = Relation(
+            "a", Schema.of(("id", INTEGER), ("city", STRING)),
+            [(1, "rome"), (2, "oslo")],
+        )
+        b = Relation(
+            "b", Schema.of(("id", INTEGER), ("age", INTEGER)),
+            [(1, 30), (2, 40), (2, 41)],
+        )
+        out = natural_join(a, b)
+        assert len(out) == 3
+        assert out.schema.names == ["id", "city", "age"]
+
+    def test_natural_join_no_shared_is_product(self):
+        a = Relation("a", Schema.of(("x", INTEGER)), [(1,)])
+        b = Relation("b", Schema.of(("y", INTEGER)), [(2,)])
+        assert natural_join(a, b).rows == [(1, 2)]
+
+    def test_union(self):
+        schema = Schema.of(("x", INTEGER))
+        a = Relation("a", schema, [(1,)])
+        b = Relation("b", schema, [(2,)])
+        assert union(a, b).rows == [(1,), (2,)]
+        c = Relation("c", Schema.of(("y", INTEGER)), [(3,)])
+        with pytest.raises(ValueError):
+            union(a, c)

@@ -1,0 +1,191 @@
+"""Tests for the spatial relational operators (Section 4's scenario)."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.db.spatial import (
+    decompose_box_relation,
+    decompose_objects,
+    overlap_query,
+    range_search_plan,
+    shuffle_points,
+    spatial_join,
+)
+from repro.db.types import ELEMENT, INTEGER, OID, SPATIAL_OBJECT, SpatialObject
+
+from conftest import random_box, random_points
+
+
+def objects_relation(name, id_col, boxes):
+    schema = Schema.of((id_col, OID), ("shape", SPATIAL_OBJECT))
+    return Relation(
+        name,
+        schema,
+        [
+            (label, SpatialObject.from_box(label, box))
+            for label, box in boxes.items()
+        ],
+    )
+
+
+class TestDecomposeObjects:
+    def test_flattens_to_1nf(self, grid64):
+        rel = objects_relation(
+            "P", "p@", {"a": Box(((1, 3), (0, 4)))}
+        )
+        grid = Grid(2, 3)
+        out = decompose_objects(rel, "shape", grid, element_col="zr")
+        assert out.schema.names == ["p@", "zr"]
+        assert len(out) == 6  # Figure 2's element count
+        assert all(row[0] == "a" for row in out)
+
+    def test_carries_other_columns(self, grid64):
+        schema = Schema.of(
+            ("p@", OID), ("shape", SPATIAL_OBJECT), ("weight", INTEGER)
+        )
+        rel = Relation(
+            "P",
+            schema,
+            [("a", SpatialObject.from_box("a", Box(((0, 7), (0, 7)))), 9)],
+        )
+        out = decompose_objects(rel, "shape", Grid(2, 3))
+        assert out.schema.names == ["p@", "weight", "z"]
+        assert out.rows[0][:2] == ("a", 9)
+
+    def test_rejects_non_object_column(self, grid64):
+        schema = Schema.of(("p@", OID), ("shape", OID))
+        rel = Relation("P", schema, [("a", "not-an-object")])
+        with pytest.raises(TypeError):
+            decompose_objects(rel, "shape", grid64)
+
+    def test_max_depth_coarsens(self, grid64):
+        rel = objects_relation("P", "p@", {"a": Box(((1, 30), (2, 41)))})
+        fine = decompose_objects(rel, "shape", grid64)
+        coarse = decompose_objects(rel, "shape", grid64, max_depth=6)
+        assert len(coarse) <= len(fine)
+
+
+class TestShuffleAndBoxRelations:
+    def test_shuffle_points(self):
+        grid = Grid(2, 3)
+        rel = Relation(
+            "Points",
+            Schema.of(("p@", OID), ("x", INTEGER), ("y", INTEGER)),
+            [("p1", 3, 5)],
+        )
+        out = shuffle_points(rel, ["x", "y"], grid)
+        assert out.schema.names == ["p@", "x", "y", "zp"]
+        assert out.rows[0][3].bits == 27
+
+    def test_shuffle_arity_check(self, grid64):
+        rel = Relation("Points", Schema.of(("x", INTEGER)), [(1,)])
+        with pytest.raises(ValueError):
+            shuffle_points(rel, ["x"], grid64)
+
+    def test_decompose_box_relation(self):
+        grid = Grid(2, 3)
+        out = decompose_box_relation(Box(((1, 3), (0, 4))), grid)
+        assert out.schema.names == ["zb"]
+        assert len(out) == 6
+
+
+class TestSpatialJoinOperator:
+    def test_join_schema_and_rows(self, grid64):
+        grid = Grid(2, 3)
+        p = objects_relation("P", "p@", {"a": Box(((0, 3), (0, 3)))})
+        q = objects_relation("Q", "q@", {"b": Box(((2, 5), (2, 5)))})
+        r = decompose_objects(p, "shape", grid, element_col="zr")
+        s = decompose_objects(q, "shape", grid, element_col="zs")
+        rs = spatial_join(r, s, "zr", "zs", grid)
+        assert rs.schema.names == ["p@", "zr", "q@", "zs"]
+        assert len(rs) >= 1
+        for row in rs:
+            assert row[1].is_related_to(row[3])
+
+    def test_colliding_names_prefixed(self, grid64):
+        grid = Grid(2, 3)
+        p = objects_relation("P", "id@", {"a": Box(((0, 3), (0, 3)))})
+        q = objects_relation("Q", "id@", {"b": Box(((2, 5), (2, 5)))})
+        r = decompose_objects(p, "shape", grid, element_col="zr")
+        s = decompose_objects(q, "shape", grid, element_col="zs")
+        rs = spatial_join(r, s, "zr", "zs", grid)
+        assert rs.schema.names == ["id@", "zr", "right_id@", "zs"]
+
+
+class TestOverlapQuery:
+    def test_paper_scenario(self, grid64):
+        p = objects_relation(
+            "parcels",
+            "p@",
+            {
+                "p1": Box(((0, 15), (0, 15))),
+                "p2": Box(((40, 50), (40, 50))),
+            },
+        )
+        q = objects_relation(
+            "zones",
+            "q@",
+            {
+                "zA": Box(((10, 20), (10, 20))),
+                "zB": Box(((60, 63), (60, 63))),
+            },
+        )
+        result = overlap_query(p, q, "shape", "p@", "q@", grid=grid64)
+        assert sorted(result.rows) == [("p1", "zA")]
+
+    def test_duplicate_elimination(self, grid64):
+        # Two heavily overlapping boxes join through many elements, but
+        # the result has one row per object pair.
+        p = objects_relation("P", "p@", {"a": Box(((0, 30), (0, 30)))})
+        q = objects_relation("Q", "q@", {"b": Box(((1, 31), (1, 31)))})
+        result = overlap_query(p, q, "shape", "p@", "q@", grid=grid64)
+        assert result.rows == [("a", "b")]
+
+    def test_requires_grid(self, grid64):
+        p = objects_relation("P", "p@", {"a": Box(((0, 3), (0, 3)))})
+        with pytest.raises(ValueError):
+            overlap_query(p, p, "shape", "p@")
+
+    def test_matches_box_intersection_truth(self, grid64, rng):
+        boxes_p = {f"p{i}": random_box(rng, grid64) for i in range(4)}
+        boxes_q = {f"q{i}": random_box(rng, grid64) for i in range(4)}
+        p = objects_relation("P", "p@", boxes_p)
+        q = objects_relation("Q", "q@", boxes_q)
+        result = overlap_query(p, q, "shape", "p@", "q@", grid=grid64)
+        expected = {
+            (np, nq)
+            for np, bp in boxes_p.items()
+            for nq, bq in boxes_q.items()
+            if bp.intersects(bq)
+        }
+        assert set(result.rows) == expected
+
+
+class TestRangeSearchPlan:
+    def test_matches_brute_force(self, grid64, rng):
+        points = random_points(rng, grid64, 150)
+        rel = Relation(
+            "Points",
+            Schema.of(("p@", OID), ("x", INTEGER), ("y", INTEGER)),
+            [(f"p{i}", x, y) for i, (x, y) in enumerate(points)],
+        )
+        box = Box(((5, 30), (10, 50)))
+        result = range_search_plan(rel, ["x", "y"], box, grid64)
+        assert result.schema.names == ["x", "y"]
+        expected = sorted(
+            (x, y) for x, y in map(tuple, points) if 5 <= x <= 30 and 10 <= y <= 50
+        )
+        assert sorted(result.rows) == expected
+
+    def test_empty_result(self, grid64):
+        rel = Relation(
+            "Points",
+            Schema.of(("p@", OID), ("x", INTEGER), ("y", INTEGER)),
+            [("p0", 0, 0)],
+        )
+        result = range_search_plan(rel, ["x", "y"], Box(((5, 6), (5, 6))), grid64)
+        assert result.rows == []

@@ -1,0 +1,115 @@
+"""Tests for domains, including the element object class operations."""
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.core.zvalue import ZValue
+from repro.db.types import (
+    BOOLEAN,
+    ELEMENT,
+    FLOAT,
+    INTEGER,
+    OID,
+    SPATIAL_OBJECT,
+    STRING,
+    ElementDomain,
+    SpatialObject,
+)
+
+
+class TestScalarDomains:
+    def test_integer(self):
+        assert INTEGER.validate(5) == 5
+        with pytest.raises(TypeError):
+            INTEGER.validate("5")
+        with pytest.raises(TypeError):
+            INTEGER.validate(True)  # bool is not an integer here
+
+    def test_float(self):
+        assert FLOAT.validate(2) == 2.0
+        assert FLOAT.validate(2.5) == 2.5
+        with pytest.raises(TypeError):
+            FLOAT.validate("2.5")
+
+    def test_string(self):
+        assert STRING.validate("x") == "x"
+        with pytest.raises(TypeError):
+            STRING.validate(5)
+
+    def test_boolean(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(TypeError):
+            BOOLEAN.validate(1)
+
+    def test_oid(self):
+        assert OID.validate("p1") == "p1"
+        assert OID.validate(42) == 42
+        with pytest.raises(TypeError):
+            OID.validate(3.5)
+
+    def test_equality_by_type(self):
+        from repro.db.types import IntegerDomain
+
+        assert INTEGER == IntegerDomain()
+        assert INTEGER != FLOAT
+        assert hash(INTEGER) == hash(IntegerDomain())
+
+    def test_repr(self):
+        assert repr(INTEGER) == "integer"
+        assert repr(ELEMENT) == "element"
+
+
+class TestElementDomain:
+    def test_validate(self):
+        z = ZValue.from_string("001")
+        assert ELEMENT.validate(z) is z
+        with pytest.raises(TypeError):
+            ELEMENT.validate("001")
+
+    def test_shuffle_paper_example(self):
+        """Section 4 / Figure 2: shuffle([2:3, 0:3]) = 001."""
+        grid = Grid(2, 3)
+        z = ElementDomain.shuffle(((2, 3), (0, 3)), grid)
+        assert str(z) == "001"
+
+    def test_shuffle_single_pixel(self):
+        """The range-search plan shuffles [x:x, y:y] point elements."""
+        grid = Grid(2, 3)
+        z = ElementDomain.shuffle(((3, 3), (5, 5)), grid)
+        assert z.bits == 27
+
+    def test_unshuffle_inverse(self):
+        grid = Grid(2, 3)
+        z = ZValue.from_string("001")
+        assert ElementDomain.unshuffle(z, grid) == ((2, 3), (0, 3))
+
+    def test_decompose(self):
+        grid = Grid(2, 3)
+        zs = ElementDomain.decompose(Box(((1, 3), (0, 4))), grid)
+        assert len(zs) == 6
+
+    def test_precedes_contains(self):
+        a = ZValue.from_string("00")
+        b = ZValue.from_string("001")
+        assert ElementDomain.precedes(a, b)
+        assert ElementDomain.contains(a, b)
+        assert not ElementDomain.contains(b, a)
+
+
+class TestSpatialObject:
+    def test_from_box(self):
+        obj = SpatialObject.from_box("roof", Box(((0, 3), (0, 3))))
+        assert obj.label == "roof"
+        from repro.core.geometry import INSIDE
+
+        assert obj.classify(Box(((1, 2), (1, 2)))) is INSIDE
+
+    def test_domain_validates(self):
+        obj = SpatialObject.from_box("roof", Box(((0, 3), (0, 3))))
+        assert SPATIAL_OBJECT.validate(obj) is obj
+        with pytest.raises(TypeError):
+            SPATIAL_OBJECT.validate("roof")
+
+    def test_repr(self):
+        obj = SpatialObject.from_box("roof", Box(((0, 3), (0, 3))))
+        assert "roof" in repr(obj)

@@ -1,0 +1,256 @@
+"""Tests for object decomposition into elements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import (
+    BoxElementCursor,
+    CoverMode,
+    Element,
+    ElementCursor,
+    count_elements,
+    decompose,
+    decompose_box,
+    split_region,
+)
+from repro.core.geometry import Box, Grid, box_classifier, circle_classifier
+from repro.core.zvalue import ZValue
+
+
+def covered_pixels(grid, zvalues):
+    out = set()
+    for z in zvalues:
+        box = grid.region_box(z)
+        out |= set(box.pixels())
+    return out
+
+
+def hyp_box(data, side):
+    ranges = []
+    for _ in range(2):
+        a = data.draw(st.integers(0, side - 1))
+        b = data.draw(st.integers(0, side - 1))
+        ranges.append((min(a, b), max(a, b)))
+    return Box(tuple(ranges))
+
+
+class TestFigure2:
+    def test_exact_labels(self):
+        """The decomposition of Figure 2's box yields exactly the z
+        values the figure shows (the big element is 001 per the
+        caption)."""
+        grid = Grid(2, 3)
+        box = Box(((1, 3), (0, 4)))
+        labels = sorted(str(z) for z in decompose_box(grid, box))
+        assert labels == sorted(
+            ["00001", "00011", "001", "010010", "011000", "011010"]
+        )
+
+    def test_output_is_z_ordered(self):
+        grid = Grid(2, 3)
+        zs = decompose_box(grid, Box(((1, 3), (0, 4))))
+        assert zs == sorted(zs)
+
+
+class TestDecomposeBox:
+    def test_whole_space_is_one_element(self, grid8):
+        zs = decompose_box(grid8, grid8.whole_space())
+        assert zs == [ZValue.empty()]
+
+    def test_single_pixel(self, grid8):
+        zs = decompose_box(grid8, Box(((3, 3), (5, 5))))
+        assert zs == [ZValue.from_point((3, 5), 3)]
+
+    def test_box_outside_grid_is_empty(self, grid8):
+        assert decompose_box(grid8, Box(((9, 12), (9, 12)))) == []
+
+    def test_box_partially_outside_is_clipped(self, grid8):
+        inside = decompose_box(grid8, Box(((6, 7), (6, 7))))
+        spill = decompose_box(grid8, Box(((6, 12), (6, 12))))
+        assert covered_pixels(grid8, inside) == covered_pixels(grid8, spill)
+
+    def test_coverage_exact(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        zs = decompose_box(grid8, box)
+        assert covered_pixels(grid8, zs) == set(box.pixels())
+
+    def test_elements_disjoint(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        zs = decompose_box(grid8, box)
+        total = sum(1 << (grid8.total_bits - len(z)) for z in zs)
+        assert total == box.volume  # disjoint + exact coverage
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_random_boxes_partition(self, data):
+        grid = Grid(2, 4)
+        box = hyp_box(data, grid.side)
+        zs = decompose_box(grid, box)
+        assert zs == sorted(zs)
+        assert covered_pixels(grid, zs) == set(box.pixels())
+        total = sum(1 << (grid.total_bits - len(z)) for z in zs)
+        assert total == box.volume
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_no_partial_overlap_between_elements(self, data):
+        grid = Grid(2, 4)
+        box = hyp_box(data, grid.side)
+        zs = decompose_box(grid, box)
+        for i, a in enumerate(zs):
+            for b in zs[i + 1 :]:
+                assert not a.is_related_to(b)
+
+    def test_3d(self):
+        grid = Grid(3, 3)
+        box = Box(((1, 5), (2, 6), (0, 3)))
+        zs = decompose_box(grid, box)
+        assert covered_pixels(grid, zs) == set(box.pixels())
+
+    def test_1d(self):
+        grid = Grid(1, 4)
+        box = Box(((3, 12),))
+        zs = decompose_box(grid, box)
+        assert covered_pixels(grid, zs) == set(box.pixels())
+        # 1-d decomposition of [3,12]: maximal aligned dyadic blocks.
+        assert len(zs) == 4  # [3], [4,7], [8,11], [12]
+
+
+class TestMaxDepthAndCover:
+    def test_outer_cover_is_superset(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        for depth in range(grid8.total_bits + 1):
+            zs = decompose_box(grid8, box, max_depth=depth)
+            assert set(box.pixels()) <= covered_pixels(grid8, zs)
+
+    def test_inner_cover_is_subset(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        classify = box_classifier(box)
+        for depth in range(grid8.total_bits + 1):
+            zs = decompose(grid8, classify, max_depth=depth, cover=CoverMode.INNER)
+            assert covered_pixels(grid8, zs) <= set(box.pixels())
+
+    def test_full_depth_covers_coincide(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        classify = box_classifier(box)
+        outer = decompose(grid8, classify, cover=CoverMode.OUTER)
+        inner = decompose(grid8, classify, cover=CoverMode.INNER)
+        assert outer == inner
+
+    def test_max_depth_bounds_element_length(self, grid8):
+        zs = decompose_box(grid8, Box(((1, 6), (2, 5))), max_depth=3)
+        assert all(len(z) <= 3 for z in zs)
+
+    def test_bad_max_depth(self, grid8):
+        with pytest.raises(ValueError):
+            decompose_box(grid8, Box(((0, 1), (0, 1))), max_depth=99)
+        with pytest.raises(ValueError):
+            decompose_box(grid8, Box(((0, 1), (0, 1))), max_depth=-1)
+
+    def test_coarsening_reduces_element_count(self):
+        grid = Grid(2, 6)
+        box = Box(((0, 44), (0, 52)))
+        full = len(decompose_box(grid, box))
+        coarse = len(decompose_box(grid, box, max_depth=8))
+        assert coarse <= full
+
+
+class TestArbitraryObjects:
+    def test_circle_decomposition_exact(self):
+        grid = Grid(2, 4)
+        classify = circle_classifier((8, 8), 5.0)
+        zs = decompose(grid, classify)
+        expected = {
+            (x, y)
+            for x in range(16)
+            for y in range(16)
+            if (x - 8) ** 2 + (y - 8) ** 2 <= 25
+        }
+        assert covered_pixels(grid, zs) == expected
+
+    def test_count_elements_matches(self):
+        grid = Grid(2, 4)
+        classify = circle_classifier((8, 8), 5.0)
+        assert count_elements(grid, classify) == len(decompose(grid, classify))
+
+
+class TestElement:
+    def test_of(self, grid8):
+        e = Element.of(ZValue.from_string("001"), grid8)
+        assert (e.zlo, e.zhi) == (8, 15)
+        assert e.npixels == 8
+        assert e.contains_code(8)
+        assert e.contains_code(15)
+        assert not e.contains_code(16)
+
+    def test_str(self, grid8):
+        assert "001" in str(Element.of(ZValue.from_string("001"), grid8))
+
+
+class TestSplitRegion:
+    def test_alternation(self, grid8):
+        space = grid8.whole_space()
+        (z0, low), (z1, high) = split_region(grid8, space, ZValue.empty())
+        assert low == Box(((0, 3), (0, 7)))  # first split is on x
+        assert high == Box(((4, 7), (0, 7)))
+        (z00, low2), _ = split_region(grid8, low, z0)
+        assert low2 == Box(((0, 3), (0, 3)))  # then y
+
+    def test_cannot_split_pixel(self, grid8):
+        pixel = Box(((3, 3), (5, 5)))
+        z = ZValue.from_point((3, 5), 3)
+        with pytest.raises(ValueError):
+            split_region(grid8, pixel, z)
+
+
+class TestElementCursor:
+    def test_iterates_same_as_decompose(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        cursor = BoxElementCursor(grid8, box)
+        streamed = [e.zvalue for e in cursor]
+        assert streamed == decompose_box(grid8, box)
+
+    def test_seek_skips_forward(self, grid8):
+        box = Box(((1, 3), (0, 4)))
+        cursor = BoxElementCursor(grid8, box)
+        element = cursor.seek(20)
+        assert element is not None
+        assert element.zhi >= 20
+        # Never moves backwards.
+        again = cursor.seek(0)
+        assert again == element
+
+    def test_seek_to_end(self, grid8):
+        cursor = BoxElementCursor(grid8, Box(((0, 1), (0, 1))))
+        assert cursor.seek(grid8.npixels - 1) is None
+        assert cursor.current is None
+
+    def test_seek_matches_full_scan(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        all_elements = [e for e in BoxElementCursor(grid8, box)]
+        for target in range(0, grid8.npixels, 5):
+            cursor = BoxElementCursor(grid8, box)
+            got = cursor.seek(target)
+            expected = next(
+                (e for e in all_elements if e.zhi >= target), None
+            )
+            assert got == expected, target
+
+    def test_lazy_expansion_bounded(self):
+        # Seeking deep into a large space must not expand everything.
+        grid = Grid(2, 10)
+        box = Box(((0, grid.side - 1), (0, grid.side - 1)))
+        cursor = BoxElementCursor(grid, box)
+        cursor.seek(grid.npixels - 1)
+        assert cursor.nodes_expanded <= grid.total_bits + 1
+
+    def test_box_outside_grid(self, grid8):
+        cursor = BoxElementCursor(grid8, Box(((20, 30), (20, 30))))
+        assert cursor.current is None
+
+    def test_arbitrary_object_cursor(self):
+        grid = Grid(2, 4)
+        classify = circle_classifier((8, 8), 4.0)
+        cursor = ElementCursor(grid, classify)
+        streamed = [e.zvalue for e in cursor]
+        assert streamed == decompose(grid, classify)

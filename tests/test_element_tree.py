@@ -1,0 +1,125 @@
+"""Tests for tree-resident element relations and the paged spatial join."""
+
+import random
+
+import pytest
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.spatialjoin import overlapping_pairs
+from repro.storage.buffer import ReplacementPolicy
+from repro.storage.element_tree import ElementTree, JoinStats, tree_spatial_join
+
+from conftest import random_box
+
+
+def load_tree(grid, boxes, capacity=8):
+    tree = ElementTree(grid, page_capacity=capacity)
+    tagged = []
+    for name, box in boxes.items():
+        zvalues = decompose_box(grid, box)
+        tree.insert_zvalues(zvalues, name)
+        tagged.extend((Element.of(z, grid), name) for z in zvalues)
+    return tree, tagged
+
+
+class TestElementTree:
+    def test_scan_in_z_order(self, grid64, rng):
+        boxes = {f"o{i}": random_box(rng, grid64) for i in range(10)}
+        tree, tagged = load_tree(grid64, boxes)
+        assert len(tree) == len(tagged)
+        scanned = list(tree.scan())
+        zlos = [e.zlo for e, _ in scanned]
+        assert zlos == sorted(zlos)
+        assert sorted((e.zlo, e.zhi, p) for e, p in scanned) == sorted(
+            (e.zlo, e.zhi, p) for e, p in tagged
+        )
+
+    def test_elements_roundtrip_exactly(self, grid64):
+        box = Box(((3, 17), (5, 40)))
+        tree, tagged = load_tree(grid64, {"a": box})
+        scanned = {(str(e.zvalue), p) for e, p in tree.scan()}
+        assert scanned == {(str(e.zvalue), p) for e, p in tagged}
+
+    def test_page_accounting(self, grid64, rng):
+        boxes = {f"o{i}": random_box(rng, grid64) for i in range(10)}
+        tree, _ = load_tree(grid64, boxes, capacity=4)
+        tree.tree.reset_access_log()
+        list(tree.scan())
+        assert len(set(tree.tree.leaf_accesses)) == tree.npages
+
+
+class TestTreeSpatialJoin:
+    def test_matches_memory_join(self, grid64, rng):
+        boxes_r = {f"r{i}": random_box(rng, grid64) for i in range(8)}
+        boxes_s = {f"s{i}": random_box(rng, grid64) for i in range(8)}
+        r_tree, r_tagged = load_tree(grid64, boxes_r)
+        s_tree, s_tagged = load_tree(grid64, boxes_s)
+        tree_pairs = {
+            (a, b) for a, b, _, _ in tree_spatial_join(r_tree, s_tree)
+        }
+        assert tree_pairs == overlapping_pairs(r_tagged, s_tagged)
+
+    def test_matches_box_intersection(self, grid64, rng):
+        boxes_r = {f"r{i}": random_box(rng, grid64) for i in range(10)}
+        boxes_s = {f"s{i}": random_box(rng, grid64) for i in range(10)}
+        r_tree, _ = load_tree(grid64, boxes_r)
+        s_tree, _ = load_tree(grid64, boxes_s)
+        pairs = {(a, b) for a, b, _, _ in tree_spatial_join(r_tree, s_tree)}
+        truth = {
+            (nr, ns)
+            for nr, br in boxes_r.items()
+            for ns, bs in boxes_s.items()
+            if br.intersects(bs)
+        }
+        assert pairs == truth
+
+    def test_each_page_read_once(self, grid64, rng):
+        """The access pattern behind the Section 4 LRU claim: one
+        sequential pass per input."""
+        boxes_r = {f"r{i}": random_box(rng, grid64) for i in range(6)}
+        boxes_s = {f"s{i}": random_box(rng, grid64) for i in range(6)}
+        r_tree, _ = load_tree(grid64, boxes_r, capacity=4)
+        s_tree, _ = load_tree(grid64, boxes_s, capacity=4)
+        stats = JoinStats()
+        list(tree_spatial_join(r_tree, s_tree, stats))
+        assert stats.r_pages == r_tree.npages
+        assert stats.s_pages == s_tree.npages
+        # Access logs contain no page twice in non-consecutive runs.
+        for tree in (r_tree, s_tree):
+            log = tree.tree.leaf_accesses
+            runs = 1 + sum(1 for a, b in zip(log, log[1:]) if a != b)
+            assert runs == len(set(log))
+
+    def test_empty_sides(self, grid64, rng):
+        full, _ = load_tree(grid64, {"a": random_box(rng, grid64)})
+        empty = ElementTree(grid64)
+        assert list(tree_spatial_join(full, empty)) == []
+        assert list(tree_spatial_join(empty, full)) == []
+        assert list(tree_spatial_join(empty, ElementTree(grid64))) == []
+
+    def test_stats_output_pairs(self, grid64):
+        box = Box(((0, 31), (0, 31)))
+        r_tree, _ = load_tree(grid64, {"a": box})
+        s_tree, _ = load_tree(grid64, {"b": box})
+        stats = JoinStats()
+        pairs = list(tree_spatial_join(r_tree, s_tree, stats))
+        assert stats.output_pairs == len(pairs)
+        assert stats.total_pages == stats.r_pages + stats.s_pages
+
+    def test_tiny_buffer_suffices(self, grid64, rng):
+        """The merge never revisits pages, so a 2-frame buffer gives
+        the same answers."""
+        boxes_r = {f"r{i}": random_box(rng, grid64) for i in range(5)}
+        boxes_s = {f"s{i}": random_box(rng, grid64) for i in range(5)}
+        big_r, tagged_r = load_tree(grid64, boxes_r)
+        big_s, tagged_s = load_tree(grid64, boxes_s)
+        small_r = ElementTree(grid64, page_capacity=8, buffer_frames=2)
+        small_s = ElementTree(grid64, page_capacity=8, buffer_frames=2)
+        for element, name in tagged_r:
+            small_r.insert(element, name)
+        for element, name in tagged_s:
+            small_s.insert(element, name)
+        big = {(a, b) for a, b, _, _ in tree_spatial_join(big_r, big_s)}
+        small = {(a, b) for a, b, _, _ in tree_spatial_join(small_r, small_s)}
+        assert big == small

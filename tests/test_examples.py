@@ -1,0 +1,40 @@
+"""The example scripts must run clean — they are the documented entry
+points.  (The full-size ``reproduce_experiments.py`` is exercised by the
+benchmark suite instead; it takes a minute.)"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "cartography_overlay.py",
+    "cad_interference.py",
+    "range_query_dbms.py",
+    "temporal_intervals.py",
+    "persistent_sessions.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert "reproduce_experiments.py" in present

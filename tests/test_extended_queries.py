@@ -1,0 +1,249 @@
+"""Tests for the extended query surface: object queries, proximity
+queries, k nearest neighbours, bulk loading and containment pairs."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid, circle_classifier, polygon_classifier
+from repro.core.overlay import ElementRegion, containment_pairs
+from repro.core.rangesearch import (
+    MergeStats,
+    SortedPointCursor,
+    build_point_sequence,
+    merge_search,
+    object_search,
+)
+from repro.core.decompose import BoxElementCursor
+from repro.storage.prefix_btree import ZkdTree
+
+from conftest import random_box, random_points
+
+
+class TestMergeSearchGeneralization:
+    def test_merge_search_equals_range_search(self, grid64, rng):
+        points = random_points(rng, grid64, 200)
+        seq = build_point_sequence(grid64, points)
+        box = Box(((10, 40), (20, 55)))
+        via_cursor = list(
+            merge_search(SortedPointCursor(seq), BoxElementCursor(grid64, box))
+        )
+        from repro.core.rangesearch import range_search
+
+        via_box = list(range_search(SortedPointCursor(seq), grid64, box))
+        assert via_cursor == via_box
+
+    def test_object_search_circle(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        seq = build_point_sequence(grid64, points)
+        classify = circle_classifier((32, 32), 12.0)
+        got = list(object_search(SortedPointCursor(seq), grid64, classify))
+        expected = sorted(
+            (
+                p
+                for p in map(tuple, points)
+                if (p[0] - 32) ** 2 + (p[1] - 32) ** 2 <= 144
+            ),
+            key=lambda p: grid64.zvalue(p).bits,
+        )
+        assert got == expected
+
+    def test_object_search_polygon(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        seq = build_point_sequence(grid64, points)
+        vertices = [(5.0, 5.0), (55.0, 10.0), (40.0, 58.0)]
+        classify = polygon_classifier(vertices)
+        got = set(object_search(SortedPointCursor(seq), grid64, classify))
+        expected = {
+            p
+            for p in map(tuple, points)
+            if classify(Box(((p[0], p[0]), (p[1], p[1])))).name == "INSIDE"
+        }
+        assert got == expected
+
+    def test_coarse_object_search_is_superset(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        seq = build_point_sequence(grid64, points)
+        classify = circle_classifier((32, 32), 15.0)
+        exact = set(object_search(SortedPointCursor(seq), grid64, classify))
+        coarse = set(
+            object_search(
+                SortedPointCursor(seq), grid64, classify, max_depth=6
+            )
+        )
+        assert exact <= coarse
+
+
+class TestZkdObjectQueries:
+    def test_object_query_matches_brute_force(self, grid64, rng):
+        points = random_points(rng, grid64, 400)
+        tree = ZkdTree(grid64, page_capacity=15)
+        tree.insert_many(points)
+        result = tree.object_query(circle_classifier((40, 25), 10.0))
+        expected = sorted(
+            (
+                p
+                for p in map(tuple, points)
+                if (p[0] - 40) ** 2 + (p[1] - 25) ** 2 <= 100
+            ),
+            key=lambda p: grid64.zvalue(p).bits,
+        )
+        assert list(result.matches) == expected
+        assert result.pages_accessed < tree.npages
+
+    def test_within_distance(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        tree = ZkdTree(grid64)
+        tree.insert_many(points)
+        result = tree.within_distance((32, 32), 8.0)
+        for p in result.matches:
+            assert math.dist(p, (32, 32)) <= 8.0
+        outside = set(map(tuple, points)) - set(result.matches)
+        for p in outside:
+            assert math.dist(p, (32, 32)) > 8.0
+
+    def test_within_distance_rejects_negative(self, grid64):
+        tree = ZkdTree(grid64)
+        with pytest.raises(ValueError):
+            tree.within_distance((0, 0), -1.0)
+
+
+class TestNearestNeighbours:
+    def brute_knn(self, grid, points, center, k):
+        def key(p):
+            d2 = sum((a - b) ** 2 for a, b in zip(p, center))
+            return (d2, grid.zvalue(p).bits)
+
+        return sorted(map(tuple, points), key=key)[:k]
+
+    def test_matches_brute_force(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        tree = ZkdTree(grid64)
+        tree.insert_many(points)
+        for center in [(0, 0), (32, 32), (63, 1), (10, 55)]:
+            for k in (1, 3, 10):
+                assert tree.nearest_neighbours(center, k) == self.brute_knn(
+                    grid64, points, center, k
+                ), (center, k)
+
+    def test_k_larger_than_population(self, grid64):
+        tree = ZkdTree(grid64)
+        tree.insert_many([(1, 1), (2, 2)])
+        assert len(tree.nearest_neighbours((0, 0), 10)) == 2
+
+    def test_empty_tree(self, grid64):
+        assert ZkdTree(grid64).nearest_neighbours((0, 0), 1) == []
+
+    def test_rejects_bad_k(self, grid64):
+        tree = ZkdTree(grid64)
+        tree.insert((1, 1))
+        with pytest.raises(ValueError):
+            tree.nearest_neighbours((0, 0), 0)
+
+    def test_3d(self, grid3d, rng):
+        points = random_points(rng, grid3d, 200)
+        tree = ZkdTree(grid3d)
+        tree.insert_many(points)
+        assert tree.nearest_neighbours((8, 8, 8), 5) == self.brute_knn(
+            grid3d, points, (8, 8, 8), 5
+        )
+
+
+class TestBulkLoad:
+    def test_same_content_as_incremental(self, grid64, rng):
+        points = random_points(rng, grid64, 500)
+        inc = ZkdTree(grid64, page_capacity=20)
+        inc.insert_many(points)
+        bulk = ZkdTree(grid64, page_capacity=20)
+        bulk.bulk_load(points)
+        bulk.tree.check_invariants()
+        assert inc.points() == bulk.points()
+
+    def test_fewer_pages_than_incremental(self, grid64, rng):
+        points = random_points(rng, grid64, 500)
+        inc = ZkdTree(grid64, page_capacity=20)
+        inc.insert_many(points)
+        bulk = ZkdTree(grid64, page_capacity=20)
+        bulk.bulk_load(points)
+        assert bulk.npages <= inc.npages
+        # Perfect packing: ceil(n / capacity) pages.
+        assert bulk.npages == (500 + 19) // 20
+
+    def test_queries_after_bulk_load(self, grid64, rng):
+        points = random_points(rng, grid64, 400)
+        tree = ZkdTree(grid64, page_capacity=20)
+        tree.bulk_load(points)
+        box = random_box(rng, grid64)
+        from repro.core.rangesearch import brute_force_search
+
+        assert list(tree.range_query(box).matches) == brute_force_search(
+            grid64, points, box
+        )
+
+    def test_maintenance_after_bulk_load(self, grid64, rng):
+        points = random_points(rng, grid64, 200)
+        tree = ZkdTree(grid64, page_capacity=8)
+        tree.bulk_load(points)
+        tree.insert((0, 0))
+        assert (0, 0) in tree
+        for p in points[:50]:
+            assert tree.delete(tuple(p))
+        tree.tree.check_invariants()
+        assert len(tree) == 151
+
+    def test_fill_factor(self, grid64, rng):
+        points = random_points(rng, grid64, 400)
+        packed = ZkdTree(grid64, page_capacity=20)
+        packed.bulk_load(points, fill_factor=1.0)
+        slack = ZkdTree(grid64, page_capacity=20)
+        slack.bulk_load(points, fill_factor=0.5)
+        assert slack.npages > packed.npages
+
+    def test_requires_empty_tree(self, grid64):
+        tree = ZkdTree(grid64)
+        tree.insert((1, 1))
+        with pytest.raises(ValueError):
+            tree.bulk_load([(2, 2)])
+
+    def test_empty_load(self, grid64):
+        tree = ZkdTree(grid64)
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_rejects_bad_fill_factor(self, grid64):
+        tree = ZkdTree(grid64)
+        with pytest.raises(ValueError):
+            tree.bulk_load([(1, 1)], fill_factor=0.0)
+
+    def test_duplicates_survive_bulk_load(self, grid64):
+        tree = ZkdTree(grid64, page_capacity=4)
+        tree.bulk_load([(3, 3)] * 10)
+        tree.tree.check_invariants()
+        assert len(tree.range_query(Box(((3, 3), (3, 3)))).matches) == 10
+
+
+class TestContainmentPairs:
+    def test_basic_containment(self, grid64):
+        outer = {
+            "big": ElementRegion.from_box(grid64, Box(((0, 31), (0, 31)))),
+            "elsewhere": ElementRegion.from_box(
+                grid64, Box(((40, 50), (40, 50)))
+            ),
+        }
+        inner = {
+            "inside": ElementRegion.from_box(grid64, Box(((8, 15), (8, 15)))),
+            "straddles": ElementRegion.from_box(
+                grid64, Box(((28, 36), (8, 15)))
+            ),
+        }
+        assert containment_pairs(outer, inner) == [("big", "inside")]
+
+    def test_overlap_without_containment_excluded(self, grid64):
+        outer = {"a": ElementRegion.from_box(grid64, Box(((0, 10), (0, 10))))}
+        inner = {"b": ElementRegion.from_box(grid64, Box(((5, 15), (5, 15))))}
+        assert containment_pairs(outer, inner) == []
+
+    def test_self_containment(self, grid64):
+        region = ElementRegion.from_box(grid64, Box(((3, 9), (4, 12))))
+        assert containment_pairs({"x": region}, {"y": region}) == [("x", "y")]

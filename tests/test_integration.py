@@ -1,0 +1,167 @@
+"""Cross-module integration tests: full pipelines through the stack."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid, circle_classifier, polygon_classifier
+from repro.core.overlay import ElementRegion, map_overlay
+from repro.core.interference import Solid, detect_interference
+from repro.core.components import label_components
+from repro.core.decompose import Element, decompose
+from repro.db.database import SpatialDatabase
+from repro.db.schema import Schema
+from repro.db.types import INTEGER, OID, SPATIAL_OBJECT, SpatialObject
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+from conftest import random_box, random_points
+
+
+class TestIndexVsPlanVsBaselines:
+    def test_four_way_agreement(self, grid64, rng):
+        """zkd index, relational plan, kd tree and brute force all
+        return the same answers over a shared workload."""
+        from repro.baselines.kdtree import KdTree
+        from repro.core.rangesearch import brute_force_search
+
+        points = random_points(rng, grid64, 400)
+        zkd = ZkdTree(grid64, page_capacity=15)
+        zkd.insert_many(points)
+        kd = KdTree(grid64, page_capacity=15)
+        kd.insert_many(points)
+        db = SpatialDatabase(grid64, page_capacity=15)
+        db.create_table(
+            "pts", Schema.of(("p@", OID), ("x", INTEGER), ("y", INTEGER))
+        )
+        db.insert_many(
+            "pts", [(f"p{i}", x, y) for i, (x, y) in enumerate(points)]
+        )
+        for _ in range(8):
+            box = random_box(rng, grid64)
+            truth = brute_force_search(grid64, points, box)
+            assert list(zkd.range_query(box).matches) == truth
+            assert list(kd.range_query(box).matches) == truth
+            got = sorted((x, y) for _, x, y in db.range_query("pts", ("x", "y"), box).rows)
+            assert got == sorted(map(tuple, truth))
+
+
+class TestGISWorkflow:
+    def test_overlay_then_components(self):
+        """A toy cartography pipeline: rasterize two polygon layers,
+        overlay them, then label the connected regions of one face."""
+        grid = Grid(2, 6)
+        land = ElementRegion.from_object(
+            grid, polygon_classifier([(2, 2), (60, 5), (55, 58), (5, 50)])
+        )
+        water = ElementRegion.from_object(
+            grid, circle_classifier((30, 30), 12.0)
+        )
+        dry_land = land - water
+        assert dry_land.area() == land.area() - (land & water).area()
+        cc = label_components(grid, dry_land.elements())
+        assert cc.ncomponents >= 1
+        assert sum(cc.areas().values()) == dry_land.area()
+
+    def test_map_overlay_conservation(self):
+        """Overlay faces partition each polygon's intersection with the
+        other layer's union."""
+        grid = Grid(2, 6)
+        layer_a = {
+            "north": ElementRegion.from_box(grid, Box(((0, 63), (32, 63)))),
+            "south": ElementRegion.from_box(grid, Box(((0, 63), (0, 31)))),
+        }
+        layer_b = {
+            "west": ElementRegion.from_box(grid, Box(((0, 31), (0, 63)))),
+            "east": ElementRegion.from_box(grid, Box(((32, 63), (0, 63)))),
+        }
+        faces = map_overlay(layer_a, layer_b)
+        total = sum(face.area() for face in faces.values())
+        assert total == 64 * 64  # the two layers tile the space
+
+
+class TestCADWorkflow:
+    def test_assembly_check(self):
+        """Solids from different oracles, mixed resolutions."""
+        grid = Grid(2, 7)
+        gear = Solid.from_object(
+            "gear", grid, circle_classifier((40, 40), 20.0), max_depth=10
+        )
+        shaft = Solid.from_object(
+            "shaft", grid, circle_classifier((40, 40), 5.0), max_depth=10
+        )
+        housing = Solid.from_object(
+            "housing", grid, circle_classifier((100, 100), 15.0), max_depth=10
+        )
+        report = detect_interference([gear, shaft, housing])
+        assert report.status("gear", "shaft") == "definite"
+        assert report.status("gear", "housing") == "clear"
+        assert report.status("shaft", "housing") == "clear"
+
+
+class TestDBRoundTrip:
+    def test_objects_and_points_together(self, grid64, rng):
+        db = SpatialDatabase(grid64)
+        db.create_table(
+            "sites", Schema.of(("s@", OID), ("x", INTEGER), ("y", INTEGER))
+        )
+        db.create_table(
+            "regions", Schema.of(("r@", OID), ("shape", SPATIAL_OBJECT))
+        )
+        sites = [(f"s{i}", x, y) for i, (x, y) in enumerate(random_points(rng, grid64, 80))]
+        db.insert_many("sites", sites)
+        db.create_index("sites_xy", "sites", ("x", "y"))
+        region_box = Box(((10, 40), (10, 40)))
+        db.insert(
+            "regions", ("core", SpatialObject.from_box("core", region_box))
+        )
+        # Points in the region, via the index.
+        hits = db.range_query("sites", ("x", "y"), region_box)
+        expected = [row for row in sites if region_box.contains_point(row[1:])]
+        assert sorted(hits.rows) == sorted(expected)
+
+
+class TestExperimentPipeline:
+    def test_small_ucd_pipeline_runs(self, grid64):
+        from repro.experiments.harness import run_ucd_experiment
+
+        for name in ("U", "C", "D"):
+            measurements, rows = run_ucd_experiment(
+                grid64,
+                name,
+                npoints=500,
+                volumes=(0.02,),
+                aspects=(1.0, 8.0),
+                locations=2,
+            )
+            assert len(measurements) == 4
+            for m in measurements:
+                assert m.pages >= 0
+                assert m.predicted_pages > 0
+
+
+class TestDimensionalityGenerality:
+    """Section 3.3: 'Algorithms based on z order work without
+    modification in all dimensions.'"""
+
+    @pytest.mark.parametrize("ndims", [1, 2, 3, 4])
+    def test_full_stack_in_k_dims(self, ndims):
+        depth = max(2, 8 // ndims)
+        grid = Grid(ndims, depth)
+        rng = random.Random(ndims)
+        points = [
+            tuple(rng.randrange(grid.side) for _ in range(ndims))
+            for _ in range(200)
+        ]
+        tree = ZkdTree(grid, page_capacity=10)
+        tree.insert_many(points)
+        lo = grid.side // 4
+        hi = 3 * grid.side // 4
+        box = Box(tuple((lo, hi) for _ in range(ndims)))
+        result = tree.range_query(box)
+        expected = sorted(
+            (p for p in points if box.contains_point(p)),
+            key=lambda p: grid.zvalue(p).bits,
+        )
+        assert list(result.matches) == expected

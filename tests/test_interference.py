@@ -1,0 +1,137 @@
+"""Tests for CAD interference detection (Section 6)."""
+
+import pytest
+
+from repro.core.geometry import Box, Grid, box_classifier, circle_classifier
+from repro.core.interference import (
+    InterferenceReport,
+    Solid,
+    detect_interference,
+)
+
+
+def box_solid(name, grid, box, max_depth=None):
+    return Solid.from_object(name, grid, box_classifier(box), max_depth)
+
+
+class TestSolid:
+    def test_box_solid_has_no_boundary_at_full_depth(self, grid64):
+        solid = box_solid("a", grid64, Box(((3, 17), (5, 21))))
+        assert solid.boundary == ()
+        lo, hi = solid.volume_bounds()
+        assert lo == hi == 15 * 17
+
+    def test_circle_solid_volume_bounds(self):
+        grid = Grid(2, 5)
+        solid = Solid.from_object(
+            "ball", grid, circle_classifier((16, 16), 8.0), max_depth=6
+        )
+        lo, hi = solid.volume_bounds()
+        true_volume = sum(
+            1
+            for x in range(32)
+            for y in range(32)
+            if (x - 16) ** 2 + (y - 16) ** 2 <= 64
+        )
+        assert lo <= true_volume <= hi
+        assert solid.boundary  # coarse depth leaves boundary elements
+
+    def test_interior_plus_boundary_disjoint(self, grid64):
+        grid = Grid(2, 5)
+        solid = Solid.from_object(
+            "ball", grid, circle_classifier((16, 16), 8.0), max_depth=6
+        )
+        intervals = sorted(
+            (e.zlo, e.zhi) for e in solid.interior + solid.boundary
+        )
+        for (alo, ahi), (blo, bhi) in zip(intervals, intervals[1:]):
+            assert ahi < blo
+
+
+class TestDetectInterference:
+    def test_overlapping_solids_definite(self, grid64):
+        a = box_solid("a", grid64, Box(((0, 20), (0, 20))))
+        b = box_solid("b", grid64, Box(((10, 30), (10, 30))))
+        report = detect_interference([a, b])
+        assert report.status("a", "b") == "definite"
+
+    def test_disjoint_solids_clear(self, grid64):
+        a = box_solid("a", grid64, Box(((0, 10), (0, 10))))
+        b = box_solid("b", grid64, Box(((40, 50), (40, 50))))
+        report = detect_interference([a, b])
+        assert report.status("a", "b") == "clear"
+
+    def test_coarse_touch_is_potential(self):
+        """At coarse resolution two nearby-but-disjoint balls collide
+        only through boundary elements: potential, needing refinement."""
+        grid = Grid(2, 6)
+        a = Solid.from_object(
+            "a", grid, circle_classifier((20, 20), 6.0), max_depth=6
+        )
+        b = Solid.from_object(
+            "b", grid, circle_classifier((34, 20), 6.0), max_depth=6
+        )
+        report = detect_interference([a, b])
+        assert report.status("a", "b") in ("potential", "clear")
+        if report.status("a", "b") == "potential":
+            assert ("a", "b") in report.pairs_needing_refinement()
+
+    def test_true_overlap_at_full_depth_definite(self):
+        grid = Grid(2, 6)
+        a = Solid.from_object("a", grid, circle_classifier((20, 20), 8.0))
+        b = Solid.from_object("b", grid, circle_classifier((30, 20), 8.0))
+        report = detect_interference([a, b])
+        assert report.status("a", "b") == "definite"
+
+    def test_three_solids_pairwise(self, grid64):
+        a = box_solid("a", grid64, Box(((0, 20), (0, 20))))
+        b = box_solid("b", grid64, Box(((10, 30), (10, 30))))
+        c = box_solid("c", grid64, Box(((50, 63), (50, 63))))
+        report = detect_interference([a, b, c])
+        assert report.status("a", "b") == "definite"
+        assert report.status("a", "c") == "clear"
+        assert report.status("b", "c") == "clear"
+
+    def test_definite_wins_over_potential(self):
+        """A pair seen through both interior-interior and boundary
+        containments is reported once, as definite."""
+        grid = Grid(2, 5)
+        a = Solid.from_object(
+            "a", grid, circle_classifier((12, 12), 7.0), max_depth=8
+        )
+        b = Solid.from_object(
+            "b", grid, circle_classifier((16, 12), 7.0), max_depth=8
+        )
+        report = detect_interference([a, b])
+        assert report.status("a", "b") == "definite"
+        assert frozenset(("a", "b")) not in report.potential
+
+    def test_no_self_interference(self, grid64):
+        a = box_solid("a", grid64, Box(((0, 20), (0, 20))))
+        report = detect_interference([a])
+        assert report.definite == set()
+        assert report.potential == set()
+
+    def test_empty_assembly(self):
+        report = detect_interference([])
+        assert report.definite == set() and report.potential == set()
+
+    def test_nested_solids_definite(self, grid64):
+        outer = box_solid("outer", grid64, Box(((0, 31), (0, 31))))
+        inner = box_solid("inner", grid64, Box(((8, 15), (8, 15))))
+        report = detect_interference([outer, inner])
+        assert report.status("outer", "inner") == "definite"
+
+
+class TestReport:
+    def test_status_is_symmetric(self, grid64):
+        a = box_solid("a", grid64, Box(((0, 20), (0, 20))))
+        b = box_solid("b", grid64, Box(((10, 30), (10, 30))))
+        report = detect_interference([a, b])
+        assert report.status("a", "b") == report.status("b", "a")
+
+    def test_pairs_needing_refinement_sorted(self):
+        report = InterferenceReport(
+            potential={frozenset(("z", "a")), frozenset(("m", "b"))}
+        )
+        assert report.pairs_needing_refinement() == [("a", "z"), ("b", "m")]

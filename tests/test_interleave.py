@@ -1,0 +1,144 @@
+"""Tests for bit interleaving (shuffle/unshuffle on integers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.interleave import (
+    bit_at,
+    deinterleave,
+    interleave,
+    set_bit,
+    zrank,
+)
+
+
+class TestBitAt:
+    def test_msb_first(self):
+        assert bit_at(0b100, 0, 3) == 1
+        assert bit_at(0b100, 1, 3) == 0
+        assert bit_at(0b100, 2, 3) == 0
+
+    def test_all_bits(self):
+        value = 0b1011
+        assert [bit_at(value, i, 4) for i in range(4)] == [1, 0, 1, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            bit_at(0, 4, 4)
+        with pytest.raises(IndexError):
+            bit_at(0, -1, 4)
+
+
+class TestSetBit:
+    def test_set_and_clear(self):
+        assert set_bit(0b000, 0, 3, 1) == 0b100
+        assert set_bit(0b111, 0, 3, 0) == 0b011
+        assert set_bit(0b000, 2, 3, 1) == 0b001
+
+    def test_idempotent(self):
+        assert set_bit(0b101, 0, 3, 1) == 0b101
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            set_bit(0, 3, 3, 1)
+
+
+class TestInterleave:
+    def test_paper_figure4_example(self):
+        # Figure 4: [3, 5] -> (011, 101) -> 011011 = 27.
+        assert interleave((3, 5), 3) == 27
+
+    def test_zrank_alias(self):
+        assert zrank((3, 5), 3) == 27
+
+    def test_origin_is_zero(self):
+        assert interleave((0, 0), 4) == 0
+        assert interleave((0, 0, 0), 5) == 0
+
+    def test_maximum(self):
+        assert interleave((7, 7), 3) == 63
+
+    def test_x_is_most_significant(self):
+        # x0 is the first interleaved bit: x=4 (100) beats y=7 (111)
+        # in a depth-3 grid.
+        assert interleave((4, 0), 3) > interleave((3, 7), 3)
+
+    def test_one_dimension_is_identity(self):
+        for v in range(16):
+            assert interleave((v,), 4) == v
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            interleave((8, 0), 3)
+        with pytest.raises(ValueError):
+            interleave((-1, 0), 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            interleave((), 3)
+
+    def test_exhaustive_bijection_2d(self):
+        codes = {interleave((x, y), 3) for x in range(8) for y in range(8)}
+        assert codes == set(range(64))
+
+    def test_exhaustive_bijection_3d(self):
+        codes = {
+            interleave((x, y, z), 2)
+            for x in range(4)
+            for y in range(4)
+            for z in range(4)
+        }
+        assert codes == set(range(64))
+
+
+class TestDeinterleave:
+    def test_paper_example(self):
+        assert deinterleave(27, 2, 3) == (3, 5)
+
+    def test_rejects_bad_code(self):
+        with pytest.raises(ValueError):
+            deinterleave(64, 2, 3)
+        with pytest.raises(ValueError):
+            deinterleave(-1, 2, 3)
+
+    def test_rejects_bad_ndims(self):
+        with pytest.raises(ValueError):
+            deinterleave(0, 0, 3)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=8),
+        st.data(),
+    )
+    def test_roundtrip(self, ndims, depth, data):
+        coords = tuple(
+            data.draw(st.integers(min_value=0, max_value=(1 << depth) - 1))
+            for _ in range(ndims)
+        )
+        assert deinterleave(interleave(coords, depth), ndims, depth) == coords
+
+    @given(st.integers(min_value=0, max_value=4095))
+    def test_roundtrip_from_code(self, code):
+        assert interleave(deinterleave(code, 3, 4), 4) == code
+
+
+class TestOrderProperties:
+    def test_quadrant_order(self):
+        # The four depth-1 quadrants follow the N shape: (0,0), (0,1),
+        # (1,0), (1,1) when ordered by z code (x bit first).
+        order = sorted(
+            ((x, y) for x in range(2) for y in range(2)),
+            key=lambda p: interleave(p, 1),
+        )
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=127),
+            st.integers(min_value=0, max_value=127),
+        )
+    )
+    def test_scaling_preserves_order_structure(self, point):
+        # Doubling both coordinates shifts the code two bits up.
+        x, y = point
+        assert interleave((2 * x, 2 * y), 8) == interleave((x, y), 7) << 2

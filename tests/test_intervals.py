@@ -1,0 +1,156 @@
+"""Tests for the z-interval set algebra (the 1-d reduction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.intervals import (
+    IntervalSet,
+    elements_to_intervals,
+    interval_to_elements,
+    intervals_to_elements,
+)
+
+runs = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 63)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=6,
+)
+
+
+def model(iset: IntervalSet) -> set:
+    out = set()
+    for lo, hi in iset:
+        out |= set(range(lo, hi + 1))
+    return out
+
+
+class TestNormalization:
+    def test_sorts_and_coalesces(self):
+        s = IntervalSet([(5, 9), (0, 3), (4, 4)])
+        assert s.runs == ((0, 9),)
+
+    def test_adjacent_merge(self):
+        assert IntervalSet([(0, 1), (2, 3)]).runs == ((0, 3),)
+
+    def test_gap_preserved(self):
+        assert IntervalSet([(0, 1), (3, 4)]).runs == ((0, 1), (3, 4))
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            IntervalSet([(3, 2)])
+
+    def test_empty_set(self):
+        s = IntervalSet()
+        assert not s
+        assert s.cardinality() == 0
+
+    @given(runs)
+    def test_canonical_runs(self, rs):
+        s = IntervalSet(rs)
+        for (alo, ahi), (blo, bhi) in zip(s.runs, s.runs[1:]):
+            assert ahi + 1 < blo  # disjoint and non-adjacent
+
+
+class TestMembershipAndCardinality:
+    def test_contains(self):
+        s = IntervalSet([(2, 5), (10, 10)])
+        assert 2 in s and 5 in s and 10 in s
+        assert 1 not in s and 6 not in s and 11 not in s
+
+    def test_cardinality(self):
+        assert IntervalSet([(2, 5), (10, 10)]).cardinality() == 5
+
+    @given(runs, st.integers(0, 63))
+    def test_contains_matches_model(self, rs, x):
+        s = IntervalSet(rs)
+        assert (x in s) == (x in model(s))
+
+
+class TestBooleanOps:
+    @given(runs, runs)
+    def test_union_model(self, a, b):
+        sa, sb = IntervalSet(a), IntervalSet(b)
+        assert model(sa | sb) == model(sa) | model(sb)
+
+    @given(runs, runs)
+    def test_intersection_model(self, a, b):
+        sa, sb = IntervalSet(a), IntervalSet(b)
+        assert model(sa & sb) == model(sa) & model(sb)
+
+    @given(runs, runs)
+    def test_difference_model(self, a, b):
+        sa, sb = IntervalSet(a), IntervalSet(b)
+        assert model(sa - sb) == model(sa) - model(sb)
+
+    @given(runs, runs)
+    def test_symmetric_difference_model(self, a, b):
+        sa, sb = IntervalSet(a), IntervalSet(b)
+        assert model(sa ^ sb) == model(sa) ^ model(sb)
+
+    @given(runs)
+    def test_complement_model(self, a):
+        s = IntervalSet(a)
+        assert model(s.complement(63)) == set(range(64)) - model(s)
+
+    @given(runs, runs)
+    def test_overlaps_model(self, a, b):
+        sa, sb = IntervalSet(a), IntervalSet(b)
+        assert sa.overlaps(sb) == bool(model(sa) & model(sb))
+
+    @given(runs, runs)
+    def test_contains_set_model(self, a, b):
+        sa, sb = IntervalSet(a), IntervalSet(b)
+        assert sa.contains_set(sb) == (model(sb) <= model(sa))
+
+    def test_equality_and_hash(self):
+        assert IntervalSet([(0, 1), (2, 3)]) == IntervalSet([(0, 3)])
+        assert hash(IntervalSet([(0, 3)])) == hash(IntervalSet([(0, 1), (2, 3)]))
+
+
+class TestElementConversions:
+    def test_elements_to_intervals_coalesces(self, grid8):
+        box = grid8.whole_space()
+        elements = [Element.of(z, grid8) for z in decompose_box(grid8, box)]
+        assert elements_to_intervals(elements).runs == ((0, 63),)
+
+    def test_interval_to_elements_tiles_exactly(self, grid8):
+        for lo in range(0, 64, 7):
+            for hi in range(lo, 64, 5):
+                elements = interval_to_elements(lo, hi, grid8)
+                covered = []
+                for e in elements:
+                    covered.extend(range(e.zlo, e.zhi + 1))
+                assert covered == list(range(lo, hi + 1)), (lo, hi)
+
+    def test_interval_elements_are_dyadic_and_sorted(self, grid8):
+        elements = interval_to_elements(3, 37, grid8)
+        assert [e.zlo for e in elements] == sorted(e.zlo for e in elements)
+        for e in elements:
+            size = e.zhi - e.zlo + 1
+            assert size & (size - 1) == 0
+            assert e.zlo % size == 0
+
+    def test_interval_to_elements_is_compact(self, grid8):
+        # At most 2*total_bits elements per interval.
+        for lo in range(64):
+            for hi in range(lo, 64):
+                n = len(interval_to_elements(lo, hi, grid8))
+                assert n <= 2 * grid8.total_bits
+
+    def test_rejects_bad_interval(self, grid8):
+        with pytest.raises(ValueError):
+            interval_to_elements(5, 4, grid8)
+        with pytest.raises(ValueError):
+            interval_to_elements(0, 64, grid8)
+
+    def test_roundtrip_box_decomposition(self, grid8):
+        box = Box(((1, 6), (2, 5)))
+        elements = [Element.of(z, grid8) for z in decompose_box(grid8, box)]
+        intervals = elements_to_intervals(elements)
+        back = intervals_to_elements(intervals, grid8)
+        assert elements_to_intervals(back) == intervals
+        # Canonical form never has more elements than the original.
+        assert len(back) <= len(elements)

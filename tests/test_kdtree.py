@@ -1,0 +1,109 @@
+"""Tests for the bucket kd tree baseline [BENT75]."""
+
+import random
+
+import pytest
+
+from repro.baselines.kdtree import KdTree
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import brute_force_search
+
+from conftest import random_box, random_points
+
+
+def loaded(grid, points, capacity=20):
+    tree = KdTree(grid, page_capacity=capacity)
+    tree.insert_many(points)
+    return tree
+
+
+class TestMaintenance:
+    def test_insert_count(self, grid64, rng):
+        tree = loaded(grid64, random_points(rng, grid64, 100))
+        assert len(tree) == 100
+
+    def test_insert_validates(self, grid64):
+        tree = KdTree(grid64)
+        with pytest.raises(ValueError):
+            tree.insert((64, 0))
+
+    def test_capacity_minimum(self, grid64):
+        with pytest.raises(ValueError):
+            KdTree(grid64, page_capacity=1)
+
+    def test_delete(self, grid64):
+        tree = KdTree(grid64)
+        tree.insert((3, 5))
+        assert tree.delete((3, 5))
+        assert not tree.delete((3, 5))
+        assert len(tree) == 0
+
+    def test_delete_after_splits(self, grid64, rng):
+        points = random_points(rng, grid64, 100)
+        tree = loaded(grid64, points, capacity=8)
+        for p in points[:50]:
+            assert tree.delete(tuple(p))
+        assert len(tree) == 50
+
+    def test_splits_create_pages(self, grid64, rng):
+        tree = loaded(grid64, random_points(rng, grid64, 200), capacity=10)
+        assert tree.npages >= 200 // 10
+        assert tree.height >= 3
+
+    def test_leaf_sizes_bounded(self, grid64, rng):
+        tree = loaded(grid64, random_points(rng, grid64, 300), capacity=10)
+        assert all(size <= 10 for size in tree.leaf_sizes())
+
+    def test_duplicate_heavy_input(self, grid64):
+        tree = KdTree(grid64, page_capacity=4)
+        for _ in range(30):
+            tree.insert((5, 5))
+        assert len(tree) == 30
+        result = tree.range_query(Box(((5, 5), (5, 5))))
+        assert result.nmatches == 30
+
+
+class TestQueries:
+    def test_matches_brute_force(self, grid64, rng):
+        points = random_points(rng, grid64, 400)
+        tree = loaded(grid64, points)
+        for _ in range(15):
+            box = random_box(rng, grid64)
+            result = tree.range_query(box)
+            truth = brute_force_search(grid64, points, box)
+            assert list(result.matches) == truth
+
+    def test_query_outside_grid(self, grid64):
+        tree = loaded(grid64, [(1, 1)])
+        result = tree.range_query(Box(((100, 120), (100, 120))))
+        assert result.matches == ()
+
+    def test_small_query_prunes(self, grid64, rng):
+        points = random_points(rng, grid64, 500)
+        tree = loaded(grid64, points, capacity=10)
+        result = tree.range_query(Box(((10, 12), (10, 12))))
+        assert result.pages_accessed < tree.npages / 2
+
+    def test_partial_match(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        tree = loaded(grid64, points)
+        result = tree.partial_match_query((17, None))
+        expected = sorted(
+            (p for p in map(tuple, points) if p[0] == 17),
+            key=lambda p: grid64.zvalue(p).bits,
+        )
+        assert list(result.matches) == expected
+
+    def test_3d(self, grid3d, rng):
+        points = random_points(rng, grid3d, 300)
+        tree = loaded(grid3d, points, capacity=8)
+        box = Box(((2, 9), (1, 12), (5, 14)))
+        assert list(tree.range_query(box).matches) == brute_force_search(
+            grid3d, points, box
+        )
+
+    def test_efficiency_bounds(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        tree = loaded(grid64, points)
+        result = tree.range_query(Box(((0, 31), (0, 31))))
+        assert 0.0 <= result.efficiency <= 1.0

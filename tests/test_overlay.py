@@ -1,0 +1,165 @@
+"""Tests for polygon overlay on element sequences (Section 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid, circle_classifier
+from repro.core.overlay import ElementRegion, map_overlay
+
+from conftest import random_box
+
+
+def pixel_set(region: ElementRegion) -> set:
+    grid = region.grid
+    out = set()
+    for box in region.boxes():
+        out |= set(box.pixels())
+    return out
+
+
+def box_pixels(box: Box) -> set:
+    return set(box.pixels())
+
+
+class TestConstruction:
+    def test_from_box(self, grid64):
+        box = Box(((3, 17), (5, 40)))
+        region = ElementRegion.from_box(grid64, box)
+        assert region.area() == box.volume
+        assert pixel_set(region) == box_pixels(box)
+
+    def test_from_elements_normalizes(self, grid8):
+        box = Box(((0, 3), (0, 3)))
+        elements = [Element.of(z, grid8) for z in decompose_box(grid8, box)]
+        a = ElementRegion.from_elements(grid8, elements)
+        b = ElementRegion.from_box(grid8, box)
+        assert a == b
+
+    def test_from_object(self):
+        grid = Grid(2, 4)
+        region = ElementRegion.from_object(
+            grid, circle_classifier((8, 8), 4.0)
+        )
+        expected = {
+            (x, y)
+            for x in range(16)
+            for y in range(16)
+            if (x - 8) ** 2 + (y - 8) ** 2 <= 16
+        }
+        assert pixel_set(region) == expected
+
+    def test_empty_and_whole(self, grid8):
+        assert ElementRegion.empty(grid8).area() == 0
+        assert ElementRegion.whole(grid8).area() == 64
+
+    def test_contains_point(self, grid64):
+        region = ElementRegion.from_box(grid64, Box(((3, 7), (3, 7))))
+        assert region.contains_point((5, 5))
+        assert not region.contains_point((2, 5))
+
+
+class TestBooleanOps:
+    def test_intersection_of_boxes(self, grid64):
+        a = ElementRegion.from_box(grid64, Box(((0, 20), (0, 20))))
+        b = ElementRegion.from_box(grid64, Box(((10, 30), (10, 30))))
+        inter = a & b
+        assert pixel_set(inter) == box_pixels(Box(((10, 20), (10, 20))))
+
+    def test_union_of_disjoint_boxes(self, grid64):
+        a = ElementRegion.from_box(grid64, Box(((0, 3), (0, 3))))
+        b = ElementRegion.from_box(grid64, Box(((10, 13), (10, 13))))
+        assert (a | b).area() == 32
+
+    def test_difference(self, grid64):
+        a = ElementRegion.from_box(grid64, Box(((0, 7), (0, 7))))
+        b = ElementRegion.from_box(grid64, Box(((4, 7), (0, 7))))
+        assert pixel_set(a - b) == box_pixels(Box(((0, 3), (0, 7))))
+
+    def test_complement_involution(self, grid8):
+        region = ElementRegion.from_box(grid8, Box(((1, 6), (2, 5))))
+        assert region.complement().complement() == region
+
+    def test_grid_mismatch_raises(self, grid8, grid64):
+        a = ElementRegion.from_box(grid8, Box(((0, 1), (0, 1))))
+        b = ElementRegion.from_box(grid64, Box(((0, 1), (0, 1))))
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_set_model_agreement(self, seed):
+        grid = Grid(2, 4)
+        rng = random.Random(seed)
+        a_box, b_box = random_box(rng, grid), random_box(rng, grid)
+        a = ElementRegion.from_box(grid, a_box)
+        b = ElementRegion.from_box(grid, b_box)
+        pa, pb = box_pixels(a_box), box_pixels(b_box)
+        assert pixel_set(a | b) == pa | pb
+        assert pixel_set(a & b) == pa & pb
+        assert pixel_set(a - b) == pa - pb
+        assert pixel_set(a ^ b) == pa ^ pb
+        assert a.overlaps(b) == bool(pa & pb)
+        assert a.covers(b) == (pb <= pa)
+
+    def test_extensional_equality(self, grid8):
+        # Same pixels, built differently, compare equal.
+        left = ElementRegion.from_box(grid8, Box(((0, 3), (0, 7))))
+        right = ElementRegion.from_box(grid8, Box(((0, 3), (0, 3)))).union(
+            ElementRegion.from_box(grid8, Box(((0, 3), (4, 7))))
+        )
+        assert left == right
+
+    def test_canonical_elements_are_maximal(self, grid8):
+        # The union of all four quadrants collapses to one element.
+        whole = ElementRegion.whole(grid8)
+        assert len(whole.elements()) == 1
+        assert whole.elements()[0].zvalue.length == 0
+
+
+class TestMapOverlay:
+    def test_two_layer_overlay(self, grid64):
+        soils = {
+            "clay": ElementRegion.from_box(grid64, Box(((0, 31), (0, 63)))),
+            "sand": ElementRegion.from_box(grid64, Box(((32, 63), (0, 63)))),
+        }
+        zoning = {
+            "urban": ElementRegion.from_box(grid64, Box(((0, 63), (0, 31)))),
+            "rural": ElementRegion.from_box(grid64, Box(((0, 63), (32, 63)))),
+        }
+        faces = map_overlay(soils, zoning)
+        assert set(faces) == {
+            ("clay", "urban"),
+            ("clay", "rural"),
+            ("sand", "urban"),
+            ("sand", "rural"),
+        }
+        assert all(face.area() == 32 * 32 for face in faces.values())
+
+    def test_disjoint_layers_produce_nothing(self, grid64):
+        a = {"a": ElementRegion.from_box(grid64, Box(((0, 3), (0, 3))))}
+        b = {"b": ElementRegion.from_box(grid64, Box(((20, 23), (20, 23))))}
+        assert map_overlay(a, b) == {}
+
+    def test_overlay_areas_partition_intersection(self, grid64, rng):
+        layer_a = {
+            f"a{i}": ElementRegion.from_box(grid64, random_box(rng, grid64))
+            for i in range(3)
+        }
+        layer_b = {
+            f"b{i}": ElementRegion.from_box(grid64, random_box(rng, grid64))
+            for i in range(3)
+        }
+        faces = map_overlay(layer_a, layer_b)
+        for (name_a, name_b), face in faces.items():
+            expected = layer_a[name_a] & layer_b[name_b]
+            assert face == expected
+            assert not face.is_empty()
+
+    def test_mixed_grids_rejected(self, grid8, grid64):
+        a = {"a": ElementRegion.from_box(grid8, Box(((0, 1), (0, 1))))}
+        b = {"b": ElementRegion.from_box(grid64, Box(((0, 1), (0, 1))))}
+        with pytest.raises(ValueError):
+            map_overlay(a, b)

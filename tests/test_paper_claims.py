@@ -1,0 +1,161 @@
+"""End-to-end checks of the paper's specific claims, at test scale.
+
+Each test names the claim and the section it comes from.  The full-size
+reproductions (5000 points, the complete shape x volume grid) live in
+``benchmarks/``; these are smaller versions that must still show the
+qualitative effect.
+"""
+
+import pytest
+
+from repro.core.analysis import (
+    coarsen_size,
+    coarsening_tradeoff,
+    element_count_2d,
+    predicted_partial_match_pages,
+)
+from repro.core.geometry import Box, Grid
+from repro.experiments.harness import (
+    check_findings,
+    run_ucd_experiment,
+)
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import partial_match_workload
+
+GRID = Grid(2, 8)  # 256 x 256
+SETUP = dict(npoints=2000, page_capacity=20, locations=4)
+
+
+@pytest.fixture(scope="module")
+def ucd_rows():
+    out = {}
+    for name in ("U", "C", "D"):
+        _, rows = run_ucd_experiment(
+            GRID,
+            name,
+            npoints=SETUP["npoints"],
+            page_capacity=SETUP["page_capacity"],
+            volumes=(0.01, 0.02, 0.04, 0.08),
+            aspects=(1.0, 2.0, 0.5, 8.0, 0.125),
+            locations=SETUP["locations"],
+            seed=0,
+        )
+        out[name] = rows
+    return out
+
+
+class TestSection531:
+    def test_range_pages_scale_with_volume(self, ucd_rows):
+        """Claim: range queries access O(vN) pages."""
+        findings = check_findings(ucd_rows["U"])
+        assert findings.pages_grow_with_volume
+
+    def test_partial_match_exponent(self):
+        """Claim: partial match accesses O(N^(1-t/k)) pages.  With one
+        of two axes fixed, doubling N should grow pages ~sqrt(2)x."""
+        results = {}
+        for npoints in (1000, 4000):
+            ds = make_dataset("U", GRID, npoints, seed=1)
+            tree = ZkdTree(GRID, page_capacity=20)
+            tree.insert_many(ds.points)
+            boxes = partial_match_workload(GRID, [0], count=8, seed=2)
+            pages = [tree.range_query(b).pages_accessed for b in boxes]
+            results[npoints] = (sum(pages) / len(pages), tree.npages)
+        (pages_small, n_small), (pages_big, n_big) = (
+            results[1000],
+            results[4000],
+        )
+        observed_ratio = pages_big / pages_small
+        predicted_ratio = predicted_partial_match_pages(
+            n_big, 2, 1
+        ) / predicted_partial_match_pages(n_small, 2, 1)
+        # Same order of growth: within 2x of the predicted ratio.
+        assert observed_ratio < predicted_ratio * 2
+
+
+class TestSection532Findings:
+    def test_finding1_trends_in_all_experiments(self, ucd_rows):
+        """Finding 1: 'The general trends predicted by the analysis
+        were observed in all experiments.'"""
+        for name in ("U", "C", "D"):
+            findings = check_findings(ucd_rows[name])
+            assert findings.pages_grow_with_volume, name
+            assert findings.narrow_costs_more_than_square, name
+
+    def test_finding2_prediction_mostly_upper_bound(self, ucd_rows):
+        """Finding 2: 'Except for a few data points, the predicted
+        results provided an upper bound.'  U should be closest to the
+        analysis."""
+        u = check_findings(ucd_rows["U"])
+        assert u.prediction_upper_bound_fraction >= 0.5
+
+    def test_finding2_u_closest_to_prediction(self, ucd_rows):
+        """'The results for experiment U were closest to the predicted
+        results' — measured as mean |observed - predicted| / predicted."""
+
+        def deviation(rows):
+            return sum(
+                abs(r.mean_pages - r.predicted_pages) / r.predicted_pages
+                for r in rows
+            ) / len(rows)
+
+        assert deviation(ucd_rows["U"]) <= deviation(ucd_rows["D"])
+
+    def test_finding3_efficiency_grows_with_volume(self, ucd_rows):
+        """Finding 3: 'Query efficiency increased with query volume.'"""
+        findings = check_findings(ucd_rows["U"])
+        assert findings.efficiency_grows_with_volume
+
+    def test_finding4_best_shapes_square_or_tall(self, ucd_rows):
+        """Finding 4: 'the greatest efficiency would be achieved by
+        queries which are square or twice as tall as they are wide.'"""
+        findings = check_findings(ucd_rows["U"])
+        assert set(findings.best_aspects) <= {1.0, 0.5, 2.0}
+        assert 1.0 in findings.best_aspects or 0.5 in findings.best_aspects
+
+
+class TestSection51:
+    def test_cyclicity(self):
+        """Claim: E(U, V) = E(2U, 2V)."""
+        for u, v in [(13, 9), (100, 37), (255, 254)]:
+            assert element_count_2d(u, v, 9) == element_count_2d(
+                2 * u, 2 * v, 10
+            )
+
+    def test_coarsening_example(self):
+        """Claim: the boundary-expansion construction (U = 01101101,
+        m = 4 -> U' = 01110000) cuts elements with small area error."""
+        assert coarsen_size(0b01101101, 4) == 0b01110000
+        t = coarsening_tradeoff((0b01101101, 0b01011011), depth=8, m=4)
+        assert t.element_reduction > 0.5
+        assert t.volume_error < 0.25
+
+    def test_surface_not_volume(self):
+        """Claim: E(U, V) is dominated by the border, i.e. grows with
+        the perimeter, not the area.  Doubling the area via doubling
+        one side grows E far slower than 2x the border growth."""
+        depth = 10
+        base = element_count_2d(101, 101, depth)
+        double_area = element_count_2d(202, 101, depth)
+        # Area doubles; element count grows by roughly the border
+        # increase (well under 4x).
+        assert double_area < 4 * base
+
+
+class TestSection4:
+    def test_lru_claim(self):
+        """Claim: 'The LRU buffering strategy will work well because of
+        our reliance on merging ... each page is accessed at most once.'
+        A range-query merge re-reads no leaf page."""
+        ds = make_dataset("U", GRID, 2000, seed=3)
+        tree = ZkdTree(GRID, page_capacity=20, buffer_frames=4)
+        tree.insert_many(ds.points)
+        tree.tree.reset_access_log()
+        tree.range_query(Box(((30, 120), (40, 140))))
+        accesses = tree.tree.leaf_accesses
+        # Each page appears in a single consecutive run (no returns).
+        runs = 1 + sum(
+            1 for a, b in zip(accesses, accesses[1:]) if a != b
+        )
+        assert runs == len(set(accesses))

@@ -1,0 +1,127 @@
+"""Tests for the proximity-preservation measurements (Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.core.proximity import (
+    neighbour_page_probability,
+    page_cover_count,
+    proximity_profile,
+)
+
+
+class TestProximityProfile:
+    def test_deterministic_for_seeded_rng(self, grid64):
+        a = proximity_profile(grid64, (1, 0), samples=200, rng=random.Random(1))
+        b = proximity_profile(grid64, (1, 0), samples=200, rng=random.Random(1))
+        assert a == b
+
+    def test_close_in_space_usually_close_in_z(self, grid64):
+        """The paper's core proximity claim: for unit offsets the median
+        z distance is far below the random-pair expectation."""
+        profile = proximity_profile(
+            grid64, (1, 0), samples=500, rng=random.Random(0)
+        )
+        assert profile.median < grid64.npixels / 8
+
+    def test_tail_is_thin(self, grid64):
+        """Large discrepancies exist (max can be huge) but are rare
+        (p90 is much smaller than max)."""
+        profile = proximity_profile(
+            grid64, (0, 1), samples=800, rng=random.Random(0)
+        )
+        assert profile.maximum > profile.quantile_90
+        assert profile.quantile_90 <= profile.maximum / 2
+
+    def test_larger_offsets_larger_distance(self, grid64):
+        """Greater spatial distance -> greater typical z distance."""
+        near = proximity_profile(grid64, (1, 0), samples=500, rng=random.Random(2))
+        far = proximity_profile(grid64, (16, 0), samples=500, rng=random.Random(2))
+        assert near.median <= far.median
+
+    def test_y_offset_cheaper_than_x(self, grid64):
+        """x is the most significant interleaved bit, so unit x steps
+        jump further in z than unit y steps on average."""
+        dx = proximity_profile(grid64, (1, 0), samples=1000, rng=random.Random(3))
+        dy = proximity_profile(grid64, (0, 1), samples=1000, rng=random.Random(3))
+        assert dy.mean <= dx.mean
+
+    def test_offset_too_large_rejected(self, grid8):
+        with pytest.raises(ValueError):
+            proximity_profile(grid8, (8, 0), samples=10)
+
+    def test_negative_offsets_supported(self, grid64):
+        profile = proximity_profile(
+            grid64, (-1, 0), samples=200, rng=random.Random(4)
+        )
+        assert profile.samples == 200
+
+    def test_str(self, grid64):
+        profile = proximity_profile(grid64, (1, 0), samples=50)
+        assert "offset=(1, 0)" in str(profile)
+
+
+class TestNeighbourPageProbability:
+    def test_probability_in_unit_range(self, grid64):
+        p = neighbour_page_probability(grid64, (1, 0), page_codes=64, samples=300)
+        assert 0.0 <= p <= 1.0
+
+    def test_bigger_pages_more_cohabitation(self, grid64):
+        small = neighbour_page_probability(
+            grid64, (1, 0), page_codes=16, samples=500, rng=random.Random(0)
+        )
+        large = neighbour_page_probability(
+            grid64, (1, 0), page_codes=256, samples=500, rng=random.Random(0)
+        )
+        assert large >= small
+
+    def test_neighbours_beat_random_pairs(self, grid64):
+        """Spatial neighbours share pages far more often than random
+        pixel pairs would (whose probability is ~pagesize/space)."""
+        page_codes = 64
+        p = neighbour_page_probability(
+            grid64, (1, 0), page_codes=page_codes, samples=800,
+            rng=random.Random(1),
+        )
+        random_pair = page_codes / grid64.npixels
+        assert p > 10 * random_pair
+
+    def test_rejects_empty_page(self, grid64):
+        with pytest.raises(ValueError):
+            neighbour_page_probability(grid64, (1, 0), page_codes=0)
+
+
+class TestPageCoverCount:
+    def test_single_pixel_one_page(self, grid8):
+        assert page_cover_count(grid8, Box(((3, 3), (5, 5))), 4) == 1
+
+    def test_whole_space(self, grid8):
+        assert page_cover_count(grid8, grid8.whole_space(), 16) == 4
+
+    def test_aligned_block_is_cheap(self, grid8):
+        # A dyadic-aligned square maps to exactly its own pages.
+        assert page_cover_count(grid8, Box(((0, 3), (0, 3))), 16) == 1
+
+    def test_straddling_block_costs_more(self, grid8):
+        aligned = page_cover_count(grid8, Box(((0, 3), (0, 3))), 16)
+        straddle = page_cover_count(grid8, Box(((2, 5), (2, 5))), 16)
+        assert straddle > aligned
+
+    def test_pages_per_block_bound_2d(self):
+        """Section 5.2: under the fixed-size page model a block-sized
+        square region touches at most 6 pages in 2-d."""
+        grid = Grid(2, 5)
+        page_codes = 64  # pages of 64 codes = 8x8-pixel z blocks
+        worst = 0
+        for corner in [(0, 0), (3, 5), (12, 17), (20, 9), (23, 23)]:
+            box = Box(
+                ((corner[0], corner[0] + 7), (corner[1], corner[1] + 7))
+            )
+            worst = max(worst, page_cover_count(grid, box, page_codes))
+        assert worst <= 6
+
+    def test_rejects_empty_page(self, grid8):
+        with pytest.raises(ValueError):
+            page_cover_count(grid8, grid8.whole_space(), 0)

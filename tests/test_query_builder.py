@@ -1,0 +1,147 @@
+"""Tests for the fluent Query builder."""
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.db import INTEGER, OID, Schema, SpatialDatabase, col
+from repro.db.query import Query
+
+from conftest import random_points
+
+
+@pytest.fixture
+def db(rng):
+    database = SpatialDatabase(Grid(2, 6))
+    database.create_table(
+        "cities",
+        Schema.of(
+            ("name@", OID), ("x", INTEGER), ("y", INTEGER), ("pop", INTEGER)
+        ),
+    )
+    points = random_points(rng, database.grid, 120)
+    database.insert_many(
+        "cities",
+        [
+            (f"c{i}", x, y, (i * 37) % 1000)
+            for i, (x, y) in enumerate(points)
+        ],
+    )
+    database.create_index("cities_xy", "cities", ("x", "y"))
+    return database
+
+
+class TestChaining:
+    def test_docstring_scenario(self):
+        database = SpatialDatabase(Grid(2, 6))
+        database.create_table(
+            "cities",
+            Schema.of(
+                ("name@", OID),
+                ("x", INTEGER),
+                ("y", INTEGER),
+                ("pop", INTEGER),
+            ),
+        )
+        database.insert_many(
+            "cities",
+            [
+                ("rome", 10, 20, 900),
+                ("oslo", 11, 21, 600),
+                ("faro", 50, 50, 60),
+            ],
+        )
+        rows = (
+            Query(database, "cities")
+            .within(("x", "y"), Box(((0, 30), (0, 30))))
+            .where(col("pop") >= 500)
+            .select("name@", "pop")
+            .order_by("pop", descending=True)
+            .run()
+            .rows
+        )
+        assert rows == [("rome", 900), ("oslo", 600)]
+
+    def test_window_only(self, db):
+        box = Box(((0, 31), (0, 31)))
+        rows = Query(db, "cities").within(("x", "y"), box).run().rows
+        expected = [
+            row for row in db.table("cities") if box.contains_point(row[1:3])
+        ]
+        assert sorted(rows) == sorted(expected)
+
+    def test_no_window_scans(self, db):
+        assert Query(db, "cities").count() == 120
+
+    def test_predicates_stack(self, db):
+        out = (
+            Query(db, "cities")
+            .where(col("pop") > 300)
+            .where(col("pop") < 700)
+            .run()
+        )
+        assert all(300 < row[3] < 700 for row in out)
+
+    def test_projection_and_distinct(self, db):
+        out = Query(db, "cities").select("pop").distinct().run()
+        assert out.schema.names == ["pop"]
+        values = [row[0] for row in out]
+        assert len(values) == len(set(values))
+
+    def test_order_and_limit(self, db):
+        out = (
+            Query(db, "cities")
+            .order_by("pop", descending=True)
+            .limit(5)
+            .run()
+        )
+        pops = [row[3] for row in out]
+        assert pops == sorted(pops, reverse=True)
+        assert len(out) == 5
+
+    def test_count(self, db):
+        box = Box(((0, 31), (0, 31)))
+        assert Query(db, "cities").within(("x", "y"), box).count() == len(
+            Query(db, "cities").within(("x", "y"), box).run()
+        )
+
+
+class TestGuards:
+    def test_double_window_rejected(self, db):
+        q = Query(db, "cities").within(("x", "y"), Box(((0, 1), (0, 1))))
+        with pytest.raises(ValueError):
+            q.within(("x", "y"), Box(((0, 1), (0, 1))))
+
+    def test_double_select_rejected(self, db):
+        q = Query(db, "cities").select("pop")
+        with pytest.raises(ValueError):
+            q.select("x")
+
+    def test_double_order_rejected(self, db):
+        q = Query(db, "cities").order_by("pop")
+        with pytest.raises(ValueError):
+            q.order_by("x")
+
+    def test_double_limit_rejected(self, db):
+        q = Query(db, "cities").limit(1)
+        with pytest.raises(ValueError):
+            q.limit(2)
+
+
+class TestExplain:
+    def test_explain_with_window(self, db):
+        text = (
+            Query(db, "cities")
+            .within(("x", "y"), Box(((0, 7), (0, 7))))
+            .where(col("pop") > 0)
+            .select("name@")
+            .limit(3)
+            .explain()
+        )
+        assert "RangeQuery" in text
+        assert "filter: 1 predicate(s)" in text
+        assert "project: name@" in text
+        assert "limit: 3" in text
+
+    def test_explain_without_window(self, db):
+        text = Query(db, "cities").explain()
+        assert "full table scan" in text

@@ -1,0 +1,197 @@
+"""Tests for the merge-based range search (Section 3.3, Figure 5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import (
+    MergeStats,
+    PointRecord,
+    SortedPointCursor,
+    brute_force_search,
+    build_point_sequence,
+    range_search,
+    range_search_bigmin,
+    range_search_simple,
+)
+
+from conftest import random_box, random_points
+
+
+def run_all_variants(grid, points, box):
+    seq = build_point_sequence(grid, points)
+    elements = [Element.of(z, grid) for z in decompose_box(grid, box)]
+    merged = list(range_search(SortedPointCursor(seq), grid, box))
+    simple = list(range_search_simple(seq, elements))
+    jumped = list(range_search_bigmin(SortedPointCursor(seq), grid, box))
+    return merged, simple, jumped
+
+
+class TestBuildPointSequence:
+    def test_sorted_by_z(self, grid8, rng):
+        points = random_points(rng, grid8, 30)
+        seq = build_point_sequence(grid8, points)
+        assert [r.z for r in seq] == sorted(r.z for r in seq)
+
+    def test_payload_is_point(self, grid8):
+        seq = build_point_sequence(grid8, [(3, 5)])
+        assert seq[0].payload == (3, 5)
+        assert seq[0].z == 27
+
+
+class TestSortedPointCursor:
+    def test_iteration(self, grid8, rng):
+        seq = build_point_sequence(grid8, random_points(rng, grid8, 10))
+        cursor = SortedPointCursor(seq)
+        walked = []
+        while cursor.current is not None:
+            walked.append(cursor.current)
+            cursor.step()
+        assert walked == seq
+
+    def test_seek_forward_only(self, grid8):
+        seq = build_point_sequence(grid8, [(0, 0), (3, 5), (7, 7)])
+        cursor = SortedPointCursor(seq)
+        cursor.seek(27)
+        assert cursor.current.z == 27
+        cursor.seek(0)  # never goes back
+        assert cursor.current.z == 27
+
+    def test_seek_past_end(self, grid8):
+        seq = build_point_sequence(grid8, [(0, 0)])
+        cursor = SortedPointCursor(seq)
+        assert cursor.seek(1) is None
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SortedPointCursor([PointRecord(5, None), PointRecord(1, None)])
+
+    def test_empty(self):
+        cursor = SortedPointCursor([])
+        assert cursor.current is None
+        assert cursor.step() is None
+        assert cursor.seek(0) is None
+
+
+class TestCorrectness:
+    def test_figure5_scenario(self, grid8, figure_box):
+        points = [(0, 1), (1, 1), (2, 3), (3, 6), (5, 2), (6, 6), (2, 4)]
+        merged, simple, jumped = run_all_variants(grid8, points, figure_box)
+        truth = brute_force_search(grid8, points, figure_box)
+        assert merged == simple == jumped == truth
+        assert set(truth) == {(1, 1), (2, 3), (2, 4)}
+
+    def test_empty_box_region(self, grid8):
+        points = [(0, 0), (7, 7)]
+        box = Box(((3, 4), (3, 4)))
+        merged, simple, jumped = run_all_variants(grid8, points, box)
+        assert merged == simple == jumped == []
+
+    def test_no_points(self, grid8, figure_box):
+        merged, simple, jumped = run_all_variants(grid8, [], figure_box)
+        assert merged == simple == jumped == []
+
+    def test_all_points_match(self, grid8):
+        points = [(x, y) for x in range(8) for y in range(8)]
+        box = grid8.whole_space()
+        merged, simple, jumped = run_all_variants(grid8, points, box)
+        assert len(merged) == len(simple) == len(jumped) == 64
+
+    def test_duplicate_points(self, grid8):
+        points = [(2, 2)] * 5 + [(6, 6)] * 3
+        box = Box(((0, 3), (0, 3)))
+        merged, simple, jumped = run_all_variants(grid8, points, box)
+        assert merged == simple == jumped == [(2, 2)] * 5
+
+    def test_box_outside_grid(self, grid8):
+        points = [(1, 1)]
+        box = Box(((10, 12), (10, 12)))
+        merged, simple, jumped = run_all_variants(grid8, points, box)
+        assert merged == simple == jumped == []
+
+    def test_results_in_z_order(self, grid64, rng):
+        points = random_points(rng, grid64, 200)
+        box = Box(((5, 40), (10, 55)))
+        merged, _, _ = run_all_variants(grid64, points, box)
+        zs = [grid64.zvalue(p).bits for p in merged]
+        assert zs == sorted(zs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_agreement(self, data):
+        grid = Grid(2, 5)
+        rng = random.Random(data.draw(st.integers(0, 10**6)))
+        points = random_points(rng, grid, 100)
+        box = random_box(rng, grid)
+        merged, simple, jumped = run_all_variants(grid, points, box)
+        truth = brute_force_search(grid, points, box)
+        assert merged == simple == jumped == truth
+
+    def test_3d_agreement(self, grid3d, rng):
+        points = random_points(rng, grid3d, 200)
+        box = Box(((2, 9), (1, 12), (5, 14)))
+        merged, simple, jumped = run_all_variants(grid3d, points, box)
+        truth = brute_force_search(grid3d, points, box)
+        assert merged == simple == jumped == truth
+
+    def test_1d_agreement(self, rng):
+        grid = Grid(1, 8)
+        points = random_points(rng, grid, 100)
+        box = Box(((30, 200),))
+        merged, simple, jumped = run_all_variants(grid, points, box)
+        truth = brute_force_search(grid, points, box)
+        assert merged == simple == jumped == truth
+
+
+class TestSkippingOptimization:
+    def test_skips_reduce_points_examined(self, grid64):
+        # Clustered points far from the query: the optimized merge must
+        # not walk them one by one.
+        points = [(x, 63) for x in range(50)] + [(2, 2)]
+        seq = build_point_sequence(grid64, points)
+        box = Box(((0, 3), (0, 3)))
+        stats = MergeStats()
+        result = list(
+            range_search(SortedPointCursor(seq), grid64, box, stats)
+        )
+        assert result == [(2, 2)]
+        assert stats.points_examined < len(points)
+
+    def test_stats_populated(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        seq = build_point_sequence(grid64, points)
+        box = Box(((10, 30), (10, 30)))
+        stats = MergeStats()
+        result = list(
+            range_search(SortedPointCursor(seq), grid64, box, stats)
+        )
+        assert stats.matches == len(result)
+        assert stats.elements_generated > 0
+
+    def test_simple_merge_stats(self, grid8, figure_box):
+        points = [(1, 1), (5, 5)]
+        seq = build_point_sequence(grid8, points)
+        elements = [
+            Element.of(z, grid8) for z in decompose_box(grid8, figure_box)
+        ]
+        stats = MergeStats()
+        list(range_search_simple(seq, elements, stats))
+        assert stats.elements_generated == len(elements)
+
+    def test_bigmin_seeks_on_miss(self, grid64):
+        # Points inside the z envelope of the box but outside the box
+        # itself force BIGMIN jumps.
+        box = Box(((0, 15), (32, 47)))
+        outside = [(20, 20), (25, 25), (30, 30)]
+        inside = [(5, 40)]
+        seq = build_point_sequence(grid64, outside + inside)
+        stats = MergeStats()
+        result = list(
+            range_search_bigmin(
+                SortedPointCursor(seq), grid64, box, stats
+            )
+        )
+        assert result == [(5, 40)]

@@ -1,0 +1,77 @@
+"""Tests for the reproduction-report generator and its CLI command."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import generate_report
+
+SMALL = dict(npoints=400, depth=6, locations=1)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(**SMALL)
+
+
+class TestReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Figures 1/2/4",
+            "## Section 5.1: space analysis",
+            "### Experiment U",
+            "### Experiment C",
+            "### Experiment D",
+            "## Structure comparison",
+            "## Figure 6: page partitions",
+        ):
+            assert heading in report_text, heading
+
+    def test_figure2_labels_embedded(self, report_text):
+        assert "00001 00011 001 010010 011000 011010" in report_text
+
+    def test_findings_reported(self, report_text):
+        assert "pages grow with volume" in report_text
+        assert "best aspects" in report_text
+
+    def test_structures_compared(self, report_text):
+        assert "zkd-btree" in report_text
+        assert "kd-tree" in report_text
+
+    def test_deterministic(self):
+        assert generate_report(**SMALL) == generate_report(**SMALL)
+
+
+class TestCli:
+    def test_report_to_stdout(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "report",
+                "--points", "400",
+                "--depth", "6",
+                "--locations", "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "# Reproduction report" in out.getvalue()
+
+    def test_report_to_file(self, tmp_path):
+        target = tmp_path / "report.md"
+        out = io.StringIO()
+        code = main(
+            [
+                "report",
+                "--points", "400",
+                "--depth", "6",
+                "--locations", "1",
+                "--output", str(target),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "written to" in out.getvalue()
+        assert "# Reproduction report" in target.read_text()

@@ -1,0 +1,136 @@
+"""Tests for the spatial-join kernel (Section 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decompose import Element, decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.spatialjoin import overlapping_pairs, spatial_join
+
+from conftest import random_box
+
+
+def tagged_box(grid, box, tag):
+    return [(Element.of(z, grid), tag) for z in decompose_box(grid, box)]
+
+
+def brute_force_pairs(grid, boxes_r, boxes_s):
+    """Ground truth: object pairs whose boxes share a pixel."""
+    out = set()
+    for name_r, box_r in boxes_r.items():
+        for name_s, box_s in boxes_s.items():
+            if box_r.intersects(box_s):
+                out.add((name_r, name_s))
+    return out
+
+
+class TestBasicPairs:
+    def test_overlapping_boxes_found(self, grid64):
+        r = tagged_box(grid64, Box(((0, 20), (0, 20))), "A")
+        s = tagged_box(grid64, Box(((10, 30), (10, 30))), "B")
+        assert overlapping_pairs(r, s) == {("A", "B")}
+
+    def test_disjoint_boxes_not_found(self, grid64):
+        r = tagged_box(grid64, Box(((0, 10), (0, 10))), "A")
+        s = tagged_box(grid64, Box(((40, 50), (40, 50))), "B")
+        assert overlapping_pairs(r, s) == set()
+
+    def test_touching_boxes_found(self, grid64):
+        # Sharing a pixel column counts as overlap (inclusive bounds).
+        r = tagged_box(grid64, Box(((0, 10), (0, 10))), "A")
+        s = tagged_box(grid64, Box(((10, 20), (0, 10))), "B")
+        assert overlapping_pairs(r, s) == {("A", "B")}
+
+    def test_identical_elements_pair_once_per_tuple(self, grid64):
+        box = Box(((0, 15), (0, 15)))
+        r = tagged_box(grid64, box, "A")
+        s = tagged_box(grid64, box, "B")
+        pairs = list(spatial_join(r, s))
+        # One identical element on each side: exactly one containment
+        # pair per element, not two.
+        assert len(pairs) == len(r)
+
+    def test_empty_inputs(self, grid64):
+        r = tagged_box(grid64, Box(((0, 5), (0, 5))), "A")
+        assert list(spatial_join(r, [])) == []
+        assert list(spatial_join([], r)) == []
+        assert list(spatial_join([], [])) == []
+
+
+class TestJoinSemantics:
+    def test_pairs_are_containment_related(self, grid64, rng):
+        r = tagged_box(grid64, random_box(rng, grid64), "A")
+        s = tagged_box(grid64, random_box(rng, grid64), "B")
+        for _, _, er, es in spatial_join(r, s):
+            assert er.zvalue.is_related_to(es.zvalue)
+
+    def test_multiple_objects_per_side(self, grid64):
+        r = tagged_box(grid64, Box(((0, 20), (0, 20))), "A1") + tagged_box(
+            grid64, Box(((40, 60), (40, 60))), "A2"
+        )
+        s = (
+            tagged_box(grid64, Box(((10, 30), (10, 30))), "B1")
+            + tagged_box(grid64, Box(((50, 63), (50, 63))), "B2")
+            + tagged_box(grid64, Box(((0, 63), (31, 32))), "B3")
+        )
+        # B3 is the thin horizontal band y in [31, 32]; it misses both
+        # A1 (y <= 20) and A2 (y >= 40).
+        assert overlapping_pairs(r, s) == {("A1", "B1"), ("A2", "B2")}
+
+    def test_unsorted_input_accepted(self, grid64, rng):
+        r = tagged_box(grid64, Box(((0, 20), (0, 20))), "A")
+        s = tagged_box(grid64, Box(((10, 30), (10, 30))), "B")
+        rng.shuffle(r)
+        rng.shuffle(s)
+        assert overlapping_pairs(r, s) == {("A", "B")}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_scenes_match_brute_force(self, seed):
+        grid = Grid(2, 5)
+        rng = random.Random(seed)
+        boxes_r = {
+            f"r{i}": random_box(rng, grid) for i in range(rng.randint(1, 5))
+        }
+        boxes_s = {
+            f"s{i}": random_box(rng, grid) for i in range(rng.randint(1, 5))
+        }
+        r = [
+            pair
+            for name, box in boxes_r.items()
+            for pair in tagged_box(grid, box, name)
+        ]
+        s = [
+            pair
+            for name, box in boxes_s.items()
+            for pair in tagged_box(grid, box, name)
+        ]
+        assert overlapping_pairs(r, s) == brute_force_pairs(
+            grid, boxes_r, boxes_s
+        )
+
+    def test_self_join_finds_self_overlaps(self, grid64):
+        r = tagged_box(grid64, Box(((0, 20), (0, 20))), "A") + tagged_box(
+            grid64, Box(((10, 30), (10, 30))), "B"
+        )
+        pairs = overlapping_pairs(r, r)
+        assert ("A", "B") in pairs or ("B", "A") in pairs
+        assert ("A", "A") in pairs  # every element pairs with itself
+
+    def test_nested_objects(self, grid64):
+        outer = tagged_box(grid64, Box(((0, 31), (0, 31))), "outer")
+        inner = tagged_box(grid64, Box(((8, 15), (8, 15))), "inner")
+        assert overlapping_pairs(outer, inner) == {("outer", "inner")}
+
+    def test_3d(self, grid3d):
+        r = [
+            (Element.of(z, grid3d), "A")
+            for z in decompose_box(grid3d, Box(((0, 7), (0, 7), (0, 7))))
+        ]
+        s = [
+            (Element.of(z, grid3d), "B")
+            for z in decompose_box(grid3d, Box(((4, 11), (4, 11), (4, 11))))
+        ]
+        assert overlapping_pairs(r, s) == {("A", "B")}

@@ -1,0 +1,122 @@
+"""Failure injection at the storage boundary.
+
+The structures above the page store must surface I/O failures cleanly
+(no silent corruption, no swallowed errors) and keep working once the
+fault clears — reads are pure, so a failed query is safely retryable.
+"""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import brute_force_search
+from repro.storage.page import Page, PageStore
+from repro.storage.buffer import BufferManager
+from repro.storage.prefix_btree import ZkdTree
+
+from conftest import random_box, random_points
+
+
+class FlakyStore(PageStore):
+    """A PageStore that fails reads/writes on command."""
+
+    def __init__(self, page_capacity: int) -> None:
+        super().__init__(page_capacity)
+        self.fail_reads_after: int = -1  # -1 = never
+        self.fail_writes_after: int = -1
+        self._read_calls = 0
+        self._write_calls = 0
+
+    def read(self, page_id: int) -> Page:
+        self._read_calls += 1
+        if 0 <= self.fail_reads_after < self._read_calls:
+            raise IOError(f"injected read failure on page {page_id}")
+        return super().read(page_id)
+
+    def write(self, page: Page) -> None:
+        self._write_calls += 1
+        if 0 <= self.fail_writes_after < self._write_calls:
+            raise IOError(f"injected write failure on page {page.page_id}")
+        super().write(page)
+
+
+def flaky_tree(grid, points, capacity=8, frames=2):
+    store = FlakyStore(capacity)
+    tree = ZkdTree(grid, page_capacity=capacity, buffer_frames=frames, store=store)
+    tree.insert_many(points)
+    return store, tree
+
+
+class TestReadFailures:
+    def test_query_surfaces_io_error(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        store, tree = flaky_tree(grid64, points)
+        box = Box(((0, 40), (0, 40)))
+        tree.range_query(box)  # warms nothing (tiny buffer)
+        store.fail_reads_after = store._read_calls + 3
+        with pytest.raises(IOError):
+            # Enough queries to exceed the failure threshold.
+            for _ in range(20):
+                tree.range_query(box)
+
+    def test_query_retry_succeeds_after_fault_clears(self, grid64, rng):
+        points = random_points(rng, grid64, 300)
+        store, tree = flaky_tree(grid64, points)
+        box = random_box(rng, grid64)
+        expected = brute_force_search(grid64, points, box)
+        store.fail_reads_after = store._read_calls  # fail immediately
+        with pytest.raises(IOError):
+            tree.range_query(box)
+        store.fail_reads_after = -1  # fault clears
+        result = tree.range_query(box)
+        assert list(result.matches) == expected
+        tree.tree.check_invariants()
+
+    def test_membership_after_failed_query(self, grid64, rng):
+        points = random_points(rng, grid64, 200)
+        store, tree = flaky_tree(grid64, points + [(1, 1)])
+        store.fail_reads_after = store._read_calls
+        with pytest.raises(IOError):
+            tree.range_query(grid64.whole_space())
+        store.fail_reads_after = -1
+        assert (1, 1) in tree
+
+
+class TestWriteFailures:
+    def test_insert_surfaces_write_back_error(self, grid64, rng):
+        # With a tiny buffer, inserts force dirty evictions (writes);
+        # an injected write failure must escape, not vanish.
+        points = random_points(rng, grid64, 50)
+        store, tree = flaky_tree(grid64, points, frames=2)
+        store.fail_writes_after = store._write_calls
+        with pytest.raises(IOError):
+            for point in random_points(rng, grid64, 200):
+                tree.insert(point)
+
+    def test_flush_surfaces_write_error(self, grid64, rng):
+        points = random_points(rng, grid64, 100)
+        store, tree = flaky_tree(grid64, points, frames=16)
+        # Dirty pages are sitting in the buffer; fail the flush.
+        store.fail_writes_after = store._write_calls
+        tree.insert((0, 0))
+        with pytest.raises(IOError):
+            tree.buffer.flush()
+
+
+class TestDiskOverflowThroughTree:
+    def test_oversized_payload_rejected_cleanly(self, tmp_path, grid64):
+        from repro.storage.btree import BPlusTree
+        from repro.storage.diskstore import FilePageStore, PageOverflowError
+
+        store = FilePageStore(
+            str(tmp_path / "tiny.zkd"), page_capacity=8, page_size=256
+        )
+        tree = BPlusTree(store, BufferManager(store, 2), total_bits=16)
+        # Each record is small enough individually; a full page of them
+        # exceeds the 256-byte page and must fail loudly at write-back.
+        with pytest.raises(PageOverflowError):
+            for i in range(64):
+                tree.insert(i, "payload-" * 8 + str(i))
+                tree.buffer.flush()
+        store.close()

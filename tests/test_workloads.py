@@ -1,0 +1,153 @@
+"""Tests for the U/C/D dataset and query generators."""
+
+import pytest
+
+from repro.core.geometry import Grid
+from repro.workloads.datasets import (
+    clustered_dataset,
+    diagonal_dataset,
+    make_dataset,
+    uniform_dataset,
+)
+from repro.workloads.queries import (
+    PAPER_ASPECTS,
+    PAPER_VOLUMES,
+    QuerySpec,
+    partial_match_workload,
+    query_shape,
+    query_workload,
+    random_query_boxes,
+)
+
+import random
+
+
+class TestDatasets:
+    def test_uniform_size_and_bounds(self, grid64):
+        ds = uniform_dataset(grid64, 500, seed=1)
+        assert len(ds) == 500
+        assert ds.name == "U"
+        assert all(grid64.contains_point(p) for p in ds.points)
+
+    def test_deterministic(self, grid64):
+        assert uniform_dataset(grid64, 100, seed=7).points == uniform_dataset(
+            grid64, 100, seed=7
+        ).points
+        assert uniform_dataset(grid64, 100, seed=7).points != uniform_dataset(
+            grid64, 100, seed=8
+        ).points
+
+    def test_clustered_structure(self):
+        grid = Grid(2, 8)
+        ds = clustered_dataset(grid, nclusters=50, per_cluster=100, seed=0)
+        assert len(ds) == 5000
+        assert ds.name == "C"
+        # Clustering: the points occupy far fewer distinct 16x16 tiles
+        # than a uniform set of the same size would.
+        tiles = {(x // 16, y // 16) for x, y in ds.points}
+        uniform_tiles = {
+            (x // 16, y // 16)
+            for x, y in uniform_dataset(grid, 5000, seed=0).points
+        }
+        assert len(tiles) < len(uniform_tiles) / 2
+
+    def test_diagonal_on_line(self, grid64):
+        ds = diagonal_dataset(grid64, 300, seed=0)
+        assert all(x == y for x, y in ds.points)
+        assert ds.name == "D"
+
+    def test_diagonal_jitter_stays_in_grid(self, grid64):
+        ds = diagonal_dataset(grid64, 300, jitter=3, seed=0)
+        assert all(grid64.contains_point(p) for p in ds.points)
+        assert any(x != y for x, y in ds.points)
+
+    def test_make_dataset_dispatch(self, grid64):
+        assert make_dataset("u", grid64, 100).name == "U"
+        assert make_dataset("C", grid64, 100).name == "C"
+        assert make_dataset("d", grid64, 100).name == "D"
+        with pytest.raises(ValueError):
+            make_dataset("X", grid64)
+        with pytest.raises(ValueError):
+            make_dataset("C", grid64, npoints=77)
+
+    def test_3d_datasets(self, grid3d):
+        assert all(
+            len(p) == 3 for p in uniform_dataset(grid3d, 50).points
+        )
+        assert all(
+            p[0] == p[1] == p[2] for p in diagonal_dataset(grid3d, 50).points
+        )
+
+
+class TestQueryShape:
+    def test_volume_respected(self, grid64):
+        sizes = query_shape(grid64, 0.25, 1.0)
+        volume = sizes[0] * sizes[1]
+        assert abs(volume - 0.25 * 64 * 64) / (0.25 * 64 * 64) < 0.15
+
+    def test_aspect_respected(self, grid64):
+        wide = query_shape(grid64, 0.02, 8.0)
+        tall = query_shape(grid64, 0.02, 0.125)
+        assert wide[0] > wide[1]
+        assert tall[0] < tall[1]
+        # Wide and tall are transposes of each other.
+        assert wide == tall[::-1]
+
+    def test_clipped_to_grid(self, grid64):
+        sizes = query_shape(grid64, 1.0, 64.0)
+        assert all(1 <= s <= 64 for s in sizes)
+
+    def test_rejects_bad_args(self, grid64):
+        with pytest.raises(ValueError):
+            query_shape(grid64, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            query_shape(grid64, 0.5, -1.0)
+
+    def test_3d_shape(self, grid3d):
+        sizes = query_shape(grid3d, 0.1, 2.0)
+        assert len(sizes) == 3
+
+
+class TestWorkloads:
+    def test_random_boxes_in_bounds(self, grid64):
+        rng = random.Random(0)
+        boxes = random_query_boxes(grid64, (10, 20), 20, rng)
+        assert len(boxes) == 20
+        space = grid64.whole_space()
+        for box in boxes:
+            assert space.contains_box(box)
+            assert box.sizes == (10, 20)
+
+    def test_random_boxes_reject_oversize(self, grid64):
+        with pytest.raises(ValueError):
+            random_query_boxes(grid64, (100, 1), 1, random.Random(0))
+
+    def test_query_workload_cross_product(self, grid64):
+        specs = query_workload(
+            grid64, volumes=(0.01, 0.04), aspects=(1.0, 4.0), locations=3
+        )
+        assert len(specs) == 2 * 2 * 3
+        assert {s.volume_fraction for s in specs} == {0.01, 0.04}
+        assert {s.aspect for s in specs} == {1.0, 4.0}
+        assert {s.location_index for s in specs} == {0, 1, 2}
+
+    def test_paper_defaults(self, grid64):
+        specs = query_workload(grid64)
+        assert len(specs) == len(PAPER_VOLUMES) * len(PAPER_ASPECTS) * 5
+
+    def test_workload_deterministic(self, grid64):
+        a = query_workload(grid64, seed=3)
+        b = query_workload(grid64, seed=3)
+        assert [s.box for s in a] == [s.box for s in b]
+
+    def test_partial_match_workload(self, grid64):
+        boxes = partial_match_workload(grid64, [0], count=5, seed=0)
+        assert len(boxes) == 5
+        for box in boxes:
+            (xlo, xhi), (ylo, yhi) = box.ranges
+            assert xlo == xhi
+            assert (ylo, yhi) == (0, 63)
+
+    def test_partial_match_bad_axis(self, grid64):
+        with pytest.raises(ValueError):
+            partial_match_workload(grid64, [5], count=1)

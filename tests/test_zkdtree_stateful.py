@@ -1,0 +1,86 @@
+"""Stateful property testing of the zkd tree against a multiset model.
+
+Random interleavings of insert / delete / range query / partial match /
+membership, checked after every step against a plain list of points.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.geometry import Box, Grid
+from repro.storage.prefix_btree import ZkdTree
+
+GRID = Grid(2, 5)  # 32 x 32
+COORD = st.integers(0, 31)
+POINT = st.tuples(COORD, COORD)
+
+
+class ZkdMachine(RuleBasedStateMachine):
+    @initialize(capacity=st.sampled_from([4, 8, 20]))
+    def setup(self, capacity):
+        self.tree = ZkdTree(GRID, page_capacity=capacity, buffer_frames=3)
+        self.model = []
+
+    @rule(point=POINT)
+    def insert(self, point):
+        self.tree.insert(point)
+        self.model.append(point)
+
+    @rule(point=POINT)
+    def delete(self, point):
+        removed = self.tree.delete(point)
+        if point in self.model:
+            assert removed
+            self.model.remove(point)
+        else:
+            assert not removed
+
+    @rule(point=POINT)
+    def membership(self, point):
+        assert (point in self.tree) == (point in self.model)
+
+    @rule(a=POINT, b=POINT)
+    def range_query(self, a, b):
+        box = Box(
+            (
+                (min(a[0], b[0]), max(a[0], b[0])),
+                (min(a[1], b[1]), max(a[1], b[1])),
+            )
+        )
+        expected = sorted(
+            (p for p in self.model if box.contains_point(p)),
+            key=lambda p: GRID.zvalue(p).bits,
+        )
+        assert list(self.tree.range_query(box).matches) == expected
+
+    @rule(x=COORD)
+    def partial_match(self, x):
+        expected = sorted(
+            (p for p in self.model if p[0] == x),
+            key=lambda p: GRID.zvalue(p).bits,
+        )
+        assert list(self.tree.partial_match_query((x, None)).matches) == (
+            expected
+        )
+
+    @invariant()
+    def size_matches(self):
+        if hasattr(self, "tree"):
+            assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        if hasattr(self, "tree"):
+            self.tree.tree.check_invariants()
+
+
+ZkdMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestZkdStateful = ZkdMachine.TestCase

@@ -1,0 +1,138 @@
+"""Tests for z-order curve utilities and BIGMIN/LITMAX jumps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import Box, Grid
+from repro.core.interleave import interleave
+from repro.core.zorder import (
+    bigmin,
+    box_zbounds,
+    curve_points,
+    curve_ranks,
+    litmax,
+    zcode_in_box,
+)
+
+
+def hyp_box_2d(data, side):
+    ranges = []
+    for _ in range(2):
+        a = data.draw(st.integers(0, side - 1))
+        b = data.draw(st.integers(0, side - 1))
+        ranges.append((min(a, b), max(a, b)))
+    return Box(tuple(ranges))
+
+
+class TestCurve:
+    def test_curve_visits_every_pixel_once(self, grid8):
+        points = curve_points(grid8)
+        assert len(points) == 64
+        assert len(set(points)) == 64
+
+    def test_first_four_points_form_n(self, grid8):
+        # Figure 4's recursive N: (0,0), (0,1), (1,0), (1,1).
+        assert curve_points(grid8)[:4] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_ranks_match_interleave(self, grid8):
+        for coords, rank in curve_ranks(grid8):
+            assert interleave(coords, grid8.depth) == rank
+
+    def test_consecutive_points_distance(self, grid8):
+        # Along the curve, most steps are unit steps; jumps exist but
+        # are bounded by the grid diameter.
+        points = curve_points(grid8)
+        unit_steps = sum(
+            1
+            for a, b in zip(points, points[1:])
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+        )
+        assert unit_steps >= len(points) / 2
+
+
+class TestZBounds:
+    def test_bounds_bracket_all_inside_codes(self, grid8, figure_box):
+        zmin, zmax = box_zbounds(figure_box, grid8.depth)
+        for p in figure_box.pixels():
+            assert zmin <= interleave(p, grid8.depth) <= zmax
+
+    def test_zcode_in_box(self, grid8, figure_box):
+        for code in range(64):
+            from repro.core.interleave import deinterleave
+
+            coords = deinterleave(code, 2, 3)
+            assert zcode_in_box(code, figure_box, 3) == figure_box.contains_point(
+                coords
+            )
+
+
+class TestBigMin:
+    def test_exhaustive_on_figure_box(self, grid8, figure_box):
+        codes_in = sorted(
+            interleave(p, 3) for p in figure_box.pixels()
+        )
+        for z in range(64):
+            expected = next((c for c in codes_in if c > z), None)
+            assert bigmin(z, figure_box, 3) == expected, z
+
+    def test_below_box_returns_zmin(self, grid8, figure_box):
+        zmin, _ = box_zbounds(figure_box, 3)
+        assert bigmin(0, figure_box, 3) == zmin or bigmin(
+            0, figure_box, 3
+        ) > 0
+
+    def test_at_or_above_zmax_returns_none(self, grid8, figure_box):
+        _, zmax = box_zbounds(figure_box, 3)
+        assert bigmin(zmax, figure_box, 3) is None
+        assert bigmin(63, figure_box, 3) is None
+
+    @settings(max_examples=50)
+    @given(st.data())
+    def test_random_boxes_exhaustive(self, data):
+        grid = Grid(2, 4)
+        box = hyp_box_2d(data, grid.side)
+        codes_in = sorted(interleave(p, 4) for p in box.pixels())
+        z = data.draw(st.integers(0, grid.npixels - 1))
+        expected = next((c for c in codes_in if c > z), None)
+        assert bigmin(z, box, 4) == expected
+
+    def test_3d(self):
+        grid = Grid(3, 2)
+        box = Box(((1, 2), (0, 3), (2, 3)))
+        codes_in = sorted(interleave(p, 2) for p in box.pixels())
+        for z in range(grid.npixels):
+            expected = next((c for c in codes_in if c > z), None)
+            assert bigmin(z, box, 2) == expected, z
+
+
+class TestLitMax:
+    def test_exhaustive_on_figure_box(self, grid8, figure_box):
+        codes_in = sorted(interleave(p, 3) for p in figure_box.pixels())
+        for z in range(64):
+            expected = next(
+                (c for c in reversed(codes_in) if c < z), None
+            )
+            assert litmax(z, figure_box, 3) == expected, z
+
+    @settings(max_examples=50)
+    @given(st.data())
+    def test_random_boxes_exhaustive(self, data):
+        grid = Grid(2, 4)
+        box = hyp_box_2d(data, grid.side)
+        codes_in = sorted(interleave(p, 4) for p in box.pixels())
+        z = data.draw(st.integers(0, grid.npixels - 1))
+        expected = next((c for c in reversed(codes_in) if c < z), None)
+        assert litmax(z, box, 4) == expected
+
+    def test_duality_with_bigmin(self, figure_box):
+        # litmax < z < bigmin and there is no in-box code between them.
+        codes_in = {interleave(p, 3) for p in figure_box.pixels()}
+        for z in range(64):
+            lo = litmax(z, figure_box, 3)
+            hi = bigmin(z, figure_box, 3)
+            between = {
+                c
+                for c in codes_in
+                if (lo is None or c > lo) and (hi is None or c < hi) and c != z
+            }
+            assert not between

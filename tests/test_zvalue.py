@@ -1,0 +1,281 @@
+"""Tests for the variable-length ZValue element class."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.zvalue import ZValue
+
+bitstrings = st.text(alphabet="01", min_size=0, max_size=16)
+
+
+def zv(text: str) -> ZValue:
+    return ZValue.from_string(text)
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        for text in ("", "0", "1", "001", "0110", "11111111"):
+            assert str(zv(text)) == text
+
+    def test_empty(self):
+        e = ZValue.empty()
+        assert len(e) == 0
+        assert str(e) == ""
+
+    def test_bits_length(self):
+        z = ZValue(0b001, 3)
+        assert z.bits == 1
+        assert z.length == 3
+
+    def test_rejects_overflow_bits(self):
+        with pytest.raises(ValueError):
+            ZValue(0b100, 2)
+        with pytest.raises(ValueError):
+            ZValue(-1, 2)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            ZValue(0, -1)
+
+    def test_rejects_non_bitstring(self):
+        with pytest.raises(ValueError):
+            ZValue.from_string("012")
+
+    def test_from_point_matches_interleave(self):
+        z = ZValue.from_point((3, 5), 3)
+        assert str(z) == "011011"
+        assert z.bits == 27
+
+    def test_iteration_and_indexing(self):
+        z = zv("0110")
+        assert list(z) == [0, 1, 1, 0]
+        assert z.bit(0) == 0
+        assert z.bit(1) == 1
+
+
+class TestFromRegion:
+    def test_figure2_element(self):
+        # Figure 2: element [2:3, 0:3] -> prefixes [01, 0] -> 001.
+        z = ZValue.from_region(los=(2, 0), lengths=(2, 1), depth=3)
+        assert str(z) == "001"
+
+    def test_whole_space(self):
+        z = ZValue.from_region(los=(0, 0), lengths=(0, 0), depth=3)
+        assert str(z) == ""
+
+    def test_single_pixel(self):
+        z = ZValue.from_region(los=(3, 5), lengths=(3, 3), depth=3)
+        assert str(z) == "011011"
+
+    def test_rejects_unaligned_corner(self):
+        # A region fixing 1 x-bit spans 4 pixels; corner must be 0 or 4.
+        with pytest.raises(ValueError):
+            ZValue.from_region(los=(2, 0), lengths=(1, 0), depth=3)
+
+    def test_rejects_invalid_split_pattern(self):
+        # y cannot have more fixed bits than x under x-first splitting.
+        with pytest.raises(ValueError):
+            ZValue.from_region(los=(0, 0), lengths=(0, 1), depth=3)
+
+    def test_region_roundtrip(self):
+        z = zv("00110")
+        ranges = z.region(2, 3)
+        lengths = z.axis_prefix_lengths(2)
+        los = tuple(lo for lo, _ in ranges)
+        assert ZValue.from_region(los, lengths, 3) == z
+
+
+class TestLexicographicOrder:
+    def test_prefix_precedes_extension(self):
+        assert zv("01") < zv("0110")
+        assert zv("01") < zv("0111")
+        assert zv("0110") < zv("0111")
+        assert zv("0111") < zv("1")
+
+    def test_empty_precedes_all(self):
+        assert ZValue.empty() < zv("0")
+        assert ZValue.empty() < zv("1")
+
+    def test_precedes_method(self):
+        assert zv("00").precedes(zv("01"))
+        assert not zv("01").precedes(zv("01"))
+
+    def test_equality(self):
+        assert zv("0110") == zv("0110")
+        assert zv("0110") != zv("01100")
+        assert zv("0") != zv("00")
+
+    def test_total_order_exhaustive(self):
+        # Lexicographic bitstring order over all strings up to length 4.
+        strings = sorted(
+            {s for n in range(5) for s in _all_bitstrings(n)}
+        )
+        values = sorted(zv(s) for s in strings)
+        assert [str(v) for v in values] == strings
+
+    @given(bitstrings, bitstrings)
+    def test_matches_python_string_order(self, a, b):
+        # '0' < '1' in ASCII, so Python string order IS bitstring
+        # lexicographic order.
+        assert (zv(a) < zv(b)) == (a < b)
+
+    @given(bitstrings, bitstrings, bitstrings)
+    def test_transitivity(self, a, b, c):
+        za, zb, zc = zv(a), zv(b), zv(c)
+        if za < zb and zb < zc:
+            assert za < zc
+
+
+def _all_bitstrings(n):
+    if n == 0:
+        return [""]
+    shorter = _all_bitstrings(n - 1)
+    return [s + b for s in shorter for b in "01"]
+
+
+class TestContainment:
+    def test_prefix_is_containment(self):
+        assert zv("01").contains(zv("0110"))
+        assert zv("01").contains(zv("01"))
+        assert not zv("0110").contains(zv("01"))
+        assert not zv("00").contains(zv("01"))
+
+    def test_in_operator(self):
+        assert zv("0110") in zv("01")
+        assert zv("01") not in zv("0110")
+
+    def test_empty_contains_everything(self):
+        assert ZValue.empty().contains(zv("010101"))
+
+    @given(bitstrings, bitstrings)
+    def test_matches_startswith(self, a, b):
+        assert zv(a).contains(zv(b)) == b.startswith(a)
+
+    @given(bitstrings, bitstrings)
+    def test_related_or_disjoint_intervals(self, a, b):
+        # Containment <=> nested z intervals; otherwise disjoint.
+        za, zb = zv(a), zv(b)
+        total = 20
+        alo, ahi = za.interval(total)
+        blo, bhi = zb.interval(total)
+        if za.is_related_to(zb):
+            assert (alo <= blo and bhi <= ahi) or (blo <= alo and ahi <= bhi)
+        else:
+            assert ahi < blo or bhi < alo
+
+    def test_common_prefix(self):
+        assert str(zv("0110").common_prefix(zv("0101"))) == "01"
+        assert str(zv("0110").common_prefix(zv("0110"))) == "0110"
+        assert str(zv("1").common_prefix(zv("0"))) == ""
+
+    @given(bitstrings, bitstrings)
+    def test_common_prefix_contains_both(self, a, b):
+        p = zv(a).common_prefix(zv(b))
+        assert p.contains(zv(a))
+        assert p.contains(zv(b))
+
+
+class TestNavigation:
+    def test_child_parent(self):
+        z = zv("01")
+        assert str(z.child(0)) == "010"
+        assert str(z.child(1)) == "011"
+        assert z.child(1).parent() == z
+
+    def test_parent_of_root_fails(self):
+        with pytest.raises(ValueError):
+            ZValue.empty().parent()
+
+    def test_child_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            zv("0").child(2)
+
+    def test_concat(self):
+        assert zv("01").concat(zv("10")) == zv("0110")
+        assert zv("").concat(zv("10")) == zv("10")
+
+    def test_split_axis_cycles(self):
+        assert ZValue.empty().split_axis(2) == 0
+        assert zv("0").split_axis(2) == 1
+        assert zv("00").split_axis(2) == 0
+        assert zv("000").split_axis(3) == 0
+
+
+class TestIntervals:
+    def test_figure3_element(self):
+        # Figure 3: the element 001 covers z codes 001000..001111.
+        z = zv("001")
+        assert z.interval(6) == (0b001000, 0b001111)
+
+    def test_full_resolution_is_singleton(self):
+        z = zv("011011")
+        assert z.interval(6) == (27, 27)
+
+    def test_whole_space(self):
+        assert ZValue.empty().interval(6) == (0, 63)
+
+    def test_too_long_raises(self):
+        with pytest.raises(ValueError):
+            zv("0101").zlo(3)
+        with pytest.raises(ValueError):
+            zv("0101").zhi(3)
+
+    @given(bitstrings)
+    def test_interval_size_is_power_of_two(self, text):
+        z = zv(text)
+        lo, hi = z.interval(16)
+        size = hi - lo + 1
+        assert size == 1 << (16 - len(text))
+        assert lo % size == 0
+
+
+class TestRegion:
+    def test_region_of_root(self):
+        assert ZValue.empty().region(2, 3) == ((0, 7), (0, 7))
+
+    def test_region_after_one_split(self):
+        assert zv("0").region(2, 3) == ((0, 3), (0, 7))
+        assert zv("1").region(2, 3) == ((4, 7), (0, 7))
+
+    def test_region_after_two_splits(self):
+        assert zv("01").region(2, 3) == ((0, 3), (4, 7))
+
+    def test_point_roundtrip(self):
+        z = ZValue.from_point((3, 5), 3)
+        assert z.point(2, 3) == (3, 5)
+
+    def test_point_requires_full_resolution(self):
+        with pytest.raises(ValueError):
+            zv("01").point(2, 3)
+
+    def test_axis_prefix_lengths(self):
+        assert zv("").axis_prefix_lengths(2) == (0, 0)
+        assert zv("0").axis_prefix_lengths(2) == (1, 0)
+        assert zv("01101").axis_prefix_lengths(2) == (3, 2)
+        assert zv("0110").axis_prefix_lengths(3) == (2, 1, 1)
+
+    @given(bitstrings.filter(lambda t: len(t) <= 8))
+    def test_region_pixels_match_interval(self, text):
+        # The pixels of the unshuffled region are exactly the pixels
+        # whose z codes lie in the element's interval.
+        z = zv(text)
+        depth = 4
+        (xlo, xhi), (ylo, yhi) = z.region(2, depth)
+        from repro.core.interleave import interleave
+
+        codes = sorted(
+            interleave((x, y), depth)
+            for x in range(xlo, xhi + 1)
+            for y in range(ylo, yhi + 1)
+        )
+        lo, hi = z.interval(2 * depth)
+        assert codes == list(range(lo, hi + 1))
+
+
+class TestHashing:
+    def test_distinct_lengths_distinct(self):
+        assert hash(zv("0")) != hash(zv("00")) or zv("0") != zv("00")
+
+    def test_usable_in_sets(self):
+        s = {zv("01"), zv("01"), zv("10")}
+        assert len(s) == 2
