@@ -44,6 +44,17 @@ from repro.core.geometry import (
     circle_classifier,
     polygon_classifier,
 )
+from repro.core.fastz import (
+    CachedBoxElementCursor,
+    decompose_box_cached,
+    deinterleave_fast,
+    deinterleave_many,
+    elements_many,
+    interleave_fast,
+    interleave_many,
+    zrank_fast,
+    zranks,
+)
 from repro.core.interference import (
     InterferenceReport,
     Solid,
@@ -86,6 +97,16 @@ __all__ = [
     "interleave",
     "deinterleave",
     "zrank",
+    # fast kernels (batched bit-twiddling)
+    "interleave_fast",
+    "deinterleave_fast",
+    "zrank_fast",
+    "interleave_many",
+    "deinterleave_many",
+    "zranks",
+    "elements_many",
+    "decompose_box_cached",
+    "CachedBoxElementCursor",
     # geometry
     "Grid",
     "Box",

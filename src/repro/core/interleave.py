@@ -64,14 +64,25 @@ def interleave(coords: Sequence[int], depth: int) -> int:
     Each coordinate must lie in ``[0, 2**depth)``.  The result has
     ``len(coords) * depth`` significant bits.
 
+    Coordinates must be integers: a float (or other non-int) would
+    otherwise interleave garbage bits or fail half-way through with an
+    opaque ``TypeError``, so it is rejected up front with a clear
+    ``ValueError``, as are negative depths.
+
     >>> interleave((3, 5), 3)   # Figure 4: [3, 5] -> 011011 = 27
     27
     """
     ndims = len(coords)
     if ndims == 0:
         raise ValueError("need at least one coordinate")
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
     limit = 1 << depth
     for axis, c in enumerate(coords):
+        if not isinstance(c, int):
+            raise ValueError(
+                f"coordinate {c!r} on axis {axis} is not an integer"
+            )
         if not 0 <= c < limit:
             raise ValueError(
                 f"coordinate {c} on axis {axis} outside [0, {limit}) "
@@ -92,6 +103,10 @@ def deinterleave(code: int, ndims: int, depth: int) -> Tuple[int, ...]:
     """
     if ndims <= 0:
         raise ValueError("ndims must be positive")
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    if not isinstance(code, int):
+        raise ValueError(f"code {code!r} is not an integer")
     total = ndims * depth
     if not 0 <= code < (1 << total):
         raise ValueError(f"code {code} outside [0, 2**{total})")

@@ -131,16 +131,28 @@ class MergeStats:
 
 
 def build_point_sequence(
-    grid: Grid, points: Iterable[Sequence[int]]
+    grid: Grid,
+    points: Iterable[Sequence[int]],
+    use_fast: bool = True,
 ) -> List[PointRecord[Tuple[int, ...]]]:
     """Step 1 of the algorithm: shuffle every point and sort by z.
 
     The payload is the point's coordinate tuple (standing in for "a
-    description of the point (e.g. the identifier)").
+    description of the point (e.g. the identifier)").  ``use_fast``
+    shuffles the whole batch through the table kernels of
+    :mod:`repro.core.fastz`; the result is bit-identical to the scalar
+    path, which stays available for the differential tests.
     """
-    records = [
-        PointRecord(grid.zvalue(p).bits, tuple(p)) for p in points
-    ]
+    if use_fast:
+        from repro.core.fastz import interleave_many
+
+        pts = [tuple(p) for p in points]
+        codes = interleave_many(pts, grid.depth, grid.ndims)
+        records = [PointRecord(z, p) for z, p in zip(codes, pts)]
+    else:
+        records = [
+            PointRecord(grid.zvalue(p).bits, tuple(p)) for p in points
+        ]
     records.sort(key=lambda r: r.z)
     return records
 
@@ -187,11 +199,24 @@ def range_search(
     grid: Grid,
     box: Box,
     stats: Optional[MergeStats] = None,
+    use_fast: bool = False,
 ) -> Iterator[T]:
     """Optimized merge for a box query: lazy box decomposition +
     bidirectional skipping.  Yields all points inside ``box`` in z order.
+
+    With ``use_fast`` the box's decomposition comes from the LRU-cached
+    front-end of :mod:`repro.core.fastz` and element seeks are binary
+    searches over the materialised sequence; repeated queries with the
+    same box skip decomposition entirely.  Results are identical; only
+    ``stats.elements_generated`` differs (a cache hit expands nothing).
     """
-    yield from merge_search(points, BoxElementCursor(grid, box), stats)
+    if use_fast:
+        from repro.core.fastz import CachedBoxElementCursor
+
+        cursor: "ElementCursorLike" = CachedBoxElementCursor(grid, box)
+    else:
+        cursor = BoxElementCursor(grid, box)
+    yield from merge_search(points, cursor, stats)
 
 
 def object_search(
@@ -250,9 +275,14 @@ def range_search_bigmin(
     grid: Grid,
     box: Box,
     stats: Optional[MergeStats] = None,
+    use_fast: bool = True,
 ) -> Iterator[T]:
     """Decomposition-free variant: test each candidate point directly
-    against the box and jump with BIGMIN on a miss."""
+    against the box and jump with BIGMIN on a miss.
+
+    The seek loop unshuffles one candidate per examined point;
+    ``use_fast`` routes that through the magic-number kernel
+    (bit-identical — same matches, same seeks, same stats)."""
     clipped = box.clipped_to(grid.whole_space())
     if clipped is None:
         return
@@ -261,7 +291,7 @@ def range_search_bigmin(
     while p is not None and p.z <= zmax:
         if stats:
             stats.points_examined += 1
-        if zcode_in_box(p.z, clipped, grid.depth):
+        if zcode_in_box(p.z, clipped, grid.depth, use_fast=use_fast):
             if stats:
                 stats.matches += 1
             yield p.payload

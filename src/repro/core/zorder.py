@@ -35,12 +35,11 @@ def curve_points(grid: Grid) -> List[Tuple[int, ...]]:
 
     Exponential in the grid size; intended for figures and tests.
     """
-    from repro.core.interleave import deinterleave
+    from repro.core.fastz import deinterleave_many
 
-    return [
-        deinterleave(code, grid.ndims, grid.depth)
-        for code in range(grid.npixels)
-    ]
+    return deinterleave_many(
+        range(grid.npixels), grid.ndims, grid.depth
+    )
 
 
 def curve_ranks(grid: Grid) -> Iterator[Tuple[Tuple[int, ...], int]]:
@@ -62,14 +61,23 @@ def box_zbounds(box: Box, depth: int) -> Tuple[int, int]:
     )
 
 
-def zcode_in_box(code: int, box: Box, depth: int) -> bool:
+def zcode_in_box(
+    code: int, box: Box, depth: int, use_fast: bool = False
+) -> bool:
     """Does the pixel with z code ``code`` lie inside ``box``?
 
-    Decided bit-by-bit without materializing the coordinates.
+    With ``use_fast`` the coordinates are recovered by the magic-number
+    unshuffle of :mod:`repro.core.fastz` (bit-identical to the
+    reference; kept switchable for the differential harness).
     """
-    from repro.core.interleave import deinterleave
+    if use_fast:
+        from repro.core.fastz import deinterleave_fast
 
-    coords = deinterleave(code, box.ndims, depth)
+        coords: Sequence[int] = deinterleave_fast(code, box.ndims, depth)
+    else:
+        from repro.core.interleave import deinterleave
+
+        coords = deinterleave(code, box.ndims, depth)
     return box.contains_point(coords)
 
 

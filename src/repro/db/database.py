@@ -101,8 +101,11 @@ class SpatialDatabase:
             buffer_frames=buffer_frames,
             policy=policy,
         )
-        for row in relation:
-            tree.insert(self._coords(relation, row, cols))
+        # Batch-shuffle the whole column set through the fast kernels;
+        # the insert sequence (and hence the tree shape) is unchanged.
+        tree.insert_many(
+            self._coords(relation, row, cols) for row in relation
+        )
         entry = IndexEntry(index_name, table, cols, tree)
         self.catalog.register_index(entry)
         return entry
@@ -125,6 +128,7 @@ class SpatialDatabase:
         table: str,
         coord_cols: Sequence[str],
         box: Box,
+        use_fast: bool = True,
     ) -> Relation:
         """Rows of ``table`` whose coordinates fall inside ``box``.
 
@@ -133,10 +137,14 @@ class SpatialDatabase:
         is estimated cheaper, a scan otherwise; without an index the
         relational spatial-join plan of Section 4 evaluates the query.
         Use :meth:`explain_range_query` to see the decision.
+        ``use_fast`` runs the chosen plan on the batch z-kernels of
+        :mod:`repro.core.fastz`; rows are identical either way.
         """
         from repro.db.planner import plan_range_query
 
-        return plan_range_query(self, table, coord_cols, box).execute()
+        return plan_range_query(
+            self, table, coord_cols, box, use_fast=use_fast
+        ).execute()
 
     def explain_range_query(
         self,
@@ -162,9 +170,11 @@ class SpatialDatabase:
         return out
 
     def _range_query_via_index(
-        self, entry: IndexEntry, table: str, box: Box
+        self, entry: IndexEntry, table: str, box: Box, use_fast: bool = True
     ) -> Relation:
-        matched = set(entry.tree.range_query(box).matches)
+        matched = set(
+            entry.tree.range_query(box, use_fast=use_fast).matches
+        )
         return self._filter_rows(
             table, entry.coord_cols, matched, f"range({table})"
         )
@@ -181,10 +191,16 @@ class SpatialDatabase:
         return out
 
     def _range_query_via_plan(
-        self, table: str, coord_cols: Sequence[str], box: Box
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        box: Box,
+        use_fast: bool = True,
     ) -> Relation:
         relation = self.catalog.relation(table)
-        plan = range_search_plan(relation, list(coord_cols), box, self.grid)
+        plan = range_search_plan(
+            relation, list(coord_cols), box, self.grid, use_fast=use_fast
+        )
         return self._filter_rows(
             table, tuple(coord_cols), set(plan.rows), f"range({table})"
         )

@@ -70,11 +70,14 @@ def plan_range_query(
     table: str,
     coord_cols: Sequence[str],
     box: Box,
+    use_fast: bool = True,
 ) -> Plan:
     """Choose between the zkd index and a full scan by predicted pages.
 
     Falls back to the relational plan (counted as a scan) when no index
-    matches.
+    matches.  ``use_fast`` threads the batch z-kernels of
+    :mod:`repro.core.fastz` through the chosen plan's shuffle and
+    decomposition steps (identical rows either way).
     """
     relation = database.catalog.relation(table)
     grid = database.grid
@@ -93,7 +96,7 @@ def plan_range_query(
             estimated_pages=scan_pages,
             alternative_pages=float("inf"),
             _execute=lambda: database._range_query_via_plan(
-                table, coord_cols, box
+                table, coord_cols, box, use_fast=use_fast
             ),
         )
 
@@ -118,7 +121,7 @@ def plan_range_query(
             estimated_pages=index_pages,
             alternative_pages=scan_pages,
             _execute=lambda: database._range_query_via_index(
-                entry, table, box
+                entry, table, box, use_fast=use_fast
             ),
         )
     return Plan(

@@ -80,10 +80,14 @@ def shuffle_points(
     grid: Grid,
     element_col: str = "zp",
     name: str = "",
+    use_fast: bool = True,
 ) -> Relation:
     """Add a full-resolution element column computed by shuffling the
     coordinate columns — the plan step
-    ``P := Points[p@, shuffle([x:x, y:y]), x, y]``."""
+    ``P := Points[p@, shuffle([x:x, y:y]), x, y]``.
+
+    ``use_fast`` shuffles the whole column batch through the table
+    kernels of :mod:`repro.core.fastz` (bit-identical z values)."""
     if len(coord_cols) != grid.ndims:
         raise ValueError(
             f"need {grid.ndims} coordinate columns, got {len(coord_cols)}"
@@ -93,6 +97,19 @@ def shuffle_points(
         list(relation.schema.columns) + [Column(element_col, ELEMENT)]
     )
     out = Relation(name or f"shuffle({relation.name})", schema)
+    if use_fast:
+        from repro.core.fastz import interleave_many
+
+        rows = list(relation)
+        codes = interleave_many(
+            [tuple(row[i] for i in indices) for row in rows],
+            grid.depth,
+            grid.ndims,
+        )
+        total = grid.total_bits
+        for row, code in zip(rows, codes):
+            out.insert(row + (ZValue(code, total),))
+        return out
     for row in relation:
         coords = tuple(row[i] for i in indices)
         out.insert(row + (grid.zvalue(coords),))
@@ -100,13 +117,25 @@ def shuffle_points(
 
 
 def decompose_box_relation(
-    box: Box, grid: Grid, element_col: str = "zb", name: str = "B"
+    box: Box,
+    grid: Grid,
+    element_col: str = "zb",
+    name: str = "B",
+    use_fast: bool = True,
 ) -> Relation:
-    """``B(zb) := Decompose(Box)`` — the query region as a relation."""
+    """``B(zb) := Decompose(Box)`` — the query region as a relation.
+
+    ``use_fast`` serves the decomposition from the LRU cache of
+    :mod:`repro.core.fastz` (identical elements; repeated query boxes
+    skip the splitting recursion)."""
+    if use_fast:
+        from repro.core.fastz import decompose_box_cached
+
+        zvalues: Sequence[ZValue] = decompose_box_cached(grid, box)
+    else:
+        zvalues = decompose_box(grid, box)
     schema = Schema([Column(element_col, ELEMENT)])
-    return Relation(
-        name, schema, ((z,) for z in decompose_box(grid, box))
-    )
+    return Relation(name, schema, ((z,) for z in zvalues))
 
 
 def spatial_join(
@@ -116,6 +145,7 @@ def spatial_join(
     right_element_col: str,
     grid: Grid,
     name: str = "",
+    use_fast: bool = True,
 ) -> Relation:
     """``R [zr ◇ zs] S``: pairs of tuples whose elements are related by
     containment.
@@ -123,14 +153,28 @@ def spatial_join(
     The output schema is the concatenation of both inputs' schemas (the
     right side's colliding names prefixed), exactly like a natural-join
     implementation "looking for containment ... instead of equality".
+    ``use_fast`` computes both sides' z-intervals in one batch loop
+    (:func:`repro.core.fastz.elements_many`) before the sweep.
     """
     lidx = left.schema.index_of(left_element_col)
     ridx = right.schema.index_of(right_element_col)
 
-    def tagged(relation: Relation, index: int):
-        for row in relation:
-            zvalue: ZValue = row[index]
-            yield Element.of(zvalue, grid), row
+    if use_fast:
+        from repro.core.fastz import elements_many
+
+        def tagged(relation: Relation, index: int):
+            rows = list(relation)
+            elements = elements_many(
+                grid, (row[index] for row in rows)
+            )
+            return zip(elements, rows)
+
+    else:
+
+        def tagged(relation: Relation, index: int):
+            for row in relation:
+                zvalue: ZValue = row[index]
+                yield Element.of(zvalue, grid), row
 
     collisions = set(left.schema.names) & set(right.schema.names)
     right_schema = (
@@ -181,11 +225,18 @@ def range_search_plan(
     coord_cols: Sequence[str],
     box: Box,
     grid: Grid,
+    use_fast: bool = True,
 ) -> Relation:
     """Range search expressed as a spatial join (end of Section 4):
     shuffle the points, decompose the box, join, project the
-    coordinates."""
-    p = shuffle_points(points, coord_cols, grid, element_col="zp", name="P")
-    b = decompose_box_relation(box, grid, element_col="zb", name="B")
-    joined = spatial_join(p, b, "zp", "zb", grid, name="PB")
+    coordinates.  ``use_fast`` threads the batch kernels through every
+    step (identical result relation)."""
+    p = shuffle_points(
+        points, coord_cols, grid, element_col="zp", name="P",
+        use_fast=use_fast,
+    )
+    b = decompose_box_relation(
+        box, grid, element_col="zb", name="B", use_fast=use_fast
+    )
+    joined = spatial_join(p, b, "zp", "zb", grid, name="PB", use_fast=use_fast)
     return project(joined, list(coord_cols), name="Result")

@@ -116,15 +116,38 @@ class ZkdTree:
         self.grid.validate_point(point)
         self.tree.insert(self.grid.zvalue(point).bits, point)
 
-    def insert_many(self, points: Iterable[Sequence[int]]) -> None:
-        for point in points:
-            self.insert(point)
+    def insert_many(
+        self, points: Iterable[Sequence[int]], use_fast: bool = True
+    ) -> None:
+        if not use_fast:
+            for point in points:
+                self.insert(point)
+            return
+        from repro.core.fastz import interleave_many
+
+        pts = [tuple(p) for p in points]
+        codes = interleave_many(pts, self.grid.depth, self.grid.ndims)
+        for code, point in zip(codes, pts):
+            self.tree.insert(code, point)
 
     def bulk_load(
-        self, points: Iterable[Sequence[int]], fill_factor: float = 1.0
+        self,
+        points: Iterable[Sequence[int]],
+        fill_factor: float = 1.0,
+        use_fast: bool = True,
     ) -> None:
         """Sort the points by z value and pack them bottom-up — the
-        fast load path for an initially empty tree."""
+        fast load path for an initially empty tree.  ``use_fast``
+        shuffles the whole batch through the table kernels of
+        :mod:`repro.core.fastz` (bit-identical keys)."""
+
+        if use_fast:
+            from repro.core.fastz import interleave_many
+
+            pts = [tuple(p) for p in points]
+            codes = interleave_many(pts, self.grid.depth, self.grid.ndims)
+            self.tree.bulk_load(zip(codes, pts), fill_factor)
+            return
 
         def records():
             for point in points:
@@ -155,17 +178,30 @@ class ZkdTree:
     # Queries
     # ------------------------------------------------------------------
 
-    def range_query(self, box: Box, use_bigmin: bool = False) -> QueryResult:
-        """All points inside ``box`` plus the paper's cost measures."""
+    def range_query(
+        self, box: Box, use_bigmin: bool = False, use_fast: bool = False
+    ) -> QueryResult:
+        """All points inside ``box`` plus the paper's cost measures.
+
+        ``use_fast`` routes the merge through the cached decomposition
+        (or, with ``use_bigmin``, the magic-number unshuffle) of
+        :mod:`repro.core.fastz`; matches and page counts are identical.
+        """
         self.tree.reset_access_log()
         stats = MergeStats()
         cursor = BTreeCursor(self.tree)
         if use_bigmin:
             matches = tuple(
-                range_search_bigmin(cursor, self.grid, box, stats)
+                range_search_bigmin(
+                    cursor, self.grid, box, stats, use_fast=use_fast
+                )
             )
         else:
-            matches = tuple(range_search(cursor, self.grid, box, stats))
+            matches = tuple(
+                range_search(
+                    cursor, self.grid, box, stats, use_fast=use_fast
+                )
+            )
         touched = sorted(set(self.tree.leaf_accesses))
         records = sum(
             self.buffer.peek(page_id).nrecords for page_id in touched

@@ -1,0 +1,254 @@
+"""End-to-end oracle tests: every search variant, fast path on and off.
+
+``brute_force_search`` is the ground truth; the three range-search
+variants must agree with it — and with each other — whether they run on
+the scalar reference kernels (``use_fast=False``) or the batched
+bit-twiddling kernels and cached decomposer (``use_fast=True``).
+Datasets cover uniform random points and tight Gaussian-ish clusters
+(the z-order worst case for skipping), and a stateful insert/search
+round-trip exercises the cached decomposer against a mutating tree.
+"""
+
+import random
+
+import pytest
+
+from conftest import random_box, random_points
+
+from repro.core import fastz
+from repro.core.decompose import decompose_box
+from repro.core.geometry import Box, Grid
+from repro.core.rangesearch import (
+    MergeStats,
+    SortedPointCursor,
+    brute_force_search,
+    build_point_sequence,
+    range_search,
+    range_search_bigmin,
+    range_search_simple,
+)
+from repro.db.database import SpatialDatabase
+from repro.db.schema import Schema
+from repro.db.spatial import range_search_plan
+from repro.db.types import INTEGER, OID
+from repro.storage.prefix_btree import ZkdTree
+
+
+def clustered_points(rng: random.Random, grid: Grid, n: int):
+    """Points in a few tight clusters (hot spots on the curve)."""
+    side = grid.side
+    centers = [
+        tuple(rng.randrange(side) for _ in range(grid.ndims))
+        for _ in range(4)
+    ]
+    spread = max(1, side // 16)
+    points = []
+    for _ in range(n):
+        center = rng.choice(centers)
+        points.append(
+            tuple(
+                min(side - 1, max(0, c + rng.randrange(-spread, spread + 1)))
+                for c in center
+            )
+        )
+    return points
+
+
+def all_variants(grid, points, box, use_fast):
+    """Run every search variant and return the sorted result sets."""
+    records = build_point_sequence(grid, points, use_fast=use_fast)
+    results = {}
+    results["optimized"] = sorted(
+        range_search(
+            SortedPointCursor(records), grid, box, use_fast=use_fast
+        )
+    )
+    results["bigmin"] = sorted(
+        range_search_bigmin(
+            SortedPointCursor(records), grid, box, use_fast=use_fast
+        )
+    )
+    if use_fast:
+        elements = fastz.elements_many(
+            grid, fastz.decompose_box_cached(grid, box)
+        )
+    else:
+        from repro.core.decompose import Element
+
+        elements = [
+            Element.of(z, grid) for z in decompose_box(grid, box)
+        ]
+    results["simple"] = sorted(range_search_simple(records, elements))
+    return results
+
+
+@pytest.mark.parametrize("dataset", ["uniform", "clustered"])
+@pytest.mark.parametrize("ndims,depth", [(2, 6), (3, 4)])
+def test_variants_agree_with_brute_force(dataset, ndims, depth):
+    grid = Grid(ndims=ndims, depth=depth)
+    rng = random.Random(hash((dataset, ndims, depth)) & 0xFFFF)
+    if dataset == "uniform":
+        points = random_points(rng, grid, 300)
+    else:
+        points = clustered_points(rng, grid, 300)
+    for _ in range(15):
+        box = random_box(rng, grid)
+        truth = sorted(set(brute_force_search(grid, points, box)))
+        deduped_truth = sorted(set(truth))
+        for use_fast in (False, True):
+            results = all_variants(grid, sorted(set(points)), box, use_fast)
+            for variant, matched in results.items():
+                assert sorted(set(matched)) == deduped_truth, (
+                    variant,
+                    use_fast,
+                    box,
+                )
+
+
+def test_fast_and_slow_paths_identical_including_duplicates(grid64, rng):
+    points = random_points(rng, grid64, 400) * 2  # duplicates included
+    for _ in range(10):
+        box = random_box(rng, grid64)
+        slow = all_variants(grid64, sorted(points), box, use_fast=False)
+        fast = all_variants(grid64, sorted(points), box, use_fast=True)
+        assert slow == fast
+
+
+def test_out_of_space_and_degenerate_boxes(grid64, rng):
+    points = random_points(rng, grid64, 100)
+    records = build_point_sequence(grid64, points)
+    boxes = [
+        Box(((200, 300), (200, 300))),          # fully outside
+        Box(((0, 200), (0, 200))),              # overhanging the space
+        Box(((5, 5), (7, 7))),                  # single pixel
+        grid64.whole_space(),                   # everything
+    ]
+    for box in boxes:
+        truth = sorted(set(brute_force_search(grid64, points, box)))
+        for use_fast in (False, True):
+            got = sorted(
+                set(
+                    range_search(
+                        SortedPointCursor(records),
+                        grid64,
+                        box,
+                        use_fast=use_fast,
+                    )
+                )
+            )
+            assert got == truth
+
+
+def test_merge_stats_match_between_paths(grid64, rng):
+    """The bigmin fast path must take the *same* seeks, not just return
+    the same points."""
+    points = sorted(set(random_points(rng, grid64, 300)))
+    records = build_point_sequence(grid64, points)
+    for _ in range(10):
+        box = random_box(rng, grid64)
+        slow_stats, fast_stats = MergeStats(), MergeStats()
+        slow = list(
+            range_search_bigmin(
+                SortedPointCursor(records), grid64, box, slow_stats,
+                use_fast=False,
+            )
+        )
+        fast = list(
+            range_search_bigmin(
+                SortedPointCursor(records), grid64, box, fast_stats,
+                use_fast=True,
+            )
+        )
+        assert slow == fast
+        assert slow_stats == fast_stats
+
+
+# ----------------------------------------------------------------------
+# Stateful round-trip: inserts interleaved with cached-decomposer queries
+# ----------------------------------------------------------------------
+
+
+def test_stateful_insert_search_roundtrip(grid64):
+    rng = random.Random(0xBEEF)
+    tree = ZkdTree(grid64, page_capacity=8, buffer_frames=4)
+    live = set()
+    for step in range(12):
+        batch = random_points(rng, grid64, 40)
+        if step % 2:
+            tree.insert_many(batch, use_fast=True)
+        else:
+            for point in batch:
+                tree.insert(point)
+        live.update(map(tuple, batch))
+        for _ in range(3):
+            box = random_box(rng, grid64)
+            truth = sorted(
+                set(brute_force_search(grid64, live, box))
+            )
+            for use_bigmin in (False, True):
+                fast = tree.range_query(
+                    box, use_bigmin=use_bigmin, use_fast=True
+                )
+                slow = tree.range_query(
+                    box, use_bigmin=use_bigmin, use_fast=False
+                )
+                assert sorted(set(fast.matches)) == truth
+                assert fast.matches == slow.matches
+                assert fast.pages_accessed == slow.pages_accessed
+    # The cached decomposer actually served repeated boxes.
+    assert fastz.decompose_box_cache_info().hits > 0
+
+
+def test_bulk_load_fast_matches_slow(grid64, rng):
+    points = random_points(rng, grid64, 500)
+    fast_tree = ZkdTree(grid64, page_capacity=10)
+    fast_tree.bulk_load(points, use_fast=True)
+    slow_tree = ZkdTree(grid64, page_capacity=10)
+    slow_tree.bulk_load(points, use_fast=False)
+    assert len(fast_tree) == len(slow_tree) == len(points)
+    assert fast_tree.points() == slow_tree.points()
+    assert fast_tree.npages == slow_tree.npages
+    box = random_box(rng, grid64)
+    assert (
+        fast_tree.range_query(box).matches
+        == slow_tree.range_query(box).matches
+    )
+
+
+def test_relational_plan_fast_matches_slow(grid64, rng):
+    from repro.db.relation import Relation
+
+    schema = Schema.of(("id", OID), ("x", INTEGER), ("y", INTEGER))
+    rel = Relation("pts", schema)
+    for i, (x, y) in enumerate(random_points(rng, grid64, 200)):
+        rel.insert((i, x, y))
+    for _ in range(5):
+        box = random_box(rng, grid64)
+        fast = range_search_plan(rel, ["x", "y"], box, grid64, use_fast=True)
+        slow = range_search_plan(
+            rel, ["x", "y"], box, grid64, use_fast=False
+        )
+        assert sorted(fast.rows) == sorted(slow.rows)
+
+
+def test_database_range_query_fast_matches_slow(grid64):
+    rng = random.Random(0xD6)
+    db = SpatialDatabase(grid64, page_capacity=8)
+    db.create_table(
+        "cities", Schema.of(("c@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    points = random_points(rng, grid64, 150)
+    for i, (x, y) in enumerate(points):
+        db.insert("cities", (f"c{i}", x, y))
+    db.create_index("cities_xy", "cities", ("x", "y"))
+    for _ in range(8):
+        box = random_box(rng, grid64)
+        fast = db.range_query("cities", ("x", "y"), box, use_fast=True)
+        slow = db.range_query("cities", ("x", "y"), box, use_fast=False)
+        assert sorted(fast.rows) == sorted(slow.rows)
+        truth = {
+            (x, y)
+            for x, y in points
+            if box.contains_point((x, y))
+        }
+        assert {(r[1], r[2]) for r in fast.rows} == truth

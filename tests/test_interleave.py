@@ -77,6 +77,27 @@ class TestInterleave:
         with pytest.raises(ValueError):
             interleave((), 3)
 
+    def test_rejects_negative_depth_clearly(self):
+        # Used to surface as an opaque "negative shift count" from deep
+        # inside; now a clear ValueError up front.
+        with pytest.raises(ValueError, match="depth"):
+            interleave((0,), -1)
+        with pytest.raises(ValueError, match="depth"):
+            deinterleave(0, 2, -1)
+
+    def test_rejects_non_integer_coordinates(self):
+        # A float used to blow up half-way through with a TypeError (or
+        # silently truncate in other code paths); it must be a clear
+        # ValueError before any bit is produced.
+        with pytest.raises(ValueError, match="not an integer"):
+            interleave((1.5, 2), 3)
+        with pytest.raises(ValueError, match="not an integer"):
+            interleave((2.0, 1), 3)
+        with pytest.raises(ValueError, match="not an integer"):
+            interleave(("3", 1), 3)
+        with pytest.raises(ValueError, match="not an integer"):
+            deinterleave(2.0, 2, 3)
+
     def test_exhaustive_bijection_2d(self):
         codes = {interleave((x, y), 3) for x in range(8) for y in range(8)}
         assert codes == set(range(64))
