@@ -15,7 +15,7 @@ import pytest
 from conftest import save_result
 
 from repro.core.decompose import BoxElementCursor, Element, decompose_box
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Grid
 from repro.core.rangesearch import (
     MergeStats,
     SortedPointCursor,
@@ -131,9 +131,12 @@ def test_buffer_policy_irrelevant_for_merges(benchmark, results_dir):
     def measure(policy):
         tree = ZkdTree(GRID, page_capacity=20, buffer_frames=4, policy=policy)
         tree.insert_many(dataset.points)
-        tree.buffer.reset_stats()
-        pages = [tree.range_query(s.box).pages_accessed for s in specs]
-        return statistics.fmean(pages), tree.buffer.misses
+        # range_query resets the buffer accounting per query, so the
+        # workload's miss total is the sum of the per-query snapshots.
+        results = [tree.range_query(s.box) for s in specs]
+        pages = [r.pages_accessed for r in results]
+        misses = sum(int(r.buffer_stats["misses"]) for r in results)
+        return statistics.fmean(pages), misses
 
     rows = {p: measure(p) for p in ReplacementPolicy}
     lines = [f"{'policy':>6} {'pages/query':>12} {'buffer misses':>14}"]

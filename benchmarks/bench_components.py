@@ -8,7 +8,6 @@ shows cost scaling with element count and agreement with flood fill.
 import random
 import time
 
-import pytest
 
 from conftest import save_result
 

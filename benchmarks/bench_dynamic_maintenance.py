@@ -15,7 +15,6 @@ stress it:
 import random
 import statistics
 
-import pytest
 
 from conftest import save_result
 

@@ -6,7 +6,6 @@ exactly, times the underlying primitive, and saves the rendered figure.
 
 from conftest import save_result
 
-from repro.core.geometry import Box, Grid
 from repro.core.interleave import interleave
 from repro.experiments.figures import (
     FIGURE_BOX,

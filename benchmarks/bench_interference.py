@@ -7,11 +7,10 @@ interferences, mirroring the filter-and-refine architecture.
 
 import random
 
-import pytest
 
 from conftest import save_result
 
-from repro.core.geometry import Box, Grid, box_classifier, circle_classifier
+from repro.core.geometry import Grid, circle_classifier
 from repro.core.interference import Solid, detect_interference
 
 

@@ -5,7 +5,6 @@ grid directory and a heap scan; every structure uses 20-point pages.
 The comparison driver also differential-tests the result sets.
 """
 
-import statistics
 
 import pytest
 

@@ -8,7 +8,6 @@ the 3-d case (t = 1 and t = 2 of k = 3).
 import math
 import statistics
 
-import pytest
 
 from conftest import save_result
 

@@ -6,7 +6,6 @@ and record where the planner flips — the flip should sit near the true
 crossover.
 """
 
-import pytest
 
 from conftest import save_result
 

@@ -10,7 +10,6 @@
 
 import random
 
-import pytest
 
 from conftest import save_result
 

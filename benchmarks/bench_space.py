@@ -11,7 +11,6 @@ Regenerates the analysis results as tables:
   grid tracks the area.
 """
 
-import pytest
 
 from conftest import save_result
 

@@ -4,7 +4,6 @@ mini DBMS — Decompose, join, duplicate-eliminating projection.
 
 import random
 
-import pytest
 
 from conftest import save_result
 

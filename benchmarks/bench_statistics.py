@@ -7,14 +7,13 @@ times more accurate — the kind of distribution-awareness the PROBE
 optimizer would need.
 """
 
-import random
 import statistics as stats_module
 
 import pytest
 
 from conftest import save_result
 
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Grid
 from repro.db.statistics import estimate_matches, estimate_pages
 from repro.storage.prefix_btree import ZkdTree
 from repro.workloads.datasets import make_dataset

@@ -1,0 +1,257 @@
+"""The perf-trajectory gate: deterministic trace counters vs baseline.
+
+Runs a fixed-seed query workload (planned range queries through the zkd
+index plus a Section-4 overlap join) under a :mod:`repro.obs` trace and
+collects every counter the instrumented layers publish — elements
+generated, pages accessed, node visits, buffer misses, merge advances,
+rows in/out.  With fixed seeds these are *byte-stable*, so CI diffs
+them against ``benchmarks/baselines/trace_counters.json`` and fails on
+any increase: an algorithmic regression that wall-clock timing would
+bury in noise.
+
+Runs three ways:
+
+* as a pytest bench (determinism + gate self-check)::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_trace_counters.py -q
+
+* as the CI gate::
+
+      PYTHONPATH=src python benchmarks/bench_trace_counters.py \
+          --check benchmarks/baselines/trace_counters.json \
+          --out BENCH_${SHA}.json
+
+* to re-pin the baseline after an intentional change::
+
+      PYTHONPATH=src python benchmarks/bench_trace_counters.py \
+          --update-baseline benchmarks/baselines/trace_counters.json
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core.geometry import Box, Grid
+from repro.db import INTEGER, OID, SPATIAL_OBJECT, Schema, SpatialDatabase
+from repro.db.query import Query
+from repro.db.relation import Relation
+from repro.db.spatial import overlap_query
+from repro.db.types import SpatialObject
+from repro.obs import compare_counters, trace
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).parent / "baselines" / "trace_counters.json"
+)
+
+DEPTH = 7
+NPOINTS = 1500
+NOBJECTS = 30
+CAPACITY = 20
+SEED = 0
+
+
+def _build_database(depth=DEPTH, npoints=NPOINTS, capacity=CAPACITY,
+                    seed=SEED):
+    grid = Grid(ndims=2, depth=depth)
+    db = SpatialDatabase(grid, page_capacity=capacity)
+    db.create_table(
+        "points", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    dataset = make_dataset("C", grid, npoints, seed=seed)
+    db.insert_many(
+        "points",
+        [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
+    )
+    db.create_index("points_xy", "points", ("x", "y"))
+    return grid, db
+
+
+def _object_relation(name, prefix, grid, count, rng):
+    relation = Relation(
+        name, Schema.of(("id@", OID), ("geom", SPATIAL_OBJECT))
+    )
+    extent = max(2, grid.side // 16)
+    for i in range(count):
+        x = rng.randrange(grid.side - extent)
+        y = rng.randrange(grid.side - extent)
+        box = Box(((x, x + extent), (y, y + extent)))
+        relation.insert(
+            (f"{prefix}{i}", SpatialObject.from_box(f"{prefix}{i}", box))
+        )
+    return relation
+
+
+def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
+            capacity=CAPACITY, seed=SEED):
+    """Every published counter, summed over the fixed workload.
+
+    Range-query counters are prefixed ``range.``, overlap-join counters
+    ``join.``; all values are integers (``elapsed_s`` lives in span
+    timings, not counters, so nothing here is wall-clock-dependent).
+    """
+    grid, db = _build_database(depth, npoints, capacity, seed)
+    specs = query_workload(
+        grid, volumes=(0.01, 0.05), aspects=(1.0, 4.0), locations=3,
+        seed=seed + 1,
+    )
+    counters = {}
+
+    def fold(prefix, totals):
+        for key, value in totals.items():
+            name = f"{prefix}.{key}"
+            counters[name] = counters.get(name, 0) + value
+
+    for spec in specs:
+        with trace("range") as t:
+            Query(db, "points").within(("x", "y"), spec.box).run()
+        fold("range", t.total_counters())
+
+    rng = random.Random(seed + 2)
+    p_objects = _object_relation("P", "p", grid, nobjects, rng)
+    q_objects = _object_relation("Q", "q", grid, nobjects, rng)
+    with trace("join") as t:
+        overlap_query(
+            p_objects, q_objects, "geom", "id@",
+            grid=grid, max_depth=max(1, depth - 3),
+        )
+    fold("join", t.total_counters())
+    return counters
+
+
+def measure_overhead(repeats=3):
+    """Wall time of the range workload with tracing off vs on.
+
+    The disabled path costs one global load per query/operator; the
+    ratio quantifies what the full span machinery adds when enabled.
+    """
+    grid, db = _build_database()
+    specs = query_workload(
+        grid, volumes=(0.01, 0.05), aspects=(1.0, 4.0), locations=3,
+        seed=SEED + 1,
+    )
+
+    def run_workload(traced):
+        t0 = time.perf_counter()
+        for spec in specs:
+            query = Query(db, "points").within(("x", "y"), spec.box)
+            if traced:
+                query.run_traced()
+            else:
+                query.run()
+        return time.perf_counter() - t0
+
+    run_workload(False)  # warm caches before timing
+    disabled = min(run_workload(False) for _ in range(repeats))
+    enabled = min(run_workload(True) for _ in range(repeats))
+    return {
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "enabled_over_disabled": enabled / disabled if disabled else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_counters_deterministic(results_dir):
+    """Two independent collections must agree bit-for-bit — the property
+    the CI gate stands on."""
+    from conftest import save_result
+
+    first = collect()
+    second = collect()
+    assert first == second
+    assert first  # non-empty: the instrumentation actually published
+    lines = [f"{k} {v}" for k, v in sorted(first.items())]
+    save_result(results_dir, "trace_counters.txt", "\n".join(lines))
+
+
+def test_counters_match_committed_baseline():
+    """The committed baseline is what CI diffs against; drift means
+    either a regression or a baseline that needs re-pinning."""
+    baseline = json.loads(BASELINE_PATH.read_text())["counters"]
+    report = compare_counters(collect(), baseline)
+    assert report.ok, report.summary()
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (CI gate)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the collected counters as a BENCH json artifact",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="diff against a baseline json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--update-baseline", metavar="BASELINE",
+        help="write the collected counters as the new baseline",
+    )
+    parser.add_argument(
+        "--overhead", action="store_true",
+        help="also time the workload traced vs untraced",
+    )
+    args = parser.parse_args(argv)
+
+    counters = collect()
+    payload = {
+        "bench": "trace_counters",
+        "workload": {
+            "depth": DEPTH, "npoints": NPOINTS, "nobjects": NOBJECTS,
+            "capacity": CAPACITY, "seed": SEED,
+        },
+        "counters": dict(sorted(counters.items())),
+    }
+    print(f"collected {len(counters)} deterministic counters")
+
+    if args.overhead:
+        overhead = measure_overhead()
+        payload["overhead"] = overhead
+        print(
+            f"workload wall time: untraced {overhead['disabled_s'] * 1e3:.1f} ms, "
+            f"traced {overhead['enabled_s'] * 1e3:.1f} ms "
+            f"({overhead['enabled_over_disabled']:.2f}x)"
+        )
+
+    if args.out:
+        pathlib.Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        path = pathlib.Path(args.update_baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"bench": "trace_counters", "counters": payload["counters"]},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline pinned at {path}")
+
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())[
+            "counters"
+        ]
+        report = compare_counters(counters, baseline)
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.geometry import Box, Grid
 from repro.core.rangesearch import MergeStats

@@ -11,7 +11,7 @@ its partition cannot adapt — the contrast the benches quantify.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.geometry import Box, Grid
 from repro.core.rangesearch import MergeStats

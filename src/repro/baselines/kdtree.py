@@ -16,7 +16,6 @@ holds more points than a page.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.geometry import Box, Grid

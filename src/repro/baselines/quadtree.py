@@ -15,7 +15,7 @@ the connection executable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.decompose import Element
 from repro.core.geometry import (

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.analysis import (
     bit_span,
@@ -87,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
     space.add_argument("width", type=int)
     space.add_argument("height", type=int)
     space.add_argument("--depth", type=int, default=10)
+
+    query = sub.add_parser(
+        "query",
+        help=(
+            "run a demo range query and spatial join on a seeded "
+            "database, optionally with EXPLAIN ANALYZE tracing"
+        ),
+    )
+    query.add_argument("--points", type=int, default=2000)
+    query.add_argument("--objects", type=int, default=40)
+    query.add_argument("--depth", type=int, default=8)
+    query.add_argument("--capacity", type=int, default=20)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help=(
+            "execute with tracing and print the measured span tree "
+            "(estimated vs actual rows and pages)"
+        ),
+    )
+    query.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write both traces as JSON (implies --explain-analyze)",
+    )
 
     report = sub.add_parser(
         "report", help="run the whole evaluation and emit a markdown report"
@@ -167,6 +195,99 @@ def _cmd_compare(args, out) -> None:
     out.write(format_comparison(rows) + "\n")
 
 
+def _cmd_query(args, out) -> None:
+    """The observability demo: a planned range query and a Section-4
+    overlap query, run over a seeded database — with ``--explain-analyze``
+    each prints its measured span tree (estimated vs actual)."""
+    import random
+
+    from repro.core.geometry import Box
+    from repro.db import OID, SPATIAL_OBJECT, INTEGER, Schema, SpatialDatabase
+    from repro.db.query import Query
+    from repro.db.relation import Relation
+    from repro.db.spatial import overlap_query
+    from repro.db.types import SpatialObject
+    from repro.obs import QueryTrace, format_trace, trace
+
+    grid = Grid(ndims=2, depth=args.depth)
+    side = grid.side
+    db = SpatialDatabase(grid, page_capacity=args.capacity)
+    db.create_table(
+        "points",
+        Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER)),
+    )
+    dataset = make_dataset("C", grid, args.points, seed=args.seed)
+    db.insert_many(
+        "points",
+        [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
+    )
+    db.create_index("points_xy", "points", ("x", "y"))
+    window = Box(((side // 8, 3 * side // 8), (side // 8, 3 * side // 8)))
+
+    rng = random.Random(args.seed + 1)
+
+    def random_objects(name: str, prefix: str) -> Relation:
+        relation = Relation(
+            name, Schema.of(("id@", OID), ("geom", SPATIAL_OBJECT))
+        )
+        extent = max(2, side // 16)
+        for i in range(args.objects):
+            x = rng.randrange(side - extent)
+            y = rng.randrange(side - extent)
+            box = Box(((x, x + extent), (y, y + extent)))
+            relation.insert(
+                (f"{prefix}{i}", SpatialObject.from_box(f"{prefix}{i}", box))
+            )
+        return relation
+
+    p_objects = random_objects("P", "p")
+    q_objects = random_objects("Q", "q")
+    join_depth = max(1, args.depth - 3)
+
+    if not (args.explain_analyze or args.json_path):
+        rows = Query(db, "points").within(("x", "y"), window).count()
+        out.write(f"range query {window}: {rows} rows\n")
+        pairs = overlap_query(
+            p_objects, q_objects, "geom", "id@",
+            grid=grid, max_depth=join_depth,
+        )
+        out.write(f"overlap join P x Q: {len(pairs)} pairs\n")
+        return
+
+    _, range_trace = (
+        Query(db, "points").within(("x", "y"), window).run_traced()
+    )
+    out.write("=== EXPLAIN ANALYZE: range query ===\n")
+    out.write(format_trace(range_trace) + "\n\n")
+
+    with trace("overlap_query(P,Q)") as join_trace:
+        overlap_query(
+            p_objects, q_objects, "geom", "id@",
+            grid=grid, max_depth=join_depth,
+        )
+    assert join_trace is not None
+    out.write("=== EXPLAIN ANALYZE: spatial join ===\n")
+    out.write(format_trace(join_trace) + "\n")
+
+    if args.json_path:
+        import json
+
+        # Round-trip both traces through to_json (what the benchmarks
+        # consume) and persist the parsed forms under one document.
+        payload = {}
+        for key, t in (
+            ("range_query", range_trace),
+            ("spatial_join", join_trace),
+        ):
+            text = t.to_json()
+            restored = QueryTrace.from_json(text)
+            assert restored.total_counters() == t.total_counters()
+            payload[key] = json.loads(text)
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        out.write(f"traces written to {args.json_path}\n")
+
+
 def _cmd_space(args, out) -> None:
     u, v = args.width, args.height
     count = element_count_2d(u, v, args.depth)
@@ -201,6 +322,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _cmd_partition(args, out)
     elif args.command == "compare":
         _cmd_compare(args, out)
+    elif args.command == "query":
+        _cmd_query(args, out)
     elif args.command == "space":
         _cmd_space(args, out)
     elif args.command == "report":

@@ -23,7 +23,6 @@ reports from [OREN83]:
 from __future__ import annotations
 
 import functools
-import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Sequence, Tuple

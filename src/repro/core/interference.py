@@ -22,7 +22,7 @@ solids:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.decompose import CoverMode, Element, decompose
 from repro.core.geometry import ClassifyFn, Grid

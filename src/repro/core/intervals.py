@@ -18,7 +18,7 @@ labelling (:mod:`repro.core.components`) are built on these primitives.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.core.decompose import Element
 from repro.core.geometry import Grid

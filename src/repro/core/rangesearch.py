@@ -25,7 +25,7 @@ random and sequential accessing can be used".
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Generic,
@@ -33,14 +33,16 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
     TypeVar,
 )
 
 from repro.core.decompose import BoxElementCursor, Element
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box, ClassifyFn, Grid
 from repro.core.zorder import bigmin, box_zbounds, zcode_in_box
+from repro.obs.trace import current as _trace_current
 
 __all__ = [
     "PointRecord",
@@ -57,6 +59,19 @@ __all__ = [
 ]
 
 T = TypeVar("T")
+
+
+class ElementCursorLike(Protocol):
+    """Structural interface of the element side of the merge: the lazy
+    cursors of :mod:`repro.core.decompose` and :mod:`repro.core.fastz`
+    both qualify."""
+
+    @property
+    def current(self) -> Optional[Any]: ...
+
+    def step(self) -> Optional[Any]: ...
+
+    def seek(self, z: int) -> Optional[Any]: ...
 
 
 @dataclass(frozen=True)
@@ -121,13 +136,28 @@ class SortedPointCursor(ZCursor[T]):
 
 @dataclass
 class MergeStats:
-    """Bookkeeping for one merge run (used by benches and tests)."""
+    """Bookkeeping for one merge run (used by benches and tests).
+
+    ``records_scanned`` counts record-vs-element comparisons (each loop
+    iteration examines the cursor's current record against the current
+    element once); ``matches`` is the reported subset — the "records
+    scanned vs. reported" pair of the observability counters.
+    """
 
     points_examined: int = 0
     point_seeks: int = 0
     elements_generated: int = 0
     element_seeks: int = 0
     matches: int = 0
+    records_scanned: int = 0
+
+
+def _publish_merge(span_name: str, counters: dict) -> None:
+    """Attach one closed counter span to the active trace (no-op when
+    tracing is disabled).  Called once per search, never per record."""
+    trace = _trace_current()
+    if trace is not None:
+        trace.active_span.child(span_name).add_counters(counters)
 
 
 def build_point_sequence(
@@ -159,7 +189,7 @@ def build_point_sequence(
 
 def merge_search(
     points: ZCursor[T],
-    elements: "ElementCursorLike",
+    elements: ElementCursorLike,
     stats: Optional[MergeStats] = None,
 ) -> Iterator[T]:
     """The optimized merge of Section 3.3 over *any* seekable element
@@ -171,27 +201,45 @@ def merge_search(
     answers box queries, circle queries, polygon queries, or any query
     region a specialized processor can classify.
     """
+    if stats is None and _trace_current() is not None:
+        stats = MergeStats()
     b = elements.current
     p = points.current
-    while b is not None and p is not None:
-        if p.z < b.zlo:
-            # Random access into P: skip points before this element.
-            p = points.seek(b.zlo)
+    try:
+        while b is not None and p is not None:
             if stats:
-                stats.point_seeks += 1
-        elif p.z > b.zhi:
-            # Random access into B: skip elements before this point.
-            b = elements.seek(p.z)
-            if stats:
-                stats.element_seeks += 1
-        else:
-            if stats:
-                stats.matches += 1
-                stats.points_examined += 1
-            yield p.payload
-            p = points.step()
-    if stats:
-        stats.elements_generated = getattr(elements, "nodes_expanded", 0)
+                stats.records_scanned += 1
+            if p.z < b.zlo:
+                # Random access into P: skip points before this element.
+                p = points.seek(b.zlo)
+                if stats:
+                    stats.point_seeks += 1
+            elif p.z > b.zhi:
+                # Random access into B: skip elements before this point.
+                b = elements.seek(p.z)
+                if stats:
+                    stats.element_seeks += 1
+            else:
+                if stats:
+                    stats.matches += 1
+                    stats.points_examined += 1
+                yield p.payload
+                p = points.step()
+    finally:
+        # Publish on exhaustion *and* on early abandonment, so a
+        # LIMIT-style consumer still leaves honest counters behind.
+        if stats:
+            stats.elements_generated = getattr(elements, "nodes_expanded", 0)
+            _publish_merge(
+                "rangesearch.merge",
+                {
+                    "elements_generated": stats.elements_generated,
+                    "point_seeks": stats.point_seeks,
+                    "element_seeks": stats.element_seeks,
+                    "records_scanned": stats.records_scanned,
+                    "rows_reported": stats.matches,
+                },
+            )
 
 
 def range_search(
@@ -213,7 +261,7 @@ def range_search(
     if use_fast:
         from repro.core.fastz import CachedBoxElementCursor
 
-        cursor: "ElementCursorLike" = CachedBoxElementCursor(grid, box)
+        cursor: ElementCursorLike = CachedBoxElementCursor(grid, box)
     else:
         cursor = BoxElementCursor(grid, box)
     yield from merge_search(points, cursor, stats)
@@ -222,7 +270,7 @@ def range_search(
 def object_search(
     points: ZCursor[T],
     grid: Grid,
-    classify: "ClassifyFn",
+    classify: ClassifyFn,
     stats: Optional[MergeStats] = None,
     max_depth: Optional[int] = None,
 ) -> Iterator[T]:
@@ -250,24 +298,37 @@ def range_search_simple(
     ``elements`` must be z-ordered and pairwise disjoint (as produced by
     :func:`repro.core.decompose.decompose_box`).
     """
+    if stats is None and _trace_current() is not None:
+        stats = MergeStats()
     pi = 0
     bi = 0
-    while pi < len(points) and bi < len(elements):
-        p = points[pi]
-        b = elements[bi]
-        if stats:
-            stats.points_examined += 1
-        if p.z < b.zlo:
-            pi += 1
-        elif p.z > b.zhi:
-            bi += 1
-        else:
+    try:
+        while pi < len(points) and bi < len(elements):
+            p = points[pi]
+            b = elements[bi]
             if stats:
-                stats.matches += 1
-            yield p.payload
-            pi += 1
-    if stats:
-        stats.elements_generated = len(elements)
+                stats.points_examined += 1
+                stats.records_scanned += 1
+            if p.z < b.zlo:
+                pi += 1
+            elif p.z > b.zhi:
+                bi += 1
+            else:
+                if stats:
+                    stats.matches += 1
+                yield p.payload
+                pi += 1
+    finally:
+        if stats:
+            stats.elements_generated = len(elements)
+            _publish_merge(
+                "rangesearch.simple",
+                {
+                    "elements_generated": stats.elements_generated,
+                    "records_scanned": stats.records_scanned,
+                    "rows_reported": stats.matches,
+                },
+            )
 
 
 def range_search_bigmin(
@@ -286,23 +347,37 @@ def range_search_bigmin(
     clipped = box.clipped_to(grid.whole_space())
     if clipped is None:
         return
+    if stats is None and _trace_current() is not None:
+        stats = MergeStats()
     zmin, zmax = box_zbounds(clipped, grid.depth)
     p = points.seek(zmin)
-    while p is not None and p.z <= zmax:
+    try:
+        while p is not None and p.z <= zmax:
+            if stats:
+                stats.points_examined += 1
+                stats.records_scanned += 1
+            if zcode_in_box(p.z, clipped, grid.depth, use_fast=use_fast):
+                if stats:
+                    stats.matches += 1
+                yield p.payload
+                p = points.step()
+            else:
+                nxt = bigmin(p.z, clipped, grid.depth)
+                if nxt is None:
+                    break
+                p = points.seek(nxt)
+                if stats:
+                    stats.point_seeks += 1
+    finally:
         if stats:
-            stats.points_examined += 1
-        if zcode_in_box(p.z, clipped, grid.depth, use_fast=use_fast):
-            if stats:
-                stats.matches += 1
-            yield p.payload
-            p = points.step()
-        else:
-            nxt = bigmin(p.z, clipped, grid.depth)
-            if nxt is None:
-                break
-            p = points.seek(nxt)
-            if stats:
-                stats.point_seeks += 1
+            _publish_merge(
+                "rangesearch.bigmin",
+                {
+                    "bigmin_skips": stats.point_seeks,
+                    "records_scanned": stats.records_scanned,
+                    "rows_reported": stats.matches,
+                },
+            )
 
 
 def brute_force_search(

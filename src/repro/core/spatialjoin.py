@@ -20,11 +20,23 @@ of the paper's usage scenario — lives in :mod:`repro.db.spatial`.
 from __future__ import annotations
 
 import heapq
-from typing import Generic, Iterable, Iterator, List, Sequence, Set, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import (
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core.decompose import Element
+from repro.obs.trace import current as _trace_current
 
-__all__ = ["spatial_join", "overlapping_pairs", "TaggedElement"]
+__all__ = ["spatial_join", "overlapping_pairs", "JoinStats", "TaggedElement"]
 
 R = TypeVar("R")
 S = TypeVar("S")
@@ -40,17 +52,40 @@ def _sort_key(item: TaggedElement) -> Tuple[int, int]:
     return (element.zlo, -element.zhi)
 
 
+@dataclass
+class JoinStats:
+    """Bookkeeping for one sweep of the join kernel.
+
+    ``merge_advances`` counts elements consumed from the merged z-ordered
+    stream (``len(R) + len(S)`` when run to completion), ``expirations``
+    the precedence tests that retired an active element (Section 3.2:
+    elements are related by containment *or* precedence — an expiration
+    is a precedence verdict, an emitted pair a containment verdict).
+    """
+
+    r_elements: int = 0
+    s_elements: int = 0
+    merge_advances: int = 0
+    expirations: int = 0
+    pairs_emitted: int = 0
+
+
 def spatial_join(
     r_elements: Iterable[TaggedElement],
     s_elements: Iterable[TaggedElement],
+    stats: Optional[JoinStats] = None,
 ) -> Iterator[Tuple[R, S, Element, Element]]:
     """Yield ``(r_payload, s_payload, r_element, s_element)`` for every
     containment-related pair of elements.
 
     Both inputs must be iterables of ``(Element, payload)``; they are
     merged in z order internally, so any z-ordered or unordered input
-    works (unordered inputs are sorted first).
+    works (unordered inputs are sorted first).  ``stats`` (or an active
+    :mod:`repro.obs` trace, which forces one) collects the sweep's
+    counters.
     """
+    if stats is None and _trace_current() is not None:
+        stats = JoinStats()
     r_sorted = sorted(r_elements, key=_sort_key)
     s_sorted = sorted(s_elements, key=_sort_key)
     merged = heapq.merge(
@@ -59,19 +94,45 @@ def spatial_join(
     )
     r_active: List[TaggedElement] = []
     s_active: List[TaggedElement] = []
-    for _, side, (element, payload) in merged:
-        for stack in (r_active, s_active):
-            while stack and stack[-1][0].zhi < element.zlo:
-                stack.pop()
-        if side == 0:
-            # Every live S element contains (or equals) the new R element.
-            for s_elem, s_payload in s_active:
-                yield payload, s_payload, element, s_elem
-            r_active.append((element, payload))
-        else:
-            for r_elem, r_payload in r_active:
-                yield r_payload, payload, r_elem, element
-            s_active.append((element, payload))
+    if stats:
+        stats.r_elements += len(r_sorted)
+        stats.s_elements += len(s_sorted)
+    try:
+        for _, side, (element, payload) in merged:
+            if stats:
+                stats.merge_advances += 1
+            for stack in (r_active, s_active):
+                while stack and stack[-1][0].zhi < element.zlo:
+                    stack.pop()
+                    if stats:
+                        stats.expirations += 1
+            if side == 0:
+                # Every live S element contains (or equals) the new R
+                # element.
+                for s_elem, s_payload in s_active:
+                    if stats:
+                        stats.pairs_emitted += 1
+                    yield payload, s_payload, element, s_elem
+                r_active.append((element, payload))
+            else:
+                for r_elem, r_payload in r_active:
+                    if stats:
+                        stats.pairs_emitted += 1
+                    yield r_payload, payload, r_elem, element
+                s_active.append((element, payload))
+    finally:
+        if stats:
+            trace = _trace_current()
+            if trace is not None:
+                trace.active_span.child("spatialjoin.sweep").add_counters(
+                    {
+                        "r_elements": stats.r_elements,
+                        "s_elements": stats.s_elements,
+                        "merge_advances": stats.merge_advances,
+                        "expirations": stats.expirations,
+                        "pairs_emitted": stats.pairs_emitted,
+                    }
+                )
 
 
 def overlapping_pairs(

@@ -13,7 +13,7 @@ needs only "very minor modifications" to support spatial queries.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box, Grid
 from repro.db.catalog import Catalog, IndexEntry

@@ -17,7 +17,7 @@ schema once and then evaluated per row, so column lookups are O(1).
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Sequence, Tuple
+from typing import Any, Callable, Tuple
 
 from repro.core.zvalue import ZValue
 from repro.db.schema import Schema

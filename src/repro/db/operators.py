@@ -7,11 +7,12 @@ fresh relations and never mutate their inputs.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Sequence, Tuple
 
 from repro.db.expr import Expr
 from repro.db.relation import Relation
 from repro.db.schema import Schema
+from repro.obs.trace import current as _trace_current
 
 __all__ = [
     "select",
@@ -27,13 +28,33 @@ __all__ = [
 ]
 
 
+def _traced_build(
+    opname: str, rows_in: int, build: Callable[[], Relation]
+) -> Relation:
+    """Run an operator's materialization, recording a per-operator span
+    (timing + in/out cardinalities) when a trace is active.  Disabled
+    cost: one global load and one extra call."""
+    trace = _trace_current()
+    if trace is None:
+        return build()
+    with trace.span(opname) as span:
+        out = build()
+        span.add("rows_in", rows_in)
+        span.add("rows_out", len(out))
+        return out
+
+
 def select(relation: Relation, predicate: Expr, name: str = "") -> Relation:
     """Rows satisfying ``predicate``."""
     bound = predicate.bind(relation.schema)
-    return Relation(
-        name or f"select({relation.name})",
-        relation.schema,
-        (row for row in relation if bound(row)),
+    return _traced_build(
+        "op.select",
+        len(relation),
+        lambda: Relation(
+            name or f"select({relation.name})",
+            relation.schema,
+            (row for row in relation if bound(row)),
+        ),
     )
 
 
@@ -43,23 +64,33 @@ def project(
     """Keep only ``names`` columns (bag semantics: duplicates remain,
     as in the paper's intermediate results)."""
     indices = [relation.schema.index_of(n) for n in names]
-    return Relation(
-        name or f"project({relation.name})",
-        relation.schema.project(names),
-        (tuple(row[i] for i in indices) for row in relation),
+    return _traced_build(
+        "op.project",
+        len(relation),
+        lambda: Relation(
+            name or f"project({relation.name})",
+            relation.schema.project(names),
+            (tuple(row[i] for i in indices) for row in relation),
+        ),
     )
 
 
 def distinct(relation: Relation, name: str = "") -> Relation:
     """Duplicate elimination — the paper's final projection step
     "eliminates this redundancy"."""
-    seen = set()
-    rows: List[Tuple[Any, ...]] = []
-    for row in relation:
-        if row not in seen:
-            seen.add(row)
-            rows.append(row)
-    return Relation(name or f"distinct({relation.name})", relation.schema, rows)
+
+    def build() -> Relation:
+        seen = set()
+        rows: List[Tuple[Any, ...]] = []
+        for row in relation:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(
+            name or f"distinct({relation.name})", relation.schema, rows
+        )
+
+    return _traced_build("op.distinct", len(relation), build)
 
 
 def rename(relation: Relation, mapping: dict, name: str = "") -> Relation:
@@ -80,30 +111,45 @@ def sort(
     a z-order sort — "existing sort utilities can be used to create z
     ordered sequences" (Section 4)."""
     indices = [relation.schema.index_of(n) for n in names]
-    rows = sorted(
-        relation,
-        key=lambda row: tuple(row[i] for i in indices),
-        reverse=reverse,
+    return _traced_build(
+        "op.sort",
+        len(relation),
+        lambda: Relation(
+            name or f"sort({relation.name})",
+            relation.schema,
+            sorted(
+                relation,
+                key=lambda row: tuple(row[i] for i in indices),
+                reverse=reverse,
+            ),
+        ),
     )
-    return Relation(name or f"sort({relation.name})", relation.schema, rows)
 
 
 def limit(relation: Relation, count: int, name: str = "") -> Relation:
     if count < 0:
         raise ValueError("limit must be non-negative")
-    return Relation(
-        name or f"limit({relation.name})",
-        relation.schema,
-        relation.rows[:count],
+    return _traced_build(
+        "op.limit",
+        len(relation),
+        lambda: Relation(
+            name or f"limit({relation.name})",
+            relation.schema,
+            relation.rows[:count],
+        ),
     )
 
 
 def cross_product(left: Relation, right: Relation, name: str = "") -> Relation:
     schema = _join_schema(left, right)
-    return Relation(
-        name or f"product({left.name},{right.name})",
-        schema,
-        (lrow + rrow for lrow in left for rrow in right),
+    return _traced_build(
+        "op.cross_product",
+        len(left) + len(right),
+        lambda: Relation(
+            name or f"product({left.name},{right.name})",
+            schema,
+            (lrow + rrow for lrow in left for rrow in right),
+        ),
     )
 
 
@@ -126,15 +172,19 @@ def equi_join(
     """Hash join on one column pair."""
     lidx = left.schema.index_of(left_col)
     ridx = right.schema.index_of(right_col)
-    table: dict = {}
-    for row in left:
-        table.setdefault(row[lidx], []).append(row)
-    schema = _join_schema(left, right)
-    out = Relation(name or f"join({left.name},{right.name})", schema)
-    for rrow in right:
-        for lrow in table.get(rrow[ridx], ()):
-            out.insert(lrow + rrow)
-    return out
+
+    def build() -> Relation:
+        table: dict = {}
+        for row in left:
+            table.setdefault(row[lidx], []).append(row)
+        schema = _join_schema(left, right)
+        out = Relation(name or f"join({left.name},{right.name})", schema)
+        for rrow in right:
+            for lrow in table.get(rrow[ridx], ()):
+                out.insert(lrow + rrow)
+        return out
+
+    return _traced_build("op.equi_join", len(left) + len(right), build)
 
 
 def natural_join(left: Relation, right: Relation, name: str = "") -> Relation:
@@ -153,23 +203,31 @@ def natural_join(left: Relation, right: Relation, name: str = "") -> Relation:
         list(left.schema.columns)
         + [right.schema.columns[i] for i in keep_right]
     )
-    table: dict = {}
-    for row in left:
-        key = tuple(row[i] for i in lidx)
-        table.setdefault(key, []).append(row)
-    out = Relation(name or f"njoin({left.name},{right.name})", schema)
-    for rrow in right:
-        key = tuple(rrow[i] for i in ridx)
-        for lrow in table.get(key, ()):
-            out.insert(lrow + tuple(rrow[i] for i in keep_right))
-    return out
+
+    def build() -> Relation:
+        table: dict = {}
+        for row in left:
+            key = tuple(row[i] for i in lidx)
+            table.setdefault(key, []).append(row)
+        out = Relation(name or f"njoin({left.name},{right.name})", schema)
+        for rrow in right:
+            key = tuple(rrow[i] for i in ridx)
+            for lrow in table.get(key, ()):
+                out.insert(lrow + tuple(rrow[i] for i in keep_right))
+        return out
+
+    return _traced_build("op.natural_join", len(left) + len(right), build)
 
 
 def union(left: Relation, right: Relation, name: str = "") -> Relation:
     if left.schema != right.schema:
         raise ValueError("union requires identical schemas")
-    return Relation(
-        name or f"union({left.name},{right.name})",
-        left.schema,
-        left.rows + right.rows,
+    return _traced_build(
+        "op.union",
+        len(left) + len(right),
+        lambda: Relation(
+            name or f"union({left.name},{right.name})",
+            left.schema,
+            left.rows + right.rows,
+        ),
     )

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Sequence
 
-from repro.core.analysis import predicted_range_pages
 from repro.core.geometry import Box, Grid
 from repro.db.relation import Relation
+from repro.obs.trace import current as _trace_current
 
 __all__ = ["Plan", "estimate_selectivity", "plan_range_query"]
 
@@ -39,7 +39,13 @@ def estimate_selectivity(box: Box, grid: Grid) -> float:
 
 @dataclass
 class Plan:
-    """An executable access plan with its cost estimates."""
+    """An executable access plan with its cost estimates.
+
+    ``estimated_rows`` is the predicted result cardinality (the
+    histogram estimate of :mod:`repro.db.statistics` when an index
+    exists, ``v * |table|`` otherwise); ``EXPLAIN ANALYZE`` confronts it
+    with the measured row count.
+    """
 
     method: str  # "index-scan" or "table-scan"
     table: str
@@ -47,15 +53,32 @@ class Plan:
     selectivity: float
     estimated_pages: float
     alternative_pages: float
+    estimated_rows: float = 0.0
     _execute: Any = None
 
     def execute(self) -> Relation:
-        return self._execute()
+        """Run the plan; with an active :mod:`repro.obs` trace the run
+        is wrapped in a ``plan.<method>`` span carrying the estimates
+        (``est_*`` attributes) next to the measured counters that the
+        storage layer publishes underneath it."""
+        trace = _trace_current()
+        if trace is None:
+            return self._execute()
+        with trace.span(f"plan.{self.method}") as span:
+            span.set("table", self.table)
+            span.set("box", repr(self.box))
+            span.set("selectivity", round(self.selectivity, 6))
+            span.set("est_pages", self.estimated_pages)
+            span.set("est_rows", self.estimated_rows)
+            out = self._execute()
+            span.add("rows_out", len(out))
+        return out
 
     def explain(self) -> str:
         lines = [
             f"RangeQuery({self.table}, {self.box})",
             f"  selectivity: {self.selectivity:.4f}",
+            f"  est. rows:   {self.estimated_rows:.1f}",
             f"  chosen:      {self.method} "
             f"(~{self.estimated_pages:.1f} pages)",
             f"  rejected:    "
@@ -95,6 +118,7 @@ def plan_range_query(
             selectivity=selectivity,
             estimated_pages=scan_pages,
             alternative_pages=float("inf"),
+            estimated_rows=selectivity * len(relation),
             _execute=lambda: database._range_query_via_plan(
                 table, coord_cols, box, use_fast=use_fast
             ),
@@ -103,13 +127,15 @@ def plan_range_query(
     clipped = box.clipped_to(grid.whole_space())
     if clipped is None:
         index_pages = 0.0
+        estimated_rows = 0.0
     else:
-        # Distribution-aware estimate: the index's own leaf ranges form
+        # Distribution-aware estimates: the index's own leaf ranges form
         # an equi-depth histogram (repro.db.statistics); far tighter
         # than the uniform O(vN) formula on skewed data.
-        from repro.db.statistics import estimate_pages
+        from repro.db.statistics import estimate_matches, estimate_pages
 
         index_pages = float(estimate_pages(entry.tree, clipped))
+        estimated_rows = float(estimate_matches(entry.tree, clipped))
     index_pages += entry.tree.tree.height  # descent cost
 
     if index_pages <= scan_pages:
@@ -120,6 +146,7 @@ def plan_range_query(
             selectivity=selectivity,
             estimated_pages=index_pages,
             alternative_pages=scan_pages,
+            estimated_rows=estimated_rows,
             _execute=lambda: database._range_query_via_index(
                 entry, table, box, use_fast=use_fast
             ),
@@ -131,6 +158,7 @@ def plan_range_query(
         selectivity=selectivity,
         estimated_pages=scan_pages,
         alternative_pages=index_pages,
+        estimated_rows=estimated_rows,
         _execute=lambda: database._range_query_via_scan(
             table, coord_cols, box
         ),

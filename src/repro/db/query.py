@@ -24,7 +24,7 @@ ordering — reads as one chain:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box
 from repro.db.expr import Expr
@@ -32,6 +32,9 @@ from repro.db.operators import distinct as distinct_op
 from repro.db.operators import limit as limit_op
 from repro.db.operators import project, select, sort
 from repro.db.relation import Relation
+from repro.obs.explain import format_trace
+from repro.obs.trace import QueryTrace
+from repro.obs.trace import trace as _obs_trace
 
 __all__ = ["Query"]
 
@@ -109,6 +112,22 @@ class Query:
         if self._limit is not None:
             out = limit_op(out, self._limit)
         return out
+
+    def run_traced(self) -> Tuple[Relation, QueryTrace]:
+        """Execute with a :mod:`repro.obs` trace active: every layer the
+        plan touches — planner, operators, zkd index, buffer — publishes
+        its spans and counters into the returned trace."""
+        with _obs_trace(f"query({self._table})") as t:
+            out = self.run()
+        assert t is not None  # enabled=True always yields a trace
+        return out, t
+
+    def explain_analyze(self) -> str:
+        """``EXPLAIN ANALYZE``: run the query for real and render the
+        measured span tree, estimated-vs-actual rows and pages included
+        (compare :meth:`explain`, which only predicts)."""
+        _, t = self.run_traced()
+        return format_trace(t)
 
     def count(self) -> int:
         return len(self.run())

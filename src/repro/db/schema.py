@@ -101,7 +101,12 @@ class Schema:
             ]
         )
 
-    def concat(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+    def concat(
+        self,
+        other: "Schema",
+        prefix_self: str = "",
+        prefix_other: str = "",
+    ) -> "Schema":
         """Concatenate two schemas, optionally prefixing names to avoid
         collisions (used by joins)."""
         left = [

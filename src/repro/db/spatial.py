@@ -16,13 +16,13 @@ and the derived range-search plan:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.decompose import Element, decompose, decompose_box
 from repro.core.geometry import Box, Grid
 from repro.core.spatialjoin import spatial_join as _join_kernel
 from repro.core.zvalue import ZValue
-from repro.db.operators import distinct, project
+from repro.db.operators import _traced_build, distinct, project
 from repro.db.relation import Relation
 from repro.db.schema import Column, Schema
 from repro.db.types import ELEMENT, SpatialObject
@@ -61,17 +61,22 @@ def decompose_objects(
         if i != obj_index
     ]
     schema = Schema(list(carried) + [Column(element_col, ELEMENT)])
-    out = Relation(name or f"decompose({relation.name})", schema)
-    for row in relation:
-        obj = row[obj_index]
-        if not isinstance(obj, SpatialObject):
-            raise TypeError(
-                f"column {object_col!r} holds {obj!r}, not a SpatialObject"
-            )
-        rest = tuple(v for i, v in enumerate(row) if i != obj_index)
-        for zvalue in decompose(grid, obj.classify, max_depth):
-            out.insert(rest + (zvalue,))
-    return out
+
+    def build() -> Relation:
+        out = Relation(name or f"decompose({relation.name})", schema)
+        for row in relation:
+            obj = row[obj_index]
+            if not isinstance(obj, SpatialObject):
+                raise TypeError(
+                    f"column {object_col!r} holds {obj!r}, "
+                    "not a SpatialObject"
+                )
+            rest = tuple(v for i, v in enumerate(row) if i != obj_index)
+            for zvalue in decompose(grid, obj.classify, max_depth):
+                out.insert(rest + (zvalue,))
+        return out
+
+    return _traced_build("op.decompose", len(relation), build)
 
 
 def shuffle_points(
@@ -96,24 +101,28 @@ def shuffle_points(
     schema = Schema(
         list(relation.schema.columns) + [Column(element_col, ELEMENT)]
     )
-    out = Relation(name or f"shuffle({relation.name})", schema)
-    if use_fast:
-        from repro.core.fastz import interleave_many
 
-        rows = list(relation)
-        codes = interleave_many(
-            [tuple(row[i] for i in indices) for row in rows],
-            grid.depth,
-            grid.ndims,
-        )
-        total = grid.total_bits
-        for row, code in zip(rows, codes):
-            out.insert(row + (ZValue(code, total),))
+    def build() -> Relation:
+        out = Relation(name or f"shuffle({relation.name})", schema)
+        if use_fast:
+            from repro.core.fastz import interleave_many
+
+            rows = list(relation)
+            codes = interleave_many(
+                [tuple(row[i] for i in indices) for row in rows],
+                grid.depth,
+                grid.ndims,
+            )
+            total = grid.total_bits
+            for row, code in zip(rows, codes):
+                out.insert(row + (ZValue(code, total),))
+            return out
+        for row in relation:
+            coords = tuple(row[i] for i in indices)
+            out.insert(row + (grid.zvalue(coords),))
         return out
-    for row in relation:
-        coords = tuple(row[i] for i in indices)
-        out.insert(row + (grid.zvalue(coords),))
-    return out
+
+    return _traced_build("op.shuffle", len(relation), build)
 
 
 def decompose_box_relation(
@@ -128,14 +137,17 @@ def decompose_box_relation(
     ``use_fast`` serves the decomposition from the LRU cache of
     :mod:`repro.core.fastz` (identical elements; repeated query boxes
     skip the splitting recursion)."""
-    if use_fast:
-        from repro.core.fastz import decompose_box_cached
+    def build() -> Relation:
+        if use_fast:
+            from repro.core.fastz import decompose_box_cached
 
-        zvalues: Sequence[ZValue] = decompose_box_cached(grid, box)
-    else:
-        zvalues = decompose_box(grid, box)
-    schema = Schema([Column(element_col, ELEMENT)])
-    return Relation(name, schema, ((z,) for z in zvalues))
+            zvalues: Sequence[ZValue] = decompose_box_cached(grid, box)
+        else:
+            zvalues = decompose_box(grid, box)
+        schema = Schema([Column(element_col, ELEMENT)])
+        return Relation(name, schema, ((z,) for z in zvalues))
+
+    return _traced_build("op.decompose_box", 0, build)
 
 
 def spatial_join(
@@ -183,12 +195,18 @@ def spatial_join(
         else right.schema
     )
     schema = Schema(list(left.schema.columns) + list(right_schema.columns))
-    out = Relation(name or f"sjoin({left.name},{right.name})", schema)
-    for lrow, rrow, _, _ in _join_kernel(
-        tagged(left, lidx), tagged(right, ridx)
-    ):
-        out.insert(lrow + rrow)
-    return out
+
+    def build() -> Relation:
+        # The sweep kernel publishes its own "spatialjoin.sweep" child
+        # span when it finishes, nesting under this operator's span.
+        out = Relation(name or f"sjoin({left.name},{right.name})", schema)
+        for lrow, rrow, _, _ in _join_kernel(
+            tagged(left, lidx), tagged(right, ridx)
+        ):
+            out.insert(lrow + rrow)
+        return out
+
+    return _traced_build("op.spatial_join", len(left) + len(right), build)
 
 
 def overlap_query(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.decompose import Element, decompose_box
 from repro.core.geometry import Box, Grid

@@ -15,7 +15,7 @@ objects into a 1NF relation of elements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.core.decompose import decompose_box
 from repro.core.geometry import Box, ClassifyFn, Grid

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.gridfile import FixedGridIndex
 from repro.baselines.kdtree import KdTree
 from repro.baselines.linearscan import HeapFile
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Grid
 from repro.storage.prefix_btree import ZkdTree
 from repro.workloads.datasets import Dataset
 from repro.workloads.queries import QuerySpec

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import predicted_range_pages
-from repro.core.geometry import Box, Grid
-from repro.storage.prefix_btree import QueryResult, ZkdTree
+from repro.core.geometry import Grid
+from repro.storage.prefix_btree import ZkdTree
 from repro.workloads.datasets import Dataset, make_dataset
 from repro.workloads.queries import QuerySpec, query_workload
 

@@ -9,7 +9,7 @@ reflects the code it shipped with.
 from __future__ import annotations
 
 import io
-from typing import Optional, Sequence, TextIO
+from typing import TextIO
 
 from repro.core.analysis import coarsening_tradeoff, element_count_2d
 from repro.core.geometry import Grid

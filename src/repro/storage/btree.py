@@ -25,7 +25,7 @@ chain.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple, Union
 
 from repro.core.rangesearch import PointRecord, ZCursor
@@ -120,6 +120,11 @@ class BPlusTree:
         #: Every leaf page id touched, in access order; the experiment
         #: harness resets this per query and counts distinct entries.
         self.leaf_accesses: List[int] = []
+        #: Index-descent accounting for the observability layer: how many
+        #: root-to-leaf descents ran and how many inner nodes they
+        #: visited (the "index descent" term of the planner's cost).
+        self.descents = 0
+        self.node_visits = 0
         if _allocate_first_leaf:
             first = store.allocate()
             self._buffer.put(first)
@@ -244,6 +249,12 @@ class BPlusTree:
 
     def reset_access_log(self) -> None:
         self.leaf_accesses.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the per-query counters (access log + descent counts)."""
+        self.leaf_accesses.clear()
+        self.descents = 0
+        self.node_visits = 0
 
     def _load_leaf(self, page_id: int) -> Page:
         self.leaf_accesses.append(page_id)
@@ -413,8 +424,10 @@ class BPlusTree:
     # ------------------------------------------------------------------
 
     def _leftmost_leaf_for(self, key: int) -> int:
+        self.descents += 1
         node = self._root
         while isinstance(node, _InnerNode):
+            self.node_visits += 1
             node = node.children[bisect.bisect_left(node.keys, key)]
         return node
 

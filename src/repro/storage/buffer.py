@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import collections
 import enum
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.storage.page import Page, PageStore
 
@@ -131,7 +131,22 @@ class BufferManager:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of the accounting counters (what a query trace
+        publishes as ``buffer_hits`` / ``buffer_misses`` / ...)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
     def reset_stats(self) -> None:
+        """Zero the accounting counters (cached pages stay resident).
+
+        :meth:`ZkdTree.range_query <repro.storage.prefix_btree.ZkdTree.
+        range_query>` calls this at the start of every query so per-query
+        hit rates never leak across planner runs."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -28,7 +28,7 @@ from __future__ import annotations
 import io
 import os
 import struct
-from typing import Any, BinaryIO, Dict, Iterator, List, Optional, Tuple
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 
 from repro.storage.page import Page
 
@@ -289,6 +289,16 @@ class FilePageStore:
         if page_id not in self._live:
             raise KeyError(f"no such page: {page_id}")
         return self._read_page(page_id)
+
+    def io_stats(self) -> Dict[str, int]:
+        """Snapshot of the file I/O counters (same shape as the
+        in-memory :meth:`PageStore.io_stats`), so query traces measure
+        true file reads when a tree runs on a real file."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "allocations": self.allocations,
+        }
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -24,7 +24,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Tuple
 from repro.core.decompose import Element
 from repro.core.geometry import Grid
 from repro.core.zvalue import ZValue
-from repro.storage.btree import BPlusTree, BTreeCursor
+from repro.storage.btree import BPlusTree
 from repro.storage.buffer import BufferManager, ReplacementPolicy
 from repro.storage.page import PageStore
 

@@ -161,3 +161,12 @@ class PageStore:
     def peek(self, page_id: int) -> Page:
         """Read without counting — for tests and figure rendering only."""
         return self._pages[page_id]
+
+    def io_stats(self) -> Dict[str, int]:
+        """Snapshot of the physical I/O counters; query traces diff two
+        snapshots to attribute I/O to one query."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "allocations": self.allocations,
+        }

@@ -17,8 +17,8 @@ Per-query measurements match the paper's:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box, ClassifyFn, Grid, circle_classifier
 from repro.core.rangesearch import (
@@ -27,6 +27,8 @@ from repro.core.rangesearch import (
     range_search,
     range_search_bigmin,
 )
+from repro.obs.trace import Span
+from repro.obs.trace import current as _trace_current
 from repro.storage.btree import BPlusTree, BTreeCursor
 from repro.storage.buffer import BufferManager, ReplacementPolicy
 from repro.storage.page import PageStore
@@ -38,12 +40,18 @@ Point = Tuple[int, ...]
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Outcome and cost of one range query."""
+    """Outcome and cost of one range query.
+
+    ``buffer_stats`` is the buffer manager's per-query snapshot (the
+    counters are reset at query start, so hits/misses/hit_rate belong to
+    this query alone — no leakage across planner runs).
+    """
 
     matches: Tuple[Point, ...]
     pages_accessed: int
     records_on_pages: int
     merge: MergeStats
+    buffer_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def nmatches(self) -> int:
@@ -178,6 +186,51 @@ class ZkdTree:
     # Queries
     # ------------------------------------------------------------------
 
+    def _begin_query(self) -> int:
+        """Per-query counter hygiene: clear the access log and descent
+        counters and zero the buffer's hit/miss accounting so measured
+        rates describe *this* query only.  Returns the store's read
+        counter for delta accounting."""
+        self.tree.reset_counters()
+        self.buffer.reset_stats()
+        return self.store.reads
+
+    def _finish_query(
+        self,
+        matches: Tuple[Point, ...],
+        stats: MergeStats,
+        reads_before: int,
+        span: Optional[Span],
+    ) -> QueryResult:
+        """Assemble the :class:`QueryResult` and publish the storage
+        counters into the active trace span (when tracing)."""
+        touched = sorted(set(self.tree.leaf_accesses))
+        records = sum(
+            self.buffer.peek(page_id).nrecords for page_id in touched
+        )
+        buffer_stats = self.buffer.stats()
+        if span is not None:
+            span.set("npages", self.npages)
+            span.add_counters(
+                {
+                    "pages_accessed": len(touched),
+                    "records_on_pages": records,
+                    "leaf_loads": len(self.tree.leaf_accesses),
+                    "node_visits": self.tree.node_visits,
+                    "descents": self.tree.descents,
+                    "buffer_hits": int(buffer_stats["hits"]),
+                    "buffer_misses": int(buffer_stats["misses"]),
+                    "store_reads": self.store.reads - reads_before,
+                }
+            )
+        return QueryResult(
+            matches=matches,
+            pages_accessed=len(touched),
+            records_on_pages=records,
+            merge=stats,
+            buffer_stats=buffer_stats,
+        )
+
     def range_query(
         self, box: Box, use_bigmin: bool = False, use_fast: bool = False
     ) -> QueryResult:
@@ -187,31 +240,29 @@ class ZkdTree:
         (or, with ``use_bigmin``, the magic-number unshuffle) of
         :mod:`repro.core.fastz`; matches and page counts are identical.
         """
-        self.tree.reset_access_log()
+        trace = _trace_current()
+        reads_before = self._begin_query()
         stats = MergeStats()
-        cursor = BTreeCursor(self.tree)
-        if use_bigmin:
-            matches = tuple(
-                range_search_bigmin(
-                    cursor, self.grid, box, stats, use_fast=use_fast
+
+        def run() -> Tuple[Point, ...]:
+            cursor = BTreeCursor(self.tree)
+            if use_bigmin:
+                return tuple(
+                    range_search_bigmin(
+                        cursor, self.grid, box, stats, use_fast=use_fast
+                    )
                 )
-            )
-        else:
-            matches = tuple(
+            return tuple(
                 range_search(
                     cursor, self.grid, box, stats, use_fast=use_fast
                 )
             )
-        touched = sorted(set(self.tree.leaf_accesses))
-        records = sum(
-            self.buffer.peek(page_id).nrecords for page_id in touched
-        )
-        return QueryResult(
-            matches=matches,
-            pages_accessed=len(touched),
-            records_on_pages=records,
-            merge=stats,
-        )
+
+        if trace is None:
+            return self._finish_query(run(), stats, reads_before, None)
+        with trace.span("zkd.range_query") as span:
+            span.set("box", repr(box))
+            return self._finish_query(run(), stats, reads_before, span)
 
     def partial_match_query(
         self, fixed: Sequence[Optional[int]]
@@ -237,22 +288,20 @@ class ZkdTree:
         """Range search against an arbitrary query region given by its
         inside/outside/boundary oracle (Section 6: containment and
         proximity queries reduce to the same merge)."""
-        self.tree.reset_access_log()
+        trace = _trace_current()
+        reads_before = self._begin_query()
         stats = MergeStats()
-        cursor = BTreeCursor(self.tree)
-        matches = tuple(
-            object_search(cursor, self.grid, classify, stats, max_depth)
-        )
-        touched = sorted(set(self.tree.leaf_accesses))
-        records = sum(
-            self.buffer.peek(page_id).nrecords for page_id in touched
-        )
-        return QueryResult(
-            matches=matches,
-            pages_accessed=len(touched),
-            records_on_pages=records,
-            merge=stats,
-        )
+
+        def run() -> Tuple[Point, ...]:
+            cursor = BTreeCursor(self.tree)
+            return tuple(
+                object_search(cursor, self.grid, classify, stats, max_depth)
+            )
+
+        if trace is None:
+            return self._finish_query(run(), stats, reads_before, None)
+        with trace.span("zkd.object_query") as span:
+            return self._finish_query(run(), stats, reads_before, span)
 
     def within_distance(
         self, center: Sequence[int], radius: float

@@ -1,6 +1,5 @@
 """Tests for the quadtree, grid-file and heap-scan baselines."""
 
-import random
 
 import pytest
 

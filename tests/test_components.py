@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.components import ConnectedComponents, UnionFind, label_components
+from repro.core.components import UnionFind, label_components
 from repro.core.decompose import Element, decompose_box
 from repro.core.geometry import Box, Grid
 from repro.core.intervals import intervals_to_elements, IntervalSet

@@ -7,13 +7,12 @@ agree with each other or with a ground-truth model.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.dynamic_gridfile import GridFile
 from repro.baselines.kdtree import KdTree
 from repro.core.decompose import CoverMode, Element, decompose, decompose_box
-from repro.core.geometry import Box, Grid, circle_classifier
+from repro.core.geometry import Grid, circle_classifier
 from repro.core.intervals import elements_to_intervals, intervals_to_elements
 from repro.core.overlay import ElementRegion
 from repro.core.rangesearch import brute_force_search

@@ -17,7 +17,7 @@ from repro.db.operators import (
 )
 from repro.db.relation import Relation
 from repro.db.schema import Column, Schema
-from repro.db.types import ELEMENT, INTEGER, OID, STRING
+from repro.db.types import ELEMENT, INTEGER, STRING
 
 
 def people():

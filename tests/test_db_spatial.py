@@ -1,6 +1,5 @@
 """Tests for the spatial relational operators (Section 4's scenario)."""
 
-import random
 
 import pytest
 
@@ -15,7 +14,7 @@ from repro.db.spatial import (
     shuffle_points,
     spatial_join,
 )
-from repro.db.types import ELEMENT, INTEGER, OID, SPATIAL_OBJECT, SpatialObject
+from repro.db.types import INTEGER, OID, SPATIAL_OBJECT, SpatialObject
 
 from conftest import random_box, random_points
 

@@ -1,13 +1,11 @@
 """Tests for the file-backed page store and persistent zkd trees."""
 
 import io
-import os
-import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box
 from repro.core.rangesearch import brute_force_search
 from repro.storage.diskstore import (
     FilePageStore,

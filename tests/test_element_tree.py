@@ -1,13 +1,10 @@
 """Tests for tree-resident element relations and the paged spatial join."""
 
-import random
 
-import pytest
 
 from repro.core.decompose import Element, decompose_box
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box
 from repro.core.spatialjoin import overlapping_pairs
-from repro.storage.buffer import ReplacementPolicy
 from repro.storage.element_tree import ElementTree, JoinStats, tree_spatial_join
 
 from conftest import random_box

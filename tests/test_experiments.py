@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.geometry import Box, Grid
 from repro.experiments.comparison import compare_structures, format_comparison
 from repro.experiments.figures import (
     figure1_range_query,
@@ -65,7 +64,10 @@ class TestHarness:
 
     def test_check_findings_requires_single_dataset(self, grid64):
         _, u_rows = run_ucd_experiment(grid64, "U", **SMALL)
-        _, c_rows = run_ucd_experiment(grid64, "C", npoints=1000, volumes=(0.01,), aspects=(1.0,), locations=2)
+        _, c_rows = run_ucd_experiment(
+            grid64, "C", npoints=1000, volumes=(0.01,),
+            aspects=(1.0,), locations=2,
+        )
         with pytest.raises(ValueError):
             check_findings(list(u_rows) + list(c_rows))
 

@@ -2,11 +2,10 @@
 queries, k nearest neighbours, bulk loading and containment pairs."""
 
 import math
-import random
 
 import pytest
 
-from repro.core.geometry import Box, Grid, circle_classifier, polygon_classifier
+from repro.core.geometry import Box, circle_classifier, polygon_classifier
 from repro.core.overlay import ElementRegion, containment_pairs
 from repro.core.rangesearch import (
     MergeStats,

@@ -8,13 +8,10 @@ from repro.core.geometry import Box, Grid, circle_classifier, polygon_classifier
 from repro.core.overlay import ElementRegion, map_overlay
 from repro.core.interference import Solid, detect_interference
 from repro.core.components import label_components
-from repro.core.decompose import Element, decompose
 from repro.db.database import SpatialDatabase
 from repro.db.schema import Schema
 from repro.db.types import INTEGER, OID, SPATIAL_OBJECT, SpatialObject
 from repro.storage.prefix_btree import ZkdTree
-from repro.workloads.datasets import make_dataset
-from repro.workloads.queries import query_workload
 
 from conftest import random_box, random_points
 
@@ -43,7 +40,12 @@ class TestIndexVsPlanVsBaselines:
             truth = brute_force_search(grid64, points, box)
             assert list(zkd.range_query(box).matches) == truth
             assert list(kd.range_query(box).matches) == truth
-            got = sorted((x, y) for _, x, y in db.range_query("pts", ("x", "y"), box).rows)
+            got = sorted(
+                (x, y)
+                for _, x, y in db.range_query(
+                    "pts", ("x", "y"), box
+                ).rows
+            )
             assert got == sorted(map(tuple, truth))
 
 
@@ -109,7 +111,10 @@ class TestDBRoundTrip:
         db.create_table(
             "regions", Schema.of(("r@", OID), ("shape", SPATIAL_OBJECT))
         )
-        sites = [(f"s{i}", x, y) for i, (x, y) in enumerate(random_points(rng, grid64, 80))]
+        sites = [
+            (f"s{i}", x, y)
+            for i, (x, y) in enumerate(random_points(rng, grid64, 80))
+        ]
         db.insert_many("sites", sites)
         db.create_index("sites_xy", "sites", ("x", "y"))
         region_box = Box(((10, 40), (10, 40)))

@@ -1,6 +1,5 @@
 """Tests for CAD interference detection (Section 6)."""
 
-import pytest
 
 from repro.core.geometry import Box, Grid, box_classifier, circle_classifier
 from repro.core.interference import (

@@ -1,10 +1,10 @@
 """Tests for the z-interval set algebra (the 1-d reduction)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.decompose import Element, decompose_box
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box
 from repro.core.intervals import (
     IntervalSet,
     elements_to_intervals,

@@ -1,11 +1,10 @@
 """Tests for the bucket kd tree baseline [BENT75]."""
 
-import random
 
 import pytest
 
 from repro.baselines.kdtree import KdTree
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box
 from repro.core.rangesearch import brute_force_search
 
 from conftest import random_box, random_points

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.geometry import Box, Grid
 from repro.db.database import SpatialDatabase
-from repro.db.planner import Plan, estimate_selectivity, plan_range_query
+from repro.db.planner import estimate_selectivity, plan_range_query
 from repro.db.schema import Schema
 from repro.db.types import INTEGER, OID
 

@@ -1,14 +1,12 @@
 """Tests for the zkd B+-tree (points in z order, paged leaves)."""
 
-import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box
 from repro.core.rangesearch import brute_force_search
 from repro.storage.buffer import ReplacementPolicy
-from repro.storage.prefix_btree import QueryResult, ZkdTree
+from repro.storage.prefix_btree import ZkdTree
 
 from conftest import random_box, random_points
 

@@ -5,11 +5,10 @@ The structures above the page store must surface I/O failures cleanly
 fault clears — reads are pure, so a failed query is safely retryable.
 """
 
-import random
 
 import pytest
 
-from repro.core.geometry import Box, Grid
+from repro.core.geometry import Box
 from repro.core.rangesearch import brute_force_search
 from repro.storage.page import Page, PageStore
 from repro.storage.buffer import BufferManager

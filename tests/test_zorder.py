@@ -1,6 +1,5 @@
 """Tests for z-order curve utilities and BIGMIN/LITMAX jumps."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.geometry import Box, Grid
