@@ -1,0 +1,207 @@
+"""Scatter–gather scaling: sharded range search vs the single store.
+
+Times the fixed-seed 100k-point range workload against
+:class:`~repro.shard.store.ShardedSpatialStore` at 1/2/4 shards under
+each executor (serial, thread, process), with the 1-shard serial
+configuration as the baseline.  Every configuration must return the
+same matches (byte-identity is the differential suite's job; here we
+cross-check match counts as a cheap tripwire), and a selective corner
+box must show shard pruning (``shards_pruned >= 1``).
+
+The acceptance floor — >= 1.5x at 4 shards with the process executor —
+only holds where parallel hardware exists, so it is asserted when
+``os.cpu_count() >= 2`` and reported otherwise (a single-core host
+serialises the pool and measures pure dispatch overhead).
+
+Runs two ways:
+
+* as a pytest bench, writing ``benchmarks/results/sharding_scaling.txt``::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_sharding.py -q
+
+* as a standalone script for CI smoke runs::
+
+      PYTHONPATH=src python benchmarks/bench_sharding.py --smoke
+"""
+
+import argparse
+import os
+import sys
+import time
+
+from repro.core.geometry import Box, Grid
+from repro.shard import ShardedSpatialStore, make_executor
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+DEPTH = 10
+NPOINTS = 100_000
+SEED = 0
+SHARD_COUNTS = (1, 2, 4)
+EXECUTORS = ("serial", "thread", "process")
+SPEEDUP_FLOOR = 1.5
+
+
+def _build_workload(depth=DEPTH, npoints=NPOINTS, seed=SEED):
+    grid = Grid(ndims=2, depth=depth)
+    points = make_dataset("C", grid, npoints, seed=seed).points
+    specs = query_workload(
+        grid, volumes=(0.01, 0.03), aspects=(1.0, 2.0), locations=5,
+        seed=seed + 1,
+    )
+    return grid, points, [spec.box for spec in specs]
+
+
+def _time_queries(store, boxes, repeats=3):
+    """Min-of-repeats wall time for the box sweep, pool pre-warmed."""
+    for box in boxes[:2]:  # warm executor pool + decompose cache
+        store.range_query(box)
+    best = float("inf")
+    total = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        total = sum(store.range_query(box).nmatches for box in boxes)
+        best = min(best, time.perf_counter() - t0)
+    return best, total
+
+
+def bench_pruning(store):
+    """A selective corner box must skip shards before dispatch."""
+    side = store.grid.side
+    box = Box(((0, max(1, side // 8)), (0, max(1, side // 8))))
+    result = store.range_query(box)
+    return {
+        "shards_hit": len(result.shards_hit),
+        "shards_pruned": result.shards_pruned,
+    }
+
+
+def run(depth=DEPTH, npoints=NPOINTS, shard_counts=SHARD_COUNTS,
+        executors=EXECUTORS, seed=SEED, verbose=True):
+    grid, points, boxes = _build_workload(depth, npoints, seed)
+    rows = []
+    pruning = None
+    baseline_s = None
+    baseline_matches = None
+    for nshards in shard_counts:
+        store = ShardedSpatialStore.build(grid, points, nshards=nshards)
+        try:
+            if nshards == max(shard_counts):
+                pruning = bench_pruning(store)
+            for kind in executors:
+                if nshards == 1 and kind != "serial":
+                    continue  # one shard never fans out
+                store.set_executor(make_executor(kind))
+                elapsed, matches = _time_queries(store, boxes)
+                if baseline_matches is None:
+                    baseline_s, baseline_matches = elapsed, matches
+                assert matches == baseline_matches, (
+                    f"shards={nshards} {kind}: {matches} matches, "
+                    f"baseline {baseline_matches}"
+                )
+                rows.append(
+                    {
+                        "nshards": nshards,
+                        "executor": kind,
+                        "elapsed_s": elapsed,
+                        "speedup": baseline_s / elapsed if elapsed else 0.0,
+                    }
+                )
+        finally:
+            store.close()
+    report = format_report(npoints, depth, boxes, rows, pruning)
+    if verbose:
+        print(report)
+    return rows, pruning, report
+
+
+def format_report(npoints, depth, boxes, rows, pruning):
+    lines = [
+        "# Sharded scatter–gather: range-search wall time by configuration",
+        f"  {npoints:,} pts, depth {depth}, {len(boxes)} boxes, "
+        f"{os.cpu_count() or 1} cpu(s)",
+        "",
+    ]
+    for r in rows:
+        lines.append(
+            f"  shards={r['nshards']}  {r['executor']:<7}  "
+            f"{r['elapsed_s'] * 1e3:>8.1f} ms   {r['speedup']:.2f}x"
+        )
+    if pruning is not None:
+        lines.append(
+            f"  selective corner box: shards_hit={pruning['shards_hit']} "
+            f"shards_pruned={pruning['shards_pruned']}"
+        )
+    return "\n".join(lines)
+
+
+def _best_speedup(rows, nshards, executor):
+    for r in rows:
+        if r["nshards"] == nshards and r["executor"] == executor:
+            return r["speedup"]
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (writes the result artifact)
+# ----------------------------------------------------------------------
+
+
+def test_sharding_scaling(results_dir):
+    from conftest import save_result
+
+    rows, pruning, report = run(verbose=False)
+    save_result(results_dir, "sharding_scaling.txt", report)
+    assert pruning is not None and pruning["shards_pruned"] >= 1, report
+    if (os.cpu_count() or 1) >= 2:
+        # The acceptance floor: 4 shards through the process pool.
+        assert _best_speedup(rows, 4, "process") >= SPEEDUP_FLOOR, report
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (CI smoke)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, identity + pruning checks only (no floor)",
+    )
+    parser.add_argument("--points", type=int, default=NPOINTS)
+    parser.add_argument("--depth", type=int, default=DEPTH)
+    args = parser.parse_args(argv)
+    npoints = 12_000 if args.smoke else args.points
+    depth = 8 if args.smoke else args.depth
+    rows, pruning, _ = run(depth=depth, npoints=npoints)
+    if pruning is None or pruning["shards_pruned"] < 1:
+        print("FAIL: selective box did not prune any shard", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("OK: identity held across configurations, pruning observed")
+        return 0
+    speedup = _best_speedup(rows, 4, "process")
+    if (os.cpu_count() or 1) < 2:
+        print(
+            f"NOTE: single-core host, {SPEEDUP_FLOOR}x floor not "
+            f"enforced (measured {speedup:.2f}x)"
+        )
+        return 0
+    if speedup < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: 4-shard process speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: 4-shard process speedup {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ from repro.db.relation import Relation
 from repro.db.spatial import overlap_query
 from repro.db.types import SpatialObject
 from repro.obs import compare_counters, trace
+from repro.shard import ShardedSpatialStore
 from repro.workloads.datasets import make_dataset
 from repro.workloads.queries import query_workload
 
@@ -120,6 +121,25 @@ def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
             grid=grid, max_depth=max(1, depth - 3),
         )
     fold("join", t.total_counters())
+
+    # The sharded engine, same workload: scatter–gather range queries
+    # through a 4-shard store plus the partition-parallel overlap join
+    # (serial executor, so counters stay executor-invariant).
+    store = ShardedSpatialStore.build(
+        grid, make_dataset("C", grid, npoints, seed=seed).points, nshards=4
+    )
+    for spec in specs:
+        with trace("shard-range") as t:
+            store.range_query(spec.box)
+        fold("shard", t.total_counters())
+    with trace("shard-join") as t:
+        overlap_query(
+            p_objects, q_objects, "geom", "id@",
+            grid=grid, max_depth=max(1, depth - 3),
+            partitioner=store.partitioner,
+        )
+    fold("shard", t.total_counters())
+    store.close()
     return counters
 
 

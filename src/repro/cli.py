@@ -101,6 +101,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--capacity", type=int, default=20)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "split the index into N z-range shards queried "
+            "scatter-gather style (default: 1, unsharded)"
+        ),
+    )
+    query.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="how per-shard work is dispatched when --shards > 1",
+    )
+    query.add_argument(
         "--explain-analyze",
         action="store_true",
         help=(
@@ -221,7 +237,20 @@ def _cmd_query(args, out) -> None:
         "points",
         [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
     )
-    db.create_index("points_xy", "points", ("x", "y"))
+    entry = db.create_index(
+        "points_xy",
+        "points",
+        ("x", "y"),
+        shards=args.shards,
+        executor=args.executor,
+    )
+    partitioner = getattr(entry.tree, "partitioner", None)
+    if partitioner is not None:
+        sizes = entry.tree.shard_sizes()
+        out.write(
+            f"sharded index: {args.shards} z-range shards "
+            f"({args.executor} executor), sizes {sizes}\n"
+        )
     window = Box(((side // 8, 3 * side // 8), (side // 8, 3 * side // 8)))
 
     rng = random.Random(args.seed + 1)
@@ -244,14 +273,23 @@ def _cmd_query(args, out) -> None:
     q_objects = random_objects("Q", "q")
     join_depth = max(1, args.depth - 3)
 
-    if not (args.explain_analyze or args.json_path):
-        rows = Query(db, "points").within(("x", "y"), window).count()
-        out.write(f"range query {window}: {rows} rows\n")
-        pairs = overlap_query(
-            p_objects, q_objects, "geom", "id@",
-            grid=grid, max_depth=join_depth,
+    join_kwargs = dict(grid=grid, max_depth=join_depth)
+    if partitioner is not None:
+        join_kwargs.update(
+            partitioner=partitioner, executor=args.executor
         )
-        out.write(f"overlap join P x Q: {len(pairs)} pairs\n")
+
+    if not (args.explain_analyze or args.json_path):
+        try:
+            rows = Query(db, "points").within(("x", "y"), window).count()
+            out.write(f"range query {window}: {rows} rows\n")
+            pairs = overlap_query(
+                p_objects, q_objects, "geom", "id@", **join_kwargs
+            )
+            out.write(f"overlap join P x Q: {len(pairs)} pairs\n")
+        finally:
+            if partitioner is not None:
+                entry.tree.close()
         return
 
     _, range_trace = (
@@ -262,9 +300,10 @@ def _cmd_query(args, out) -> None:
 
     with trace("overlap_query(P,Q)") as join_trace:
         overlap_query(
-            p_objects, q_objects, "geom", "id@",
-            grid=grid, max_depth=join_depth,
+            p_objects, q_objects, "geom", "id@", **join_kwargs
         )
+    if partitioner is not None:
+        entry.tree.close()
     assert join_trace is not None
     out.write("=== EXPLAIN ANALYZE: spatial join ===\n")
     out.write(format_trace(join_trace) + "\n")

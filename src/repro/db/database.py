@@ -83,11 +83,21 @@ class SpatialDatabase:
         coord_cols: Sequence[str],
         buffer_frames: int = 8,
         policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        shards: int = 1,
+        executor: str = "serial",
+        partition: str = "equi",
     ) -> IndexEntry:
         """Build a zkd B+-tree over coordinate columns of ``table``.
 
         The index stores coordinate tuples in z order; existing rows are
         loaded immediately and later inserts are maintained.
+
+        With ``shards > 1`` the index is a :class:`~repro.shard.store.
+        ShardedSpatialStore` — ``shards`` z-range shards queried
+        scatter–gather style through ``executor`` (``serial`` /
+        ``thread`` / ``process``); ``partition`` picks the cut policy
+        (``equi`` or the data-balanced ``balanced``).  Query results
+        are identical to the single-tree index.
         """
         relation = self.catalog.relation(table)
         cols = tuple(coord_cols)
@@ -95,17 +105,32 @@ class SpatialDatabase:
             raise ValueError(
                 f"index needs {self.grid.ndims} coordinate columns"
             )
-        tree = ZkdTree(
-            self.grid,
-            page_capacity=self.page_capacity,
-            buffer_frames=buffer_frames,
-            policy=policy,
-        )
-        # Batch-shuffle the whole column set through the fast kernels;
-        # the insert sequence (and hence the tree shape) is unchanged.
-        tree.insert_many(
-            self._coords(relation, row, cols) for row in relation
-        )
+        if shards > 1:
+            from repro.shard import ShardedSpatialStore
+
+            tree = ShardedSpatialStore.build(
+                self.grid,
+                [self._coords(relation, row, cols) for row in relation],
+                nshards=shards,
+                partition=partition,
+                page_capacity=self.page_capacity,
+                buffer_frames=buffer_frames,
+                policy=policy,
+                executor=executor,
+            )
+        else:
+            tree = ZkdTree(
+                self.grid,
+                page_capacity=self.page_capacity,
+                buffer_frames=buffer_frames,
+                policy=policy,
+            )
+            # Batch-shuffle the whole column set through the fast
+            # kernels; the insert sequence (and hence the tree shape)
+            # is unchanged.
+            tree.insert_many(
+                self._coords(relation, row, cols) for row in relation
+            )
         entry = IndexEntry(index_name, table, cols, tree)
         self.catalog.register_index(entry)
         return entry
@@ -281,9 +306,13 @@ class SpatialDatabase:
         id_col_p: str,
         id_col_q: Optional[str] = None,
         max_depth: Optional[int] = None,
+        partitioner=None,
+        executor=None,
     ) -> Relation:
         """Which objects of ``table_p`` overlap which of ``table_q``?
-        The full Decompose / spatial-join / project pipeline."""
+        The full Decompose / spatial-join / project pipeline.
+        ``partitioner``/``executor`` shard-parallelize the join sweep
+        (identical pairs)."""
         return overlap_query(
             self.catalog.relation(table_p),
             self.catalog.relation(table_q),
@@ -292,4 +321,6 @@ class SpatialDatabase:
             id_col_q,
             grid=self.grid,
             max_depth=max_depth,
+            partitioner=partitioner,
+            executor=executor,
         )

@@ -82,7 +82,7 @@ class Plan:
             f"  chosen:      {self.method} "
             f"(~{self.estimated_pages:.1f} pages)",
             f"  rejected:    "
-            f"{'table-scan' if self.method == 'index-scan' else 'index-scan'} "
+            f"{'table-scan' if self.method.endswith('index-scan') else 'index-scan'} "
             f"(~{self.alternative_pages:.1f} pages)",
         ]
         return "\n".join(lines)
@@ -136,11 +136,17 @@ def plan_range_query(
 
         index_pages = float(estimate_pages(entry.tree, clipped))
         estimated_rows = float(estimate_matches(entry.tree, clipped))
-    index_pages += entry.tree.tree.height  # descent cost
+    sharded = getattr(entry.tree, "shards", None) is not None
+    if sharded:
+        # Shard descents run in parallel; the tallest shard bounds the
+        # extra cost.
+        index_pages += entry.tree.height
+    else:
+        index_pages += entry.tree.tree.height  # descent cost
 
     if index_pages <= scan_pages:
         return Plan(
-            method="index-scan",
+            method="sharded-index-scan" if sharded else "index-scan",
             table=table,
             box=box,
             selectivity=selectivity,

@@ -97,8 +97,38 @@ def _query_intervals(grid: Grid, box: Box) -> List[Tuple[int, int]]:
     return [(e.zlo, e.zhi) for e in elements]
 
 
-def estimate_matches(tree: ZkdTree, box: Box) -> float:
-    """Expected number of points of ``tree`` inside ``box``."""
+def _clip_intervals(
+    intervals: Sequence[Tuple[int, int]], lo: int, hi: int
+) -> List[Tuple[int, int]]:
+    """Restrict z-sorted inclusive intervals to ``[lo, hi]``."""
+    return [
+        (max(zlo, lo), min(zhi, hi))
+        for zlo, zhi in intervals
+        if zlo <= hi and zhi >= lo
+    ]
+
+
+def estimate_matches(tree, box: Box) -> float:
+    """Expected number of points of ``tree`` inside ``box``.
+
+    ``tree`` may be a single :class:`~repro.storage.prefix_btree.
+    ZkdTree` or a :class:`~repro.shard.store.ShardedSpatialStore`; for
+    the latter the query's z intervals are clipped to each shard's
+    owned range and the per-shard histogram estimates summed — each
+    shard's leaf pages only describe its own slice of z space.
+    """
+    shards = getattr(tree, "shards", None)
+    if shards is not None:
+        intervals = _query_intervals(tree.grid, box)
+        expected = 0.0
+        for shard, (lo, hi) in zip(
+            shards, tree.partitioner.intervals()
+        ):
+            clipped = _clip_intervals(intervals, lo, hi)
+            if clipped and len(shard):
+                histogram = ZHistogram.of_tree(shard)
+                expected += histogram.overlap_stats(clipped)[0]
+        return expected
     histogram = ZHistogram.of_tree(tree)
     expected, _ = histogram.overlap_stats(
         _query_intervals(tree.grid, box)
@@ -106,16 +136,34 @@ def estimate_matches(tree: ZkdTree, box: Box) -> float:
     return expected
 
 
-def estimate_pages(tree: ZkdTree, box: Box) -> int:
+def estimate_pages(tree, box: Box) -> int:
     """Expected data pages a range query would touch: distinct leaf
     ranges intersected by the query's z intervals.
 
     Slightly approximate (a bucket counted once per intersecting
     interval is deduplicated by construction only within an interval),
     but in practice within a page or two of the measured count.
+    Sharded stores sum the per-shard counts over clipped intervals.
     """
-    histogram = ZHistogram.of_tree(tree)
-    intervals = _query_intervals(tree.grid, box)
+    shards = getattr(tree, "shards", None)
+    if shards is not None:
+        intervals = _query_intervals(tree.grid, box)
+        total = 0
+        for shard, (lo, hi) in zip(
+            shards, tree.partitioner.intervals()
+        ):
+            clipped = _clip_intervals(intervals, lo, hi)
+            if clipped and len(shard):
+                total += _pages_for(ZHistogram.of_tree(shard), clipped)
+        return total
+    return _pages_for(
+        ZHistogram.of_tree(tree), _query_intervals(tree.grid, box)
+    )
+
+
+def _pages_for(
+    histogram: ZHistogram, intervals: Sequence[Tuple[int, int]]
+) -> int:
     # Count distinct buckets across all intervals.
     touched = set()
     for zlo, zhi in intervals:

@@ -18,7 +18,15 @@ benchmarks hold the library to.
 
 from repro.obs.explain import explain_analyze_text, format_trace
 from repro.obs.gate import GateReport, compare_counters
-from repro.obs.trace import QueryTrace, Span, add, current, span, trace
+from repro.obs.trace import (
+    QueryTrace,
+    Span,
+    add,
+    current,
+    span,
+    suppress,
+    trace,
+)
 
 __all__ = [
     "QueryTrace",
@@ -26,6 +34,7 @@ __all__ = [
     "add",
     "current",
     "span",
+    "suppress",
     "trace",
     "format_trace",
     "explain_analyze_text",

@@ -53,6 +53,17 @@ def _est_actual_lines(node: Span) -> List[str]:
 
 def _render(node: Span, indent: int, out: List[str]) -> None:
     pad = "  " * indent
+    if node.name.startswith("shard[") and not node.children:
+        # Per-shard leaves of a scatter–gather span: one compact line
+        # of actuals each, so a 16-shard fan-out stays readable.
+        rows = node.counters.get("rows_reported", 0)
+        parts = [f"{pad}{node.name}  rows={_fmt_num(rows)}"]
+        if "pages_accessed" in node.counters:
+            parts.append(f"pages={_fmt_num(node.counters['pages_accessed'])}")
+        if "zlo" in node.attrs and "zhi" in node.attrs:
+            parts.append(f"z=[{node.attrs['zlo']}..{node.attrs['zhi']}]")
+        out.append("  ".join(parts))
+        return
     timing = f"  [{node.elapsed_s * 1e3:.2f} ms]" if node.elapsed_s else ""
     out.append(f"{pad}{node.name}{timing}")
     detail_pad = pad + "    "

@@ -27,27 +27,39 @@ Design constraints:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Union
 
-__all__ = ["Span", "QueryTrace", "current", "trace", "add", "span"]
+__all__ = [
+    "Span",
+    "QueryTrace",
+    "current",
+    "trace",
+    "add",
+    "span",
+    "suppress",
+]
 
 Number = Union[int, float]
 
-#: The active trace, or None when tracing is disabled (the common case).
-#: Module-level rather than thread-local: the library is single-threaded
-#: per query, and a plain global keeps the disabled check one dict load.
-_ACTIVE: Optional["QueryTrace"] = None
+#: Per-thread active trace, or None when tracing is disabled (the common
+#: case).  Thread-local rather than a plain global so the sharded
+#: scatter–gather executors can fan a traced query out to worker threads
+#: without those workers publishing into (and racing on) the
+#: coordinator's span stack; each worker starts untraced.
+_STATE = threading.local()
 
 
 def current() -> Optional["QueryTrace"]:
-    """The active trace, or ``None`` when tracing is disabled.
+    """The calling thread's active trace, or ``None`` when tracing is
+    disabled.
 
     Instrumented code calls this once per query/operator and skips all
     bookkeeping on ``None`` — that is the entire disabled-mode cost.
     """
-    return _ACTIVE
+    return getattr(_STATE, "active", None)
 
 
 class Span:
@@ -244,32 +256,52 @@ def trace(
     blocks stack: the inner trace is active inside, the outer one is
     restored on exit.
     """
-    global _ACTIVE
     if not enabled:
         yield None
         return
     t = QueryTrace(name)
-    previous = _ACTIVE
-    _ACTIVE = t
+    previous = current()
+    _STATE.active = t
     try:
         with t:
             yield t
     finally:
-        _ACTIVE = previous
+        _STATE.active = previous
+
+
+@contextmanager
+def suppress() -> Iterator[None]:
+    """Run a block with tracing disabled, restoring the previous trace
+    on exit.
+
+    The sharded scatter–gather coordinator wraps shard sub-queries in
+    this so their internal spans never reach the user-visible trace —
+    the coordinator publishes one curated span per shard instead, which
+    keeps counters identical across serial, thread and process
+    executors (workers in the latter two are naturally untraced).
+    """
+    previous = current()
+    _STATE.active = None
+    try:
+        yield
+    finally:
+        _STATE.active = previous
 
 
 def add(key: str, n: Number = 1) -> None:
     """Increment a counter on the active trace; no-op when disabled."""
-    if _ACTIVE is not None:
-        _ACTIVE.add(key, n)
+    t = current()
+    if t is not None:
+        t.add(key, n)
 
 
 @contextmanager
 def span(name: str) -> Iterator[Optional[Span]]:
     """Open a span on the active trace; yields ``None`` (and costs one
-    global load) when tracing is disabled."""
-    if _ACTIVE is None:
+    thread-local load) when tracing is disabled."""
+    t = current()
+    if t is None:
         yield None
         return
-    with _ACTIVE.span(name) as node:
+    with t.span(name) as node:
         yield node

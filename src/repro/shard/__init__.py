@@ -1,0 +1,44 @@
+"""Sharded parallel spatial engine: z-range partitioning with
+scatter–gather execution.
+
+The paper's invariant — objects are sets of elements, elements are
+contiguous z intervals, algorithms are merges of z-ordered sequences —
+makes the keyspace trivially partitionable.  This package cuts z space
+at element boundaries (:mod:`~repro.shard.partition`), stores one zkd
+tree per shard (:mod:`~repro.shard.store`), and runs range searches and
+spatial joins as pruned parallel per-shard merges with an
+order-preserving gather (:mod:`~repro.shard.executor`,
+:mod:`~repro.shard.join`).  Results are byte-identical to the
+single-store algorithms — the differential test suite holds the engine
+to exactly that.
+"""
+
+from repro.shard.executor import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.shard.join import sharded_spatial_join
+from repro.shard.partition import ZRangePartitioner
+from repro.shard.store import (
+    ShardedQueryResult,
+    ShardedSpatialStore,
+    gather_in_z_order,
+)
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "sharded_spatial_join",
+    "ZRangePartitioner",
+    "ShardedQueryResult",
+    "ShardedSpatialStore",
+    "gather_in_z_order",
+]

@@ -1,0 +1,253 @@
+"""Scatter–gather executors: how per-shard work is dispatched.
+
+Three strategies behind one small interface:
+
+* :class:`SerialExecutor` — run shard tasks inline, in shard order.
+  Zero overhead, the default, and the reference the differential suite
+  compares the parallel paths against.
+* :class:`ThreadExecutor` — a shared :class:`~concurrent.futures.
+  ThreadPoolExecutor`.  Threads share the page stores, so no data
+  movement; the GIL serializes the pure-Python merges, so this mainly
+  overlaps any real I/O (file-backed shards) rather than compute.
+* :class:`ProcessExecutor` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor` (fork server where available).  Workers hold
+  their own copy of the sharded store — forked copy-on-write on Linux,
+  pickled on spawn platforms — so the per-shard merges genuinely run in
+  parallel.  Any mutation of the store bumps its epoch and the pool is
+  re-created lazily on the next query, keeping workers consistent.
+
+Shard queries run **untraced** inside workers (the coordinating thread
+publishes one curated span per shard afterwards), so all three
+executors produce identical results *and* identical trace counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.store import ShardedSpatialStore
+
+__all__ = [
+    "ShardCall",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+#: One unit of scatter work: ``(shard_id, method_name, args, kwargs)``
+#: resolved against the store's shard trees.
+ShardCall = Tuple[int, str, tuple, dict]
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def _run_shard_call(store: "ShardedSpatialStore", call: ShardCall) -> Any:
+    shard_id, method, args, kwargs = call
+    return getattr(store.shards[shard_id], method)(*args, **kwargs)
+
+
+# -- process-worker plumbing -------------------------------------------
+# With a fork context the store is inherited copy-on-write through the
+# initializer args (nothing is pickled); with spawn it round-trips
+# through ShardedSpatialStore.__getstate__, which drops the executor
+# and reopens file-backed page stores.
+
+_WORKER_STORE: Optional["ShardedSpatialStore"] = None
+
+
+def _worker_init(store: "ShardedSpatialStore") -> None:
+    global _WORKER_STORE
+    _WORKER_STORE = store
+    for tree in store.shards:
+        reopen = getattr(tree.store, "reopen", None)
+        if reopen is not None:
+            # File-backed shards share the parent's file offset after a
+            # fork; a private handle per worker makes reads race-free.
+            reopen()
+
+
+def _worker_shard_call(call: ShardCall) -> Any:
+    assert _WORKER_STORE is not None, "worker pool initialized without store"
+    return _run_shard_call(_WORKER_STORE, call)
+
+
+class ShardExecutor:
+    """The scatter interface: dispatch shard calls / plain tasks and
+    return results in submission order."""
+
+    kind = "abstract"
+
+    def map_shards(
+        self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
+    ) -> List[Any]:
+        """Run ``calls`` against ``store``'s shard trees."""
+        raise NotImplementedError
+
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> List[Any]:
+        """Fan out a module-level function over argument tuples (the
+        spatial-join scatter, which carries its own inputs)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pool resources (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(ShardExecutor):
+    """Inline execution in shard order — the reference strategy."""
+
+    kind = "serial"
+
+    def map_shards(
+        self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
+    ) -> List[Any]:
+        return [_run_shard_call(store, call) for call in calls]
+
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> List[Any]:
+        return [fn(*task) for task in tasks]
+
+
+class ThreadExecutor(ShardExecutor):
+    """A persistent thread pool sharing the coordinator's stores."""
+
+    kind = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="shard",
+            )
+        return self._pool
+
+    def map_shards(
+        self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
+    ) -> List[Any]:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_shard_call, store, call) for call in calls
+        ]
+        return [f.result() for f in futures]
+
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> List[Any]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, *task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(ShardExecutor):
+    """A process pool holding a per-worker copy of the sharded store.
+
+    The pool is created lazily on first use and re-created whenever the
+    store's mutation epoch moves, so workers never serve stale shards.
+    """
+
+    kind = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: (id(store), epoch) the live pool was built against; None for
+        #: a pool without a bound store (plain task fan-out only).
+        self._bound: Optional[Tuple[int, int]] = None
+
+    @staticmethod
+    def _context():
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _workers_for(self, ntasks: int) -> int:
+        if self._max_workers is not None:
+            return self._max_workers
+        return max(1, min(ntasks, os.cpu_count() or 1))
+
+    def _rebuild(self, store: Optional["ShardedSpatialStore"], ntasks: int):
+        self.close()
+        if store is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers_for(ntasks),
+                mp_context=self._context(),
+            )
+            self._bound = None
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers_for(len(store.shards)),
+                mp_context=self._context(),
+                initializer=_worker_init,
+                initargs=(store,),
+            )
+            self._bound = (id(store), store.mutation_epoch)
+        return self._pool
+
+    def map_shards(
+        self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
+    ) -> List[Any]:
+        bound = (id(store), store.mutation_epoch)
+        pool = self._pool
+        if pool is None or self._bound != bound:
+            pool = self._rebuild(store, len(calls))
+        futures = [pool.submit(_worker_shard_call, call) for call in calls]
+        return [f.result() for f in futures]
+
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> List[Any]:
+        pool = self._pool
+        if pool is None:
+            pool = self._rebuild(None, len(tasks))
+        futures = [pool.submit(fn, *task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._bound = None
+
+
+def make_executor(
+    kind: str, max_workers: Optional[int] = None
+) -> ShardExecutor:
+    """Executor factory for the CLI / config surface: ``serial``,
+    ``thread`` or ``process``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(max_workers)
+    if kind == "process":
+        return ProcessExecutor(max_workers)
+    raise ValueError(
+        f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )

@@ -1,0 +1,153 @@
+"""The sharded spatial join: replicate, sweep per shard, filter, gather.
+
+The single-store join (:func:`repro.core.spatialjoin.spatial_join`) is
+one sweep over both element sequences merged in z order.  To shard it:
+
+* **replicate** — an element whose z interval spans several shards is
+  sent to each of them (elements are related by containment or
+  precedence, so a container must be present wherever its containees
+  land);
+* **sweep** — each shard runs the ordinary kernel over its slice;
+* **home filter** — a pair is *emitted* by the sweep when its later
+  element (the contained one, by the ``(zlo, -zhi)`` arrival order)
+  arrives while the earlier is active.  Each pair is kept only in the
+  shard that owns the arriving element's ``zlo``, so replicated
+  containers never produce duplicates;
+* **gather** — shards own ascending disjoint z ranges and pairs are
+  homed by arriving ``zlo``, so concatenating shard outputs in shard
+  order reproduces the global sweep's emission order exactly.
+
+Why this is exhaustive: if the global sweep emits ``(A arriving, B
+active)`` then ``B`` contains ``A``, hence ``B``'s interval covers
+``A.zlo`` and both elements are replicated to shard
+``route(A.zlo)`` — where the same arrival order holds and ``B`` is
+still active when ``A`` arrives.  Restricted to that shard's elements,
+the active stacks are the global stacks filtered to intervals
+overlapping the shard, so no extra pairs appear either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.core.spatialjoin import TaggedElement, spatial_join
+from repro.obs.trace import current as _trace_current
+from repro.obs.trace import suppress as _trace_suppress
+from repro.shard.executor import ShardExecutor, make_executor
+from repro.shard.partition import ZRangePartitioner
+
+__all__ = ["sharded_spatial_join", "replicate_to_shards"]
+
+JoinRow = Tuple  # (r_payload, s_payload, r_element, s_element)
+
+
+def replicate_to_shards(
+    items: Iterable[TaggedElement], partitioner: ZRangePartitioner
+) -> List[List[TaggedElement]]:
+    """Bucket tagged elements by shard, copying an element into every
+    shard its z interval overlaps."""
+    buckets: List[List[TaggedElement]] = [
+        [] for _ in range(partitioner.nshards)
+    ]
+    for element, payload in items:
+        first = partitioner.route(element.zlo)
+        last = partitioner.route(element.zhi)
+        for shard_id in range(first, last + 1):
+            buckets[shard_id].append((element, payload))
+    return buckets
+
+
+def _join_shard(
+    shard_id: int,
+    r_items: List[TaggedElement],
+    s_items: List[TaggedElement],
+    partitioner: ZRangePartitioner,
+) -> List[JoinRow]:
+    """One shard's sweep + home filter (module-level: process-pool
+    safe)."""
+    out: List[JoinRow] = []
+    for r_payload, s_payload, r_el, s_el in spatial_join(
+        r_items, s_items
+    ):
+        # Recover which element *arrived* (was consumed later by the
+        # merged sweep): the larger (zlo, -zhi) key; on an exact tie the
+        # kernel feeds R before S, so S is the arrival.
+        r_key = (r_el.zlo, -r_el.zhi)
+        s_key = (s_el.zlo, -s_el.zhi)
+        arriving_zlo = s_el.zlo if s_key >= r_key else r_el.zlo
+        if partitioner.route(arriving_zlo) == shard_id:
+            out.append((r_payload, s_payload, r_el, s_el))
+    return out
+
+
+def sharded_spatial_join(
+    r_elements: Iterable[TaggedElement],
+    s_elements: Iterable[TaggedElement],
+    partitioner: ZRangePartitioner,
+    executor: Union[ShardExecutor, str, None] = None,
+) -> List[JoinRow]:
+    """The spatial join of Section 4, partition-parallel.
+
+    Returns the same ``(r_payload, s_payload, r_element, s_element)``
+    rows as :func:`repro.core.spatialjoin.spatial_join`, in the same
+    order.  Shards where either side is empty are pruned before
+    dispatch; the rest run through ``executor`` (an executor instance,
+    a kind string, or ``None`` for serial).
+    """
+    own_executor = executor is None or isinstance(executor, str)
+    exe = (
+        make_executor(executor or "serial")
+        if own_executor
+        else executor
+    )
+    assert isinstance(exe, ShardExecutor)
+    r_buckets = replicate_to_shards(r_elements, partitioner)
+    s_buckets = replicate_to_shards(s_elements, partitioner)
+    hit = [
+        shard_id
+        for shard_id in range(partitioner.nshards)
+        if r_buckets[shard_id] and s_buckets[shard_id]
+    ]
+    tasks = [
+        (shard_id, r_buckets[shard_id], s_buckets[shard_id], partitioner)
+        for shard_id in hit
+    ]
+    try:
+        with _trace_suppress():
+            shard_rows = exe.map_tasks(_join_shard, tasks)
+    finally:
+        if own_executor:
+            exe.close()
+    out: List[JoinRow] = []
+    for rows in shard_rows:
+        out.extend(rows)
+    _publish(partitioner, exe, hit, shard_rows, len(out))
+    return out
+
+
+def _publish(
+    partitioner: ZRangePartitioner,
+    exe: ShardExecutor,
+    hit: List[int],
+    shard_rows: Optional[List[List[JoinRow]]],
+    pairs: int,
+) -> None:
+    trace = _trace_current()
+    if trace is None:
+        return
+    span = trace.active_span.child("shard.join")
+    span.set("nshards", partitioner.nshards)
+    span.set("executor", exe.kind)
+    span.add_counters(
+        {
+            "shards_hit": len(hit),
+            "shards_pruned": partitioner.nshards - len(hit),
+            "pairs_emitted": pairs,
+        }
+    )
+    for shard_id, rows in zip(hit, shard_rows or ()):
+        zlo, zhi = partitioner.interval(shard_id)
+        child = span.child(f"shard[{shard_id}]")
+        child.set("zlo", zlo)
+        child.set("zhi", zhi)
+        child.add("rows_reported", len(rows))

@@ -1,0 +1,562 @@
+"""The sharded spatial store: one zkd tree per z-range shard.
+
+:class:`ShardedSpatialStore` owns one :class:`~repro.storage.
+prefix_btree.ZkdTree` (optionally file-backed) per shard of a
+:class:`~repro.shard.partition.ZRangePartitioner`, routes loads and
+inserts by z code, and answers range queries scatter–gather style:
+
+1. **prune** — decompose the query box into its z-interval elements and
+   keep only the shards whose owned z range overlaps one of them (the
+   rest are never dispatched; the trace records them as
+   ``shards_pruned``);
+2. **scatter** — run the per-shard merges through the configured
+   :class:`~repro.shard.executor.ShardExecutor` (serial, thread pool,
+   or process pool);
+3. **gather** — merge the per-shard match streams back into one global
+   z-ordered sequence.  Shard z ranges are disjoint and the gather heap
+   is keyed by each shard's range low, so whole streams pop in order:
+   a k-way merge that costs ``O(k log k)`` heap work instead of a
+   per-point comparison — and the result is byte-identical to the
+   single-store merge.
+
+Shard sub-queries run untraced (:func:`repro.obs.trace.suppress`); the
+coordinator publishes one ``shard.scatter_gather`` span with a curated
+``shard[i]`` child per dispatched shard, so traces look the same under
+every executor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.geometry import Box, ClassifyFn, Grid
+from repro.core.rangesearch import MergeStats
+from repro.obs.trace import current as _trace_current
+from repro.obs.trace import suppress as _trace_suppress
+from repro.shard.executor import (
+    SerialExecutor,
+    ShardCall,
+    ShardExecutor,
+    make_executor,
+)
+from repro.shard.partition import ZRangePartitioner
+from repro.storage.buffer import ReplacementPolicy
+from repro.storage.prefix_btree import QueryResult, ZkdTree
+
+__all__ = ["ShardedQueryResult", "ShardedSpatialStore", "gather_in_z_order"]
+
+Point = Tuple[int, ...]
+
+#: Per-shard page-store factory: ``shard_id -> PageStore`` (or ``None``
+#: for the in-memory default) — how file-backed shards get distinct
+#: files.
+StoreFactory = Callable[[int], Any]
+
+
+def gather_in_z_order(
+    keys: Sequence[int], streams: Sequence[Sequence[Any]]
+) -> Tuple[Any, ...]:
+    """K-way merge of per-shard result streams into global z order.
+
+    Each stream is internally z-ordered and the shards' z ranges are
+    disjoint, so ordering the *streams* by their range low (``keys``)
+    orders every element: the heap pops whole streams, never individual
+    points, which keeps the gather O(k log k + n) with no per-point z
+    comparisons.
+    """
+    heap = [(key, i) for i, key in enumerate(keys)]
+    heapq.heapify(heap)
+    out: List[Any] = []
+    while heap:
+        _, i = heapq.heappop(heap)
+        out.extend(streams[i])
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ShardedQueryResult:
+    """A :class:`~repro.storage.prefix_btree.QueryResult` aggregated
+    over the dispatched shards, plus the scatter's own accounting.
+
+    Duck-compatible with ``QueryResult`` (``matches`` /
+    ``pages_accessed`` / ``records_on_pages`` / ``merge`` /
+    ``buffer_stats`` / ``nmatches`` / ``efficiency``), so the planner
+    and database layers consume either transparently.
+    """
+
+    matches: Tuple[Point, ...]
+    pages_accessed: int
+    records_on_pages: int
+    merge: MergeStats
+    buffer_stats: Dict[str, float] = field(default_factory=dict)
+    shards_hit: Tuple[int, ...] = ()
+    shards_pruned: int = 0
+    shard_results: Tuple[QueryResult, ...] = ()
+
+    @property
+    def nmatches(self) -> int:
+        return len(self.matches)
+
+    @property
+    def efficiency(self) -> float:
+        if self.records_on_pages == 0:
+            return 0.0
+        return len(self.matches) / self.records_on_pages
+
+
+def _sum_merge_stats(parts: Iterable[MergeStats]) -> MergeStats:
+    total = MergeStats()
+    for stats in parts:
+        total.points_examined += stats.points_examined
+        total.point_seeks += stats.point_seeks
+        total.elements_generated += stats.elements_generated
+        total.element_seeks += stats.element_seeks
+        total.matches += stats.matches
+        total.records_scanned += stats.records_scanned
+    return total
+
+
+def _sum_buffer_stats(parts: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    hits = sum(int(p.get("hits", 0)) for p in parts)
+    misses = sum(int(p.get("misses", 0)) for p in parts)
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": sum(int(p.get("evictions", 0)) for p in parts),
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
+class ShardedSpatialStore:
+    """N z-range shards behind the single-store query interface.
+
+    >>> from repro.core.geometry import Grid, Box
+    >>> grid = Grid(ndims=2, depth=3)
+    >>> store = ShardedSpatialStore.build(
+    ...     grid, [(x, x) for x in range(8)], nshards=2)
+    >>> store.nshards, len(store)
+    (2, 8)
+    >>> store.range_query(Box(((0, 3), (0, 3)))).matches
+    ((0, 0), (1, 1), (2, 2), (3, 3))
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        partitioner: Optional[ZRangePartitioner] = None,
+        nshards: Optional[int] = None,
+        page_capacity: int = 20,
+        buffer_frames: int = 8,
+        order: int = 32,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        store_factory: Optional[StoreFactory] = None,
+        executor: Union[ShardExecutor, str, None] = None,
+    ) -> None:
+        if partitioner is None:
+            partitioner = ZRangePartitioner.equi_width(
+                grid.total_bits, nshards if nshards is not None else 1
+            )
+        elif nshards is not None and nshards != partitioner.nshards:
+            raise ValueError(
+                f"partitioner has {partitioner.nshards} shards, "
+                f"nshards={nshards} requested"
+            )
+        if partitioner.total_bits != grid.total_bits:
+            raise ValueError(
+                f"partitioner covers {partitioner.total_bits} bits, "
+                f"grid has {grid.total_bits}"
+            )
+        self.grid = grid
+        self.partitioner = partitioner
+        self.shards: List[ZkdTree] = [
+            ZkdTree(
+                grid,
+                page_capacity=page_capacity,
+                buffer_frames=buffer_frames,
+                order=order,
+                policy=policy,
+                store=store_factory(i) if store_factory else None,
+            )
+            for i in range(partitioner.nshards)
+        ]
+        self._executor = self._coerce_executor(executor)
+        self._epoch = 0
+
+    @staticmethod
+    def _coerce_executor(
+        executor: Union[ShardExecutor, str, None]
+    ) -> ShardExecutor:
+        if executor is None:
+            return SerialExecutor()
+        if isinstance(executor, str):
+            return make_executor(executor)
+        return executor
+
+    @classmethod
+    def build(
+        cls,
+        grid: Grid,
+        points: Iterable[Sequence[int]],
+        nshards: int,
+        partition: str = "equi",
+        align_bits: int = 0,
+        fill_factor: float = 1.0,
+        use_fast: bool = True,
+        **kwargs: Any,
+    ) -> "ShardedSpatialStore":
+        """Partition + bulk-load in one step.
+
+        ``partition`` picks the cut policy: ``"equi"`` (equal-width z
+        intervals) or ``"balanced"`` (equi-depth quantiles of the data's
+        own z codes, the histogram-driven policy for skewed datasets).
+        Remaining keyword arguments go to the constructor.
+        """
+        pts = [tuple(p) for p in points]
+        if partition == "equi":
+            partitioner = ZRangePartitioner.equi_width(
+                grid.total_bits, nshards
+            )
+        elif partition == "balanced":
+            from repro.core.fastz import interleave_many
+
+            codes = interleave_many(pts, grid.depth, grid.ndims)
+            partitioner = ZRangePartitioner.from_codes(
+                codes, grid.total_bits, nshards, align_bits
+            )
+        else:
+            raise ValueError(
+                f"unknown partition policy {partition!r}; "
+                "expected 'equi' or 'balanced'"
+            )
+        store = cls(grid, partitioner, **kwargs)
+        store.bulk_load(pts, fill_factor=fill_factor, use_fast=use_fast)
+        return store
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nshards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def npages(self) -> int:
+        return sum(shard.npages for shard in self.shards)
+
+    @property
+    def height(self) -> int:
+        """Worst-case index descent over the shards (descents run in
+        parallel, so the tallest shard bounds the cost)."""
+        return max(shard.tree.height for shard in self.shards)
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Bumped on every mutation; process pools key worker validity
+        off it so forked copies never serve stale data."""
+        return self._epoch
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self._executor
+
+    def set_executor(
+        self, executor: Union[ShardExecutor, str]
+    ) -> None:
+        """Swap the scatter strategy (closing the previous one)."""
+        previous = self._executor
+        self._executor = self._coerce_executor(executor)
+        if previous is not self._executor:
+            previous.close()
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # Maintenance (routing writes)
+    # ------------------------------------------------------------------
+
+    def _zcode(self, point: Sequence[int]) -> int:
+        point_t = tuple(point)
+        self.grid.validate_point(point_t)
+        return self.grid.zvalue(point_t).bits
+
+    def route_point(self, point: Sequence[int]) -> int:
+        """The shard that owns ``point``'s z code."""
+        return self.partitioner.route(self._zcode(point))
+
+    def _group_by_shard(
+        self, points: Iterable[Sequence[int]], use_fast: bool
+    ) -> List[List[Point]]:
+        pts = [tuple(p) for p in points]
+        if use_fast:
+            from repro.core.fastz import interleave_many
+
+            codes = interleave_many(pts, self.grid.depth, self.grid.ndims)
+        else:
+            codes = [self._zcode(p) for p in pts]
+        groups: List[List[Point]] = [[] for _ in range(self.nshards)]
+        for point, shard in zip(
+            pts, self.partitioner.route_many(codes)
+        ):
+            groups[shard].append(point)
+        return groups
+
+    def bulk_load(
+        self,
+        points: Iterable[Sequence[int]],
+        fill_factor: float = 1.0,
+        use_fast: bool = True,
+    ) -> None:
+        """Route the batch and bottom-up load each shard's tree."""
+        for shard, group in zip(
+            self.shards, self._group_by_shard(points, use_fast)
+        ):
+            if group:
+                shard.bulk_load(group, fill_factor, use_fast=use_fast)
+        self._epoch += 1
+
+    def insert(self, point: Sequence[int]) -> None:
+        self.shards[self.route_point(point)].insert(point)
+        self._epoch += 1
+
+    def insert_many(
+        self, points: Iterable[Sequence[int]], use_fast: bool = True
+    ) -> None:
+        for shard, group in zip(
+            self.shards, self._group_by_shard(points, use_fast)
+        ):
+            if group:
+                shard.insert_many(group, use_fast=use_fast)
+        self._epoch += 1
+
+    def delete(self, point: Sequence[int]) -> bool:
+        removed = self.shards[self.route_point(point)].delete(point)
+        if removed:
+            self._epoch += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        return tuple(point) in self.shards[self.route_point(point)]
+
+    def points(self) -> List[Point]:
+        """All stored points in global z order (shard concatenation —
+        the ranges are disjoint and ascending)."""
+        out: List[Point] = []
+        for shard in self.shards:
+            out.extend(shard.points())
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries (scatter–gather)
+    # ------------------------------------------------------------------
+
+    def _query_intervals(self, box: Box) -> List[Tuple[int, int]]:
+        """The query box as disjoint z-sorted inclusive intervals (the
+        cached decomposition both pruning and estimation share)."""
+        clipped = box.clipped_to(self.grid.whole_space())
+        if clipped is None:
+            return []
+        from repro.core.fastz import decompose_box_cached, elements_many
+
+        zvalues = decompose_box_cached(self.grid, clipped)
+        return [
+            (element.zlo, element.zhi)
+            for element in elements_many(self.grid, zvalues)
+        ]
+
+    def range_query(
+        self, box: Box, use_bigmin: bool = False, use_fast: bool = False
+    ) -> ShardedQueryResult:
+        """Scatter the range query to overlapping shards, gather in z
+        order.  Matches are byte-identical to a single store's."""
+        hit = self.partitioner.prune(self._query_intervals(box))
+        calls: List[ShardCall] = [
+            (
+                shard_id,
+                "range_query",
+                (box,),
+                {"use_bigmin": use_bigmin, "use_fast": use_fast},
+            )
+            for shard_id in hit
+        ]
+        with _trace_suppress():
+            results: List[QueryResult] = self._executor.map_shards(
+                self, calls
+            )
+        return self._gather(box, hit, results)
+
+    def _gather(
+        self, box: Box, hit: List[int], results: List[QueryResult]
+    ) -> ShardedQueryResult:
+        matches = gather_in_z_order(
+            [self.partitioner.interval(sid)[0] for sid in hit],
+            [r.matches for r in results],
+        )
+        pruned = self.nshards - len(hit)
+        out = ShardedQueryResult(
+            matches=matches,
+            pages_accessed=sum(r.pages_accessed for r in results),
+            records_on_pages=sum(r.records_on_pages for r in results),
+            merge=_sum_merge_stats(r.merge for r in results),
+            buffer_stats=_sum_buffer_stats(
+                [r.buffer_stats for r in results]
+            ),
+            shards_hit=tuple(hit),
+            shards_pruned=pruned,
+            shard_results=tuple(results),
+        )
+        trace = _trace_current()
+        if trace is not None:
+            span = trace.active_span.child("shard.scatter_gather")
+            span.set("box", repr(box))
+            span.set("nshards", self.nshards)
+            span.set("executor", self._executor.kind)
+            span.add_counters(
+                {
+                    "shards_hit": len(hit),
+                    "shards_pruned": pruned,
+                    "rows_gathered": len(matches),
+                }
+            )
+            for shard_id, result in zip(hit, results):
+                zlo, zhi = self.partitioner.interval(shard_id)
+                child = span.child(f"shard[{shard_id}]")
+                child.set("zlo", zlo)
+                child.set("zhi", zhi)
+                # "rows_reported" (the merge kernel's name), not
+                # "rows_out": the plan span above already counts
+                # rows_out, and EXPLAIN's estimated-vs-actual matcher
+                # sums the subtree.
+                child.add_counters(
+                    {
+                        "rows_reported": result.nmatches,
+                        "pages_accessed": result.pages_accessed,
+                        "records_on_pages": result.records_on_pages,
+                    }
+                )
+        return out
+
+    def object_query(
+        self, classify: ClassifyFn, max_depth: Optional[int] = None
+    ) -> ShardedQueryResult:
+        """Range search against an arbitrary region, per shard.
+
+        Runs serially (classifier closures don't cross process
+        boundaries); every shard is dispatched — an arbitrary region
+        has no precomputed z intervals to prune against.
+        """
+        hit = list(range(self.nshards))
+        with _trace_suppress():
+            results = [
+                shard.object_query(classify, max_depth)
+                for shard in self.shards
+            ]
+        matches = gather_in_z_order(
+            [self.partitioner.interval(sid)[0] for sid in hit],
+            [r.matches for r in results],
+        )
+        return ShardedQueryResult(
+            matches=matches,
+            pages_accessed=sum(r.pages_accessed for r in results),
+            records_on_pages=sum(r.records_on_pages for r in results),
+            merge=_sum_merge_stats(r.merge for r in results),
+            buffer_stats=_sum_buffer_stats(
+                [r.buffer_stats for r in results]
+            ),
+            shards_hit=tuple(hit),
+            shards_pruned=0,
+            shard_results=tuple(results),
+        )
+
+    def within_distance(
+        self, center: Sequence[int], radius: float
+    ) -> ShardedQueryResult:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        from repro.core.geometry import circle_classifier
+
+        return self.object_query(circle_classifier(tuple(center), radius))
+
+    def nearest_neighbours(
+        self, center: Sequence[int], k: int = 1
+    ) -> List[Point]:
+        """Same growing-radius search as the single store, over the
+        union of shards."""
+        import math
+
+        if k < 1:
+            raise ValueError("k must be positive")
+        if len(self) == 0:
+            return []
+        center_t = tuple(center)
+        self.grid.validate_point(center_t)
+        k = min(k, len(self))
+        radius = 1.0
+        max_radius = self.grid.side * math.sqrt(self.grid.ndims)
+        candidates: List[Point] = []
+        while True:
+            candidates = list(
+                self.within_distance(center_t, radius).matches
+            )
+            if len(candidates) >= k or radius > max_radius:
+                break
+            radius *= 2
+
+        def distance2(p: Point) -> float:
+            return sum((a - b) ** 2 for a, b in zip(p, center_t))
+
+        candidates.sort(
+            key=lambda p: (distance2(p), self.grid.zvalue(p).bits)
+        )
+        return candidates[:k]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the executor and close file-backed shard stores."""
+        self._executor.close()
+        for shard in self.shards:
+            close = getattr(shard.store, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ShardedSpatialStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Executors hold pools and are never needed inside a worker;
+        # replace with the inert serial strategy on the other side.
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._executor = SerialExecutor()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSpatialStore(nshards={self.nshards}, "
+            f"points={len(self)}, executor={self._executor.kind!r})"
+        )

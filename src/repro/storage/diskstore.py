@@ -302,6 +302,29 @@ class FilePageStore:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def reopen(self) -> None:
+        """Replace the file handle with a fresh one on the same path.
+
+        A forked worker process inherits the parent's handle *and its
+        shared file offset*; concurrent seek+read from both sides would
+        race.  The sharded executors call this in each worker so every
+        process reads through a private descriptor.
+        """
+        if not self._file.closed:
+            self._file.close()
+        self._file = open(self.path, "r+b")
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Spawn-style process pools pickle the store; the handle cannot
+        # travel, so ship everything else and reopen on arrival.
+        state = self.__dict__.copy()
+        del state["_file"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._file = open(self.path, "r+b")
+
     def sync(self) -> None:
         """Flush to the OS and ask for durability."""
         self._flush_header()

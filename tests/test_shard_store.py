@@ -1,0 +1,414 @@
+"""Integration tests for the sharded spatial store and its executors.
+
+Everything here checks one of three promises: (1) results are identical
+to the single-store path regardless of executor, (2) shards that cannot
+contribute are pruned before dispatch, (3) the trace/EXPLAIN surface
+reports per-shard actuals the same way under every executor.
+"""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.db import INTEGER, OID, Schema, SpatialDatabase
+from repro.db.statistics import estimate_matches, estimate_pages
+from repro.obs import format_trace, trace
+from repro.shard import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedSpatialStore,
+    ThreadExecutor,
+    ZRangePartitioner,
+    make_executor,
+)
+from repro.storage.diskstore import FilePageStore
+from repro.storage.prefix_btree import ZkdTree
+
+from conftest import random_box, random_points
+
+
+@pytest.fixture
+def loaded(grid64, rng):
+    pts = random_points(rng, grid64, 1200)
+    single = ZkdTree(grid64)
+    single.bulk_load(pts)
+    store = ShardedSpatialStore.build(grid64, pts, nshards=4)
+    return pts, single, store
+
+
+# ----------------------------------------------------------------------
+# Routing and maintenance
+# ----------------------------------------------------------------------
+
+
+def test_points_land_in_owning_shard(loaded, grid64):
+    _, _, store = loaded
+    for shard_id, shard in enumerate(store.shards):
+        lo, hi = store.partitioner.interval(shard_id)
+        for point in shard.points():
+            assert lo <= grid64.zvalue(point).bits <= hi
+
+
+def test_bulk_load_and_insert_agree(grid64, rng):
+    pts = random_points(rng, grid64, 400)
+    bulk = ShardedSpatialStore.build(grid64, pts, nshards=3)
+    incremental = ShardedSpatialStore(grid64, nshards=3)
+    for p in pts:
+        incremental.insert(p)
+    assert bulk.points() == incremental.points()
+    assert bulk.shard_sizes() == incremental.shard_sizes()
+
+
+def test_len_contains_delete(grid64, rng):
+    pts = random_points(rng, grid64, 200)
+    store = ShardedSpatialStore.build(grid64, pts, nshards=4)
+    assert len(store) == len(pts)
+    assert pts[0] in store
+    epoch = store.mutation_epoch
+    assert store.delete(pts[0])
+    assert store.mutation_epoch == epoch + 1
+    assert len(store) == len(pts) - 1
+    assert not store.delete((grid64.side - 1, grid64.side - 1)) or True
+    # points() stays globally z-ordered after the delete
+    codes = [grid64.zvalue(p).bits for p in store.points()]
+    assert codes == sorted(codes)
+
+
+def test_build_validates_partition_policy(grid64):
+    with pytest.raises(ValueError):
+        ShardedSpatialStore.build(grid64, [], nshards=2, partition="bogus")
+    with pytest.raises(ValueError):
+        ShardedSpatialStore(
+            grid64,
+            partitioner=ZRangePartitioner.equi_width(grid64.total_bits, 2),
+            nshards=3,
+        )
+    with pytest.raises(ValueError):
+        ShardedSpatialStore(
+            grid64, partitioner=ZRangePartitioner(4, ())
+        )
+
+
+# ----------------------------------------------------------------------
+# Query identity and pruning
+# ----------------------------------------------------------------------
+
+
+def test_range_query_matches_single_store(loaded, rng, grid64):
+    _, single, store = loaded
+    for _ in range(25):
+        box = random_box(rng, grid64)
+        expected = single.range_query(box)
+        got = store.range_query(box)
+        assert got.matches == expected.matches
+        assert len(got.shards_hit) + got.shards_pruned == store.nshards
+
+
+def test_selective_box_prunes_shards(loaded):
+    _, _, store = loaded
+    # A tiny corner box decomposes into low-z elements only.
+    result = store.range_query(Box(((0, 3), (0, 3))))
+    assert result.shards_pruned >= 1
+    assert result.shards_hit == (0,)
+
+
+def test_degenerate_one_shard_store(grid64, rng):
+    pts = random_points(rng, grid64, 150)
+    single = ZkdTree(grid64)
+    single.bulk_load(pts)
+    store = ShardedSpatialStore.build(grid64, pts, nshards=1)
+    box = random_box(rng, grid64)
+    assert store.range_query(box).matches == single.range_query(box).matches
+    assert store.range_query(box).shards_pruned == 0
+
+
+def test_empty_box_dispatches_nothing(loaded, grid64):
+    _, _, store = loaded
+    side = grid64.side
+    result = store.range_query(Box(((side + 5, side + 9), (0, 3))))
+    assert result.matches == ()
+    assert result.shards_hit == ()
+    assert result.shards_pruned == store.nshards
+
+
+def test_bigmin_and_fast_flags(loaded, rng, grid64):
+    _, single, store = loaded
+    box = random_box(rng, grid64)
+    expected = single.range_query(box).matches
+    for use_bigmin in (False, True):
+        for use_fast in (False, True):
+            got = store.range_query(
+                box, use_bigmin=use_bigmin, use_fast=use_fast
+            )
+            assert got.matches == expected
+
+
+def test_result_aggregates(loaded, rng, grid64):
+    _, single, store = loaded
+    box = Box(((4, 40), (4, 40)))
+    got = store.range_query(box)
+    assert got.nmatches == len(got.matches)
+    assert got.pages_accessed == sum(
+        r.pages_accessed for r in got.shard_results
+    )
+    assert got.merge.matches == got.nmatches
+    assert 0.0 <= got.efficiency <= 1.0
+
+
+def test_object_and_proximity_queries(loaded, grid64):
+    _, single, store = loaded
+    center = (grid64.side // 2, grid64.side // 2)
+    assert (
+        store.within_distance(center, 9.5).matches
+        == single.within_distance(center, 9.5).matches
+    )
+    assert store.nearest_neighbours(center, 5) == (
+        single.nearest_neighbours(center, 5)
+    )
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+def test_executors_identical_results(loaded, rng, grid64, kind):
+    _, single, store = loaded
+    store.set_executor(kind)
+    try:
+        for _ in range(5):
+            box = random_box(rng, grid64)
+            assert (
+                store.range_query(box).matches
+                == single.range_query(box).matches
+            )
+    finally:
+        store.set_executor("serial")
+
+
+def test_make_executor_factory():
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    assert isinstance(make_executor("thread"), ThreadExecutor)
+    assert isinstance(make_executor("process"), ProcessExecutor)
+    with pytest.raises(ValueError):
+        make_executor("gpu")
+
+
+def test_process_pool_sees_mutations(grid64, rng):
+    pts = random_points(rng, grid64, 300)
+    store = ShardedSpatialStore.build(
+        grid64, pts, nshards=2, executor="process"
+    )
+    try:
+        everything = Box(((0, grid64.side - 1), (0, grid64.side - 1)))
+        before = store.range_query(everything).nmatches
+        new_point = next(
+            p
+            for p in (
+                (x, y)
+                for x in range(grid64.side)
+                for y in range(grid64.side)
+            )
+            if p not in set(pts)
+        )
+        store.insert(new_point)  # bumps the epoch -> pool rebuilt
+        assert store.range_query(everything).nmatches == before + 1
+    finally:
+        store.close()
+
+
+def test_store_pickles_without_executor(loaded):
+    import pickle
+
+    _, _, store = loaded
+    store.set_executor("thread")
+    try:
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.executor.kind == "serial"
+        assert clone.points() == store.points()
+    finally:
+        store.set_executor("serial")
+
+
+# ----------------------------------------------------------------------
+# File-backed shards
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["serial", "process"])
+def test_file_backed_shards(tmp_path, grid64, rng, kind):
+    pts = random_points(rng, grid64, 400)
+    single = ZkdTree(grid64)
+    single.bulk_load(pts)
+    store = ShardedSpatialStore.build(
+        grid64,
+        pts,
+        nshards=2,
+        store_factory=lambda i: FilePageStore(
+            str(tmp_path / f"shard{i}.zkd"), page_capacity=20
+        ),
+        executor=kind,
+    )
+    try:
+        for _ in range(5):
+            box = random_box(rng, grid64)
+            assert (
+                store.range_query(box).matches
+                == single.range_query(box).matches
+            )
+    finally:
+        store.close()
+
+
+def test_filestore_reopen_and_pickle(tmp_path):
+    store = FilePageStore(str(tmp_path / "t.zkd"), page_capacity=4)
+    page = store.allocate()
+    page.records.append((7, (1, 2)))
+    store.write(page)
+    store.reopen()
+    assert store.read(page.page_id).records == [(7, (1, 2))]
+    import pickle
+
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.read(page.page_id).records == [(7, (1, 2))]
+    clone.close()
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Tracing and EXPLAIN
+# ----------------------------------------------------------------------
+
+
+def _scatter_span(loaded_store, box, kind):
+    loaded_store.set_executor(kind)
+    try:
+        with trace("q") as t:
+            loaded_store.range_query(box)
+    finally:
+        loaded_store.set_executor("serial")
+    assert t is not None
+    span = t.find("shard.scatter_gather")
+    assert span is not None
+    return t, span
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+def test_trace_counters_identical_across_executors(loaded, kind):
+    _, _, store = loaded
+    box = Box(((2, 30), (2, 30)))
+    serial_trace, _ = _scatter_span(store, box, "serial")
+    t, span = _scatter_span(store, box, kind)
+    assert span.counters["shards_hit"] >= 1
+    assert (
+        span.counters["shards_hit"] + span.counters["shards_pruned"]
+        == store.nshards
+    )
+    assert t.total_counters() == serial_trace.total_counters()
+    # One curated child per dispatched shard, nothing leaked from the
+    # suppressed per-shard sub-queries.
+    children = [c.name for c in span.children]
+    assert all(name.startswith("shard[") for name in children)
+    assert len(children) == span.counters["shards_hit"]
+
+
+def test_explain_renders_per_shard_lines(loaded):
+    _, _, store = loaded
+    with trace("q") as t:
+        store.range_query(Box(((0, 40), (0, 40))))
+    text = format_trace(t)
+    assert "shard.scatter_gather" in text
+    assert "shards_pruned" in text
+    # Compact one-line leaves with actual rows/pages and the z range.
+    for line in text.splitlines():
+        if line.lstrip().startswith("shard["):
+            assert "rows=" in line and "pages=" in line and "z=[" in line
+            break
+    else:
+        pytest.fail("no shard[i] line rendered")
+
+
+# ----------------------------------------------------------------------
+# Database / planner / statistics integration
+# ----------------------------------------------------------------------
+
+
+def _seeded_db(grid, pts, **index_kwargs):
+    db = SpatialDatabase(grid, page_capacity=20)
+    db.create_table(
+        "pts", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    db.insert_many(
+        "pts", [(f"p{i}", x, y) for i, (x, y) in enumerate(pts)]
+    )
+    entry = db.create_index("pts_xy", "pts", ("x", "y"), **index_kwargs)
+    return db, entry
+
+
+def test_database_sharded_index_path(grid64, rng):
+    pts = random_points(rng, grid64, 600)
+    db_plain, _ = _seeded_db(grid64, pts)
+    db_sharded, entry = _seeded_db(grid64, pts, shards=4)
+    assert entry.tree.nshards == 4
+    box = Box(((3, 27), (5, 33)))
+    from repro.db.planner import plan_range_query
+
+    plan = plan_range_query(db_sharded, "pts", ("x", "y"), box)
+    assert plan.method == "sharded-index-scan"
+    assert "sharded-index-scan" in plan.explain()
+    assert sorted(plan.execute().rows) == sorted(
+        db_plain.range_query("pts", ("x", "y"), box).rows
+    )
+    # Maintained inserts route into the sharded index too.
+    db_sharded.insert("pts", ("new", 6, 6))
+    assert (6, 6) in entry.tree
+    stats = db_sharded.range_query_stats("pts", ("x", "y"), box)
+    assert stats.shards_hit
+
+
+def test_sharded_estimates_close_to_single(grid64, rng):
+    pts = random_points(rng, grid64, 800)
+    single = ZkdTree(grid64, page_capacity=20)
+    single.bulk_load(pts)
+    store = ShardedSpatialStore.build(
+        grid64, pts, nshards=4, page_capacity=20
+    )
+    for _ in range(10):
+        box = random_box(rng, grid64)
+        actual = store.range_query(box).nmatches
+        est_sharded = estimate_matches(store, box)
+        est_single = estimate_matches(single, box)
+        # Same ballpark as the single-store histogram estimate.
+        assert abs(est_sharded - actual) <= abs(est_single - actual) + max(
+            20, 0.5 * actual
+        )
+        assert estimate_pages(store, box) >= 0
+
+
+def test_balanced_partition_on_skew(grid64):
+    rng = random.Random(5)
+    # Clustered corner data: balanced cuts spread it, equi-width won't.
+    pts = [(rng.randrange(12), rng.randrange(12)) for _ in range(500)]
+    single = ZkdTree(grid64)
+    single.bulk_load(pts)
+    balanced = ShardedSpatialStore.build(
+        grid64, pts, nshards=4, partition="balanced"
+    )
+    assert max(balanced.shard_sizes()) < len(pts)
+    box = Box(((0, 11), (0, 11)))
+    assert (
+        balanced.range_query(box).matches
+        == single.range_query(box).matches
+    )
+
+
+def test_grid3d_store(grid3d):
+    rng = random.Random(9)
+    pts = random_points(rng, grid3d, 300)
+    single = ZkdTree(grid3d)
+    single.bulk_load(pts)
+    store = ShardedSpatialStore.build(grid3d, pts, nshards=3)
+    box = random_box(rng, grid3d)
+    assert store.range_query(box).matches == single.range_query(box).matches
