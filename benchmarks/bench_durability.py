@@ -1,0 +1,215 @@
+"""Durability overhead: what do checksums and the WAL cost on disk?
+
+Times a fixed-seed disk-backed workload — bulk load then a range-query
+sweep — against :class:`~repro.storage.diskstore.FilePageStore` in three
+configurations:
+
+* ``raw``        — ``checksums=False, wal=False`` (the baseline)
+* ``checksums``  — per-page CRC32 verification, no WAL
+* ``wal``        — checksums plus the redo-only write-ahead log
+
+Every configuration must return the same matches.  The acceptance
+number is the *checksum* query overhead: CRC32 over a 4 KiB page is
+cheap relative to the page parse, so verified reads must stay within
+5% of the raw baseline (asserted on full runs; smoke runs report
+only, since tiny workloads put the delta inside timer noise).  The WAL
+load overhead is reported, not gated — journalled commits legitimately
+write every page image twice.
+
+Runs two ways:
+
+* as a pytest bench, writing ``benchmarks/results/durability.txt``::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_durability.py -q
+
+* as a standalone script for CI smoke runs::
+
+      PYTHONPATH=src python benchmarks/bench_durability.py --smoke
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.geometry import Grid
+from repro.storage.diskstore import FilePageStore
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+DEPTH = 10
+NPOINTS = 40_000
+SEED = 0
+PAGE_CAPACITY = 64
+CHECKSUM_QUERY_CEILING = 0.05  # ≤5% on the verified-read path
+
+CONFIGS = (
+    ("raw", {"checksums": False, "wal": False}),
+    ("checksums", {"checksums": True, "wal": False}),
+    ("wal", {"checksums": True, "wal": True}),
+)
+
+
+def _build_workload(depth=DEPTH, npoints=NPOINTS, seed=SEED):
+    grid = Grid(ndims=2, depth=depth)
+    points = make_dataset("C", grid, npoints, seed=seed).points
+    specs = query_workload(
+        grid, volumes=(0.01, 0.03), aspects=(1.0, 2.0), locations=5,
+        seed=seed + 1,
+    )
+    return grid, points, [spec.box for spec in specs]
+
+
+def _load_config(tmpdir, name, opts, grid, points):
+    """Build a disk tree for one configuration; returns (tree, load_s)."""
+    path = os.path.join(tmpdir, f"{name}.zkd")
+    store = FilePageStore(
+        path, page_capacity=PAGE_CAPACITY, page_size=4096, **opts
+    )
+    tree = ZkdTree(grid, page_capacity=PAGE_CAPACITY, store=store)
+    t0 = time.perf_counter()
+    tree.insert_many(points)
+    tree.buffer.flush()
+    return tree, time.perf_counter() - t0
+
+
+def _sweep(tree, boxes):
+    """One cold query sweep: drop the buffer so every pass re-reads —
+    and, with checksums on, re-verifies — pages from disk."""
+    for page_id in list(tree.buffer._frames):
+        tree.buffer.invalidate(page_id)
+    t0 = time.perf_counter()
+    matches = sum(tree.range_query(box).nmatches for box in boxes)
+    return time.perf_counter() - t0, matches
+
+
+def run(depth=DEPTH, npoints=NPOINTS, repeats=7, seed=SEED, verbose=True):
+    grid, points, boxes = _build_workload(depth, npoints, seed)
+    rows = []
+    with tempfile.TemporaryDirectory() as tmpdir:
+        trees, loads = {}, {}
+        try:
+            for name, opts in CONFIGS:
+                trees[name], loads[name] = _load_config(
+                    tmpdir, name, opts, grid, points
+                )
+            # Interleave the sweeps round-robin so slow drift in the
+            # host (thermal, cache, background load) hits every
+            # configuration equally instead of biasing whichever ran
+            # last; min-of-repeats then cancels the noise.
+            best = {name: float("inf") for name, _ in CONFIGS}
+            match_counts = {}
+            for _ in range(repeats):
+                for name, _opts in CONFIGS:
+                    elapsed, matches = _sweep(trees[name], boxes)
+                    best[name] = min(best[name], elapsed)
+                    match_counts[name] = matches
+        finally:
+            for tree in trees.values():
+                tree.store.close()
+        base_name = CONFIGS[0][0]
+        base_load = loads[base_name]
+        base_query = best[base_name]
+        base_matches = match_counts[base_name]
+        for name, _opts in CONFIGS:
+            assert match_counts[name] == base_matches, (
+                f"{name}: {match_counts[name]} matches, "
+                f"raw baseline {base_matches}"
+            )
+            rows.append(
+                {
+                    "config": name,
+                    "load_s": loads[name],
+                    "query_s": best[name],
+                    "load_overhead": loads[name] / base_load - 1.0,
+                    "query_overhead": best[name] / base_query - 1.0,
+                }
+            )
+    report = format_report(npoints, depth, boxes, rows)
+    if verbose:
+        print(report)
+    return rows, report
+
+
+def format_report(npoints, depth, boxes, rows):
+    lines = [
+        "# Durability overhead: disk store load + query sweep by config",
+        f"  {npoints:,} pts, depth {depth}, {len(boxes)} boxes, "
+        f"4096 B pages",
+        "",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r['config']:<9}  load {r['load_s'] * 1e3:>8.1f} ms "
+            f"({r['load_overhead']:+6.1%})   "
+            f"query {r['query_s'] * 1e3:>8.1f} ms "
+            f"({r['query_overhead']:+6.1%})"
+        )
+    return "\n".join(lines)
+
+
+def _overhead(rows, config, key):
+    for r in rows:
+        if r["config"] == config:
+            return r[key]
+    return float("inf")
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (writes the result artifact)
+# ----------------------------------------------------------------------
+
+
+def test_durability_overhead(results_dir):
+    from conftest import save_result
+
+    rows, report = run(verbose=False)
+    save_result(results_dir, "durability.txt", report)
+    overhead = _overhead(rows, "checksums", "query_overhead")
+    assert overhead <= CHECKSUM_QUERY_CEILING, report
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (CI smoke)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, identity check only (overhead reported, "
+        "not gated — tiny runs sit inside timer noise)",
+    )
+    parser.add_argument("--points", type=int, default=NPOINTS)
+    parser.add_argument("--depth", type=int, default=DEPTH)
+    args = parser.parse_args(argv)
+    npoints = 6_000 if args.smoke else args.points
+    depth = 8 if args.smoke else args.depth
+    rows, _ = run(depth=depth, npoints=npoints)
+    overhead = _overhead(rows, "checksums", "query_overhead")
+    if args.smoke:
+        print(
+            f"OK: identity held across configurations "
+            f"(checksum query overhead {overhead:+.1%}, not gated)"
+        )
+        return 0
+    if overhead > CHECKSUM_QUERY_CEILING:
+        print(
+            f"FAIL: checksum query overhead {overhead:+.1%} above the "
+            f"{CHECKSUM_QUERY_CEILING:.0%} ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: checksum query overhead {overhead:+.1%} "
+        f"(ceiling {CHECKSUM_QUERY_CEILING:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

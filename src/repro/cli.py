@@ -117,6 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="how per-shard work is dispatched when --shards > 1",
     )
     query.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SITE:KIND[:AT[:TIMES]]",
+        help=(
+            "arm a failpoint before running (repeatable), e.g. "
+            "'shard.worker:crash' kills a pool worker and "
+            "'shard.worker:error:1:-1' makes one shard fail every "
+            "attempt; retries/degradation then show up in "
+            "--explain-analyze as shard.retries / shard.degraded"
+        ),
+    )
+    query.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injector's deterministic streams",
+    )
+    query.add_argument(
         "--explain-analyze",
         action="store_true",
         help=(
@@ -225,6 +244,19 @@ def _cmd_query(args, out) -> None:
     from repro.db.types import SpatialObject
     from repro.obs import QueryTrace, format_trace, trace
 
+    faults = None
+    executor = args.executor
+    if args.inject:
+        from repro.faults import FaultInjector, parse_rule
+        from repro.shard.executor import make_executor
+
+        faults = FaultInjector(seed=args.fault_seed)
+        for spec in args.inject:
+            faults.rule(**parse_rule(spec))
+        # Hand the index an executor instance carrying the injector so
+        # worker-side failpoints (shard.worker) are armed in the pool.
+        executor = make_executor(args.executor, faults=faults)
+
     grid = Grid(ndims=2, depth=args.depth)
     side = grid.side
     db = SpatialDatabase(grid, page_capacity=args.capacity)
@@ -242,7 +274,7 @@ def _cmd_query(args, out) -> None:
         "points",
         ("x", "y"),
         shards=args.shards,
-        executor=args.executor,
+        executor=executor,
     )
     partitioner = getattr(entry.tree, "partitioner", None)
     if partitioner is not None:
@@ -279,6 +311,25 @@ def _cmd_query(args, out) -> None:
             partitioner=partitioner, executor=args.executor
         )
 
+    def fault_summary() -> None:
+        if faults is None:
+            return
+        if faults.fired:
+            out.write("injected faults fired (coordinator side):\n")
+            for event in faults.fired:
+                ctx = ", ".join(f"{k}={v}" for k, v in event.context)
+                out.write(
+                    f"  {event.site}:{event.kind} at hit {event.hit}"
+                    + (f" ({ctx})" if ctx else "")
+                    + "\n"
+                )
+        else:
+            out.write(
+                "no coordinator-side fault firings (worker-side "
+                "firings surface as shard.retries / shard.degraded "
+                "counters)\n"
+            )
+
     if not (args.explain_analyze or args.json_path):
         try:
             rows = Query(db, "points").within(("x", "y"), window).count()
@@ -287,6 +338,7 @@ def _cmd_query(args, out) -> None:
                 p_objects, q_objects, "geom", "id@", **join_kwargs
             )
             out.write(f"overlap join P x Q: {len(pairs)} pairs\n")
+            fault_summary()
         finally:
             if partitioner is not None:
                 entry.tree.close()
@@ -307,6 +359,7 @@ def _cmd_query(args, out) -> None:
     assert join_trace is not None
     out.write("=== EXPLAIN ANALYZE: spatial join ===\n")
     out.write(format_trace(join_trace) + "\n")
+    fault_summary()
 
     if args.json_path:
         import json

@@ -84,8 +84,9 @@ class SpatialDatabase:
         buffer_frames: int = 8,
         policy: ReplacementPolicy = ReplacementPolicy.LRU,
         shards: int = 1,
-        executor: str = "serial",
+        executor: Any = "serial",
         partition: str = "equi",
+        resilience: Any = None,
     ) -> IndexEntry:
         """Build a zkd B+-tree over coordinate columns of ``table``.
 
@@ -95,9 +96,13 @@ class SpatialDatabase:
         With ``shards > 1`` the index is a :class:`~repro.shard.store.
         ShardedSpatialStore` — ``shards`` z-range shards queried
         scatter–gather style through ``executor`` (``serial`` /
-        ``thread`` / ``process``); ``partition`` picks the cut policy
-        (``equi`` or the data-balanced ``balanced``).  Query results
-        are identical to the single-tree index.
+        ``thread`` / ``process``, or a :class:`~repro.shard.executor.
+        ShardExecutor` instance, e.g. one carrying a fault injector);
+        ``partition`` picks the cut policy (``equi`` or the
+        data-balanced ``balanced``); ``resilience`` overrides the
+        scatter's :class:`~repro.shard.executor.ResiliencePolicy`
+        (retries / timeouts / serial degradation).  Query results are
+        identical to the single-tree index.
         """
         relation = self.catalog.relation(table)
         cols = tuple(coord_cols)
@@ -117,6 +122,7 @@ class SpatialDatabase:
                 buffer_frames=buffer_frames,
                 policy=policy,
                 executor=executor,
+                resilience=resilience,
             )
         else:
             tree = ZkdTree(

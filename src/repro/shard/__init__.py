@@ -15,7 +15,10 @@ to exactly that.
 
 from repro.shard.executor import (
     EXECUTOR_KINDS,
+    PartialResultError,
     ProcessExecutor,
+    ResiliencePolicy,
+    ScatterStats,
     SerialExecutor,
     ShardExecutor,
     ThreadExecutor,
@@ -31,6 +34,9 @@ from repro.shard.store import (
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "PartialResultError",
+    "ResiliencePolicy",
+    "ScatterStats",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardExecutor",

@@ -1,4 +1,5 @@
-"""Scatter–gather executors: how per-shard work is dispatched.
+"""Scatter–gather executors: how per-shard work is dispatched — and
+what happens when a worker fails.
 
 Three strategies behind one small interface:
 
@@ -19,14 +20,59 @@ Three strategies behind one small interface:
 Shard queries run **untraced** inside workers (the coordinating thread
 publishes one curated span per shard afterwards), so all three
 executors produce identical results *and* identical trace counters.
+
+Fault tolerance
+---------------
+:meth:`ShardExecutor.map_shards_resilient` is the production dispatch
+path: each shard call gets a **per-shard timeout**, **bounded retries
+with exponential backoff**, and **dead-worker detection** — a worker
+process dying (``BrokenProcessPool``) or hanging past the timeout
+rebuilds the pool and resubmits.  When retries are exhausted the call
+**degrades to serial re-execution** in the coordinator, which always
+computes the same bytes the worker would have (same store, same
+method), so a query under faults returns results byte-identical to the
+fault-free run.  Only when even the inline re-execution fails does the
+query surface a typed :class:`PartialResultError` carrying the shards
+that did answer — degraded, retried, and failed shards are reported as
+``shard.retries`` / ``shard.degraded`` trace counters by the
+coordinator (:meth:`ShardedSpatialStore._gather`).
+
+Worker faults are injected through the ``shard.worker`` failpoint
+(:mod:`repro.faults`): a ``crash`` rule makes a process worker call
+``os._exit`` (a genuine death, exercising the real
+``BrokenProcessPool`` path), an ``error`` rule raises a retryable
+:class:`~repro.faults.FaultError`, a ``latency`` rule sleeps past the
+timeout.  The serial path never consults the site — it *is* the
+degraded reference.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.faults import CrashPoint, FaultInjector, register_site
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.shard.store import ShardedSpatialStore
@@ -37,8 +83,12 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ResiliencePolicy",
+    "ScatterStats",
+    "PartialResultError",
     "make_executor",
     "EXECUTOR_KINDS",
+    "SITE_WORKER",
 ]
 
 #: One unit of scatter work: ``(shard_id, method_name, args, kwargs)``
@@ -46,6 +96,76 @@ __all__ = [
 ShardCall = Tuple[int, str, tuple, dict]
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Failpoint inside thread/process workers (never the serial path).
+SITE_WORKER = register_site("shard.worker", "point")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard the scatter fights before giving up on a shard.
+
+    ``max_retries`` resubmissions per shard call, sleeping
+    ``backoff_base * backoff_factor**attempt`` between attempts;
+    ``timeout`` bounds each wait (``None`` = wait forever);
+    ``degrade_serial`` re-executes exhausted calls inline in the
+    coordinator — the graceful-degradation path that keeps a query
+    returning byte-identical results when a whole worker pool dies.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    timeout: Optional[float] = None
+    degrade_serial: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base * (self.backoff_factor ** attempt)
+
+
+@dataclass
+class ScatterStats:
+    """What the resilient dispatch had to do: ``retries`` counts
+    resubmitted shard calls, ``degraded`` the shards that fell back to
+    serial re-execution, ``failures`` the shards that failed even
+    inline (these also raise :class:`PartialResultError`)."""
+
+    retries: int = 0
+    degraded: int = 0
+    failures: Dict[int, BaseException] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.retries or self.degraded or self.failures)
+
+
+class PartialResultError(RuntimeError):
+    """A scatter completed on some shards but not all.
+
+    ``results`` maps shard id to its (gathered-order) result for every
+    shard that answered; ``failures`` maps shard id to the terminal
+    exception.  Callers that can serve partial answers may catch this
+    and use ``results``; everyone else gets a loud, typed failure
+    instead of a hang or a silently short answer.
+    """
+
+    def __init__(
+        self,
+        failures: Dict[int, BaseException],
+        results: Dict[int, Any],
+        stats: Optional[ScatterStats] = None,
+    ) -> None:
+        self.failures = failures
+        self.results = results
+        self.stats = stats
+        detail = "; ".join(
+            f"shard {sid}: {type(exc).__name__}: {exc}"
+            for sid, exc in sorted(failures.items())
+        )
+        super().__init__(
+            f"{len(failures)} shard(s) failed after retries "
+            f"({len(results)} answered): {detail}"
+        )
 
 
 def _run_shard_call(store: "ShardedSpatialStore", call: ShardCall) -> Any:
@@ -60,11 +180,15 @@ def _run_shard_call(store: "ShardedSpatialStore", call: ShardCall) -> Any:
 # and reopens file-backed page stores.
 
 _WORKER_STORE: Optional["ShardedSpatialStore"] = None
+_WORKER_FAULTS: Optional[FaultInjector] = None
 
 
-def _worker_init(store: "ShardedSpatialStore") -> None:
-    global _WORKER_STORE
+def _worker_init(
+    store: "ShardedSpatialStore", faults: Optional[FaultInjector] = None
+) -> None:
+    global _WORKER_STORE, _WORKER_FAULTS
     _WORKER_STORE = store
+    _WORKER_FAULTS = faults
     for tree in store.shards:
         reopen = getattr(tree.store, "reopen", None)
         if reopen is not None:
@@ -75,7 +199,27 @@ def _worker_init(store: "ShardedSpatialStore") -> None:
 
 def _worker_shard_call(call: ShardCall) -> Any:
     assert _WORKER_STORE is not None, "worker pool initialized without store"
+    if _WORKER_FAULTS is not None:
+        try:
+            _WORKER_FAULTS.hit(SITE_WORKER, shard=call[0])
+        except CrashPoint:
+            # A simulated kill becomes a real worker death, so the
+            # coordinator exercises the genuine BrokenProcessPool path.
+            os._exit(43)
     return _run_shard_call(_WORKER_STORE, call)
+
+
+def _thread_shard_call(
+    store: "ShardedSpatialStore",
+    call: ShardCall,
+    faults: Optional[FaultInjector],
+) -> Any:
+    if faults is not None:
+        # Threads share the interpreter: a "crash" here raises
+        # CrashPoint (BaseException) and fails the future; retries and
+        # degradation handle it like a death.
+        faults.hit(SITE_WORKER, shard=call[0])
+    return _run_shard_call(store, call)
 
 
 class ShardExecutor:
@@ -87,7 +231,20 @@ class ShardExecutor:
     def map_shards(
         self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
     ) -> List[Any]:
-        """Run ``calls`` against ``store``'s shard trees."""
+        """Run ``calls`` against ``store``'s shard trees (fail-fast:
+        the first error propagates).  Prefer
+        :meth:`map_shards_resilient` on the query path."""
+        raise NotImplementedError
+
+    def map_shards_resilient(
+        self,
+        store: "ShardedSpatialStore",
+        calls: Sequence[ShardCall],
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> Tuple[List[Any], ScatterStats]:
+        """Run ``calls`` with retries/timeouts/degradation per
+        ``policy``; returns results in submission order plus the
+        :class:`ScatterStats`, or raises :class:`PartialResultError`."""
         raise NotImplementedError
 
     def map_tasks(
@@ -109,9 +266,46 @@ class ShardExecutor:
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
+    # -- shared degrade/collect machinery ------------------------------
+
+    def _finish(
+        self,
+        store: "ShardedSpatialStore",
+        calls: Sequence[ShardCall],
+        results: List[Any],
+        pending_failures: Dict[int, BaseException],
+        stats: ScatterStats,
+        policy: ResiliencePolicy,
+    ) -> Tuple[List[Any], ScatterStats]:
+        """Degrade exhausted calls to inline serial execution; raise
+        :class:`PartialResultError` for whatever still fails."""
+        for index, exc in sorted(pending_failures.items()):
+            call = calls[index]
+            if not policy.degrade_serial:
+                stats.failures[call[0]] = exc
+                continue
+            try:
+                results[index] = _run_shard_call(store, call)
+                stats.degraded += 1
+            except Exception as inline_exc:
+                stats.failures[call[0]] = inline_exc
+        if stats.failures:
+            answered = {
+                calls[i][0]: results[i]
+                for i in range(len(calls))
+                if calls[i][0] not in stats.failures
+                and results[i] is not None
+            }
+            raise PartialResultError(dict(stats.failures), answered, stats)
+        return results, stats
+
 
 class SerialExecutor(ShardExecutor):
-    """Inline execution in shard order — the reference strategy."""
+    """Inline execution in shard order — the reference strategy.
+
+    There is no worker to die here, so resilience reduces to bounded
+    retries around transient (e.g. injected I/O) errors.
+    """
 
     kind = "serial"
 
@@ -120,19 +314,107 @@ class SerialExecutor(ShardExecutor):
     ) -> List[Any]:
         return [_run_shard_call(store, call) for call in calls]
 
+    def map_shards_resilient(
+        self,
+        store: "ShardedSpatialStore",
+        calls: Sequence[ShardCall],
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> Tuple[List[Any], ScatterStats]:
+        policy = policy or ResiliencePolicy()
+        stats = ScatterStats()
+        results: List[Any] = [None] * len(calls)
+        pending: Dict[int, BaseException] = {}
+        for index, call in enumerate(calls):
+            attempt = 0
+            while True:
+                try:
+                    results[index] = _run_shard_call(store, call)
+                    break
+                except Exception as exc:
+                    if attempt >= policy.max_retries:
+                        pending[index] = exc
+                        break
+                    time.sleep(policy.backoff(attempt))
+                    attempt += 1
+                    stats.retries += 1
+        # Serial execution *is* the degraded mode; exhausted retries go
+        # straight to failures.
+        no_degrade = ResiliencePolicy(
+            max_retries=policy.max_retries,
+            backoff_base=policy.backoff_base,
+            backoff_factor=policy.backoff_factor,
+            timeout=policy.timeout,
+            degrade_serial=False,
+        )
+        return self._finish(
+            store, calls, results, pending, stats, no_degrade
+        )
+
     def map_tasks(
         self, fn: Callable[..., Any], tasks: Sequence[tuple]
     ) -> List[Any]:
         return [fn(*task) for task in tasks]
 
 
-class ThreadExecutor(ShardExecutor):
+class _PoolExecutorBase(ShardExecutor):
+    """Shared retry loop for the pooled executors."""
+
+    def _submit_call(
+        self, store: "ShardedSpatialStore", call: ShardCall
+    ) -> Future:
+        raise NotImplementedError
+
+    def _note_broken(self) -> None:
+        """Pool-level failure observed; subclasses rebuild lazily."""
+
+    def map_shards_resilient(
+        self,
+        store: "ShardedSpatialStore",
+        calls: Sequence[ShardCall],
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> Tuple[List[Any], ScatterStats]:
+        policy = policy or ResiliencePolicy()
+        stats = ScatterStats()
+        results: List[Any] = [None] * len(calls)
+        futures: List[Future] = [
+            self._submit_call(store, call) for call in calls
+        ]
+        attempts = [0] * len(calls)
+        pending: Dict[int, BaseException] = {}
+        for index, call in enumerate(calls):
+            while True:
+                try:
+                    results[index] = futures[index].result(
+                        timeout=policy.timeout
+                    )
+                    break
+                except Exception as exc:
+                    if isinstance(exc, (BrokenExecutor, FutureTimeoutError)):
+                        # Dead or hung worker: the pool itself is
+                        # suspect, not just this call.
+                        self._note_broken()
+                    if attempts[index] >= policy.max_retries:
+                        pending[index] = exc
+                        break
+                    time.sleep(policy.backoff(attempts[index]))
+                    attempts[index] += 1
+                    stats.retries += 1
+                    futures[index] = self._submit_call(store, call)
+        return self._finish(store, calls, results, pending, stats, policy)
+
+
+class ThreadExecutor(_PoolExecutorBase):
     """A persistent thread pool sharing the coordinator's stores."""
 
     kind = "thread"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self._max_workers = max_workers
+        self._faults = faults
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -143,13 +425,17 @@ class ThreadExecutor(ShardExecutor):
             )
         return self._pool
 
+    def _submit_call(
+        self, store: "ShardedSpatialStore", call: ShardCall
+    ) -> Future:
+        return self._ensure_pool().submit(
+            _thread_shard_call, store, call, self._faults
+        )
+
     def map_shards(
         self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
     ) -> List[Any]:
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_run_shard_call, store, call) for call in calls
-        ]
+        futures = [self._submit_call(store, call) for call in calls]
         return [f.result() for f in futures]
 
     def map_tasks(
@@ -165,21 +451,31 @@ class ThreadExecutor(ShardExecutor):
             self._pool = None
 
 
-class ProcessExecutor(ShardExecutor):
+class ProcessExecutor(_PoolExecutorBase):
     """A process pool holding a per-worker copy of the sharded store.
 
     The pool is created lazily on first use and re-created whenever the
     store's mutation epoch moves, so workers never serve stale shards.
+    A worker death (detected as ``BrokenProcessPool``) or a hung worker
+    (per-shard timeout) marks the pool broken; the next submission
+    rebuilds it, and calls that keep failing degrade to serial
+    re-execution in the coordinator.
     """
 
     kind = "process"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self._max_workers = max_workers
+        self._faults = faults
         self._pool: Optional[ProcessPoolExecutor] = None
         #: (id(store), epoch) the live pool was built against; None for
         #: a pool without a bound store (plain task fan-out only).
         self._bound: Optional[Tuple[int, int]] = None
+        self._broken = False
 
     @staticmethod
     def _context():
@@ -193,8 +489,12 @@ class ProcessExecutor(ShardExecutor):
             return self._max_workers
         return max(1, min(ntasks, os.cpu_count() or 1))
 
+    def _note_broken(self) -> None:
+        self._broken = True
+
     def _rebuild(self, store: Optional["ShardedSpatialStore"], ntasks: int):
         self.close()
+        self._broken = False
         if store is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self._workers_for(ntasks),
@@ -206,18 +506,37 @@ class ProcessExecutor(ShardExecutor):
                 max_workers=self._workers_for(len(store.shards)),
                 mp_context=self._context(),
                 initializer=_worker_init,
-                initargs=(store,),
+                initargs=(store, self._faults),
             )
             self._bound = (id(store), store.mutation_epoch)
         return self._pool
 
+    def _ensure_bound_pool(
+        self, store: "ShardedSpatialStore", ntasks: int
+    ) -> ProcessPoolExecutor:
+        bound = (id(store), store.mutation_epoch)
+        pool = self._pool
+        if pool is None or self._broken or self._bound != bound:
+            pool = self._rebuild(store, ntasks)
+        return pool
+
+    def _submit_call(
+        self, store: "ShardedSpatialStore", call: ShardCall
+    ) -> Future:
+        pool = self._ensure_bound_pool(store, 1)
+        try:
+            return pool.submit(_worker_shard_call, call)
+        except BrokenExecutor:
+            # The pool died between queries; one rebuild, then submit
+            # (a second failure propagates to the retry loop).
+            self._note_broken()
+            pool = self._ensure_bound_pool(store, 1)
+            return pool.submit(_worker_shard_call, call)
+
     def map_shards(
         self, store: "ShardedSpatialStore", calls: Sequence[ShardCall]
     ) -> List[Any]:
-        bound = (id(store), store.mutation_epoch)
-        pool = self._pool
-        if pool is None or self._bound != bound:
-            pool = self._rebuild(store, len(calls))
+        pool = self._ensure_bound_pool(store, len(calls))
         futures = [pool.submit(_worker_shard_call, call) for call in calls]
         return [f.result() for f in futures]
 
@@ -225,29 +544,34 @@ class ProcessExecutor(ShardExecutor):
         self, fn: Callable[..., Any], tasks: Sequence[tuple]
     ) -> List[Any]:
         pool = self._pool
-        if pool is None:
+        if pool is None or self._broken:
             pool = self._rebuild(None, len(tasks))
         futures = [pool.submit(fn, *task) for task in tasks]
         return [f.result() for f in futures]
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # cancel_futures: a hung (latency-injected) worker must not
+            # block the coordinator's shutdown path.
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._bound = None
 
 
 def make_executor(
-    kind: str, max_workers: Optional[int] = None
+    kind: str,
+    max_workers: Optional[int] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> ShardExecutor:
     """Executor factory for the CLI / config surface: ``serial``,
-    ``thread`` or ``process``."""
+    ``thread`` or ``process``; ``faults`` arms the ``shard.worker``
+    failpoint inside pool workers."""
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
-        return ThreadExecutor(max_workers)
+        return ThreadExecutor(max_workers, faults=faults)
     if kind == "process":
-        return ProcessExecutor(max_workers)
+        return ProcessExecutor(max_workers, faults=faults)
     raise ValueError(
         f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

@@ -46,6 +46,8 @@ from repro.core.rangesearch import MergeStats
 from repro.obs.trace import current as _trace_current
 from repro.obs.trace import suppress as _trace_suppress
 from repro.shard.executor import (
+    ResiliencePolicy,
+    ScatterStats,
     SerialExecutor,
     ShardCall,
     ShardExecutor,
@@ -163,6 +165,7 @@ class ShardedSpatialStore:
         policy: ReplacementPolicy = ReplacementPolicy.LRU,
         store_factory: Optional[StoreFactory] = None,
         executor: Union[ShardExecutor, str, None] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if partitioner is None:
             partitioner = ZRangePartitioner.equi_width(
@@ -192,6 +195,7 @@ class ShardedSpatialStore:
             for i in range(partitioner.nshards)
         ]
         self._executor = self._coerce_executor(executor)
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
         self._epoch = 0
 
     @staticmethod
@@ -396,13 +400,18 @@ class ShardedSpatialStore:
             for shard_id in hit
         ]
         with _trace_suppress():
-            results: List[QueryResult] = self._executor.map_shards(
-                self, calls
+            results: List[QueryResult]
+            results, stats = self._executor.map_shards_resilient(
+                self, calls, self.resilience
             )
-        return self._gather(box, hit, results)
+        return self._gather(box, hit, results, stats)
 
     def _gather(
-        self, box: Box, hit: List[int], results: List[QueryResult]
+        self,
+        box: Box,
+        hit: List[int],
+        results: List[QueryResult],
+        stats: Optional[ScatterStats] = None,
     ) -> ShardedQueryResult:
         matches = gather_in_z_order(
             [self.partitioner.interval(sid)[0] for sid in hit],
@@ -434,6 +443,13 @@ class ShardedSpatialStore:
                     "rows_gathered": len(matches),
                 }
             )
+            # Resilience counters only appear when faults actually
+            # fired, so fault-free traces (and the CI trace-counter
+            # baseline) are unchanged.
+            if stats is not None and stats.retries:
+                span.add_counters({"shard.retries": stats.retries})
+            if stats is not None and stats.degraded:
+                span.add_counters({"shard.degraded": stats.degraded})
             for shard_id, result in zip(hit, results):
                 zlo, zhi = self.partitioner.interval(shard_id)
                 child = span.child(f"shard[{shard_id}]")

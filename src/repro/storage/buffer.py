@@ -19,9 +19,14 @@ import collections
 import enum
 from typing import Dict
 
+from repro.faults import register_site
 from repro.storage.page import Page, PageStore
 
 __all__ = ["ReplacementPolicy", "BufferManager"]
+
+#: Failpoint on the eviction/flush write-back path — the classic
+#: "dirty page lost because the write failed" site.
+SITE_WRITEBACK = register_site("buffer.writeback", "point")
 
 
 class ReplacementPolicy(enum.Enum):
@@ -80,7 +85,10 @@ class BufferManager:
         """Install a (possibly new or modified) page in the cache."""
         if page.page_id in self._frames:
             self._frames[page.page_id] = page
-            self._frames.move_to_end(page.page_id)
+            # FIFO evicts by *admission* order: a re-put must not
+            # refresh recency, or FIFO silently degenerates into LRU.
+            if self._policy is not ReplacementPolicy.FIFO:
+                self._frames.move_to_end(page.page_id)
             self._dirty[page.page_id] = self._dirty.get(page.page_id, False) or dirty
             return
         self._admit(page.page_id, page, dirty)
@@ -106,20 +114,31 @@ class BufferManager:
 
     def _evict_one(self) -> None:
         if self._policy is ReplacementPolicy.MRU:
-            victim_id, victim = self._frames.popitem(last=True)
+            victim_id = next(reversed(self._frames))
         else:  # LRU and FIFO both evict the oldest entry; they differ
             # only in whether `get` refreshes recency (see `get`).
-            victim_id, victim = self._frames.popitem(last=False)
-        if self._dirty.pop(victim_id, False):
-            self._store.write(victim)
+            victim_id = next(iter(self._frames))
+        # Write back *before* dropping the frame: if the store raises,
+        # the dirty page stays resident (and dirty) instead of being
+        # silently lost — the caller sees the error and can retry.
+        if self._dirty.get(victim_id, False):
+            self._write_back(victim_id, self._frames[victim_id])
+        del self._frames[victim_id]
+        self._dirty.pop(victim_id, None)
         self.evictions += 1
+
+    def _write_back(self, page_id: int, page: Page) -> None:
+        faults = getattr(self._store, "faults", None)
+        if faults is not None:
+            faults.hit(SITE_WRITEBACK, page=page_id)
+        self._store.write(page)
+        self._dirty[page_id] = False
 
     def flush(self) -> None:
         """Write back every dirty page (kept cached)."""
         for page_id, page in self._frames.items():
             if self._dirty.get(page_id):
-                self._store.write(page)
-                self._dirty[page_id] = False
+                self._write_back(page_id, page)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache without write-back (after free)."""

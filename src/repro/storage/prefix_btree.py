@@ -17,8 +17,9 @@ Per-query measurements match the paper's:
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box, ClassifyFn, Grid, circle_classifier
 from repro.core.rangesearch import (
@@ -119,24 +120,50 @@ class ZkdTree:
     # Maintenance
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def transaction(self) -> Iterator["ZkdTree"]:
+        """Group tree mutations into one atomic, durable unit.
+
+        On a WAL-backed :class:`~repro.storage.diskstore.FilePageStore`
+        this opens a store transaction and flushes the buffer pool's
+        dirty pages into it before commit, so a crash anywhere inside
+        the block leaves the on-disk tree at either the previous or the
+        new state — never a half-applied split.  On stores without
+        transaction support (the in-memory default) it is a no-op
+        wrapper, so callers need not care which store they run on.
+
+        After a :class:`~repro.faults.CrashPoint` escapes the block the
+        in-memory tree is stale; abandon it and ``ZkdTree.open`` the
+        file again (recovery replays the committed prefix).
+        """
+        if not getattr(self.store, "supports_transactions", False):
+            yield self
+            return
+        with self.store.transaction():
+            yield self
+            self.buffer.flush()
+
     def insert(self, point: Sequence[int]) -> None:
         point = tuple(point)
         self.grid.validate_point(point)
-        self.tree.insert(self.grid.zvalue(point).bits, point)
+        with self.transaction():
+            self.tree.insert(self.grid.zvalue(point).bits, point)
 
     def insert_many(
         self, points: Iterable[Sequence[int]], use_fast: bool = True
     ) -> None:
         if not use_fast:
-            for point in points:
-                self.insert(point)
+            with self.transaction():
+                for point in points:
+                    self.insert(point)
             return
         from repro.core.fastz import interleave_many
 
         pts = [tuple(p) for p in points]
         codes = interleave_many(pts, self.grid.depth, self.grid.ndims)
-        for code, point in zip(codes, pts):
-            self.tree.insert(code, point)
+        with self.transaction():
+            for code, point in zip(codes, pts):
+                self.tree.insert(code, point)
 
     def bulk_load(
         self,
@@ -154,7 +181,8 @@ class ZkdTree:
 
             pts = [tuple(p) for p in points]
             codes = interleave_many(pts, self.grid.depth, self.grid.ndims)
-            self.tree.bulk_load(zip(codes, pts), fill_factor)
+            with self.transaction():
+                self.tree.bulk_load(zip(codes, pts), fill_factor)
             return
 
         def records():
@@ -163,12 +191,14 @@ class ZkdTree:
                 self.grid.validate_point(point_t)
                 yield self.grid.zvalue(point_t).bits, point_t
 
-        self.tree.bulk_load(records(), fill_factor)
+        with self.transaction():
+            self.tree.bulk_load(records(), fill_factor)
 
     def delete(self, point: Sequence[int]) -> bool:
         point = tuple(point)
         self.grid.validate_point(point)
-        return self.tree.delete(self.grid.zvalue(point).bits, point)
+        with self.transaction():
+            return self.tree.delete(self.grid.zvalue(point).bits, point)
 
     def __len__(self) -> int:
         return len(self.tree)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultError, FaultInjector
 from repro.storage.buffer import BufferManager, ReplacementPolicy
 from repro.storage.page import PageStore
 
@@ -104,6 +105,71 @@ class TestDirtyPages:
         assert store.writes == 0
 
 
+class FailingStore(PageStore):
+    """A store whose writes fail on demand (the real-world eviction
+    hazard: the device rejects the write-back)."""
+
+    def __init__(self, capacity=4):
+        super().__init__(capacity)
+        self.fail_writes = False
+
+    def write(self, page):
+        if self.fail_writes:
+            raise IOError("device error")
+        super().write(page)
+
+
+class TestWriteBackFailure:
+    def test_failed_eviction_does_not_lose_the_page(self):
+        store = FailingStore()
+        for _ in range(3):
+            store.allocate()
+        buf = BufferManager(store, capacity=1)
+        page = buf.get(0)
+        page.insert(5, "precious")
+        buf.mark_dirty(0)
+        store.fail_writes = True
+        with pytest.raises(IOError):
+            buf.get(1)  # eviction of dirty page 0 fails mid write-back
+        # The dirty page is still resident and still dirty — nothing
+        # was silently dropped.
+        assert len(buf) == 1
+        assert buf.peek(0).keys() == [5]
+        assert buf.evictions == 0
+        store.fail_writes = False
+        buf.get(1)  # retry: write-back succeeds, eviction completes
+        assert store.peek(0).keys() == [5]
+        assert buf.evictions == 1
+
+    def test_failed_flush_keeps_page_dirty(self):
+        store = FailingStore()
+        store.allocate()
+        buf = BufferManager(store, capacity=2)
+        page = buf.get(0)
+        page.insert(1, "x")
+        buf.mark_dirty(0)
+        store.fail_writes = True
+        with pytest.raises(IOError):
+            buf.flush()
+        store.fail_writes = False
+        buf.flush()
+        assert store.peek(0).keys() == [1]
+
+    def test_writeback_failpoint_fires(self):
+        # The buffer consults its store's injector (if any) on the
+        # write-back path: the crash matrix kills evictions this way.
+        inj = FaultInjector()
+        store = PageStore(4)
+        store.allocate()
+        store.faults = inj  # duck-typed: BufferManager getattr()s it
+        inj.rule("buffer.writeback", "error")
+        buf = BufferManager(store, capacity=1)
+        buf.get(0)
+        buf.mark_dirty(0)
+        with pytest.raises(FaultError):
+            buf.flush()
+
+
 class TestPolicies:
     def test_lru_keeps_recently_used(self):
         store = make_store()
@@ -124,6 +190,27 @@ class TestPolicies:
         buf.get(2)  # evicts 0 (oldest admission)
         buf.get(0)
         assert buf.misses == 4
+
+    def test_fifo_reput_does_not_refresh_admission_order(self):
+        # A re-put (dirtying a resident page) must not move the page to
+        # the back of the FIFO queue, or FIFO degenerates into LRU.
+        store = make_store()
+        buf = BufferManager(store, capacity=2, policy=ReplacementPolicy.FIFO)
+        a = buf.get(0)
+        buf.get(1)
+        buf.put(a, dirty=True)  # re-put the oldest admission
+        buf.get(2)  # must evict 0 (oldest admitted), not 1
+        assert 1 in buf._frames and 0 not in buf._frames
+        assert store.writes == 1  # 0 was dirty: written back on evict
+
+    def test_lru_reput_refreshes_recency(self):
+        store = make_store()
+        buf = BufferManager(store, capacity=2, policy=ReplacementPolicy.LRU)
+        a = buf.get(0)
+        buf.get(1)
+        buf.put(a, dirty=False)  # refreshes 0 under LRU
+        buf.get(2)  # evicts 1
+        assert 0 in buf._frames and 1 not in buf._frames
 
     def test_mru_evicts_newest(self):
         store = make_store()

@@ -1,0 +1,182 @@
+"""Unit tests for the write-ahead log (:mod:`repro.storage.wal`).
+
+These exercise the log file directly — framing, commit-ordered replay,
+torn-tail discard, BEGIN isolation of aborted transactions — while the
+store-level recovery behaviour (replaying onto a real page file) lives
+in test_durability.py and the crash matrix.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.storage.wal import (
+    WAL_FREE,
+    WAL_HEADER,
+    WAL_PAGE,
+    WriteAheadLog,
+)
+
+
+@pytest.fixture
+def wal(tmp_path):
+    log = WriteAheadLog(str(tmp_path / "t.wal"))
+    yield log
+    log.close()
+
+
+def _replay_all(log, stats=None):
+    return [list(txn) for txn in log.replay(stats)]
+
+
+class TestAppendReplay:
+    def test_empty_log_replays_nothing(self, wal):
+        assert _replay_all(wal) == []
+
+    def test_committed_txn_round_trips(self, wal):
+        wal.begin()
+        wal.append_page(3, b"page-three")
+        wal.append_free(7)
+        wal.append_header(9)
+        wal.commit()
+        txns = _replay_all(wal)
+        assert txns == [
+            [
+                (WAL_PAGE, 3, b"page-three"),
+                (WAL_FREE, 7, b""),
+                (WAL_HEADER, 0, struct.pack("<I", 9)),
+            ]
+        ]
+
+    def test_txns_replay_in_commit_order(self, wal):
+        for i in range(3):
+            wal.begin()
+            wal.append_page(i, bytes([i]) * 4)
+            wal.commit()
+        txns = _replay_all(wal)
+        assert [txn[0][1] for txn in txns] == [0, 1, 2]
+
+    def test_replay_is_repeatable(self, wal):
+        wal.begin()
+        wal.append_page(1, b"x")
+        wal.commit()
+        assert _replay_all(wal) == _replay_all(wal)
+
+    def test_stats_accumulate(self, wal):
+        wal.begin()
+        wal.append_page(1, b"x")
+        wal.commit()
+        wal.begin()
+        wal.append_page(2, b"y")  # never committed
+        stats = {}
+        _replay_all(wal, stats)
+        assert stats["txns_committed"] == 1
+        assert stats["records_discarded"] == 1
+        assert stats["records_scanned"] >= 4
+
+
+class TestTornTail:
+    def test_uncommitted_tail_discarded(self, wal):
+        wal.begin()
+        wal.append_page(1, b"committed")
+        wal.commit()
+        wal.begin()
+        wal.append_page(2, b"in flight")
+        txns = _replay_all(wal)
+        assert len(txns) == 1
+        assert txns[0][0][2] == b"committed"
+
+    def test_truncated_record_stops_replay(self, wal, tmp_path):
+        wal.begin()
+        wal.append_page(1, b"first")
+        wal.commit()
+        wal.begin()
+        wal.append_page(2, b"second")
+        wal.commit()
+        size = wal.tell()
+        wal.truncate_to(size - 3)  # tear the final commit record
+        txns = _replay_all(wal)
+        assert len(txns) == 1
+
+    def test_corrupt_crc_stops_replay(self, wal):
+        wal.begin()
+        wal.append_page(1, b"first")
+        wal.commit()
+        mark = wal.tell()
+        wal.begin()
+        wal.append_page(2, b"second")
+        wal.commit()
+        # Flip a byte inside the second transaction's records.
+        with open(wal.path, "r+b") as f:
+            f.seek(mark + 6)
+            byte = f.read(1)
+            f.seek(mark + 6)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        txns = _replay_all(wal)
+        assert len(txns) == 1
+
+    def test_foreign_file_replays_nothing(self, tmp_path):
+        path = tmp_path / "junk.wal"
+        path.write_bytes(b"not a wal at all, truly")
+        log = WriteAheadLog(str(path))
+        try:
+            assert _replay_all(log) == []
+        finally:
+            log.close()
+
+
+class TestBeginIsolation:
+    def test_aborted_records_cannot_leak_into_next_commit(self, wal):
+        # An aborted transaction whose truncation failed leaves orphan
+        # records; the next BEGIN must fence them off.
+        wal.begin()
+        wal.append_page(1, b"aborted")
+        wal.begin()
+        wal.append_page(2, b"real")
+        wal.commit()
+        txns = _replay_all(wal)
+        assert txns == [[(WAL_PAGE, 2, b"real")]]
+
+
+class TestMaintenance:
+    def test_truncate_to_drops_the_tail(self, wal):
+        wal.begin()
+        wal.append_page(1, b"keep")
+        wal.commit()
+        mark = wal.tell()
+        wal.begin()
+        wal.append_page(2, b"drop")
+        wal.truncate_to(mark)
+        assert wal.tell() == mark
+        assert len(_replay_all(wal)) == 1
+
+    def test_truncate_never_removes_the_magic(self, wal):
+        wal.truncate_to(0)
+        assert os.path.getsize(wal.path) > 0
+        assert _replay_all(wal) == []
+
+    def test_reset_spends_the_log(self, wal):
+        wal.begin()
+        wal.append_page(1, b"x")
+        wal.commit()
+        wal.reset()
+        assert _replay_all(wal) == []
+        # And the file is usable again.
+        wal.begin()
+        wal.append_page(2, b"y")
+        wal.commit()
+        assert len(_replay_all(wal)) == 1
+
+    def test_reopen_existing_log(self, tmp_path):
+        path = str(tmp_path / "r.wal")
+        log = WriteAheadLog(path)
+        log.begin()
+        log.append_page(1, b"x")
+        log.commit()
+        log.close()
+        again = WriteAheadLog(path)
+        try:
+            assert len(_replay_all(again)) == 1
+        finally:
+            again.close()
