@@ -1,0 +1,363 @@
+"""Concurrent-session read throughput: snapshots under a hot writer,
+and the process-executor read-scaling ceiling.
+
+Two measurements:
+
+* **Sessions under write load** — 1/4/8 reader threads, each cycling
+  ``db.session()`` snapshots over range queries, race one hot writer
+  committing insert bursts the whole time.  Reported as queries/sec
+  per configuration, with the snapshot/COW counters; correctness is
+  asserted (every session's double-read is identical, zero leak
+  counters at teardown).  Pure-Python readers share the GIL, so this
+  section *reports* rather than enforces scaling — it exists to show
+  snapshot pin/COW overhead does not collapse throughput while a
+  writer churns epochs.
+
+* **Process-executor scaling** — reader threads sweep range queries
+  through a 4-shard :class:`~repro.shard.store.ShardedSpatialStore`
+  on the ``process`` executor, the serving configuration a session
+  front-end would sit on.  The store is write-quiesced during the
+  sweep (a mutation would rebind the worker pool), which is exactly
+  what a pinned snapshot guarantees a reader.  The acceptance floor —
+  4 reader threads >= 2x single-thread — needs real parallel
+  hardware, so it is asserted when ``os.cpu_count() >= 4`` and
+  reported otherwise.
+
+Runs two ways:
+
+* as a pytest bench, writing
+  ``benchmarks/results/concurrency_throughput.txt``::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -q
+
+* as a standalone script for CI smoke runs::
+
+      PYTHONPATH=src python benchmarks/bench_concurrency.py --smoke
+"""
+
+import argparse
+import itertools
+import os
+import random
+import sys
+import threading
+import time
+
+from repro.core.geometry import Box, Grid
+from repro.db.database import SpatialDatabase
+from repro.db.schema import Schema
+from repro.db.types import INTEGER, OID
+from repro.shard import ShardedSpatialStore, make_executor
+from repro.workloads.datasets import make_dataset
+from repro.workloads.queries import query_workload
+
+READER_COUNTS = (1, 4, 8)
+SPEEDUP_FLOOR = 2.0
+FLOOR_CPUS = 4
+
+# -- sessions under write load ----------------------------------------
+
+DB_DEPTH = 8
+DB_SEED_ROWS = 4_000
+READS_PER_READER = 60
+READS_PER_SESSION = 6
+WRITER_BATCH = 8
+
+# -- process-executor scaling -----------------------------------------
+
+SHARD_DEPTH = 10
+SHARD_NPOINTS = 60_000
+SHARD_COUNT = 4
+SWEEP_ROUNDS = 2
+
+
+def _session_workload(depth, nrows, seed):
+    grid = Grid(ndims=2, depth=depth)
+    side = grid.side
+    rng = random.Random(seed)
+    schema = Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    db = SpatialDatabase(grid, page_capacity=32, concurrency=True)
+    db.create_table("pts", schema)
+    db.insert_many(
+        "pts",
+        [
+            (i, rng.randrange(side), rng.randrange(side))
+            for i in range(nrows)
+        ],
+    )
+    db.create_index("pts_xy", "pts", ("x", "y"), buffer_frames=16)
+    return db, grid
+
+
+def _random_box(rng, side):
+    x0, x1 = sorted(rng.randrange(side) for _ in range(2))
+    y0, y1 = sorted(rng.randrange(side) for _ in range(2))
+    return Box(((x0, x1), (y0, y1)))
+
+
+def bench_sessions(
+    reader_counts=READER_COUNTS,
+    depth=DB_DEPTH,
+    nrows=DB_SEED_ROWS,
+    reads_per_reader=READS_PER_READER,
+    seed=0,
+):
+    """Readers on cycling snapshots vs one hot writer; q/s per config."""
+    rows = []
+    for nreaders in reader_counts:
+        db, grid = _session_workload(depth, nrows, seed)
+        side = grid.side
+        stop = threading.Event()
+        errors = []
+        commits = itertools.count()
+        ncommits = 0
+
+        def writer():
+            nonlocal ncommits
+            rng = random.Random(f"{seed}-writer")
+            ids = itertools.count(10_000_000)
+            while not stop.is_set():
+                with db.session() as session:
+                    for _ in range(WRITER_BATCH):
+                        session.insert(
+                            "pts",
+                            (
+                                next(ids),
+                                rng.randrange(side),
+                                rng.randrange(side),
+                            ),
+                        )
+                    session.commit()
+                ncommits += 1
+
+        def reader(tid):
+            rng = random.Random(f"{seed}-reader-{tid}")
+            done = 0
+            try:
+                while done < reads_per_reader:
+                    with db.session() as session:
+                        for _ in range(READS_PER_SESSION):
+                            if done >= reads_per_reader:
+                                break
+                            box = _random_box(rng, side)
+                            first = session.range_query(
+                                "pts", ("x", "y"), box
+                            ).rows
+                            again = session.range_query(
+                                "pts", ("x", "y"), box
+                            ).rows
+                            assert first == again, "snapshot moved"
+                            done += 1
+                            next(commits)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        wthread = threading.Thread(target=writer)
+        rthreads = [
+            threading.Thread(target=reader, args=(t,))
+            for t in range(nreaders)
+        ]
+        wthread.start()
+        t0 = time.perf_counter()
+        for t in rthreads:
+            t.start()
+        for t in rthreads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        stop.set()
+        wthread.join()
+        if errors:
+            raise errors[0]
+        manager = db.snapshots
+        manager.reclaim()
+        leaks = manager.leak_stats()
+        assert all(v == 0 for v in leaks.values()), leaks
+        counters = manager.counters()
+        rows.append(
+            {
+                "nreaders": nreaders,
+                "qps": (nreaders * reads_per_reader) / elapsed,
+                "writer_commits": ncommits,
+                "pins": counters.get("snapshot.pins", 0),
+                "cow_retained": counters.get("cow.retained", 0),
+                "cow_reclaimed": counters.get("cow.reclaimed", 0),
+            }
+        )
+    return rows
+
+
+def bench_scaling(
+    reader_counts=READER_COUNTS,
+    depth=SHARD_DEPTH,
+    npoints=SHARD_NPOINTS,
+    nshards=SHARD_COUNT,
+    rounds=SWEEP_ROUNDS,
+    seed=0,
+):
+    """Reader-thread q/s through the process pool, store quiesced."""
+    grid = Grid(ndims=2, depth=depth)
+    points = make_dataset("C", grid, npoints, seed=seed).points
+    specs = query_workload(
+        grid, volumes=(0.01, 0.03), aspects=(1.0, 2.0), locations=4,
+        seed=seed + 1,
+    )
+    boxes = [spec.box for spec in specs]
+    store = ShardedSpatialStore.build(grid, points, nshards=nshards)
+    store.set_executor(make_executor("process"))
+    rows = []
+    try:
+        # Warm the pool and every per-process cache before the 1-reader
+        # baseline, or the ratios flatter the threaded configs.
+        for box in boxes:
+            store.range_query(box)
+        expected = sum(store.range_query(b).nmatches for b in boxes)
+
+        def sweep(tid, counts):
+            total = 0
+            for _ in range(rounds):
+                for box in boxes:
+                    total += store.range_query(box).nmatches
+            counts[tid] = total
+
+        baseline = None
+        for nreaders in reader_counts:
+            best = 0.0
+            for _ in range(2):
+                counts = [0] * nreaders
+                threads = [
+                    threading.Thread(target=sweep, args=(t, counts))
+                    for t in range(nreaders)
+                ]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed = time.perf_counter() - t0
+                assert all(c == expected * rounds for c in counts)
+                best = max(
+                    best, (nreaders * rounds * len(boxes)) / elapsed
+                )
+            if baseline is None:
+                baseline = best
+            rows.append(
+                {
+                    "nreaders": nreaders,
+                    "qps": best,
+                    "speedup": best / baseline if baseline else 0.0,
+                }
+            )
+    finally:
+        store.close()
+    return rows
+
+
+def format_report(session_rows, scaling_rows):
+    ncpus = os.cpu_count() or 1
+    lines = [
+        "# Concurrent sessions: read throughput ({} cpu(s))".format(ncpus),
+        "",
+        "## Snapshot sessions vs one hot writer (GIL-shared, reported)",
+    ]
+    for r in session_rows:
+        lines.append(
+            f"  readers={r['nreaders']}  {r['qps']:>8.1f} q/s   "
+            f"writer commits={r['writer_commits']}  "
+            f"pins={r['pins']}  cow retained/reclaimed="
+            f"{r['cow_retained']}/{r['cow_reclaimed']}"
+        )
+    lines += ["", "## Reader threads through the process executor"]
+    for r in scaling_rows:
+        lines.append(
+            f"  readers={r['nreaders']}  {r['qps']:>8.1f} q/s   "
+            f"{r['speedup']:.2f}x"
+        )
+    lines.append(
+        f"  floor: {SPEEDUP_FLOOR}x at 4 readers "
+        + (
+            "(enforced)"
+            if ncpus >= FLOOR_CPUS
+            else f"(reported only: host has {ncpus} < {FLOOR_CPUS} cpus)"
+        )
+    )
+    return "\n".join(lines)
+
+
+def _speedup_at(rows, nreaders):
+    for r in rows:
+        if r["nreaders"] == nreaders:
+            return r["speedup"]
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (writes the result artifact)
+# ----------------------------------------------------------------------
+
+
+def test_concurrency_throughput(results_dir):
+    from conftest import save_result
+
+    session_rows = bench_sessions()
+    scaling_rows = bench_scaling()
+    report = format_report(session_rows, scaling_rows)
+    save_result(results_dir, "concurrency_throughput.txt", report)
+    # The hot writer must actually have been hot.
+    assert all(r["writer_commits"] > 0 for r in session_rows), report
+    if (os.cpu_count() or 1) >= FLOOR_CPUS:
+        assert _speedup_at(scaling_rows, 4) >= SPEEDUP_FLOOR, report
+
+
+# ----------------------------------------------------------------------
+# CLI entry point (CI smoke)
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, correctness checks only (no floor)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        session_rows = bench_sessions(
+            reader_counts=(1, 4), nrows=800, reads_per_reader=12
+        )
+        scaling_rows = bench_scaling(
+            reader_counts=(1, 4), npoints=8_000, depth=8, rounds=1
+        )
+    else:
+        session_rows = bench_sessions()
+        scaling_rows = bench_scaling()
+    print(format_report(session_rows, scaling_rows))
+    if not all(r["writer_commits"] > 0 for r in session_rows):
+        print("FAIL: the hot writer never committed", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("OK: snapshot reads stable under writes, zero leaks")
+        return 0
+    speedup = _speedup_at(scaling_rows, 4)
+    if (os.cpu_count() or 1) < FLOOR_CPUS:
+        print(
+            f"NOTE: {os.cpu_count() or 1}-cpu host, {SPEEDUP_FLOOR}x "
+            f"floor not enforced (measured {speedup:.2f}x)"
+        )
+        return 0
+    if speedup < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: 4-reader process speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: 4-reader process speedup {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

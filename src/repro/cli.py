@@ -136,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the fault injector's deterministic streams",
     )
     query.add_argument(
+        "--sessions",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "open N concurrent snapshot-isolated sessions running the "
+            "window query against a hot writer; each session must see "
+            "a stable snapshot (with --explain-analyze the snapshot "
+            "query's span tree and snapshot.*/cow.* counters print)"
+        ),
+    )
+    query.add_argument(
         "--explain-analyze",
         action="store_true",
         help=(
@@ -259,7 +271,10 @@ def _cmd_query(args, out) -> None:
 
     grid = Grid(ndims=2, depth=args.depth)
     side = grid.side
-    db = SpatialDatabase(grid, page_capacity=args.capacity)
+    nsessions = getattr(args, "sessions", 0)
+    db = SpatialDatabase(
+        grid, page_capacity=args.capacity, concurrency=nsessions > 0
+    )
     db.create_table(
         "points",
         Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER)),
@@ -284,6 +299,14 @@ def _cmd_query(args, out) -> None:
             f"({args.executor} executor), sizes {sizes}\n"
         )
     window = Box(((side // 8, 3 * side // 8), (side // 8, 3 * side // 8)))
+
+    if nsessions > 0:
+        try:
+            _run_concurrent_sessions(db, window, args, out)
+        finally:
+            if partitioner is not None:
+                entry.tree.close()
+        return
 
     rng = random.Random(args.seed + 1)
 
@@ -378,6 +401,104 @@ def _cmd_query(args, out) -> None:
         with open(args.json_path, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         out.write(f"traces written to {args.json_path}\n")
+
+
+def _run_concurrent_sessions(db, window, args, out) -> None:
+    """``query --sessions N``: N snapshot-isolated readers racing one
+    hot writer.  Every session reads the window query twice and both
+    reads must be identical — the live table keeps changing underneath.
+    """
+    import random
+    import threading
+
+    from repro.obs import format_trace, trace
+
+    side = db.grid.side
+    results = [None] * args.sessions
+    errors: list = []
+    stop = threading.Event()
+
+    def writer() -> None:
+        rnd = random.Random(args.seed + 42)
+        serial = 0
+        while not stop.is_set():
+            serial += 1
+            db.insert(
+                "points",
+                (f"w{serial}", rnd.randrange(side), rnd.randrange(side)),
+            )
+
+    def reader(i: int) -> None:
+        try:
+            with db.session() as session:
+                first = session.range_query(
+                    "points", ("x", "y"), window
+                ).rows
+                second = session.range_query(
+                    "points", ("x", "y"), window
+                ).rows
+                if first != second:
+                    raise AssertionError(
+                        f"session {i} saw an unstable snapshot"
+                    )
+                results[i] = (session.epoch, len(first))
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+
+    hot = threading.Thread(target=writer)
+    hot.start()
+    readers = [
+        threading.Thread(target=reader, args=(i,))
+        for i in range(args.sessions)
+    ]
+    for t in readers:
+        t.start()
+    for t in readers:
+        t.join()
+    stop.set()
+    hot.join()
+    if errors:
+        raise errors[0]
+    out.write(
+        f"{args.sessions} snapshot sessions vs 1 hot writer "
+        "(each session read the window twice):\n"
+    )
+    for i, (epoch, nrows) in enumerate(results):
+        out.write(
+            f"  session {i}: epoch {epoch}, {nrows} rows in window, "
+            "stable\n"
+        )
+    counters = db.snapshots.counters()
+    leaks = db.snapshots.leak_stats()
+    out.write(
+        "snapshot counters: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        + "\n"
+    )
+    out.write(
+        "leak check: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(leaks.items()))
+        + "\n"
+    )
+    if args.explain_analyze or args.json_path:
+        with db.session() as session, trace(
+            f"session(epoch={db.snapshots.current_epoch}) range query"
+        ) as t:
+            session.range_query("points", ("x", "y"), window)
+        assert t is not None
+        out.write("=== EXPLAIN ANALYZE: snapshot range query ===\n")
+        out.write(format_trace(t) + "\n")
+        if args.json_path:
+            import json
+
+            with open(args.json_path, "w") as handle:
+                json.dump(
+                    {"snapshot_range_query": json.loads(t.to_json())},
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+            out.write(f"trace written to {args.json_path}\n")
 
 
 def _cmd_space(args, out) -> None:

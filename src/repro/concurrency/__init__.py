@@ -1,0 +1,38 @@
+"""Snapshot-isolated concurrent sessions.
+
+The concurrency layer gives each client session a consistent snapshot
+of the whole database — relations and spatial indexes together — while
+writers keep group-committing underneath:
+
+* :class:`~repro.concurrency.manager.SnapshotManager` — commit epochs,
+  snapshot pins, the exclusive write transaction, and epoch-based
+  reclamation of superseded page versions.
+* :class:`~repro.concurrency.versions.PageVersionMap` — copy-on-write
+  page version chains per store, retained only while a pin needs them.
+* :class:`~repro.concurrency.view.SnapshotTreeView` /
+  :class:`~repro.concurrency.view.ShardedSnapshotView` — lock-free
+  historical queries over frozen index graphs.
+* :class:`~repro.concurrency.session.Session` — the user-facing handle:
+  ``with db.session() as s: ...``.
+"""
+
+from repro.concurrency.manager import SnapshotManager, TxnHandle
+from repro.concurrency.rwlock import RWLock
+from repro.concurrency.session import Session
+from repro.concurrency.versions import PageVersionMap
+from repro.concurrency.view import (
+    FrozenIndex,
+    ShardedSnapshotView,
+    SnapshotTreeView,
+)
+
+__all__ = [
+    "SnapshotManager",
+    "TxnHandle",
+    "RWLock",
+    "Session",
+    "PageVersionMap",
+    "FrozenIndex",
+    "SnapshotTreeView",
+    "ShardedSnapshotView",
+]

@@ -1,0 +1,349 @@
+"""Read-only snapshot views over ZkdTrees and sharded stores.
+
+A view binds a pinned epoch to (a) the B+-tree inner graph frozen at
+pin time and (b) the store's ``read_at`` method, which resolves a leaf
+page id to the image it had at that epoch (retained copy-on-write
+version, or the live base when the page was not dirtied since).
+
+The crucial trick is that :class:`~repro.storage.btree.BTreeCursor`
+only ever calls ``tree._leftmost_leaf_for`` and ``tree._load_leaf`` on
+the tree it wraps — so a tiny adapter over the frozen graph lets the
+*unmodified* merge algorithms (``range_search``, ``range_search_bigmin``,
+``object_search``) run against a historical state.  Query results are
+:class:`~repro.storage.prefix_btree.QueryResult` objects with the same
+cost accounting as live queries, so plans, traces and tests treat both
+identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box, ClassifyFn, circle_classifier
+from repro.core.rangesearch import (
+    MergeStats,
+    object_search,
+    range_search,
+    range_search_bigmin,
+)
+from repro.obs.trace import current as _trace_current
+from repro.storage.btree import BTreeCursor, _InnerNode
+from repro.storage.page import Page
+from repro.storage.prefix_btree import QueryResult
+
+__all__ = ["FrozenIndex", "SnapshotTreeView", "ShardedSnapshotView"]
+
+Point = Tuple[int, ...]
+
+
+class FrozenIndex:
+    """An immutable capture of a tree's in-memory index at one epoch."""
+
+    __slots__ = ("root", "first_leaf", "nrecords")
+
+    def __init__(self, root: Any, first_leaf: int, nrecords: int) -> None:
+        self.root = root
+        self.first_leaf = first_leaf
+        self.nrecords = nrecords
+
+
+class _FrozenIndexReader:
+    """Quacks like a ``BPlusTree`` for :class:`BTreeCursor`.
+
+    Descends the frozen inner graph and resolves leaves through the
+    epoch-aware ``read_leaf`` callable; keeps the same access-log /
+    descent counters as the live tree so the view's cost accounting is
+    directly comparable.
+    """
+
+    def __init__(
+        self, root: Any, read_leaf: Callable[[int], Page]
+    ) -> None:
+        self._root = root
+        self._read_leaf = read_leaf
+        self.leaf_accesses: List[int] = []
+        self.descents = 0
+        self.node_visits = 0
+        self.record_counts: Dict[int, int] = {}
+
+    def _leftmost_leaf_for(self, key: int) -> int:
+        self.descents += 1
+        node = self._root
+        while isinstance(node, _InnerNode):
+            self.node_visits += 1
+            node = node.children[bisect.bisect_left(node.keys, key)]
+        return node
+
+    def _load_leaf(self, page_id: int) -> Page:
+        self.leaf_accesses.append(page_id)
+        page = self._read_leaf(page_id)
+        self.record_counts[page_id] = page.nrecords
+        return page
+
+
+class SnapshotTreeView:
+    """Queries against one ZkdTree as of a pinned epoch.
+
+    Entirely lock-free: the index graph was captured at pin time and
+    leaf reads go through ``store.read_at``, so concurrent writers can
+    split, merge and free pages without disturbing this view.
+    """
+
+    def __init__(self, tree: "Any", epoch: int) -> None:
+        self._tree = tree
+        self.grid = tree.grid
+        self.epoch = epoch
+        frozen = tree._index_snapshots.get(epoch)
+        if frozen is None:
+            raise KeyError(
+                f"no index capture for epoch {epoch}: pin the snapshot "
+                "through the SnapshotManager before building views"
+            )
+        self._frozen: FrozenIndex = frozen
+
+    def __len__(self) -> int:
+        return self._frozen.nrecords
+
+    # -- plumbing --------------------------------------------------------
+
+    def _reader(self, cow_stats: Dict[str, int]) -> _FrozenIndexReader:
+        store = self._tree.store
+        epoch = self.epoch
+
+        def read_leaf(page_id: int) -> Page:
+            return store.read_at(page_id, epoch, cow_stats)
+
+        return _FrozenIndexReader(self._frozen.root, read_leaf)
+
+    def cursor(
+        self, cow_stats: Optional[Dict[str, int]] = None
+    ) -> BTreeCursor:
+        """A z-ordered cursor over the snapshot's leaf chain (the raw
+        material for merge joins between two snapshot views)."""
+        reader = self._reader(cow_stats if cow_stats is not None else {})
+        return BTreeCursor(reader)  # type: ignore[arg-type]
+
+    def _finish(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        matches: Tuple[Point, ...],
+        stats: MergeStats,
+        reader: _FrozenIndexReader,
+        cow_stats: Dict[str, int],
+    ) -> QueryResult:
+        touched = sorted(set(reader.leaf_accesses))
+        records = sum(reader.record_counts[page_id] for page_id in touched)
+        trace = _trace_current()
+        if trace is not None:
+            with trace.span(name) as span:
+                for key, value in attrs.items():
+                    span.set(key, value)
+                span.set("snapshot.epoch", self.epoch)
+                counters = {
+                    "pages_accessed": len(touched),
+                    "records_on_pages": records,
+                    "leaf_loads": len(reader.leaf_accesses),
+                    "node_visits": reader.node_visits,
+                    "descents": reader.descents,
+                }
+                # Like shard.retries: publish only when nonzero so the
+                # committed trace-counter baseline is COW-invariant.
+                for key, value in cow_stats.items():
+                    if value:
+                        counters[key] = value
+                span.add_counters(counters)
+        return QueryResult(
+            matches=matches,
+            pages_accessed=len(touched),
+            records_on_pages=records,
+            merge=stats,
+            buffer_stats={},
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def range_query(
+        self, box: Box, use_bigmin: bool = False, use_fast: bool = False
+    ) -> QueryResult:
+        cow_stats: Dict[str, int] = {"cow.page_version_reads": 0}
+        reader = self._reader(cow_stats)
+        stats = MergeStats()
+        cursor = BTreeCursor(reader)  # type: ignore[arg-type]
+        if use_bigmin:
+            matches = tuple(
+                range_search_bigmin(
+                    cursor, self.grid, box, stats, use_fast=use_fast
+                )
+            )
+        else:
+            matches = tuple(
+                range_search(cursor, self.grid, box, stats, use_fast=use_fast)
+            )
+        return self._finish(
+            "snapshot.range_query",
+            {"box": repr(box)},
+            matches,
+            stats,
+            reader,
+            cow_stats,
+        )
+
+    def object_query(
+        self, classify: ClassifyFn, max_depth: Optional[int] = None
+    ) -> QueryResult:
+        cow_stats: Dict[str, int] = {"cow.page_version_reads": 0}
+        reader = self._reader(cow_stats)
+        stats = MergeStats()
+        cursor = BTreeCursor(reader)  # type: ignore[arg-type]
+        matches = tuple(
+            object_search(cursor, self.grid, classify, stats, max_depth)
+        )
+        return self._finish(
+            "snapshot.object_query", {}, matches, stats, reader, cow_stats
+        )
+
+    def within_distance(
+        self, center: Sequence[int], radius: float
+    ) -> QueryResult:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return self.object_query(circle_classifier(tuple(center), radius))
+
+    def nearest_neighbours(
+        self, center: Sequence[int], k: int = 1
+    ) -> List[Point]:
+        """Snapshot-stable k-NN via the same doubling-radius reduction
+        as the live tree."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if len(self) == 0:
+            return []
+        center = tuple(center)
+        self.grid.validate_point(center)
+        k = min(k, len(self))
+        radius = 1.0
+        max_radius = self.grid.side * math.sqrt(self.grid.ndims)
+        candidates: List[Point] = []
+        while True:
+            candidates = list(self.within_distance(center, radius).matches)
+            if len(candidates) >= k or radius > max_radius:
+                break
+            radius *= 2
+
+        def distance2(p: Point) -> float:
+            return sum((a - b) ** 2 for a, b in zip(p, center))
+
+        candidates.sort(
+            key=lambda p: (distance2(p), self.grid.zvalue(p).bits)
+        )
+        return candidates[:k]
+
+    def points(self) -> List[Point]:
+        """All points visible at the snapshot, in z order."""
+        out: List[Point] = []
+        cursor = self.cursor()
+        record = cursor.current
+        while record is not None:
+            out.append(record.payload)
+            record = cursor.step()
+        return out
+
+
+class ShardedSnapshotView:
+    """Snapshot view over a :class:`~repro.shard.store.ShardedSpatialStore`.
+
+    Queries fan out serially over the per-shard snapshot views (shard
+    pruning included) and gather in global z order.  Serial on purpose:
+    snapshot reads are lock-free and the scatter executors exist for
+    the live path; sessions care about isolation first.
+    """
+
+    def __init__(self, store: "Any", epoch: int) -> None:
+        self._store = store
+        self.grid = store.grid
+        self.epoch = epoch
+        self._views = [
+            SnapshotTreeView(shard, epoch) for shard in store.shards
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(view) for view in self._views)
+
+    def range_query(
+        self, box: Box, use_bigmin: bool = False, use_fast: bool = False
+    ) -> "Any":
+        from repro.shard.store import (
+            ShardedQueryResult,
+            _sum_merge_stats,
+            gather_in_z_order,
+        )
+
+        store = self._store
+        hit = store.partitioner.prune(store._query_intervals(box))
+        results = [
+            self._views[shard_id].range_query(
+                box, use_bigmin=use_bigmin, use_fast=use_fast
+            )
+            for shard_id in hit
+        ]
+        matches = gather_in_z_order(
+            [store.partitioner.interval(sid)[0] for sid in hit],
+            [result.matches for result in results],
+        )
+        return ShardedQueryResult(
+            matches=matches,
+            pages_accessed=sum(r.pages_accessed for r in results),
+            records_on_pages=sum(r.records_on_pages for r in results),
+            merge=_sum_merge_stats(r.merge for r in results),
+            buffer_stats={},
+            shards_hit=tuple(hit),
+            shards_pruned=store.nshards - len(hit),
+            shard_results=tuple(results),
+        )
+
+    def object_query(
+        self, classify: ClassifyFn, max_depth: Optional[int] = None
+    ) -> "Any":
+        from repro.shard.store import (
+            ShardedQueryResult,
+            _sum_merge_stats,
+            gather_in_z_order,
+        )
+
+        store = self._store
+        hit = list(range(store.nshards))
+        results = [
+            view.object_query(classify, max_depth) for view in self._views
+        ]
+        matches = gather_in_z_order(
+            [store.partitioner.interval(sid)[0] for sid in hit],
+            [result.matches for result in results],
+        )
+        return ShardedQueryResult(
+            matches=matches,
+            pages_accessed=sum(r.pages_accessed for r in results),
+            records_on_pages=sum(r.records_on_pages for r in results),
+            merge=_sum_merge_stats(r.merge for r in results),
+            buffer_stats={},
+            shards_hit=tuple(hit),
+            shards_pruned=0,
+            shard_results=tuple(results),
+        )
+
+    def within_distance(
+        self, center: Sequence[int], radius: float
+    ) -> "Any":
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return self.object_query(circle_classifier(tuple(center), radius))
+
+    def points(self) -> List[Point]:
+        """All visible points in global z order (shards are disjoint
+        z intervals in shard order)."""
+        out: List[Point] = []
+        for view in self._views:
+            out.extend(view.points())
+        return out

@@ -20,11 +20,16 @@ class IndexEntry:
         relation_name: str,
         coord_cols: Tuple[str, ...],
         tree: ZkdTree,
+        born_epoch: int = 0,
     ) -> None:
         self.index_name = index_name
         self.relation_name = relation_name
         self.coord_cols = coord_cols
         self.tree = tree
+        # Commit epoch at which the index became visible.  Snapshots
+        # pinned before this epoch must not consult the index (its
+        # frozen captures only exist from born_epoch onwards).
+        self.born_epoch = born_epoch
 
     def __repr__(self) -> str:
         cols = ", ".join(self.coord_cols)
@@ -91,6 +96,9 @@ class Catalog:
             raise KeyError(
                 f"no index {name!r}; have {sorted(self._indexes)}"
             ) from None
+
+    def indexes(self) -> List[IndexEntry]:
+        return list(self._indexes.values())
 
     def indexes_on(self, relation_name: str) -> List[IndexEntry]:
         return [

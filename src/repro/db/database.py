@@ -13,11 +13,12 @@ needs only "very minor modifications" to support spatial queries.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple
+from contextlib import ExitStack, contextmanager
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box, Grid
 from repro.db.catalog import Catalog, IndexEntry
-from repro.db.relation import Relation
+from repro.db.relation import Relation, VersionedRelation
 from repro.db.schema import Schema
 from repro.db.spatial import overlap_query, range_search_plan
 from repro.storage.buffer import ReplacementPolicy
@@ -42,30 +43,101 @@ class SpatialDatabase:
     [('rome', 10, 20)]
     """
 
-    def __init__(self, grid: Grid, page_capacity: int = 20) -> None:
+    def __init__(
+        self,
+        grid: Grid,
+        page_capacity: int = 20,
+        concurrency: bool = False,
+    ) -> None:
         self.grid = grid
         self.page_capacity = page_capacity
         self.catalog = Catalog()
+        # With concurrency on, every table is a VersionedRelation, every
+        # index store carries a PageVersionMap, and all mutations group-
+        # commit through one SnapshotManager so sessions can pin
+        # consistent cross-table snapshots.
+        if concurrency:
+            from repro.concurrency import SnapshotManager
+
+            self.snapshots: Optional[SnapshotManager] = SnapshotManager()
+        else:
+            self.snapshots = None
 
     # ------------------------------------------------------------------
     # DDL / DML
     # ------------------------------------------------------------------
 
     def create_table(self, name: str, schema: Schema) -> Relation:
-        return self.catalog.create_relation(name, schema)
+        if self.snapshots is None:
+            return self.catalog.create_relation(name, schema)
+        relation = VersionedRelation(name, schema, self.snapshots)
+        self.catalog.register(relation)
+        return relation
 
     def table(self, name: str) -> Relation:
         return self.catalog.relation(name)
 
+    @contextmanager
+    def _group_commit(self) -> Iterator[None]:
+        """One atomic commit spanning the catalog's relations and every
+        index store: a single snapshot-manager write transaction holding
+        one storage transaction per index tree open, with relation undo
+        on failure (aborted rows stamped with the pending epoch would
+        otherwise surface once a later transaction commits)."""
+        if self.snapshots is None:
+            yield
+            return
+        undo: List[Tuple[VersionedRelation, Any]] = []
+        try:
+            with self.snapshots.write_transaction():
+                for rel_name in self.catalog.relation_names():
+                    relation = self.catalog.relation(rel_name)
+                    if isinstance(relation, VersionedRelation):
+                        undo.append((relation, relation._undo_state()))
+                with ExitStack() as stack:
+                    for entry in self.catalog.indexes():
+                        stack.enter_context(entry.tree.transaction())
+                    yield
+        except BaseException:
+            for relation, state in undo:
+                relation._restore(state)
+            raise
+
     def insert(self, table: str, row: Sequence[Any]) -> None:
+        with self._group_commit():
+            self._insert_unlocked(table, row)
+
+    def _insert_unlocked(self, table: str, row: Sequence[Any]) -> None:
         relation = self.catalog.relation(table)
         relation.insert(row)
         for entry in self.catalog.indexes_on(table):
             entry.tree.insert(self._coords(relation, row, entry.coord_cols))
 
     def insert_many(self, table: str, rows: Sequence[Sequence[Any]]) -> None:
-        for row in rows:
-            self.insert(table, row)
+        with self._group_commit():
+            for row in rows:
+                self._insert_unlocked(table, row)
+
+    def delete(self, table: str, row: Sequence[Any]) -> bool:
+        """Delete the first row equal to ``row`` (and its index entries
+        when no duplicate row still needs them)."""
+        with self._group_commit():
+            return self._delete_unlocked(table, row)
+
+    def _delete_unlocked(self, table: str, row: Sequence[Any]) -> bool:
+        relation = self.catalog.relation(table)
+        if not relation.delete(row):
+            return False
+        for entry in self.catalog.indexes_on(table):
+            coords = self._coords(relation, row, entry.coord_cols)
+            # Bag semantics: the index stores one entry per distinct
+            # point, so only remove it when no surviving row maps there.
+            if not any(
+                self._coords(relation, other, entry.coord_cols) == coords
+                for other in relation
+            ):
+                entry.tree.delete(coords)
+        return True
 
     def _coords(
         self, relation: Relation, row: Sequence[Any], cols: Tuple[str, ...]
@@ -110,36 +182,75 @@ class SpatialDatabase:
             raise ValueError(
                 f"index needs {self.grid.ndims} coordinate columns"
             )
-        if shards > 1:
-            from repro.shard import ShardedSpatialStore
+        born_epoch = 0
+        with ExitStack() as stack:
+            if self.snapshots is not None:
+                # Building an index is itself a group commit: page
+                # allocations get birth epochs and the finished tree
+                # becomes visible at one epoch boundary.
+                txn = stack.enter_context(self.snapshots.write_transaction())
+            if shards > 1:
+                from repro.shard import ShardedSpatialStore
 
-            tree = ShardedSpatialStore.build(
-                self.grid,
-                [self._coords(relation, row, cols) for row in relation],
-                nshards=shards,
-                partition=partition,
-                page_capacity=self.page_capacity,
-                buffer_frames=buffer_frames,
-                policy=policy,
-                executor=executor,
-                resilience=resilience,
-            )
-        else:
-            tree = ZkdTree(
-                self.grid,
-                page_capacity=self.page_capacity,
-                buffer_frames=buffer_frames,
-                policy=policy,
-            )
-            # Batch-shuffle the whole column set through the fast
-            # kernels; the insert sequence (and hence the tree shape)
-            # is unchanged.
-            tree.insert_many(
-                self._coords(relation, row, cols) for row in relation
-            )
-        entry = IndexEntry(index_name, table, cols, tree)
+                tree = ShardedSpatialStore.build(
+                    self.grid,
+                    [self._coords(relation, row, cols) for row in relation],
+                    nshards=shards,
+                    partition=partition,
+                    page_capacity=self.page_capacity,
+                    buffer_frames=buffer_frames,
+                    policy=policy,
+                    executor=executor,
+                    resilience=resilience,
+                    snapshots=self.snapshots,
+                )
+            else:
+                tree = ZkdTree(
+                    self.grid,
+                    page_capacity=self.page_capacity,
+                    buffer_frames=buffer_frames,
+                    policy=policy,
+                    snapshots=self.snapshots,
+                )
+                # Batch-shuffle the whole column set through the fast
+                # kernels; the insert sequence (and hence the tree shape)
+                # is unchanged.
+                with ExitStack() as load:
+                    if self.snapshots is not None:
+                        load.enter_context(tree.transaction())
+                    tree.insert_many(
+                        self._coords(relation, row, cols) for row in relation
+                    )
+        if self.snapshots is not None:
+            born_epoch = txn.epoch
+        entry = IndexEntry(index_name, table, cols, tree, born_epoch)
         self.catalog.register_index(entry)
         return entry
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def session(self) -> "Any":
+        """Open a snapshot-isolated session (requires
+        ``concurrency=True``).
+
+        The session pins the current commit epoch: every read inside it
+        sees exactly the committed state at that instant, no matter how
+        many writers commit concurrently.  Writes buffer locally and
+        group-commit on :meth:`~repro.concurrency.session.Session.
+        commit`.  Use as a context manager::
+
+            with db.session() as s:
+                rows = s.range_query("cities", ("x", "y"), box).rows
+        """
+        if self.snapshots is None:
+            raise RuntimeError(
+                "sessions need SpatialDatabase(..., concurrency=True)"
+            )
+        from repro.concurrency.session import Session
+
+        return Session(self)
 
     def _index_for(
         self, table: str, coord_cols: Sequence[str]

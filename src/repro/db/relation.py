@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.db.schema import Schema
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "VersionedRelation"]
 
 Row = Tuple[Any, ...]
+
+_INF = float("inf")
 
 
 class Relation:
@@ -32,6 +34,16 @@ class Relation:
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
         for row in rows:
             self.insert(row)
+
+    def delete(self, row: Sequence[Any]) -> bool:
+        """Remove the first row equal to ``row``; False when absent
+        (bag semantics: one delete removes one duplicate)."""
+        target = self.schema.validate_row(row)
+        try:
+            self._rows.remove(target)
+        except ValueError:
+            return False
+        return True
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -60,3 +72,123 @@ class Relation:
         if len(self._rows) > limit:
             body.append(f"... ({len(self._rows) - limit} more rows)")
         return "\n".join([header, rule, *body])
+
+
+class VersionedRelation(Relation):
+    """A relation whose rows carry commit-epoch birth/death stamps.
+
+    Storage is append-only: ``_rows[i]`` is live at epoch ``e`` iff
+    ``_births[i] <= e < _deaths.get(i, inf)``.  Deletes tombstone, they
+    never remove, so row indexes are stable and lock-free snapshot
+    readers can iterate a prefix of the lists without coordination.
+    The birth stamp is appended *before* the row itself, so a reader
+    that sees ``_rows[i]`` always finds ``_births[i]`` populated.
+
+    All mutations must run inside the snapshot manager's exclusive
+    write transaction; reads take no locks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        manager: "object",
+        rows: Iterable[Sequence[Any]] = (),
+    ) -> None:
+        super().__init__(name, schema)
+        self._manager = manager
+        self._births: List[int] = []
+        self._deaths: Dict[int, int] = {}
+        for row in rows:
+            self.insert(row)
+
+    def _require_write_lock(self) -> int:
+        lock = self._manager._lock  # type: ignore[attr-defined]
+        if not lock.owned_by_me():
+            raise RuntimeError(
+                f"mutating versioned relation {self.name!r} outside a "
+                "write transaction; use db.session() or a group commit"
+            )
+        return self._manager.current_epoch + 1  # type: ignore[attr-defined]
+
+    def insert(self, row: Sequence[Any]) -> None:
+        pending = self._require_write_lock()
+        validated = self.schema.validate_row(row)
+        self._births.append(pending)
+        self._rows.append(validated)
+
+    def delete(self, row: Sequence[Any]) -> bool:
+        pending = self._require_write_lock()
+        target = self.schema.validate_row(row)
+        for i, existing in enumerate(self._rows):
+            if existing == target and self._is_live(i, pending):
+                self._deaths[i] = pending
+                return True
+        return False
+
+    def _is_live(self, i: int, epoch: int) -> bool:
+        return (
+            self._births[i] <= epoch
+            and self._deaths.get(i, _INF) > epoch
+        )
+
+    def rows_at(self, epoch: int) -> List[Row]:
+        """The committed rows visible to a snapshot at ``epoch``."""
+        births = self._births
+        deaths = self._deaths
+        return [
+            row
+            for i, row in enumerate(self._rows[: len(births)])
+            if births[i] <= epoch < deaths.get(i, _INF)
+        ]
+
+    def _live_rows(self) -> List[Row]:
+        epoch = self._manager.current_epoch  # type: ignore[attr-defined]
+        if self._manager._lock.owned_by_me():  # type: ignore[attr-defined]
+            epoch += 1  # a writer sees its own uncommitted rows
+        return self.rows_at(epoch)
+
+    def __len__(self) -> int:
+        return len(self._live_rows())
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._live_rows())
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._live_rows()
+
+    def column_values(self, name: str) -> List[Any]:
+        index = self.schema.index_of(name)
+        return [row[index] for row in self._live_rows()]
+
+    def __repr__(self) -> str:
+        return f"VersionedRelation({self.name!r}, {len(self)} rows)"
+
+    def pretty(self, limit: int = 20) -> str:
+        live = self._live_rows()
+        header = " | ".join(self.schema.names)
+        rule = "-" * len(header)
+        body = [" | ".join(str(v) for v in row) for row in live[:limit]]
+        if len(live) > limit:
+            body.append(f"... ({len(live) - limit} more rows)")
+        return "\n".join([header, rule, *body])
+
+    # -- group-commit rollback support ----------------------------------
+
+    def _undo_state(self) -> Tuple[int, Dict[int, int]]:
+        return len(self._rows), dict(self._deaths)
+
+    def _restore(self, state: Tuple[int, Dict[int, int]]) -> None:
+        """Roll back to a pre-transaction :meth:`_undo_state`.
+
+        Required for aborted group commits: rows born at the pending
+        epoch would otherwise become visible once a *later* transaction
+        commits (the epoch counter never advanced for the abort, so the
+        stamps would collide with the next successful commit).
+        """
+        nrows, deaths = state
+        del self._rows[nrows:]
+        del self._births[nrows:]
+        self._deaths.clear()
+        self._deaths.update(deaths)

@@ -28,12 +28,14 @@ every executor.
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -166,6 +168,7 @@ class ShardedSpatialStore:
         store_factory: Optional[StoreFactory] = None,
         executor: Union[ShardExecutor, str, None] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        snapshots=None,
     ) -> None:
         if partitioner is None:
             partitioner = ZRangePartitioner.equi_width(
@@ -183,6 +186,7 @@ class ShardedSpatialStore:
             )
         self.grid = grid
         self.partitioner = partitioner
+        self._snapshots = snapshots
         self.shards: List[ZkdTree] = [
             ZkdTree(
                 grid,
@@ -191,6 +195,7 @@ class ShardedSpatialStore:
                 order=order,
                 policy=policy,
                 store=store_factory(i) if store_factory else None,
+                snapshots=snapshots,
             )
             for i in range(partitioner.nshards)
         ]
@@ -291,6 +296,26 @@ class ShardedSpatialStore:
     # ------------------------------------------------------------------
     # Maintenance (routing writes)
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["ShardedSpatialStore"]:
+        """One atomic unit across every shard: each shard's transaction
+        stays open for the whole block, so a database-level group
+        commit produces a single WAL commit per shard store (and, with
+        snapshots attached, a single epoch for the batch)."""
+        from contextlib import ExitStack
+
+        with ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.transaction())
+            yield self
+
+    def snapshot_view(self, epoch: int):
+        """A read-only view over all shards as of pinned commit
+        ``epoch`` (requires snapshots and an active pin)."""
+        from repro.concurrency.view import ShardedSnapshotView
+
+        return ShardedSnapshotView(self, epoch)
 
     def _zcode(self, point: Sequence[int]) -> int:
         point_t = tuple(point)
@@ -563,8 +588,10 @@ class ShardedSpatialStore:
     def __getstate__(self) -> Dict[str, Any]:
         # Executors hold pools and are never needed inside a worker;
         # replace with the inert serial strategy on the other side.
+        # Snapshot managers hold locks and stay with the coordinator.
         state = self.__dict__.copy()
         state["_executor"] = None
+        state["_snapshots"] = None
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:

@@ -260,6 +260,24 @@ class BPlusTree:
         self.leaf_accesses.append(page_id)
         return self._buffer.get(page_id)
 
+    def clone_index(self) -> Tuple[Union[_InnerNode, int], int, int]:
+        """A deep copy of the in-memory inner-node graph plus the chain
+        head and record count — leaves are referenced by page id only.
+
+        The snapshot layer freezes this at pin time; later splits and
+        merges mutate only the live graph, so a frozen copy stays a
+        consistent router into the page versions retained for its epoch.
+        """
+
+        def copy(node: Union[_InnerNode, int]) -> Union[_InnerNode, int]:
+            if isinstance(node, _InnerNode):
+                return _InnerNode(
+                    list(node.keys), [copy(child) for child in node.children]
+                )
+            return node
+
+        return copy(self._root), self._first_leaf, self._nrecords
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import collections
 import enum
-from typing import Dict
+import threading
+from typing import Any, Dict
 
 from repro.faults import register_site
 from repro.storage.page import Page, PageStore
@@ -54,6 +55,12 @@ class BufferManager:
             collections.OrderedDict()
         )
         self._dirty: Dict[int, bool] = {}
+        # Guards the frame table: `get`'s membership-check +
+        # move_to_end + lookup is not atomic, so a concurrent eviction
+        # between the check and the lookup raised KeyError.  Snapshot
+        # readers bypass the buffer entirely; this lock covers the
+        # remaining traffic (live queries racing maintenance).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -71,40 +78,49 @@ class BufferManager:
 
     def get(self, page_id: int) -> Page:
         """Fetch a page through the cache."""
-        if page_id in self._frames:
-            self.hits += 1
-            if self._policy in (ReplacementPolicy.LRU, ReplacementPolicy.MRU):
-                self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.misses += 1
-        page = self._store.read(page_id)
-        self._admit(page_id, page)
-        return page
+        with self._lock:
+            if page_id in self._frames:
+                self.hits += 1
+                if self._policy in (
+                    ReplacementPolicy.LRU,
+                    ReplacementPolicy.MRU,
+                ):
+                    self._frames.move_to_end(page_id)
+                return self._frames[page_id]
+            self.misses += 1
+            page = self._store.read(page_id)
+            self._admit(page_id, page)
+            return page
 
     def put(self, page: Page, dirty: bool = True) -> None:
         """Install a (possibly new or modified) page in the cache."""
-        if page.page_id in self._frames:
-            self._frames[page.page_id] = page
-            # FIFO evicts by *admission* order: a re-put must not
-            # refresh recency, or FIFO silently degenerates into LRU.
-            if self._policy is not ReplacementPolicy.FIFO:
-                self._frames.move_to_end(page.page_id)
-            self._dirty[page.page_id] = self._dirty.get(page.page_id, False) or dirty
-            return
-        self._admit(page.page_id, page, dirty)
+        with self._lock:
+            if page.page_id in self._frames:
+                self._frames[page.page_id] = page
+                # FIFO evicts by *admission* order: a re-put must not
+                # refresh recency, or FIFO silently degenerates into LRU.
+                if self._policy is not ReplacementPolicy.FIFO:
+                    self._frames.move_to_end(page.page_id)
+                self._dirty[page.page_id] = (
+                    self._dirty.get(page.page_id, False) or dirty
+                )
+                return
+            self._admit(page.page_id, page, dirty)
 
     def peek(self, page_id: int) -> Page:
         """Coherent, uncounted read: the buffered (possibly dirty) copy
         when present, the stored copy otherwise.  For introspection and
         structure maintenance, not for data-path accesses."""
-        if page_id in self._frames:
-            return self._frames[page_id]
+        with self._lock:
+            if page_id in self._frames:
+                return self._frames[page_id]
         return self._store.peek(page_id)
 
     def mark_dirty(self, page_id: int) -> None:
-        if page_id not in self._frames:
-            raise KeyError(f"page {page_id} is not buffered")
-        self._dirty[page_id] = True
+        with self._lock:
+            if page_id not in self._frames:
+                raise KeyError(f"page {page_id} is not buffered")
+            self._dirty[page_id] = True
 
     def _admit(self, page_id: int, page: Page, dirty: bool = False) -> None:
         while len(self._frames) >= self._capacity:
@@ -136,14 +152,16 @@ class BufferManager:
 
     def flush(self) -> None:
         """Write back every dirty page (kept cached)."""
-        for page_id, page in self._frames.items():
-            if self._dirty.get(page_id):
-                self._write_back(page_id, page)
+        with self._lock:
+            for page_id, page in self._frames.items():
+                if self._dirty.get(page_id):
+                    self._write_back(page_id, page)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache without write-back (after free)."""
-        self._frames.pop(page_id, None)
-        self._dirty.pop(page_id, None)
+        with self._lock:
+            self._frames.pop(page_id, None)
+            self._dirty.pop(page_id, None)
 
     @property
     def hit_rate(self) -> float:
@@ -163,9 +181,19 @@ class BufferManager:
     def reset_stats(self) -> None:
         """Zero the accounting counters (cached pages stay resident).
 
-        :meth:`ZkdTree.range_query <repro.storage.prefix_btree.ZkdTree.
-        range_query>` calls this at the start of every query so per-query
-        hit rates never leak across planner runs."""
+        Queries no longer call this (they diff counter snapshots, so
+        concurrent sessions never clobber each other's accounting); it
+        remains for tests and interactive use."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The frame-table lock cannot travel to process-pool workers.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()

@@ -222,6 +222,7 @@ class FilePageStore:
     ) -> None:
         self.path = path
         self._faults = faults
+        self._versions = None
         self.reads = 0
         self.writes = 0
         self.allocations = 0
@@ -358,8 +359,11 @@ class FilePageStore:
         return self.page_size + page_id * self.page_size
 
     def _read_raw_head(self, page_id: int) -> Optional[Tuple[int, int, int]]:
-        self._file.seek(self._offset(page_id) + _PAGE_CRC.size)
-        raw = self._file.read(_PAGE_HEAD.size)
+        raw = os.pread(
+            self._file.fileno(),
+            _PAGE_HEAD.size,
+            self._offset(page_id) + _PAGE_CRC.size,
+        )
         if len(raw) < _PAGE_HEAD.size:
             return None
         return _PAGE_HEAD.unpack(raw)
@@ -426,6 +430,8 @@ class FilePageStore:
         self._next_id += 1
         self.allocations += 1
         self._live[page.page_id] = True
+        if self._versions is not None:
+            self._versions.note_birth(page.page_id)
         if self._wal is None:
             self._write_slot(
                 page.page_id, self._encode_page(page), SITE_PAGE_WRITE
@@ -487,6 +493,26 @@ class FilePageStore:
         self.reads += 1
         return self._read_page(page_id)
 
+    def _read_slot_raw(self, page_id: int) -> bytes:
+        """One verified slot read from the file, via ``pread`` so
+        concurrent readers never race each other (or a committing
+        writer) on the shared file offset."""
+        raw = os.pread(
+            self._file.fileno(), self.page_size, self._offset(page_id)
+        )
+        if self._faults is not None:
+            raw = self._faults.filter_read(SITE_PAGE_READ, raw, page=page_id)
+        if len(raw) < self.page_size:
+            self._checksum_failure(
+                f"page {page_id}: short read "
+                f"({len(raw)}/{self.page_size} bytes)"
+            )
+        if self.checksums:
+            (crc,) = _PAGE_CRC.unpack(raw[: _PAGE_CRC.size])
+            if crc != zlib.crc32(raw[_PAGE_CRC.size :]):
+                self._checksum_failure(f"page {page_id}: checksum mismatch")
+        return raw
+
     def _read_page(self, page_id: int) -> Page:
         image = self._txn_images.get(page_id)
         if image is not None:
@@ -494,23 +520,10 @@ class FilePageStore:
         else:
             if page_id in self._txn_images:  # freed inside the txn
                 raise KeyError(f"page {page_id} is free")
-            self._file.seek(self._offset(page_id))
-            raw = self._file.read(self.page_size)
-            if self._faults is not None:
-                raw = self._faults.filter_read(
-                    SITE_PAGE_READ, raw, page=page_id
-                )
-            if len(raw) < self.page_size:
-                self._checksum_failure(
-                    f"page {page_id}: short read "
-                    f"({len(raw)}/{self.page_size} bytes)"
-                )
-            if self.checksums:
-                (crc,) = _PAGE_CRC.unpack(raw[: _PAGE_CRC.size])
-                if crc != zlib.crc32(raw[_PAGE_CRC.size :]):
-                    self._checksum_failure(
-                        f"page {page_id}: checksum mismatch"
-                    )
+            raw = self._read_slot_raw(page_id)
+        return self._decode_slot(page_id, raw)
+
+    def _decode_slot(self, page_id: int, raw: bytes) -> Page:
         used, next_plus_one, nrecords = _PAGE_HEAD.unpack(
             raw[_PAGE_CRC.size : _PAGE_CRC.size + _PAGE_HEAD.size]
         )
@@ -567,6 +580,57 @@ class FilePageStore:
         if page_id not in self._live:
             raise KeyError(f"no such page: {page_id}")
         return self._read_page(page_id)
+
+    # -- snapshots (copy-on-write page versions) -------------------------
+
+    def attach_versions(self, versions) -> None:
+        """Enable snapshot reads: retained committed pre-images go into
+        ``versions`` (a :class:`~repro.concurrency.versions.
+        PageVersionMap`) at commit time, and :meth:`read_at` serves
+        them.  Requires the WAL — a snapshot boundary is only
+        well-defined at a transaction boundary."""
+        if self._wal is None:
+            raise ValueError(
+                "snapshot versioning needs a WAL-enabled store (wal=True)"
+            )
+        self._versions = versions
+
+    def _preimage_loader(self, page_id: int):
+        def load() -> Optional[bytes]:
+            try:
+                return self._read_slot_raw(page_id)
+            except (ChecksumError, OSError):  # pragma: no cover - defensive
+                return None
+
+        return load
+
+    def read_at(self, page_id: int, epoch: int, stats=None) -> Page:
+        """The committed image of ``page_id`` as of commit ``epoch``.
+
+        Bypasses the transaction overlay (uncommitted writes are
+        invisible to snapshots) and serves retained pre-image bytes for
+        pages rewritten after the epoch.  Lock-free against committing
+        writers: retention (and the birth bump) for every page of a
+        transaction completes before any slot is rewritten in place, so
+        a reader that passes the post-read validity check saw a clean
+        committed slot, and one that fails it finds the retained chain
+        entry on rescan.
+        """
+        versions = self._versions
+        if versions is None:
+            raise RuntimeError("read_at requires attach_versions()")
+        for _ in range(3):
+            image = versions.find(page_id, epoch)
+            if image is not None:
+                if stats is not None:
+                    stats["cow.page_version_reads"] = (
+                        stats.get("cow.page_version_reads", 0) + 1
+                    )
+                return self._decode_slot(page_id, image)
+            raw = self._read_slot_raw(page_id)
+            if versions.base_valid(page_id, epoch):
+                return self._decode_slot(page_id, raw)
+        raise KeyError(f"page {page_id} has no image at epoch {epoch}")
 
     def verify(self) -> int:
         """Read every live page (checksums verified when enabled);
@@ -662,6 +726,19 @@ class FilePageStore:
                 pass
             raise
         self._txn_snapshot = None
+        # Retain copy-on-write pre-images for pinned snapshots *before*
+        # any slot is rewritten in place: each retirement also bumps the
+        # page's birth epoch, so by the time the apply loop below can
+        # tear a concurrent ``read_at``, that reader is already routed
+        # to the retained chain entry.  Pre-images are the committed
+        # slot bytes still on disk (the overlay holds only new images).
+        if self._versions is not None:
+            for page_id in sorted(images):
+                loader = self._preimage_loader(page_id)
+                if images[page_id] is None:
+                    self._versions.on_free(page_id, loader)
+                else:
+                    self._versions.on_write(page_id, loader)
         # The transaction is durable; apply in place (checkpoint).  A
         # crash below is repaired by redo replay on the next open, so
         # the overlay must stay readable until every image is applied.
@@ -726,6 +803,7 @@ class FilePageStore:
         state = self.__dict__.copy()
         del state["_file"]
         state["_wal"] = None  # workers are read-only; no log needed
+        state["_versions"] = None  # version maps hold locks; local only
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:

@@ -113,6 +113,14 @@ class PageStore:
     All page traffic in the storage engine flows through :meth:`read`
     and :meth:`write`; the experiment harness snapshots the counters to
     measure per-query I/O.
+
+    In the default (unversioned) mode :meth:`read` returns the stored
+    object itself, so callers' in-place mutations are visible without an
+    explicit :meth:`write` — the historical in-memory behaviour.  After
+    :meth:`attach_versions` the store switches to real-disk semantics:
+    reads return copies, writes copy in, and the displaced committed
+    image is offered to the version map so pinned snapshots can keep
+    reading it (:meth:`read_at`).
     """
 
     def __init__(self, page_capacity: int) -> None:
@@ -121,6 +129,7 @@ class PageStore:
         self.page_capacity = page_capacity
         self._pages: Dict[int, Page] = {}
         self._next_id = 0
+        self._versions = None
         self.reads = 0
         self.writes = 0
         self.allocations = 0
@@ -131,9 +140,27 @@ class PageStore:
     def page_ids(self) -> List[int]:
         return sorted(self._pages)
 
+    def attach_versions(self, versions) -> None:
+        """Enable copy-on-write snapshots: route page lifecycle events
+        through a :class:`~repro.concurrency.versions.PageVersionMap`."""
+        self._versions = versions
+
+    @staticmethod
+    def _clone(page: Page) -> Page:
+        return Page(
+            page_id=page.page_id,
+            capacity=page.capacity,
+            records=list(page.records),
+            next_page=page.next_page,
+        )
+
     def allocate(self) -> Page:
         page = Page(page_id=self._next_id, capacity=self.page_capacity)
-        self._pages[self._next_id] = page
+        if self._versions is None:
+            self._pages[self._next_id] = page
+        else:
+            self._versions.note_birth(page.page_id)
+            self._pages[self._next_id] = self._clone(page)
         self._next_id += 1
         self.allocations += 1
         return page
@@ -144,23 +171,66 @@ class PageStore:
         except KeyError:
             raise KeyError(f"no such page: {page_id}") from None
         self.reads += 1
+        if self._versions is not None:
+            return self._clone(page)
         return page
 
     def write(self, page: Page) -> None:
         if page.page_id not in self._pages:
             raise KeyError(f"no such page: {page.page_id}")
-        self._pages[page.page_id] = page
+        if self._versions is None:
+            self._pages[page.page_id] = page
+        else:
+            old = self._pages[page.page_id]
+            self._versions.on_write(page.page_id, lambda: old)
+            self._pages[page.page_id] = self._clone(page)
         self.writes += 1
 
     def free(self, page_id: int) -> None:
-        try:
-            del self._pages[page_id]
-        except KeyError:
-            raise KeyError(f"no such page: {page_id}") from None
+        if page_id not in self._pages:
+            raise KeyError(f"no such page: {page_id}")
+        if self._versions is not None:
+            old = self._pages[page_id]
+            self._versions.on_free(page_id, lambda: old)
+        del self._pages[page_id]
 
     def peek(self, page_id: int) -> Page:
         """Read without counting — for tests and figure rendering only."""
-        return self._pages[page_id]
+        page = self._pages[page_id]
+        if self._versions is not None:
+            return self._clone(page)
+        return page
+
+    def read_at(self, page_id: int, epoch: int, stats=None) -> Page:
+        """The page's image as of commit ``epoch`` (versioned mode only).
+
+        Serves retained copy-on-write versions for pages dirtied after
+        the epoch, the live base otherwise.  Lock-free: on the rare race
+        with a committing writer the version map's re-check protocol
+        retries the scan.  Returned pages are read-only by contract.
+        """
+        versions = self._versions
+        if versions is None:
+            raise RuntimeError("read_at requires attach_versions()")
+        for _ in range(3):
+            image = versions.find(page_id, epoch)
+            if image is not None:
+                if stats is not None:
+                    stats["cow.page_version_reads"] = (
+                        stats.get("cow.page_version_reads", 0) + 1
+                    )
+                return image
+            page = self._pages.get(page_id)
+            if page is not None and versions.base_valid(page_id, epoch):
+                return page
+        raise KeyError(f"page {page_id} has no image at epoch {epoch}")
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Version maps hold locks and a manager reference; a pickled
+        # store (process-pool workers) is read-only and unversioned.
+        state = self.__dict__.copy()
+        state["_versions"] = None
+        return state
 
     def io_stats(self) -> Dict[str, int]:
         """Snapshot of the physical I/O counters; query traces diff two

@@ -43,9 +43,10 @@ Point = Tuple[int, ...]
 class QueryResult:
     """Outcome and cost of one range query.
 
-    ``buffer_stats`` is the buffer manager's per-query snapshot (the
-    counters are reset at query start, so hits/misses/hit_rate belong to
-    this query alone — no leakage across planner runs).
+    ``buffer_stats`` is the buffer manager's per-query delta (counters
+    are snapshotted at query start and diffed at the end, so
+    hits/misses/hit_rate belong to this query alone — no leakage across
+    planner runs, and no clobbering of concurrent queries).
     """
 
     matches: Tuple[Point, ...]
@@ -84,16 +85,34 @@ class ZkdTree:
         order: int = 32,
         policy: ReplacementPolicy = ReplacementPolicy.LRU,
         store=None,
+        snapshots=None,
     ) -> None:
         self.grid = grid
         self.store = store if store is not None else PageStore(page_capacity)
         self.buffer = BufferManager(self.store, buffer_frames, policy)
-        self.tree = BPlusTree(
-            self.store,
-            self.buffer,
-            order=order,
-            total_bits=grid.total_bits,
-        )
+        self._snapshots = snapshots
+        self._index_snapshots: Dict[int, object] = {}
+        if snapshots is None:
+            self.tree = BPlusTree(
+                self.store,
+                self.buffer,
+                order=order,
+                total_bits=grid.total_bits,
+            )
+            return
+        # Concurrency mode: route page retirement through the manager's
+        # version map and register for index capture at pin time.  Even
+        # the first-leaf allocation happens inside a write transaction
+        # so its birth epoch is a commit boundary.
+        self.store.attach_versions(snapshots.new_version_map())
+        snapshots.register_tree(self)
+        with self.transaction():
+            self.tree = BPlusTree(
+                self.store,
+                self.buffer,
+                order=order,
+                total_bits=grid.total_bits,
+            )
 
     @classmethod
     def open(
@@ -103,6 +122,7 @@ class ZkdTree:
         buffer_frames: int = 8,
         order: int = 32,
         policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        snapshots=None,
     ) -> "ZkdTree":
         """Reattach to an existing leaf chain (e.g. a
         :class:`~repro.storage.diskstore.FilePageStore` file written by
@@ -111,6 +131,11 @@ class ZkdTree:
         tree.grid = grid
         tree.store = store
         tree.buffer = BufferManager(store, buffer_frames, policy)
+        tree._snapshots = snapshots
+        tree._index_snapshots = {}
+        if snapshots is not None:
+            store.attach_versions(snapshots.new_version_map())
+            snapshots.register_tree(tree)
         tree.tree = BPlusTree.open(
             store, tree.buffer, order=order, total_bits=grid.total_bits
         )
@@ -135,7 +160,26 @@ class ZkdTree:
         After a :class:`~repro.faults.CrashPoint` escapes the block the
         in-memory tree is stale; abandon it and ``ZkdTree.open`` the
         file again (recovery replays the committed prefix).
+
+        With a :class:`~repro.concurrency.manager.SnapshotManager`
+        attached the block additionally runs under the manager's
+        exclusive write lock and advances the commit epoch at the
+        outermost exit — nested transactions (a database-level group
+        commit spanning several trees) share one epoch.  The buffer is
+        flushed even on non-transactional stores so the store is always
+        snapshot-consistent at the epoch boundary.
         """
+        snapshots = getattr(self, "_snapshots", None)
+        if snapshots is not None:
+            with snapshots.write_transaction():
+                if getattr(self.store, "supports_transactions", False):
+                    with self.store.transaction():
+                        yield self
+                        self.buffer.flush()
+                else:
+                    yield self
+                    self.buffer.flush()
+            return
         if not getattr(self.store, "supports_transactions", False):
             yield self
             return
@@ -218,11 +262,14 @@ class ZkdTree:
 
     def _begin_query(self) -> int:
         """Per-query counter hygiene: clear the access log and descent
-        counters and zero the buffer's hit/miss accounting so measured
-        rates describe *this* query only.  Returns the store's read
-        counter for delta accounting."""
+        counters and snapshot the buffer's hit/miss counters so measured
+        rates describe *this* query only.  Deltas, not resets: zeroing
+        the shared counters mid-flight would corrupt a concurrent
+        query's accounting.  Returns the store's read counter for the
+        same delta treatment."""
         self.tree.reset_counters()
-        self.buffer.reset_stats()
+        buffer = self.buffer
+        self._buffer_baseline = (buffer.hits, buffer.misses, buffer.evictions)
         return self.store.reads
 
     def _finish_query(
@@ -238,7 +285,18 @@ class ZkdTree:
         records = sum(
             self.buffer.peek(page_id).nrecords for page_id in touched
         )
-        buffer_stats = self.buffer.stats()
+        hits0, misses0, evictions0 = getattr(
+            self, "_buffer_baseline", (0, 0, 0)
+        )
+        hits = self.buffer.hits - hits0
+        misses = self.buffer.misses - misses0
+        total = hits + misses
+        buffer_stats: Dict[str, float] = {
+            "hits": hits,
+            "misses": misses,
+            "evictions": self.buffer.evictions - evictions0,
+            "hit_rate": hits / total if total else 0.0,
+        }
         if span is not None:
             span.set("npages", self.npages)
             span.add_counters(
@@ -377,6 +435,43 @@ class ZkdTree:
     def points(self) -> List[Point]:
         """All stored points in z order (counts page accesses)."""
         return [payload for _, payload in self.tree.items()]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot_view(self, epoch: int):
+        """A read-only view of this tree as of pinned commit ``epoch``
+        (requires an attached :class:`~repro.concurrency.manager.
+        SnapshotManager` and an active pin for the epoch)."""
+        from repro.concurrency.view import SnapshotTreeView
+
+        return SnapshotTreeView(self, epoch)
+
+    def _capture_index(self, epoch: int) -> None:
+        """Freeze the in-memory index graph for ``epoch`` (idempotent;
+        called by the manager at pin time, under its capture lock)."""
+        if epoch in self._index_snapshots:
+            return
+        from repro.concurrency.view import FrozenIndex
+
+        root, first_leaf, nrecords = self.tree.clone_index()
+        self._index_snapshots[epoch] = FrozenIndex(root, first_leaf, nrecords)
+        if self._snapshots is not None:
+            self._snapshots.stats["snapshot.captures"] += 1
+
+    def _drop_captures(self, keep) -> None:
+        """Reclamation hook: drop index captures for unpinned epochs."""
+        for epoch in [e for e in self._index_snapshots if e not in keep]:
+            del self._index_snapshots[epoch]
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Managers hold locks and per-process state; a pickled tree
+        # (process-pool workers) serves live reads only.
+        state = self.__dict__.copy()
+        state["_snapshots"] = None
+        state["_index_snapshots"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Figure 6 introspection

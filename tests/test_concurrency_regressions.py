@@ -1,0 +1,272 @@
+"""Regression tests for the shared-mutable-state audit.
+
+The concurrency work audited every module-level or cross-query mutable
+structure on the read path.  Each fix here gets a pinned regression:
+
+1. ``FilePageStore`` slot reads used seek+read on the shared file
+   object — two threads interleaving seek and read returned each
+   other's pages (or checksum garbage).  Reads now use ``os.pread``.
+2. ``BufferManager.get`` did membership-check / move_to_end / lookup
+   non-atomically; a concurrent eviction between the check and the
+   lookup raised ``KeyError``.  The frame table is now lock-protected.
+3. Per-query buffer accounting called ``reset_stats()`` at query
+   start, so one query zeroed another's live counters.  Queries now
+   snapshot-and-diff; the live counters are cumulative.
+4. The fastz decompose LRU cache is shared across threads; CPython's
+   ``functools.lru_cache`` is thread-safe, but nothing locked in that
+   concurrent callers get value-identical decompositions — this does.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+from repro.core.fastz import decompose_box_cached
+from repro.core.geometry import Box, Grid
+from repro.storage.buffer import BufferManager
+from repro.storage.diskstore import FilePageStore
+from repro.storage.page import Page, PageStore
+from repro.storage.prefix_btree import ZkdTree
+
+GRID = Grid(ndims=2, depth=6)
+SIDE = GRID.side
+
+
+def _hammer(nthreads, target):
+    errors = []
+
+    def run(i):
+        try:
+            target(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(nthreads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+class TestPreadSlotReads:
+    def test_concurrent_reads_return_correct_pages(self, tmp_path):
+        path = os.path.join(tmp_path, "pages.db")
+        store = FilePageStore(path, page_capacity=4)
+        pages = []
+        for i in range(24):
+            page = store.allocate()
+            page.records.append((i, (i, i)))
+            store.write(page)
+            pages.append(page.page_id)
+        expected = {
+            pid: store.read(pid).records for pid in pages
+        }
+
+        def reads(i):
+            for _ in range(200):
+                for pid in pages[i::4]:
+                    assert store.read(pid).records == expected[pid]
+
+        errors = _hammer(4, reads)
+        store.close()
+        assert errors == []
+
+    def test_read_does_not_move_shared_offset(self, tmp_path):
+        """pread leaves the file position alone, so an append-side user
+        of the shared offset can never be corrupted by readers."""
+        path = os.path.join(tmp_path, "pages.db")
+        store = FilePageStore(path, page_capacity=4)
+        page = store.allocate()
+        page.records.append((1, (1, 1)))
+        store.write(page)
+        pos = store._file.tell()
+        store.read(page.page_id)
+        store.peek(page.page_id)
+        assert store._file.tell() == pos
+        store.close()
+
+
+class TestBufferLocking:
+    def test_get_vs_eviction_race(self):
+        store = PageStore(page_capacity=4)
+        pids = []
+        for i in range(32):
+            page = store.allocate()
+            page.records.append((i, (i, i)))
+            store.write(page)
+            pids.append(page.page_id)
+        # capacity 2 << working set: every get likely races an evict.
+        buffer = BufferManager(store, capacity=2)
+        value = {pid: k for k, pid in enumerate(pids)}
+
+        def churn(i):
+            for _ in range(300):
+                for pid in pids[i::4]:
+                    page = buffer.get(pid)
+                    k = value[pid]
+                    assert page.records == [(k, (k, k))]
+                    assert buffer.peek(pid).page_id == pid
+
+        errors = _hammer(4, churn)
+        assert errors == []
+
+    def test_pickle_roundtrip_recreates_lock(self):
+        store = PageStore(page_capacity=4)
+        page = store.allocate()
+        store.write(page)
+        buffer = BufferManager(store, capacity=2)
+        buffer.get(page.page_id)
+        clone = pickle.loads(pickle.dumps(buffer))
+        # The clone has a fresh, working lock.
+        assert clone.get(page.page_id).page_id == page.page_id
+        assert clone.hits + clone.misses >= 1
+
+
+class TestBufferStatsDelta:
+    def test_queries_do_not_zero_live_counters(self):
+        tree = ZkdTree(GRID, page_capacity=4, buffer_frames=4)
+        tree.insert_many(
+            [(i, (i * 11) % SIDE) for i in range(SIDE)]
+        )
+        box = Box(((0, SIDE - 1), (0, SIDE - 1)))
+        base = tree.buffer.stats()
+        first = tree.range_query(box)
+        mid = tree.buffer.stats()
+        # The old reset_stats() behaviour zeroed these between queries.
+        assert mid["hits"] == base["hits"] + first.buffer_stats["hits"]
+        assert (
+            mid["misses"] == base["misses"] + first.buffer_stats["misses"]
+        )
+        second = tree.range_query(box)
+        final = tree.buffer.stats()
+        assert final["hits"] == (
+            mid["hits"] + second.buffer_stats["hits"]
+        )
+        assert final["misses"] == (
+            mid["misses"] + second.buffer_stats["misses"]
+        )
+
+    def test_deltas_sum_under_sequential_interleaving(self):
+        small = ZkdTree(GRID, page_capacity=4, buffer_frames=2)
+        small.insert_many([(i, i) for i in range(SIDE)])
+        box_a = Box(((0, SIDE // 2), (0, SIDE // 2)))
+        box_b = Box(((0, 3), (0, 3)))
+        base = small.buffer.stats()
+        deltas = []
+        for box in (box_a, box_b, box_a, box_b):
+            deltas.append(small.range_query(box).buffer_stats)
+        final = small.buffer.stats()
+        assert final["hits"] == base["hits"] + sum(
+            d["hits"] for d in deltas
+        )
+        assert final["misses"] == base["misses"] + sum(
+            d["misses"] for d in deltas
+        )
+
+
+class TestFastzCacheThreadSafety:
+    def test_concurrent_decompose_is_value_identical(self):
+        grid = Grid(ndims=2, depth=7)
+        boxes = [
+            Box(((i, i + 13), (i * 2 % 100, i * 2 % 100 + 9)))
+            for i in range(16)
+        ]
+        serial = [tuple(decompose_box_cached(grid, b)) for b in boxes]
+        results = [[None] * len(boxes) for _ in range(4)]
+
+        def worker(t):
+            for i, box in enumerate(boxes):
+                results[t][i] = tuple(decompose_box_cached(grid, box))
+
+        errors = _hammer(4, worker)
+        assert errors == []
+        for per_thread in results:
+            assert per_thread == serial
+
+
+class TestReclaimVsFreshPin:
+    def test_stalled_reclaim_cannot_free_a_new_pins_versions(
+        self, monkeypatch
+    ):
+        """An unpin-triggered reclaim that stalls after deciding who is
+        pinned must not free versions retained for a pin (plus commit)
+        that landed while it was stalled.  ``reclaim`` now holds the
+        manager mutex for its whole pass, so the fresh pin blocks until
+        the sweep is done instead of racing it."""
+        from repro.concurrency import SnapshotManager
+        from repro.concurrency.versions import PageVersionMap
+
+        manager = SnapshotManager()
+        tree = ZkdTree(GRID, page_capacity=4, snapshots=manager)
+        tree.insert_many([(i, i) for i in range(24)])
+        old_epoch = manager.pin()
+
+        entered = threading.Event()
+        release = threading.Event()
+        original = PageVersionMap.reclaim
+
+        def stalled(self, pinned):
+            entered.set()
+            assert release.wait(timeout=10)
+            return original(self, pinned)
+
+        monkeypatch.setattr(PageVersionMap, "reclaim", stalled)
+
+        def unpinner():
+            manager.unpin(old_epoch)
+
+        state = {}
+
+        def pin_and_write():
+            epoch = manager.pin()
+            frozen = tree.snapshot_view(epoch).points()
+            # Dirty every page: the pre-images are retained for epoch.
+            tree.insert_many([(i, (i + 1) % 24) for i in range(24)])
+            state["epoch"], state["frozen"] = epoch, frozen
+
+        a = threading.Thread(target=unpinner)
+        a.start()
+        assert entered.wait(timeout=10)
+        b = threading.Thread(target=pin_and_write)
+        b.start()
+        # Give the pin every chance to race in (with the fix it blocks
+        # on the manager mutex until the stalled sweep completes).
+        b.join(timeout=0.3)
+        release.set()
+        a.join(timeout=10)
+        b.join(timeout=10)
+        assert not a.is_alive() and not b.is_alive()
+        monkeypatch.setattr(PageVersionMap, "reclaim", original)
+        try:
+            # Unfixed, the stalled sweep freed the new pin's retained
+            # pre-images and this read raises KeyError.
+            view = tree.snapshot_view(state["epoch"])
+            assert view.points() == state["frozen"]
+        finally:
+            manager.unpin(state["epoch"])
+        assert manager.leak_stats()["cow.live_page_versions"] == 0
+
+
+class TestSnapshotPickling:
+    def test_versioned_tree_pickles_without_manager(self):
+        from repro.concurrency import SnapshotManager
+
+        manager = SnapshotManager()
+        tree = ZkdTree(GRID, page_capacity=4, snapshots=manager)
+        tree.insert_many([(i, i) for i in range(16)])
+        epoch = manager.pin()
+        try:
+            clone = pickle.loads(pickle.dumps(tree))
+        finally:
+            manager.unpin(epoch)
+        # The clone dropped manager wiring (process-pool workers only
+        # run live queries) but kept the data.
+        assert clone._snapshots is None
+        assert clone._index_snapshots == {}
+        assert clone.store._versions is None
+        assert clone.points() == tree.points()

@@ -237,6 +237,178 @@ def test_crash_matrix_full(tmp_path):
     assert _sweep(tmp_path, sample=None) > 0
 
 
+# ---------------------------------------------------------------------------
+# Crashes while a snapshot is pinned
+# ---------------------------------------------------------------------------
+
+_PIN_MUTATIONS: List[Tuple[str, object]] = [
+    ("insert", p) for p in _INSERTS
+] + [("batch", _BATCH)] + [("delete", p) for p in _SHRINK[:8]]
+
+
+def _pinned_states() -> List[Set[Tuple[int, int]]]:
+    current = set(_dedup(_INITIAL))
+    states = [set(current)]
+    for kind, payload in _PIN_MUTATIONS:
+        if kind == "batch":
+            current |= set(payload)
+        elif kind == "insert":
+            current.add(payload)
+        else:
+            current.discard(payload)
+        states.append(set(current))
+    return states
+
+
+PINNED_EXPECTED = _pinned_states()
+
+
+def _run_pinned_workload(path: str, faults: Optional[FaultInjector]):
+    """Like :func:`_run_workload`, but a snapshot manager is attached
+    and a session pin is held across the mutation phase.  While the
+    process lives — even *after* the crash fired — the pinned snapshot
+    must keep reading the exact bytes it saw at pin time; the crash
+    only destroys the store's in-memory state, never the snapshot's.
+
+    Returns (ops committed, crashed?, hits at pin time or None).
+    """
+    from repro.concurrency import SnapshotManager
+
+    store = None
+    pinned_epoch = None
+    manager = None
+    view = None
+    frozen = None
+    completed = 0
+    pin_hits = None
+    try:
+        store = FilePageStore(path, page_capacity=8, faults=faults)
+        manager = SnapshotManager()
+        tree = ZkdTree(GRID, store=store, page_capacity=8, snapshots=manager)
+        tree.bulk_load(_dedup(_INITIAL))
+        pinned_epoch = manager.pin()
+        if faults is not None:
+            pin_hits = faults.hit_counts()
+        view = tree.snapshot_view(pinned_epoch)
+        frozen = view.points()
+        assert set(frozen) == PINNED_EXPECTED[0]
+        query_at_pin = view.range_query(QUERY).matches
+        for kind, payload in _PIN_MUTATIONS:
+            _apply(tree, kind, payload)
+            completed += 1
+            # Snapshot stability under committed concurrent writes.
+            assert view.points() == frozen
+        assert view.range_query(QUERY).matches == query_at_pin
+        manager.unpin(pinned_epoch)
+        pinned_epoch = None
+        store.close()
+    except CrashPoint:
+        # The crash interrupted a commit — but this process's pinned
+        # snapshot is untouched: same bytes, before abandoning the
+        # store kill -9 style.  (A crash in the clean-close flush lands
+        # after the unpin, when the versions are legitimately gone.)
+        if view is not None and pinned_epoch is not None:
+            assert view.points() == frozen
+        if store is not None:
+            store.simulate_crash()
+        return completed, True, pin_hits
+    return completed, False, pin_hits
+
+
+def _assert_pinned_recovered(path: str, completed: int) -> None:
+    """Reopen after a pinned-session crash: recovery replays to the
+    last group-commit boundary; nothing of the crashed transaction —
+    and nothing of the dead process's COW versions — survives."""
+    from repro.concurrency import SnapshotManager
+
+    store = FilePageStore(path)
+    try:
+        manager = SnapshotManager()
+        tree = ZkdTree.open(GRID, store, snapshots=manager)
+        tree.tree.check_invariants()
+        recovered = set(tree.points())
+        acceptable = PINNED_EXPECTED[completed : completed + 2]
+        assert recovered in acceptable, (
+            f"recovered state matches no committed prefix "
+            f"(after {completed} committed mutations)"
+        )
+        # A fresh manager starts with zero retained versions: the
+        # crashed process's COW chains died with it, not with us.
+        assert manager.leak_stats() == {
+            "snapshot.active_pins": 0,
+            "snapshot.captured_indexes": 0,
+            "cow.live_page_versions": 0,
+        }
+        # And snapshots over the recovered store work immediately.
+        epoch = manager.pin()
+        try:
+            assert set(
+                tree.snapshot_view(epoch).points()
+            ) == recovered
+        finally:
+            manager.unpin(epoch)
+        oracle = ZkdTree(GRID, page_capacity=8)
+        if recovered:
+            oracle.bulk_load(sorted(recovered))
+        assert (
+            tree.range_query(QUERY).matches
+            == oracle.range_query(QUERY).matches
+        )
+    finally:
+        store.close()
+
+
+def _pinned_scenarios(tmp_path, per_site: int):
+    """Probe the pinned workload, then pick crash hits that land
+    *after* the pin was taken (first and last post-pin hit per site)."""
+    probe = FaultInjector()
+    completed, crashed, pin_hits = _run_pinned_workload(
+        str(tmp_path / "pin-probe.zkd"), probe
+    )
+    assert not crashed and completed == len(_PIN_MUTATIONS)
+    assert pin_hits is not None
+    totals = probe.hit_counts()
+    out = []
+    for site in WRITE_SITES + POINT_SITES:
+        before = pin_hits.get(site, 0)
+        total = totals.get(site, 0)
+        if total <= before:
+            continue  # site never traversed while pinned
+        candidates = sorted(
+            {before + 1, (before + 1 + total) // 2, total}
+        )[:per_site]
+        out.extend((site, at) for at in candidates)
+    return out
+
+
+@pytest.mark.chaos
+def test_crash_while_snapshot_pinned_smoke(tmp_path):
+    """Tier 1: crash at the first/last post-pin hit of each site."""
+    scenarios = _pinned_scenarios(tmp_path, per_site=2)
+    assert scenarios, "no write site fires while a snapshot is pinned"
+    for i, (site, at) in enumerate(scenarios):
+        path = str(tmp_path / f"pin{i}.zkd")
+        inj = FaultInjector(seed=1000 + i)
+        inj.rule(site, "crash", at=at)
+        completed, crashed, _ = _run_pinned_workload(path, inj)
+        assert crashed, f"{site}:crash@{at} did not fire"
+        _assert_pinned_recovered(path, completed)
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+def test_crash_while_snapshot_pinned_full(tmp_path):
+    """Nightly: first/middle/last post-pin hit of each site."""
+    scenarios = _pinned_scenarios(tmp_path, per_site=3)
+    for i, (site, at) in enumerate(scenarios):
+        path = str(tmp_path / f"pinf{i}.zkd")
+        inj = FaultInjector(seed=2000 + i)
+        inj.rule(site, "crash", at=at)
+        completed, crashed, _ = _run_pinned_workload(path, inj)
+        assert crashed, f"{site}:crash@{at} did not fire"
+        _assert_pinned_recovered(path, completed)
+
+
 @pytest.mark.chaos
 def test_double_crash_then_recover(tmp_path):
     """Crash during the workload, then crash *again* during nothing —

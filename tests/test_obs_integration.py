@@ -98,14 +98,17 @@ class TestTracedRangeQuery:
 
 class TestBufferIsolation:
     def test_stats_reset_between_queries(self):
-        """Each range_query starts from zeroed buffer accounting, so a
-        query's hit rate reflects that query alone (the bench_planner
-        leak: hits from query N-1 inflating query N's rate)."""
+        """Each range_query reports its own buffer delta, so a query's
+        hit rate reflects that query alone (the bench_planner leak:
+        hits from query N-1 inflating query N's rate).  The live
+        counters accumulate — queries snapshot and diff them instead of
+        zeroing, so concurrent sessions never clobber each other."""
         tree = ZkdTree(GRID, page_capacity=10, buffer_frames=4)
         dataset = make_dataset("U", GRID, 800, seed=3)
         tree.insert_many(dataset.points)
         big = Box(((0, GRID.side - 1), (0, GRID.side - 1)))
         tiny = Box(((0, 2), (0, 2)))
+        base = tree.buffer.stats()
         first = tree.range_query(big)
         second = tree.range_query(tiny)
         # the tiny query's stats can't still carry the big query's misses
@@ -114,8 +117,17 @@ class TestBufferIsolation:
             second.buffer_stats["hits"] + second.buffer_stats["misses"]
         )
         assert total_second <= first.buffer_stats["misses"]
-        # and the live counters match the per-query snapshot
-        assert tree.buffer.stats()["hits"] == second.buffer_stats["hits"]
+        # and the live counters are exactly base + the per-query deltas
+        assert tree.buffer.stats()["hits"] == (
+            base["hits"]
+            + first.buffer_stats["hits"]
+            + second.buffer_stats["hits"]
+        )
+        assert tree.buffer.stats()["misses"] == (
+            base["misses"]
+            + first.buffer_stats["misses"]
+            + second.buffer_stats["misses"]
+        )
 
     def test_hit_rate_is_per_query(self):
         tree = ZkdTree(GRID, page_capacity=10, buffer_frames=64)
