@@ -1,0 +1,25 @@
+"""Semantic query-result caching keyed by z-element prefixes.
+
+Containment in z space is prefix matching (Section 4 of the paper), so
+a trie over z-values answers "is this query element inside a cached
+region?" in O(bits) — see :mod:`repro.cache.trie`.  The cache itself
+(:mod:`repro.cache.result_cache`) stores materialised result runs in
+global z order and invalidates by the commit-epoch clock, making it
+snapshot-safe by construction.
+"""
+
+from repro.cache.result_cache import (
+    CacheEntry,
+    CacheLookup,
+    QueryResultCache,
+    cached_range_matches,
+)
+from repro.cache.trie import ZPrefixTrie
+
+__all__ = [
+    "CacheEntry",
+    "CacheLookup",
+    "QueryResultCache",
+    "ZPrefixTrie",
+    "cached_range_matches",
+]

@@ -1,0 +1,120 @@
+"""A prefix trie over z-values — containment lookup in O(|z|).
+
+The paper's central property (Section 4) is that containment in
+z-space *is* prefix matching: element ``E`` contains element ``Q``
+exactly when ``E``'s z-value is a bit-prefix of ``Q``'s.  The semantic
+result cache exploits this with a binary trie keyed by z-value bits:
+every cached region registers one terminal per element of its
+decomposition, and a query element is covered by the cache iff some
+terminal lies *on the root path* of its own bits.
+
+Lookups walk at most ``total_bits`` nodes, independent of how many
+regions are cached; invalidation walks the same path for a dirty
+point's full-depth code, touching exactly the entries whose region
+contains the point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.core.zvalue import ZValue
+
+__all__ = ["ZPrefixTrie"]
+
+
+class _TrieNode:
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.entries: List[Any] = []
+
+
+class ZPrefixTrie:
+    """Bit trie mapping z-value prefixes to cache entries.
+
+    One z-value may carry several entries (overlapping cached regions
+    share elements); one entry typically spans many z-values (one per
+    element of its decomposition).
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._nterminals = 0
+
+    def __len__(self) -> int:
+        """Number of (z-value, entry) registrations."""
+        return self._nterminals
+
+    # -- maintenance ------------------------------------------------------
+
+    def insert(self, zvalue: ZValue, entry: Any) -> None:
+        """Register ``entry`` as terminating at ``zvalue``'s bit path."""
+        node = self._root
+        for bit in zvalue:
+            child = node.children.get(bit)
+            if child is None:
+                child = node.children[bit] = _TrieNode()
+            node = child
+        node.entries.append(entry)
+        self._nterminals += 1
+
+    def remove(self, zvalue: ZValue, entry: Any) -> None:
+        """Unregister one ``(zvalue, entry)`` pair, pruning any chain of
+        nodes left empty (no-op if the pair is absent)."""
+        path: List[_TrieNode] = [self._root]
+        node = self._root
+        for bit in zvalue:
+            node = node.children.get(bit)  # type: ignore[assignment]
+            if node is None:
+                return
+            path.append(node)
+        try:
+            node.entries.remove(entry)
+        except ValueError:
+            return
+        self._nterminals -= 1
+        for depth in range(len(path) - 1, 0, -1):
+            child = path[depth]
+            if child.entries or child.children:
+                break
+            del path[depth - 1].children[zvalue.bit(depth - 1)]
+
+    # -- queries ----------------------------------------------------------
+
+    def covering(
+        self, zvalue: ZValue, accept: Callable[[Any], bool]
+    ) -> Optional[Any]:
+        """The first accepted entry whose z-value is a prefix of
+        ``zvalue`` (i.e. whose element *contains* the query element),
+        shallowest first — a shallower terminal is a coarser, larger
+        cached region, but any accepted one answers identically."""
+        node = self._root
+        for entry in node.entries:
+            if accept(entry):
+                return entry
+        # Walk by shifting the raw bit int — this is the hot path of
+        # every lookup (one walk per query element), and per-step
+        # ZValue.bit() calls dominate it otherwise.
+        bits = zvalue.bits
+        for position in range(zvalue.length - 1, -1, -1):
+            node = node.children.get((bits >> position) & 1)  # type: ignore[assignment]
+            if node is None:
+                return None
+            for entry in node.entries:
+                if accept(entry):
+                    return entry
+        return None
+
+    def along_code(self, code: int, total_bits: int) -> Iterator[Any]:
+        """Every entry registered on the root path of a *full-depth* z
+        code — exactly the entries whose cached region contains the
+        pixel ``code`` names (the invalidation walk)."""
+        node = self._root
+        yield from node.entries
+        for position in range(total_bits - 1, -1, -1):
+            node = node.children.get((code >> position) & 1)  # type: ignore[assignment]
+            if node is None:
+                return
+            yield from node.entries

@@ -148,6 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     query.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "attach a semantic z-prefix result cache to the index; the "
+            "demo range query runs twice (cold, then cached) and the "
+            "cache.hit/miss/partial counters print (with "
+            "--explain-analyze the cached run's span tree shows the "
+            "cache.lookup span and per-entry spans)"
+        ),
+    )
+    query.add_argument(
         "--explain-analyze",
         action="store_true",
         help=(
@@ -273,7 +284,10 @@ def _cmd_query(args, out) -> None:
     side = grid.side
     nsessions = getattr(args, "sessions", 0)
     db = SpatialDatabase(
-        grid, page_capacity=args.capacity, concurrency=nsessions > 0
+        grid,
+        page_capacity=args.capacity,
+        concurrency=nsessions > 0,
+        cache=getattr(args, "cache", False),
     )
     db.create_table(
         "points",
@@ -353,10 +367,26 @@ def _cmd_query(args, out) -> None:
                 "counters)\n"
             )
 
+    def cache_summary() -> None:
+        if entry.cache is None:
+            return
+        stats = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(entry.cache.counters().items())
+            if value
+        )
+        out.write(f"result cache: {stats}\n")
+
     if not (args.explain_analyze or args.json_path):
         try:
             rows = Query(db, "points").within(("x", "y"), window).count()
             out.write(f"range query {window}: {rows} rows\n")
+            if entry.cache is not None:
+                again = (
+                    Query(db, "points").within(("x", "y"), window).count()
+                )
+                out.write(f"range query (cached): {again} rows\n")
+                cache_summary()
             pairs = overlap_query(
                 p_objects, q_objects, "geom", "id@", **join_kwargs
             )
@@ -367,11 +397,16 @@ def _cmd_query(args, out) -> None:
                 entry.tree.close()
         return
 
+    if entry.cache is not None:
+        # Warm run: the traced query below then shows the cached path.
+        Query(db, "points").within(("x", "y"), window).count()
     _, range_trace = (
         Query(db, "points").within(("x", "y"), window).run_traced()
     )
     out.write("=== EXPLAIN ANALYZE: range query ===\n")
-    out.write(format_trace(range_trace) + "\n\n")
+    out.write(format_trace(range_trace) + "\n")
+    cache_summary()
+    out.write("\n")
 
     with trace("overlap_query(P,Q)") as join_trace:
         overlap_query(

@@ -142,9 +142,30 @@ class Session:
         cols = tuple(coord_cols)
         rows = self._visible_rows(relation)
         out = Relation(f"range({table})", relation.schema)
-        view = self._index_view(table, cols)
+        entry = db._index_for(table, cols)
+        view = self._view(entry) if entry is not None else None
         if view is not None:
-            matched = set(view.range_query(box, use_fast=use_fast).matches)
+            if entry.cache is not None:
+                # The cache consults only entries valid at the pinned
+                # epoch, and residual/full scans run against the
+                # snapshot view — results equal the uncached snapshot
+                # read by construction.
+                from repro.cache import cached_range_matches
+
+                matched = set(
+                    cached_range_matches(
+                        entry.cache,
+                        view,
+                        db.grid,
+                        box,
+                        epoch=self._epoch,
+                        use_fast=use_fast,
+                    )
+                )
+            else:
+                matched = set(
+                    view.range_query(box, use_fast=use_fast).matches
+                )
             for row in rows:
                 if db._coords(relation, row, cols) in matched:
                     out.insert(row)
@@ -222,7 +243,14 @@ class Session:
         self._check_open()
         va = self._index_view(table_a, tuple(cols_a))
         vb = self._index_view(table_b, tuple(cols_b))
-        if va is not None and vb is not None:
+        # Sharded snapshot views have no single leaf chain to merge
+        # over; fall through to the set intersection for those.
+        if (
+            va is not None
+            and vb is not None
+            and hasattr(va, "cursor")
+            and hasattr(vb, "cursor")
+        ):
             return self._merge_join(va, vb)
         db = self._db
         points: List[set] = []
@@ -307,5 +335,10 @@ class Session:
         except BaseException:
             for relation, state in undo:
                 relation._restore(state)
+            db._dirty_codes.clear()
             raise
+        # Publish the batch's dirty z codes to the result caches at the
+        # epoch the commit created (set at transaction exit) — session
+        # commits invalidate exactly like database-level commits.
+        db._flush_dirty(handle.epoch)
         return handle.epoch

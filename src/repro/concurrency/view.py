@@ -27,6 +27,7 @@ from repro.core.rangesearch import (
     object_search,
     range_search,
     range_search_bigmin,
+    scan_intervals,
 )
 from repro.obs.trace import current as _trace_current
 from repro.storage.btree import BTreeCursor, _InnerNode
@@ -106,6 +107,12 @@ class SnapshotTreeView:
     def __len__(self) -> int:
         return self._frozen.nrecords
 
+    @property
+    def decompose_cache(self):
+        """The underlying tree's decomposition cache — decompositions
+        are pure geometry, so live and snapshot reads share them."""
+        return self._tree.decompose_cache
+
     # -- plumbing --------------------------------------------------------
 
     def _reader(self, cow_stats: Dict[str, int]) -> _FrozenIndexReader:
@@ -180,7 +187,14 @@ class SnapshotTreeView:
             )
         else:
             matches = tuple(
-                range_search(cursor, self.grid, box, stats, use_fast=use_fast)
+                range_search(
+                    cursor,
+                    self.grid,
+                    box,
+                    stats,
+                    use_fast=use_fast,
+                    decompose_cache=self._tree._decompose_cache,
+                )
             )
         return self._finish(
             "snapshot.range_query",
@@ -241,6 +255,14 @@ class SnapshotTreeView:
         )
         return candidates[:k]
 
+    def interval_query(
+        self, intervals: Sequence[Tuple[int, int]]
+    ) -> Tuple[Tuple[Point, ...], ...]:
+        """Snapshot-stable residual scan: visible points in each
+        inclusive z interval (ascending, disjoint), one tuple per
+        interval.  Untraced — the cache front-end owns the span."""
+        return scan_intervals(self.cursor(), intervals)
+
     def points(self) -> List[Point]:
         """All points visible at the snapshot, in z order."""
         out: List[Point] = []
@@ -271,6 +293,35 @@ class ShardedSnapshotView:
 
     def __len__(self) -> int:
         return sum(len(view) for view in self._views)
+
+    @property
+    def decompose_cache(self):
+        """The store's shared decomposition cache."""
+        return self._store.decompose_cache
+
+    def interval_query(
+        self, intervals: Sequence[Tuple[int, int]]
+    ) -> Tuple[Tuple[Point, ...], ...]:
+        """Residual scan over the snapshot: same shard clipping as the
+        live store, serial over the per-shard views."""
+        store = self._store
+        parts: List[List[Point]] = [[] for _ in intervals]
+        for shard_id, view in enumerate(self._views):
+            slo, shi = store.partitioner.interval(shard_id)
+            shard_intervals: List[Tuple[int, int]] = []
+            indices: List[int] = []
+            for index, (zlo, zhi) in enumerate(intervals):
+                if zhi < slo or zlo > shi:
+                    continue
+                shard_intervals.append((max(zlo, slo), min(zhi, shi)))
+                indices.append(index)
+            if not shard_intervals:
+                continue
+            for index, run in zip(
+                indices, view.interval_query(shard_intervals)
+            ):
+                parts[index].extend(run)
+        return tuple(tuple(part) for part in parts)
 
     def range_query(
         self, box: Box, use_bigmin: bool = False, use_fast: bool = False

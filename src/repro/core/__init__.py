@@ -46,7 +46,9 @@ from repro.core.geometry import (
 )
 from repro.core.fastz import (
     CachedBoxElementCursor,
+    DecomposeCache,
     decompose_box_cached,
+    default_decompose_cache,
     deinterleave_fast,
     deinterleave_many,
     elements_many,
@@ -106,7 +108,9 @@ __all__ = [
     "zranks",
     "elements_many",
     "decompose_box_cached",
+    "default_decompose_cache",
     "CachedBoxElementCursor",
+    "DecomposeCache",
     # geometry
     "Grid",
     "Box",

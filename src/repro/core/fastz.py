@@ -45,7 +45,9 @@ from __future__ import annotations
 
 import bisect
 import functools
-from typing import Iterable, List, Optional, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.decompose import CoverMode, Element, decompose_box
 from repro.core.geometry import Box, Grid
@@ -63,6 +65,8 @@ __all__ = [
     "deinterleave_many",
     "zranks",
     "elements_many",
+    "DecomposeCache",
+    "default_decompose_cache",
     "decompose_box_cached",
     "decompose_box_cache_info",
     "decompose_box_cache_clear",
@@ -527,11 +531,142 @@ def elements_many(
 # ----------------------------------------------------------------------
 
 
-@functools.lru_cache(maxsize=4096)
-def _decompose_box_cached(
-    grid: Grid, box: Box, max_depth: Optional[int], cover: CoverMode
-) -> Tuple[ZValue, ...]:
-    return tuple(decompose_box(grid, box, max_depth, cover))
+class DecomposeCache:
+    """A bounded LRU over box decompositions, owned by one store.
+
+    The decomposition is a pure function of ``(grid, box, max_depth,
+    cover)``, so entries never go *stale* — but a single process-global
+    LRU is the wrong shape for a multi-store system: one store's query
+    churn evicts another's working set, caches outlive dropped indexes,
+    and process-pool workers share nothing anyway.  Each
+    :class:`~repro.storage.prefix_btree.ZkdTree` and
+    :class:`~repro.shard.store.ShardedSpatialStore` therefore owns an
+    instance (a sharded store shares one across its shards, so a box is
+    decomposed once per store, not once per shard); store-less callers
+    fall back to a per-grid default (:func:`default_decompose_cache`).
+
+    Thread-safe: lookups and insertions hold a lock, the decomposition
+    itself runs outside it (concurrent misses may duplicate work but
+    always produce equal values).  Picklable minus the lock, so
+    process-pool shard workers carry their warmed copies.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _get(self, key: tuple) -> Any:
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return value
+
+    def _put(self, key: tuple, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def zvalues(
+        self,
+        grid: Grid,
+        box: Box,
+        max_depth: Optional[int] = None,
+        cover: CoverMode = CoverMode.OUTER,
+    ) -> Tuple[ZValue, ...]:
+        """Cached :func:`repro.core.decompose.decompose_box`."""
+        key = ("z", grid, box, max_depth, cover)
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        value = tuple(decompose_box(grid, box, max_depth, cover))
+        self._put(key, value)
+        return value
+
+    def box_elements(
+        self, grid: Grid, box: Box, max_depth: Optional[int] = None
+    ) -> Tuple[Tuple[Element, ...], Tuple[int, ...]]:
+        """The OUTER-cover decomposition as ``(elements, zhis)`` — the
+        materialised form :class:`CachedBoxElementCursor` seeks over."""
+        key = ("e", grid, box, max_depth)
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        elements = elements_many(
+            grid, self.zvalues(grid, box, max_depth, CoverMode.OUTER)
+        )
+        value = (elements, tuple(e.zhi for e in elements))
+        self._put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> "CacheInfo":
+        with self._lock:
+            return CacheInfo(
+                self.hits, self.misses, self.maxsize, len(self._data)
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "data": list(self._data.items()),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.maxsize = state["maxsize"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self._data = OrderedDict(state["data"])
+        self._lock = threading.Lock()
+
+
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-compatible statistics tuple."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+#: Per-grid default caches for store-less callers (module-level helpers,
+#: ad-hoc cursors).  Grids are tiny immutable values, so the registry
+#: stays small; schema-affecting operations clear it through
+#: :func:`decompose_box_cache_clear`.
+_DEFAULT_CACHES: dict = {}
+_DEFAULT_CACHES_LOCK = threading.Lock()
+
+
+def default_decompose_cache(grid: Grid) -> DecomposeCache:
+    """The shared per-grid cache used when no store owns one."""
+    cache = _DEFAULT_CACHES.get(grid)
+    if cache is None:
+        with _DEFAULT_CACHES_LOCK:
+            cache = _DEFAULT_CACHES.setdefault(grid, DecomposeCache())
+    return cache
 
 
 def decompose_box_cached(
@@ -545,29 +680,30 @@ def decompose_box_cached(
     ``Grid``, ``Box`` and ``CoverMode`` are immutable and hashable, and
     the decomposition is a pure function of them, so entries never go
     stale.  Repeated queries with the same box — the common shape of a
-    query workload — skip the recursive splitting entirely.
+    query workload — skip the recursive splitting entirely.  Served by
+    the per-grid default :class:`DecomposeCache`; stores own their own
+    instances.
     """
-    return _decompose_box_cached(grid, box, max_depth, cover)
+    return default_decompose_cache(grid).zvalues(grid, box, max_depth, cover)
 
 
-def decompose_box_cache_info():
-    """``functools`` cache statistics of the decomposition cache."""
-    return _decompose_box_cached.cache_info()
+def decompose_box_cache_info() -> CacheInfo:
+    """Aggregate statistics over the per-grid default caches."""
+    caches = list(_DEFAULT_CACHES.values())
+    return CacheInfo(
+        hits=sum(c.hits for c in caches),
+        misses=sum(c.misses for c in caches),
+        maxsize=sum(c.maxsize for c in caches),
+        currsize=sum(len(c) for c in caches),
+    )
 
 
 def decompose_box_cache_clear() -> None:
-    _decompose_box_cached.cache_clear()
-    _box_elements.cache_clear()
-
-
-@functools.lru_cache(maxsize=4096)
-def _box_elements(
-    grid: Grid, box: Box, max_depth: Optional[int]
-) -> Tuple[Tuple[Element, ...], Tuple[int, ...]]:
-    elements = elements_many(
-        grid, _decompose_box_cached(grid, box, max_depth, CoverMode.OUTER)
-    )
-    return elements, tuple(e.zhi for e in elements)
+    """Clear every per-grid default cache (store-owned caches are
+    cleared through their stores)."""
+    with _DEFAULT_CACHES_LOCK:
+        for cache in _DEFAULT_CACHES.values():
+            cache.clear()
 
 
 class CachedBoxElementCursor:
@@ -579,18 +715,26 @@ class CachedBoxElementCursor:
     sequence instead of a walk of the splitting recursion, and the
     decomposition itself is computed at most once per ``(grid, box,
     max_depth)``.  ``nodes_expanded`` stays 0: a cache hit expands
-    nothing, which is the point.
+    nothing, which is the point.  ``cache`` selects the serving
+    :class:`DecomposeCache` (a store's own, usually); the per-grid
+    default is used when ``None``.
     """
 
     def __init__(
-        self, grid: Grid, box: Box, max_depth: Optional[int] = None
+        self,
+        grid: Grid,
+        box: Box,
+        max_depth: Optional[int] = None,
+        cache: Optional[DecomposeCache] = None,
     ) -> None:
         clipped = box.clipped_to(grid.whole_space())
         if clipped is None:
             self._elements: Tuple[Element, ...] = ()
             self._zhis: Tuple[int, ...] = ()
         else:
-            self._elements, self._zhis = _box_elements(
+            if cache is None:
+                cache = default_decompose_cache(grid)
+            self._elements, self._zhis = cache.box_elements(
                 grid, clipped, max_depth
             )
         self._index = 0

@@ -56,6 +56,7 @@ __all__ = [
     "range_search_bigmin",
     "brute_force_search",
     "build_point_sequence",
+    "scan_intervals",
 ]
 
 T = TypeVar("T")
@@ -248,6 +249,7 @@ def range_search(
     box: Box,
     stats: Optional[MergeStats] = None,
     use_fast: bool = False,
+    decompose_cache: Optional[Any] = None,
 ) -> Iterator[T]:
     """Optimized merge for a box query: lazy box decomposition +
     bidirectional skipping.  Yields all points inside ``box`` in z order.
@@ -257,14 +259,44 @@ def range_search(
     searches over the materialised sequence; repeated queries with the
     same box skip decomposition entirely.  Results are identical; only
     ``stats.elements_generated`` differs (a cache hit expands nothing).
+    ``decompose_cache`` selects the store-owned
+    :class:`~repro.core.fastz.DecomposeCache` serving those hits (the
+    per-grid default when ``None``).
     """
     if use_fast:
         from repro.core.fastz import CachedBoxElementCursor
 
-        cursor: ElementCursorLike = CachedBoxElementCursor(grid, box)
+        cursor: ElementCursorLike = CachedBoxElementCursor(
+            grid, box, cache=decompose_cache
+        )
     else:
         cursor = BoxElementCursor(grid, box)
     yield from merge_search(points, cursor, stats)
+
+
+def scan_intervals(
+    points: ZCursor[T], intervals: Sequence[Tuple[int, int]]
+) -> Tuple[Tuple[T, ...], ...]:
+    """Payloads whose z codes fall inside each inclusive ``[zlo, zhi]``
+    interval, one tuple per interval, in one forward cursor pass.
+
+    The intervals must be ascending and pairwise disjoint (as the
+    elements of a box decomposition are), so the cursor only ever seeks
+    forward — this is the residual-scan primitive of the semantic
+    result cache: the uncovered elements of a partially cached query
+    are exactly such an interval list.
+    """
+    out: List[Tuple[T, ...]] = []
+    record = points.current
+    for zlo, zhi in intervals:
+        if record is not None and record.z < zlo:
+            record = points.seek(zlo)
+        matched: List[T] = []
+        while record is not None and record.z <= zhi:
+            matched.append(record.payload)
+            record = points.step()
+        out.append(tuple(matched))
+    return tuple(out)
 
 
 def object_search(

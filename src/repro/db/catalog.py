@@ -21,6 +21,7 @@ class IndexEntry:
         coord_cols: Tuple[str, ...],
         tree: ZkdTree,
         born_epoch: int = 0,
+        cache=None,
     ) -> None:
         self.index_name = index_name
         self.relation_name = relation_name
@@ -30,6 +31,9 @@ class IndexEntry:
         # pinned before this epoch must not consult the index (its
         # frozen captures only exist from born_epoch onwards).
         self.born_epoch = born_epoch
+        # Optional semantic result cache (repro.cache.QueryResultCache)
+        # attached when the database runs with cache= enabled.
+        self.cache = cache
 
     def __repr__(self) -> str:
         cols = ", ".join(self.coord_cols)

@@ -48,6 +48,7 @@ class SpatialDatabase:
         grid: Grid,
         page_capacity: int = 20,
         concurrency: bool = False,
+        cache: Any = False,
     ) -> None:
         self.grid = grid
         self.page_capacity = page_capacity
@@ -62,6 +63,16 @@ class SpatialDatabase:
             self.snapshots: Optional[SnapshotManager] = SnapshotManager()
         else:
             self.snapshots = None
+        # cache=True attaches a semantic result cache (repro.cache.
+        # QueryResultCache) to every index created afterwards; a dict
+        # passes tuning knobs (budget_points, max_entries, ...) through.
+        if isinstance(cache, dict):
+            self._cache_opts: Optional[dict] = dict(cache)
+        else:
+            self._cache_opts = {} if cache else None
+        # Pending dirty z codes of the open commit, keyed by index name;
+        # flushed into each index's cache with the commit epoch.
+        self._dirty_codes: dict = {}
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -83,13 +94,25 @@ class SpatialDatabase:
         index store: a single snapshot-manager write transaction holding
         one storage transaction per index tree open, with relation undo
         on failure (aborted rows stamped with the pending epoch would
-        otherwise surface once a later transaction commits)."""
+        otherwise surface once a later transaction commits).
+
+        Result-cache coherence rides on the same boundary: the batch's
+        dirty z codes flush into each index's cache *after* the commit
+        epoch is assigned (the handle's epoch is set at the outermost
+        transaction exit), so cache invalidation carries exactly the
+        epoch at which the writes became visible.  An aborted batch
+        discards its dirty codes — nothing became visible."""
         if self.snapshots is None:
-            yield
+            try:
+                yield
+            except BaseException:
+                self._dirty_codes.clear()
+                raise
+            self._flush_dirty(None)
             return
         undo: List[Tuple[VersionedRelation, Any]] = []
         try:
-            with self.snapshots.write_transaction():
+            with self.snapshots.write_transaction() as txn:
                 for rel_name in self.catalog.relation_names():
                     relation = self.catalog.relation(rel_name)
                     if isinstance(relation, VersionedRelation):
@@ -101,7 +124,30 @@ class SpatialDatabase:
         except BaseException:
             for relation, state in undo:
                 relation._restore(state)
+            self._dirty_codes.clear()
             raise
+        self._flush_dirty(txn.epoch)
+
+    def _log_dirty(self, entry: IndexEntry, coords: Tuple[int, ...]) -> None:
+        """Note a mutated point's z code against the open commit (only
+        for indexes that carry a cache)."""
+        if entry.cache is None:
+            return
+        self._dirty_codes.setdefault(entry.index_name, []).append(
+            self.grid.zvalue(coords).bits
+        )
+
+    def _flush_dirty(self, epoch: Optional[int]) -> None:
+        """Publish the committed batch's dirty codes into each affected
+        index cache at the commit ``epoch`` (``None`` lets a cache
+        without a snapshot manager advance its own clock)."""
+        if not self._dirty_codes:
+            return
+        pending, self._dirty_codes = self._dirty_codes, {}
+        for entry in self.catalog.indexes():
+            codes = pending.get(entry.index_name)
+            if codes and entry.cache is not None:
+                entry.cache.record_commit(codes, epoch)
 
     def insert(self, table: str, row: Sequence[Any]) -> None:
         with self._group_commit():
@@ -111,7 +157,9 @@ class SpatialDatabase:
         relation = self.catalog.relation(table)
         relation.insert(row)
         for entry in self.catalog.indexes_on(table):
-            entry.tree.insert(self._coords(relation, row, entry.coord_cols))
+            coords = self._coords(relation, row, entry.coord_cols)
+            entry.tree.insert(coords)
+            self._log_dirty(entry, coords)
 
     def insert_many(self, table: str, rows: Sequence[Sequence[Any]]) -> None:
         with self._group_commit():
@@ -137,6 +185,9 @@ class SpatialDatabase:
                 for other in relation
             ):
                 entry.tree.delete(coords)
+            # Conservatively dirty the point either way: over-
+            # invalidating a cache entry is always safe.
+            self._log_dirty(entry, coords)
         return True
 
     def _coords(
@@ -205,12 +256,18 @@ class SpatialDatabase:
                     snapshots=self.snapshots,
                 )
             else:
+                from repro.core.fastz import DecomposeCache
+
                 tree = ZkdTree(
                     self.grid,
                     page_capacity=self.page_capacity,
                     buffer_frames=buffer_frames,
                     policy=policy,
                     snapshots=self.snapshots,
+                    # Per-store decomposition cache: dropping the index
+                    # frees it, and no state leaks across databases
+                    # through the process-wide default registry.
+                    decompose_cache=DecomposeCache(),
                 )
                 # Batch-shuffle the whole column set through the fast
                 # kernels; the insert sequence (and hence the tree shape)
@@ -223,9 +280,30 @@ class SpatialDatabase:
                     )
         if self.snapshots is not None:
             born_epoch = txn.epoch
-        entry = IndexEntry(index_name, table, cols, tree, born_epoch)
+        result_cache = None
+        if self._cache_opts is not None:
+            from repro.cache import QueryResultCache
+
+            result_cache = QueryResultCache(
+                self.grid, snapshots=self.snapshots, **self._cache_opts
+            )
+        entry = IndexEntry(
+            index_name, table, cols, tree, born_epoch, cache=result_cache
+        )
         self.catalog.register_index(entry)
         return entry
+
+    def drop_index(self, index_name: str) -> None:
+        """Remove an index, releasing its result and decomposition
+        caches (schema changes must not leave cached state behind)."""
+        entry = self.catalog.index(index_name)
+        self.catalog.drop_index(index_name)
+        self._dirty_codes.pop(index_name, None)
+        if entry.cache is not None:
+            entry.cache.evict(len(entry.cache))
+        cache = getattr(entry.tree, "_decompose_cache", None)
+        if cache is not None:
+            cache.clear()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -314,9 +392,22 @@ class SpatialDatabase:
     def _range_query_via_index(
         self, entry: IndexEntry, table: str, box: Box, use_fast: bool = True
     ) -> Relation:
-        matched = set(
-            entry.tree.range_query(box, use_fast=use_fast).matches
-        )
+        if entry.cache is not None:
+            from repro.cache import cached_range_matches
+
+            matched = set(
+                cached_range_matches(
+                    entry.cache,
+                    entry.tree,
+                    self.grid,
+                    box,
+                    use_fast=use_fast,
+                )
+            )
+        else:
+            matched = set(
+                entry.tree.range_query(box, use_fast=use_fast).matches
+            )
         return self._filter_rows(
             table, entry.coord_cols, matched, f"range({table})"
         )

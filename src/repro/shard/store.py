@@ -43,6 +43,7 @@ from typing import (
     Union,
 )
 
+from repro.core.fastz import DecomposeCache
 from repro.core.geometry import Box, ClassifyFn, Grid
 from repro.core.rangesearch import MergeStats
 from repro.obs.trace import current as _trace_current
@@ -169,6 +170,7 @@ class ShardedSpatialStore:
         executor: Union[ShardExecutor, str, None] = None,
         resilience: Optional[ResiliencePolicy] = None,
         snapshots=None,
+        decompose_cache: Optional[DecomposeCache] = None,
     ) -> None:
         if partitioner is None:
             partitioner = ZRangePartitioner.equi_width(
@@ -187,6 +189,12 @@ class ShardedSpatialStore:
         self.grid = grid
         self.partitioner = partitioner
         self._snapshots = snapshots
+        # One decomposition cache shared by the coordinator and every
+        # shard: the shards answer the same boxes the coordinator
+        # prunes, so a per-shard cache would just store N copies.
+        self._decompose_cache = (
+            decompose_cache if decompose_cache is not None else DecomposeCache()
+        )
         self.shards: List[ZkdTree] = [
             ZkdTree(
                 grid,
@@ -196,6 +204,7 @@ class ShardedSpatialStore:
                 policy=policy,
                 store=store_factory(i) if store_factory else None,
                 snapshots=snapshots,
+                decompose_cache=self._decompose_cache,
             )
             for i in range(partitioner.nshards)
         ]
@@ -280,6 +289,12 @@ class ShardedSpatialStore:
     @property
     def executor(self) -> ShardExecutor:
         return self._executor
+
+    @property
+    def decompose_cache(self) -> DecomposeCache:
+        """The store-local decomposition cache (shared with the shard
+        trees; never the process-wide default)."""
+        return self._decompose_cache
 
     def set_executor(
         self, executor: Union[ShardExecutor, str]
@@ -401,13 +416,8 @@ class ShardedSpatialStore:
         clipped = box.clipped_to(self.grid.whole_space())
         if clipped is None:
             return []
-        from repro.core.fastz import decompose_box_cached, elements_many
-
-        zvalues = decompose_box_cached(self.grid, clipped)
-        return [
-            (element.zlo, element.zhi)
-            for element in elements_many(self.grid, zvalues)
-        ]
+        elements, _ = self._decompose_cache.box_elements(self.grid, clipped)
+        return [(element.zlo, element.zhi) for element in elements]
 
     def range_query(
         self, box: Box, use_bigmin: bool = False, use_fast: bool = False
@@ -492,6 +502,46 @@ class ShardedSpatialStore:
                     }
                 )
         return out
+
+    def interval_query(
+        self, intervals: Sequence[Tuple[int, int]]
+    ) -> Tuple[Tuple[Point, ...], ...]:
+        """Points in each inclusive z interval, one tuple per interval
+        — the residual scatter of the semantic result cache.
+
+        Each interval is clipped to the overlapping shards' owned
+        ranges (an element can straddle a shard cut), the per-shard
+        interval lists scatter through the configured executor, and
+        the sub-runs reassemble per original interval in ascending
+        shard order — which, the shard ranges being disjoint and
+        ascending, is z order.  Untraced like the per-shard merges:
+        the cache front-end owns the span.
+        """
+        per_shard: Dict[int, List[Tuple[int, Tuple[int, int]]]] = {}
+        for index, (zlo, zhi) in enumerate(intervals):
+            for shard_id in self.partitioner.prune([(zlo, zhi)]):
+                slo, shi = self.partitioner.interval(shard_id)
+                clipped = (max(zlo, slo), min(zhi, shi))
+                per_shard.setdefault(shard_id, []).append((index, clipped))
+        order = sorted(per_shard)
+        calls: List[ShardCall] = [
+            (
+                shard_id,
+                "interval_query",
+                ([iv for _, iv in per_shard[shard_id]],),
+                {},
+            )
+            for shard_id in order
+        ]
+        with _trace_suppress():
+            results, _ = self._executor.map_shards_resilient(
+                self, calls, self.resilience
+            )
+        parts: List[List[Point]] = [[] for _ in intervals]
+        for shard_id, runs in zip(order, results):
+            for (index, _), run in zip(per_shard[shard_id], runs):
+                parts[index].extend(run)
+        return tuple(tuple(part) for part in parts)
 
     def object_query(
         self, classify: ClassifyFn, max_depth: Optional[int] = None

@@ -27,6 +27,7 @@ from repro.core.rangesearch import (
     object_search,
     range_search,
     range_search_bigmin,
+    scan_intervals,
 )
 from repro.obs.trace import Span
 from repro.obs.trace import current as _trace_current
@@ -86,8 +87,10 @@ class ZkdTree:
         policy: ReplacementPolicy = ReplacementPolicy.LRU,
         store=None,
         snapshots=None,
+        decompose_cache=None,
     ) -> None:
         self.grid = grid
+        self._decompose_cache = decompose_cache
         self.store = store if store is not None else PageStore(page_capacity)
         self.buffer = BufferManager(self.store, buffer_frames, policy)
         self._snapshots = snapshots
@@ -129,6 +132,7 @@ class ZkdTree:
         an earlier session); the in-memory index is rebuilt."""
         tree = cls.__new__(cls)
         tree.grid = grid
+        tree._decompose_cache = None
         tree.store = store
         tree.buffer = BufferManager(store, buffer_frames, policy)
         tree._snapshots = snapshots
@@ -256,6 +260,18 @@ class ZkdTree:
         """Number of data pages (the ``N`` of the analysis)."""
         return self.tree.nleaves
 
+    @property
+    def decompose_cache(self):
+        """The decomposition cache queries against this tree use: the
+        per-store cache it was built with, or the process-wide per-grid
+        default (standalone trees share decompositions across
+        instances; database- and shard-owned trees are isolated)."""
+        if self._decompose_cache is not None:
+            return self._decompose_cache
+        from repro.core.fastz import default_decompose_cache
+
+        return default_decompose_cache(self.grid)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -342,7 +358,12 @@ class ZkdTree:
                 )
             return tuple(
                 range_search(
-                    cursor, self.grid, box, stats, use_fast=use_fast
+                    cursor,
+                    self.grid,
+                    box,
+                    stats,
+                    use_fast=use_fast,
+                    decompose_cache=self._decompose_cache,
                 )
             )
 
@@ -351,6 +372,16 @@ class ZkdTree:
         with trace.span("zkd.range_query") as span:
             span.set("box", repr(box))
             return self._finish_query(run(), stats, reads_before, span)
+
+    def interval_query(
+        self, intervals: Sequence[Tuple[int, int]]
+    ) -> Tuple[Tuple[Point, ...], ...]:
+        """Points whose z codes fall in each ``[zlo, zhi]`` interval,
+        one tuple per interval — the residual-scan primitive of the
+        semantic result cache.  Intervals must be ascending and
+        disjoint.  Deliberately untraced: the cache front-end owns the
+        span so counters stay invariant across executors."""
+        return scan_intervals(BTreeCursor(self.tree), intervals)
 
     def partial_match_query(
         self, fixed: Sequence[Optional[int]]

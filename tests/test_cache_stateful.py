@@ -1,0 +1,193 @@
+"""Stateful property-based testing of cache invalidation under epochs.
+
+Hypothesis interleaves session pin / insert-commit / delete-commit /
+query / evict / vacuum against one cached, snapshot-enabled database.
+The model records, after every commit, the exact committed row set at
+that epoch.  Invariants:
+
+* *Snapshot reads through the cache*: a session pinned at epoch ``E``
+  — hot cache, cold cache, or mid-invalidation — always reads exactly
+  the model's rows at ``E``.  A cache entry newer than the pin, or a
+  stale entry surviving an overlapping commit, would surface here as a
+  wrong row set.
+* *No stale live entry*: every entry still valid at the current epoch
+  overlaps no dirty code logged after its build epoch (the dirty-log
+  protocol marked every overlapping entry dead at commit time).
+* *Budget accounting*: the cache's point total equals the sum over its
+  entries, and never exceeds the configured budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.geometry import Box, Grid
+from repro.db.database import SpatialDatabase
+from repro.db.schema import Schema
+from repro.db.types import INTEGER, OID
+
+GRID = Grid(ndims=2, depth=5)
+SIDE = GRID.side
+SCHEMA = Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+
+COORD = st.integers(min_value=0, max_value=SIDE - 1)
+BOXES = st.builds(
+    lambda a, b, c, d: Box(
+        (tuple(sorted((a, b))), tuple(sorted((c, d))))
+    ),
+    COORD,
+    COORD,
+    COORD,
+    COORD,
+)
+BUDGET = 200
+
+
+def _in_box(row, box) -> bool:
+    (x0, x1), (y0, y1) = box.ranges
+    return x0 <= row[1] <= x1 and y0 <= row[2] <= y1
+
+
+class CacheInvalidationMachine(RuleBasedStateMachine):
+    sessions = Bundle("sessions")
+
+    @initialize(points=st.lists(st.tuples(COORD, COORD), max_size=8))
+    def setup(self, points):
+        self.db = SpatialDatabase(
+            GRID,
+            page_capacity=8,
+            concurrency=True,
+            cache={"budget_points": BUDGET, "max_entries": 6},
+        )
+        self.db.create_table("a", SCHEMA)
+        self.ids = itertools.count()
+        self.live: set = set()
+        for x, y in points:
+            row = (f"r{next(self.ids)}", x, y)
+            self.db.insert("a", row)
+            self.live.add(row)
+        self.entry = self.db.create_index("a_xy", "a", ("x", "y"))
+        self.cache = self.entry.cache
+        # epoch -> frozen committed row set at that epoch (ascending).
+        self.states = [
+            (self.db.snapshots.current_epoch, frozenset(self.live))
+        ]
+        self.open_sessions: dict = {}
+
+    def _record_commit(self):
+        self.states.append(
+            (self.db.snapshots.current_epoch, frozenset(self.live))
+        )
+
+    def _rows_at(self, epoch):
+        rows = self.states[0][1]
+        for committed, frozen in self.states:
+            if committed > epoch:
+                break
+            rows = frozen
+        return rows
+
+    # -- operations ------------------------------------------------------
+
+    @rule(x=COORD, y=COORD)
+    def commit_insert(self, x, y):
+        row = (f"r{next(self.ids)}", x, y)
+        self.db.insert("a", row)
+        self.live.add(row)
+        self._record_commit()
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def commit_delete(self, data):
+        row = data.draw(st.sampled_from(sorted(self.live)))
+        assert self.db.delete("a", row)
+        self.live.discard(row)
+        self._record_commit()
+
+    @rule(box=BOXES)
+    def query_live(self, box):
+        got = set(self.db.range_query("a", ("x", "y"), box).rows)
+        want = {row for row in self.live if _in_box(row, box)}
+        assert got == want, f"live query diverged for {box}"
+
+    @precondition(lambda self: len(self.open_sessions) < 3)
+    @rule(target=sessions)
+    def open_session(self):
+        session = self.db.session()
+        self.open_sessions[id(session)] = session
+        return session
+
+    @rule(session=sessions, box=BOXES)
+    def session_query(self, session, box):
+        got = set(session.range_query("a", ("x", "y"), box).rows)
+        want = {
+            row
+            for row in self._rows_at(session.epoch)
+            if _in_box(row, box)
+        }
+        assert got == want, (
+            f"pinned read at epoch {session.epoch} diverged for {box}"
+        )
+
+    @rule(session=consumes(sessions))
+    def close_session(self, session):
+        self.open_sessions.pop(id(session), None)
+        session.close()
+
+    @precondition(lambda self: len(self.cache) > 0)
+    @rule()
+    def evict_one(self):
+        self.cache.evict(1)
+
+    @rule()
+    def vacuum(self):
+        self.cache.vacuum()
+
+    # -- invariants ------------------------------------------------------
+
+    @invariant()
+    def no_stale_live_entry(self):
+        now = self.cache.current_epoch
+        for entry in self.cache.entries():
+            if not entry.valid_at(now):
+                continue
+            for epoch, codes in self.cache._dirty_log.items():
+                if epoch <= entry.build_epoch:
+                    continue
+                stale = [z for z in codes if entry.contains_code(z)]
+                assert not stale, (
+                    f"entry built at {entry.build_epoch} still live at "
+                    f"{now} despite overlapping commit at {epoch}"
+                )
+
+    @invariant()
+    def budget_accounting(self):
+        entries = self.cache.entries()
+        assert self.cache.points_cached == sum(e.npoints for e in entries)
+        assert self.cache.points_cached <= BUDGET
+        assert len(entries) <= 6
+
+    def teardown(self):
+        for session in list(self.open_sessions.values()):
+            session.close()
+        self.open_sessions.clear()
+        leaks = self.db.snapshots.leak_stats()
+        assert leaks["snapshot.active_pins"] == 0, leaks
+
+
+TestCacheInvalidationMachine = CacheInvalidationMachine.TestCase
+TestCacheInvalidationMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

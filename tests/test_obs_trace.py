@@ -152,6 +152,121 @@ class TestExplainRendering:
         assert "rows: estimated=1.0 actual=?" in format_trace(t)
 
 
+class TestCacheTracing:
+    """EXPLAIN ANALYZE rendering and counter invariance for the
+    semantic result cache."""
+
+    def _build(self, cache=True, shards=1, executor="serial"):
+        import random
+
+        from repro.core.geometry import Box, Grid
+        from repro.db.database import SpatialDatabase
+        from repro.db.schema import Schema
+        from repro.db.types import INTEGER, OID
+
+        grid = Grid(ndims=2, depth=6)
+        db = SpatialDatabase(grid, page_capacity=8, cache=cache)
+        db.create_table(
+            "t", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+        )
+        rng = random.Random(5)
+        db.insert_many(
+            "t",
+            [
+                (f"p{i}", rng.randrange(grid.side), rng.randrange(grid.side))
+                for i in range(300)
+            ],
+        )
+        db.create_index(
+            "t_xy", "t", ("x", "y"), shards=shards, executor=executor
+        )
+        return db, Box(((0, 15), (0, 15)))
+
+    def _traced_query(self, db, box):
+        with obs.trace("q") as t:
+            db.range_query("t", ("x", "y"), box)
+        return t
+
+    def test_miss_then_hit_then_partial_render(self):
+        from repro.core.geometry import Box
+
+        db, box = self._build()
+        cold = format_trace(self._traced_query(db, box))
+        assert "cache.lookup" in cold
+        assert "outcome=miss" in cold
+        assert "cache.miss=1" in cold
+
+        warm = format_trace(self._traced_query(db, box))
+        assert "outcome=hit" in warm
+        assert "cache.hit=1" in warm
+        # Per-entry leaves render compactly, shard-style.
+        assert "cache.entry[0]  points_served=" in warm
+        assert "z=[" in warm and "epoch=" in warm
+
+        partial = format_trace(
+            self._traced_query(db, Box(((0, 23), (0, 15))))
+        )
+        assert "outcome=partial" in partial
+        assert "cache.partial=1" in partial
+        assert "cache.residual_elements=" in partial
+
+    def test_plan_span_marks_cached_scans(self):
+        db, box = self._build()
+        text = format_trace(self._traced_query(db, box))
+        assert "plan.index-scan" in text
+        assert "cached=True" in text
+
+    def test_uncached_traces_are_cache_free(self):
+        """With no cache attached neither the ``cached`` attr nor any
+        ``cache.*`` counter appears — the committed counter baseline
+        stays byte-identical for cache-off runs."""
+        db, box = self._build(cache=False)
+        t = self._traced_query(db, box)
+        assert "cached" not in t.root.walk().__next__().attrs
+        for span in t.root.walk():
+            assert "cached" not in span.attrs
+            assert not any(k.startswith("cache.") for k in span.counters)
+        assert "cache" not in format_trace(t)
+
+    def test_cache_counters_executor_invariant(self):
+        """Sharded scatter–gather under the cache publishes identical
+        counters whether shards run serially or on threads."""
+        totals = {}
+        for kind in ("serial", "thread"):
+            db, box = self._build(shards=4, executor=kind)
+            from repro.core.geometry import Box
+
+            boxes = [box, box, Box(((0, 23), (0, 15)))]  # miss, hit, partial
+            acc = {}
+            for b in boxes:
+                for key, value in self._traced_query(
+                    db, b
+                ).total_counters().items():
+                    acc[key] = acc.get(key, 0) + value
+            totals[kind] = acc
+        assert totals["serial"] == totals["thread"]
+        assert totals["serial"].get("cache.hit") == 1  # non-vacuous
+
+    def test_interval_scans_publish_no_counters(self):
+        """The residual interval scan is untraced at every layer: the
+        cache.lookup span owns the partial outcome, and executor/thread
+        counters must not leak from inside the store."""
+        db, box = self._build(shards=2)
+        self._traced_query(db, box)  # admit
+        from repro.core.geometry import Box
+
+        t = self._traced_query(db, Box(((0, 23), (0, 15))))  # partial
+        lookup = t.root.find("cache.lookup")
+        assert lookup is not None
+        assert lookup.attrs["outcome"] == "partial"
+        # No storage spans nested under the lookup: the residual ran
+        # through the untraced interval path.
+        assert all(
+            child.name.startswith("cache.entry[")
+            for child in lookup.children
+        )
+
+
 class TestCounterGate:
     def test_match_passes(self):
         report = compare_counters({"a": 1, "b": 2}, {"a": 1, "b": 2})
