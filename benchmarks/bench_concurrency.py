@@ -331,32 +331,32 @@ def main(argv=None):
     else:
         session_rows = bench_sessions()
         scaling_rows = bench_scaling()
+    from gates import gate
+
     print(format_report(session_rows, scaling_rows))
-    if not all(r["writer_commits"] > 0 for r in session_rows):
-        print("FAIL: the hot writer never committed", file=sys.stderr)
-        return 1
+    checks = [(
+        all(r["writer_commits"] > 0 for r in session_rows),
+        "hot writer committed during snapshot reads",
+    )]
+    notes = []
     if args.smoke:
-        print("OK: snapshot reads stable under writes, zero leaks")
-        return 0
-    speedup = _speedup_at(scaling_rows, 4)
-    if (os.cpu_count() or 1) < FLOOR_CPUS:
-        print(
-            f"NOTE: {os.cpu_count() or 1}-cpu host, {SPEEDUP_FLOOR}x "
-            f"floor not enforced (measured {speedup:.2f}x)"
+        checks.append(
+            (True, "snapshot reads stable under writes, zero leaks")
         )
-        return 0
-    if speedup < SPEEDUP_FLOOR:
-        print(
-            f"FAIL: 4-reader process speedup {speedup:.2f}x below the "
-            f"{SPEEDUP_FLOOR}x floor",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: 4-reader process speedup {speedup:.2f}x "
-        f"(floor {SPEEDUP_FLOOR}x)"
-    )
-    return 0
+    else:
+        speedup = _speedup_at(scaling_rows, 4)
+        if (os.cpu_count() or 1) < FLOOR_CPUS:
+            notes.append(
+                f"{os.cpu_count() or 1}-cpu host, {SPEEDUP_FLOOR}x "
+                f"floor not enforced (measured {speedup:.2f}x)"
+            )
+        else:
+            checks.append((
+                speedup >= SPEEDUP_FLOOR,
+                f"4-reader process speedup {speedup:.2f}x "
+                f"(floor {SPEEDUP_FLOOR}x)",
+            ))
+    return gate("concurrency", checks, notes)
 
 
 if __name__ == "__main__":

@@ -189,26 +189,27 @@ def main(argv=None):
     args = parser.parse_args(argv)
     npoints = 6_000 if args.smoke else args.points
     depth = 8 if args.smoke else args.depth
+    from gates import gate
+
     rows, _ = run(depth=depth, npoints=npoints)
     overhead = _overhead(rows, "checksums", "query_overhead")
     if args.smoke:
-        print(
-            f"OK: identity held across configurations "
-            f"(checksum query overhead {overhead:+.1%}, not gated)"
+        return gate(
+            "durability",
+            [(
+                True,
+                f"identity held across configurations (checksum query "
+                f"overhead {overhead:+.1%}, not gated in smoke)",
+            )],
         )
-        return 0
-    if overhead > CHECKSUM_QUERY_CEILING:
-        print(
-            f"FAIL: checksum query overhead {overhead:+.1%} above the "
-            f"{CHECKSUM_QUERY_CEILING:.0%} ceiling",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: checksum query overhead {overhead:+.1%} "
-        f"(ceiling {CHECKSUM_QUERY_CEILING:.0%})"
+    return gate(
+        "durability",
+        [(
+            overhead <= CHECKSUM_QUERY_CEILING,
+            f"checksum query overhead {overhead:+.1%} "
+            f"(ceiling {CHECKSUM_QUERY_CEILING:.0%})",
+        )],
     )
-    return 0
 
 
 if __name__ == "__main__":

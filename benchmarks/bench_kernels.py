@@ -202,19 +202,17 @@ def main(argv=None):
         npoints, nboxes, floor = 20_000, 40, 2.0
     else:
         npoints, nboxes, floor = args.points, args.boxes, 3.0
+    from gates import gate
+
     shuffles, _, _, _ = run(npoints=npoints, nboxes=nboxes)
-    if shuffles[0]["speedup"] < floor:
-        print(
-            f"FAIL: 2-d batched shuffle speedup "
-            f"{shuffles[0]['speedup']:.1f}x below the {floor}x floor",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: 2-d batched shuffle speedup {shuffles[0]['speedup']:.1f}x "
-        f"(floor {floor}x)"
+    speedup = shuffles[0]["speedup"]
+    return gate(
+        "kernels",
+        [(
+            speedup >= floor,
+            f"2-d batched shuffle speedup {speedup:.1f}x (floor {floor}x)",
+        )],
     )
-    return 0
 
 
 if __name__ == "__main__":

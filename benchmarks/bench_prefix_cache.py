@@ -222,11 +222,22 @@ def main(argv=None):
     if args.out:
         pathlib.Path(args.out).write_text(table + "\n")
         print(f"wrote {args.out}")
+    from gates import gate
+
     repeat = rows[0]
-    if repeat["hit_rate"] < 0.80 or repeat["speedup"] < 2.0:
-        print("FLOOR VIOLATION: repeat workload below gated floors")
-        return 1
-    return 0
+    return gate(
+        "prefix-cache",
+        [
+            (
+                repeat["hit_rate"] >= 0.80,
+                f"repeat hit rate {repeat['hit_rate']:.0%} (floor 80%)",
+            ),
+            (
+                repeat["speedup"] >= 2.0,
+                f"repeat speedup {repeat['speedup']:.2f}x (floor 2x)",
+            ),
+        ],
+    )
 
 
 if __name__ == "__main__":

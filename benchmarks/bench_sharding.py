@@ -175,32 +175,30 @@ def main(argv=None):
     args = parser.parse_args(argv)
     npoints = 12_000 if args.smoke else args.points
     depth = 8 if args.smoke else args.depth
+    from gates import gate
+
     rows, pruning, _ = run(depth=depth, npoints=npoints)
-    if pruning is None or pruning["shards_pruned"] < 1:
-        print("FAIL: selective box did not prune any shard", file=sys.stderr)
-        return 1
+    checks = [(
+        pruning is not None and pruning["shards_pruned"] >= 1,
+        "selective box pruned at least one shard",
+    )]
+    notes = []
     if args.smoke:
-        print("OK: identity held across configurations, pruning observed")
-        return 0
-    speedup = _best_speedup(rows, 4, "process")
-    if (os.cpu_count() or 1) < 2:
-        print(
-            f"NOTE: single-core host, {SPEEDUP_FLOOR}x floor not "
-            f"enforced (measured {speedup:.2f}x)"
-        )
-        return 0
-    if speedup < SPEEDUP_FLOOR:
-        print(
-            f"FAIL: 4-shard process speedup {speedup:.2f}x below the "
-            f"{SPEEDUP_FLOOR}x floor",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: 4-shard process speedup {speedup:.2f}x "
-        f"(floor {SPEEDUP_FLOOR}x)"
-    )
-    return 0
+        checks.append((True, "identity held across configurations"))
+    else:
+        speedup = _best_speedup(rows, 4, "process")
+        if (os.cpu_count() or 1) < 2:
+            notes.append(
+                f"single-core host, {SPEEDUP_FLOOR}x floor not "
+                f"enforced (measured {speedup:.2f}x)"
+            )
+        else:
+            checks.append((
+                speedup >= SPEEDUP_FLOOR,
+                f"4-shard process speedup {speedup:.2f}x "
+                f"(floor {SPEEDUP_FLOOR}x)",
+            ))
+    return gate("sharding", checks, notes)
 
 
 if __name__ == "__main__":

@@ -287,15 +287,22 @@ def main(argv=None):
         )
         print(f"baseline pinned at {path}")
 
+    from gates import gate
+
+    checks = [(
+        len(counters) > 0,
+        f"{len(counters)} deterministic counters collected",
+    )]
     if args.check:
         baseline = json.loads(pathlib.Path(args.check).read_text())[
             "counters"
         ]
         report = compare_counters(counters, baseline)
         print(report.summary())
-        if not report.ok:
-            return 1
-    return 0
+        checks.append(
+            (report.ok, "counters match the committed baseline")
+        )
+    return gate("trace-counters", checks)
 
 
 if __name__ == "__main__":

@@ -174,6 +174,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write both traces as JSON (implies --explain-analyze)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "stand up the asyncio TCP/JSON-line query service over a "
+            "seeded database (admission control + request batching); "
+            "Ctrl-C prints the SERVER trace section"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0, pick a free one)",
+    )
+    serve.add_argument("--points", type=int, default=20000)
+    serve.add_argument("--depth", type=int, default=8)
+    serve.add_argument("--capacity", type=int, default=20)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="split the index into N z-range shards (default: 1)",
+    )
+    serve.add_argument(
+        "--cache", action="store_true",
+        help="attach the semantic z-prefix result cache to the index",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=16,
+        help="global in-flight query limit (default: 16)",
+    )
+    serve.add_argument(
+        "--quota", type=int, default=8,
+        help="per-client in-flight quota (default: 8)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded admission queue length (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max coalesced queries per shared scan (default: 64)",
+    )
+    serve.add_argument(
+        "--no-batch", action="store_true",
+        help="serial request-at-a-time dispatch (the benchmark baseline)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=5.0,
+        help="per-query timeout before a typed rejection (default: 5s)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve for N seconds then exit (default: until Ctrl-C)",
+    )
+
     report = sub.add_parser(
         "report", help="run the whole evaluation and emit a markdown report"
     )
@@ -536,6 +590,75 @@ def _run_concurrent_sessions(db, window, args, out) -> None:
             out.write(f"trace written to {args.json_path}\n")
 
 
+def _cmd_serve(args, out) -> None:
+    """Serve a seeded database over TCP until Ctrl-C (or --duration),
+    then print the SERVER trace section: admission, batching and cache
+    counters plus one compact line per remembered client."""
+    import asyncio
+
+    from repro.db import INTEGER, OID, Schema, SpatialDatabase
+    from repro.obs import format_trace
+    from repro.server import QueryService, serve
+
+    grid = Grid(ndims=2, depth=args.depth)
+    db = SpatialDatabase(
+        grid,
+        page_capacity=args.capacity,
+        concurrency=True,
+        cache=args.cache,
+    )
+    db.create_table(
+        "points", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    dataset = make_dataset("C", grid, args.points, seed=args.seed)
+    db.insert_many(
+        "points",
+        [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
+    )
+    db.create_index("points_xy", "points", ("x", "y"), shards=args.shards)
+
+    service = QueryService(
+        db,
+        max_inflight=args.max_inflight,
+        client_quota=args.quota,
+        queue_limit=args.queue_limit,
+        batching=not args.no_batch,
+        max_batch=args.max_batch,
+        request_timeout=args.request_timeout,
+    )
+
+    async def run() -> None:
+        server = await serve(service, args.host, args.port)
+        mode = (
+            "request-at-a-time"
+            if args.no_batch
+            else f"batching<= {args.max_batch}"
+        )
+        out.write(
+            f"serving 'points' ({args.points} C-cluster points, "
+            f"index points_xy) on {server.host}:{server.port} "
+            f"[{mode}, inflight<={args.max_inflight}, "
+            f"quota<={args.quota}]\n"
+        )
+        if hasattr(out, "flush"):
+            out.flush()
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    out.write("\n" + format_trace(service.trace_section()) + "\n")
+
+
 def _cmd_space(args, out) -> None:
     u, v = args.width, args.height
     count = element_count_2d(u, v, args.depth)
@@ -572,6 +695,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _cmd_compare(args, out)
     elif args.command == "query":
         _cmd_query(args, out)
+    elif args.command == "serve":
+        _cmd_serve(args, out)
     elif args.command == "space":
         _cmd_space(args, out)
     elif args.command == "report":

@@ -64,6 +64,15 @@ def _render(node: Span, indent: int, out: List[str]) -> None:
             parts.append(f"z=[{node.attrs['zlo']}..{node.attrs['zhi']}]")
         out.append("  ".join(parts))
         return
+    if node.name.startswith("client[") and not node.children:
+        # Per-client leaves of the SERVER trace section: one compact
+        # served/rejected/errors line each so many clients stay readable.
+        parts = [f"{pad}{node.name}"]
+        for key in ("served", "rejected", "errors"):
+            if key in node.counters:
+                parts.append(f"{key}={_fmt_num(node.counters[key])}")
+        out.append("  ".join(parts))
+        return
     if node.name.startswith("cache.entry[") and not node.children:
         # Per-entry leaves of a cache.lookup span, same compact style.
         served = node.counters.get("points_served", 0)

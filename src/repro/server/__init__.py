@@ -1,0 +1,55 @@
+"""The serving layer: an asyncio TCP/JSON-line query service.
+
+``python -m repro serve`` stands up a long-running multi-client server
+over one :class:`~repro.db.database.SpatialDatabase`:
+
+* each connection pins a snapshot :meth:`~repro.db.database.
+  SpatialDatabase.session` — reads are stable no matter how many
+  writers commit concurrently, and a dropped connection releases its
+  pin with no copy-on-write residue;
+* an admission layer (:mod:`repro.server.admission`) enforces a global
+  in-flight limit and per-client quotas over a bounded queue, shedding
+  load with typed ``quota`` / ``overload`` / ``timeout`` rejections;
+* a batching layer (:mod:`repro.server.batching`) coalesces concurrent
+  point lookups and overlapping range queries into shared
+  scatter–gather passes, byte-identical to per-request execution, with
+  the z-prefix result cache consulted per batch;
+* ``/stats`` and the ``SERVER`` trace section surface the counters
+  (queue depth, batch sizes, admissions/rejections, cache hits).
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    Overloaded,
+    QuotaExceeded,
+    Rejection,
+)
+from repro.server.batching import (
+    QueryBatcher,
+    batched_range_matches,
+    merge_intervals,
+)
+from repro.server.client import QueryClient, ServerError, ServerRejected
+from repro.server.protocol import ProtocolError
+from repro.server.service import ClientState, QueryService
+from repro.server.tcp import QueryServer, serve
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTimeout",
+    "ClientState",
+    "Overloaded",
+    "ProtocolError",
+    "QueryBatcher",
+    "QueryClient",
+    "QueryServer",
+    "QueryService",
+    "QuotaExceeded",
+    "Rejection",
+    "ServerError",
+    "ServerRejected",
+    "batched_range_matches",
+    "merge_intervals",
+    "serve",
+]

@@ -1,0 +1,470 @@
+"""The query service: sessions, admission, batching, stats.
+
+:class:`QueryService` is the transport-independent core of the server.
+Each connected client gets a :class:`ClientState` holding a snapshot
+:meth:`~repro.db.database.SpatialDatabase.session` (when the database
+runs with ``concurrency=True``): every read on that connection sees the
+pinned commit epoch, writes buffer in the session and group-commit on
+the ``commit`` op, and dropping the connection — gracefully or not —
+closes the session and releases its pin (no COW residue).
+
+Request flow for a ``range``/``point`` op::
+
+    admission.slot(client)            # typed rejection or a slot
+      -> batcher.submit((index, epoch), (box, table, cols))
+         # one shared scatter-gather scan for the whole group,
+         # then the O(matches) visible-row filter per request
+
+Index scans batch across connections: the key is (index name, pinned
+epoch), so clients pinned at the same snapshot share one scatter–gather
+pass over one shared snapshot view.  Execution runs on the batcher's
+single worker thread; the event loop keeps accepting requests, which
+form the next batch.  A request that exceeds ``request_timeout``
+answers with a typed ``timeout`` rejection and frees its admission slot
+(the slow client cannot wedge the server).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.geometry import Box
+from repro.db.relation import VersionedRelation
+from repro.obs.trace import QueryTrace
+from repro.server.admission import AdmissionController, Rejection
+from repro.server.batching import QueryBatcher, batched_range_matches
+from repro.server.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_box,
+    parse_point,
+    rejection_response,
+    validate_request,
+)
+from repro.shard.executor import ResiliencePolicy
+
+__all__ = ["ClientState", "QueryService"]
+
+Point = Tuple[int, ...]
+
+#: Retain per-client served/rejected tallies for at most this many
+#: clients (oldest evicted) so the SERVER trace section stays bounded.
+MAX_CLIENT_STATS = 64
+
+
+class ClientState:
+    """One connection's identity and snapshot session."""
+
+    __slots__ = ("name", "session")
+
+    def __init__(self, name: str, session: Optional[Any]) -> None:
+        self.name = name
+        self.session = session
+
+    @property
+    def epoch(self) -> Optional[int]:
+        return self.session.epoch if self.session is not None else None
+
+
+class QueryService:
+    """Admission-controlled, batch-executing front of one database."""
+
+    def __init__(
+        self,
+        db: Any,
+        max_inflight: int = 16,
+        client_quota: int = 8,
+        queue_limit: int = 64,
+        batching: bool = True,
+        max_batch: int = 64,
+        request_timeout: float = 5.0,
+        policy: Optional[ResiliencePolicy] = None,
+        use_fast: bool = True,
+    ) -> None:
+        self.db = db
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            client_quota=client_quota,
+            queue_limit=queue_limit,
+            policy=policy,
+        )
+        self.batching = batching
+        self.batcher = QueryBatcher(
+            self._execute_batch, max_batch=max_batch if batching else 1
+        )
+        self.request_timeout = request_timeout
+        self.use_fast = use_fast
+        self._names = itertools.count(1)
+        #: (index name, epoch) -> shared snapshot view.  Guarded by a
+        #: lock: built lazily from either the loop or the worker thread.
+        self._views: Dict[Tuple[str, int], Any] = {}
+        #: (table, cols, epoch) -> coords -> [(row position, row)].
+        #: Built once per pinned epoch so the per-request visible-row
+        #: filter is O(matches), not O(table).
+        self._row_maps: Dict[
+            Tuple[str, Tuple[str, ...], int],
+            Dict[Point, List[Tuple[int, Tuple[Any, ...]]]],
+        ] = {}
+        self._views_lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "server.connections": 0,
+            "server.disconnects": 0,
+            "server.requests": 0,
+            "server.served": 0,
+            "server.errors": 0,
+        }
+        self._client_stats: Dict[str, Dict[str, int]] = {}
+
+    # -- connection lifecycle --------------------------------------------
+
+    def connect(self, name: Optional[str] = None) -> ClientState:
+        """Register a client; pins a snapshot session when available."""
+        client_name = name or f"client-{next(self._names)}"
+        session = (
+            self.db.session() if self.db.snapshots is not None else None
+        )
+        self.stats["server.connections"] += 1
+        self._client_stats.setdefault(
+            client_name, {"served": 0, "rejected": 0, "errors": 0}
+        )
+        while len(self._client_stats) > MAX_CLIENT_STATS:
+            self._client_stats.pop(next(iter(self._client_stats)))
+        return ClientState(client_name, session)
+
+    def disconnect(self, client: ClientState) -> None:
+        """Close the client's session (idempotent): the snapshot pin is
+        released and its retained page versions become reclaimable."""
+        if client.session is not None:
+            client.session.close()
+        self.stats["server.disconnects"] += 1
+        self._prune_views()
+
+    def close(self) -> None:
+        """Stop the batching machinery (sessions belong to handlers)."""
+        self.batcher.close()
+
+    def _prune_views(self) -> None:
+        """Drop shared snapshot views for epochs no session pins."""
+        snapshots = self.db.snapshots
+        if snapshots is None:
+            return
+        pinned = set(snapshots.pinned_epochs)
+        with self._views_lock:
+            for key in [k for k in self._views if k[1] not in pinned]:
+                del self._views[key]
+            for key in [
+                k for k in self._row_maps if k[2] not in pinned
+            ]:
+                del self._row_maps[key]
+
+    # -- batched execution (worker thread) -------------------------------
+
+    def _view_for(self, entry: Any, epoch: int) -> Any:
+        key = (entry.index_name, epoch)
+        with self._views_lock:
+            view = self._views.get(key)
+            if view is None:
+                view = entry.tree.snapshot_view(epoch)
+                self._views[key] = view
+            return view
+
+    def _execute_batch(
+        self, key: Hashable, requests: List[Tuple[Box, str, Tuple[str, ...]]]
+    ) -> List[List[Tuple[Any, ...]]]:
+        """One worker-thread pass for a group of (box, table, cols)
+        requests pinned at the same index and epoch: a shared
+        scatter-gather scan, then the O(matches) row filter per
+        request — so each request costs a single executor handoff."""
+        index_name, epoch = key  # type: ignore[misc]
+        entry = self.db.catalog.index(index_name)
+        target = (
+            entry.tree if epoch is None else self._view_for(entry, epoch)
+        )
+        matches = batched_range_matches(
+            target,
+            self.db.grid,
+            [box for box, _, _ in requests],
+            cache=entry.cache,
+            epoch=epoch,
+            use_fast=self.use_fast,
+        )
+        return [
+            self._filter_rows(table, cols, set(matched), epoch)
+            for (_, table, cols), matched in zip(requests, matches)
+        ]
+
+    def _scan_rows(
+        self,
+        table: str,
+        cols: Tuple[str, ...],
+        box: Box,
+        epoch: Optional[int],
+    ) -> List[Tuple[Any, ...]]:
+        """Unindexed fallback: row scan at the client's epoch."""
+        db = self.db
+        relation = db.catalog.relation(table)
+        rows = (
+            relation.rows_at(epoch)
+            if isinstance(relation, VersionedRelation) and epoch is not None
+            else relation.rows
+        )
+        return [
+            row
+            for row in rows
+            if box.contains_point(db._coords(relation, row, cols))
+        ]
+
+    def _row_map(
+        self, table: str, cols: Tuple[str, ...], epoch: int
+    ) -> Dict[Point, List[Tuple[int, Tuple[Any, ...]]]]:
+        """coords -> [(row position, row)] at a pinned epoch, built
+        once and reused until the epoch is unpinned.  Pinned versions
+        are immutable, so the map never goes stale."""
+        key = (table, cols, epoch)
+        with self._views_lock:
+            mapping = self._row_maps.get(key)
+        if mapping is not None:
+            return mapping
+        db = self.db
+        relation = db.catalog.relation(table)
+        mapping = {}
+        for pos, row in enumerate(relation.rows_at(epoch)):
+            coords = db._coords(relation, row, cols)
+            mapping.setdefault(coords, []).append((pos, row))
+        with self._views_lock:
+            return self._row_maps.setdefault(key, mapping)
+
+    def _filter_rows(
+        self,
+        table: str,
+        cols: Tuple[str, ...],
+        matched: set,
+        epoch: Optional[int],
+    ) -> List[Tuple[Any, ...]]:
+        db = self.db
+        relation = db.catalog.relation(table)
+        if isinstance(relation, VersionedRelation) and epoch is not None:
+            # O(matches) through the per-epoch coordinate map; sorting
+            # by row position reproduces relation order byte for byte.
+            mapping = self._row_map(table, cols, epoch)
+            hits: List[Tuple[int, Tuple[Any, ...]]] = []
+            for point in matched:
+                hits.extend(mapping.get(point, ()))
+            hits.sort(key=lambda item: item[0])
+            return [row for _, row in hits]
+        return [
+            row
+            for row in relation.rows
+            if db._coords(relation, row, cols) in matched
+        ]
+
+    # -- request handling (event loop) -----------------------------------
+
+    async def handle_request(
+        self, client: ClientState, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """One request dict in, one response dict out (never raises)."""
+        self.stats["server.requests"] += 1
+        request_id = request.get("id")
+        try:
+            request = validate_request(request)
+            response = await self._dispatch(client, request)
+        except ProtocolError as exc:
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            response = error_response("bad_request", str(exc))
+        except Rejection as exc:
+            self._tally(client, "rejected")
+            response = rejection_response(
+                exc.reason, str(exc), exc.retry_after
+            )
+        except KeyError as exc:
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            response = error_response("not_found", str(exc))
+        except Exception as exc:  # terminal, but never a crashed server
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            response = error_response(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            if response.get("ok"):
+                self.stats["server.served"] += 1
+                self._tally(client, "served")
+            elif "rejected" in response:
+                self._tally(client, "rejected")
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _tally(self, client: ClientState, kind: str) -> None:
+        tallies = self._client_stats.get(client.name)
+        if tallies is not None:
+            tallies[kind] += 1
+
+    async def _dispatch(
+        self, client: ClientState, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        op = request["op"]
+        if op == "ping":
+            return ok_response(pong=True, epoch=client.epoch)
+        if op == "stats":
+            return ok_response(stats=self.stats_snapshot())
+        if op == "range" or op == "point":
+            return await self._handle_query(client, request)
+        if op == "insert":
+            return self._handle_insert(client, request)
+        if op == "commit":
+            return self._handle_commit(client)
+        if op == "refresh":
+            return self._handle_refresh(client)
+        raise ProtocolError(f"unhandled op {op!r}")
+
+    def _query_target(
+        self, request: Dict[str, Any]
+    ) -> Tuple[str, Tuple[str, ...], Box]:
+        table = request.get("table")
+        if not isinstance(table, str):
+            raise ProtocolError("table must be a string")
+        cols_spec = request.get("cols")
+        if not isinstance(cols_spec, (list, tuple)) or not all(
+            isinstance(c, str) for c in cols_spec
+        ):
+            raise ProtocolError("cols must be a list of column names")
+        cols = tuple(cols_spec)
+        if request["op"] == "point":
+            point = parse_point(request.get("point"), self.db.grid.ndims)
+            box = Box(tuple((v, v) for v in point))
+        else:
+            box = parse_box(request.get("box"), self.db.grid.ndims)
+        return table, cols, box
+
+    async def _handle_query(
+        self, client: ClientState, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        table, cols, box = self._query_target(request)
+        self.db.catalog.relation(table)  # raise not_found early
+        async with self.admission.slot(client.name):
+            try:
+                rows = await asyncio.wait_for(
+                    self._run_query(client, table, cols, box),
+                    timeout=self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                return rejection_response(
+                    "timeout",
+                    f"query exceeded {self.request_timeout}s; "
+                    "slot released",
+                    retry_after=self.admission.policy.backoff(1),
+                )
+        return ok_response(
+            rows=[list(row) for row in rows],
+            count=len(rows),
+            epoch=client.epoch,
+        )
+
+    async def _run_query(
+        self,
+        client: ClientState,
+        table: str,
+        cols: Tuple[str, ...],
+        box: Box,
+    ) -> List[Tuple[Any, ...]]:
+        db = self.db
+        epoch = client.epoch
+        entry = db._index_for(table, cols)
+        loop = asyncio.get_running_loop()
+        if entry is None or (
+            epoch is not None and entry.born_epoch > epoch
+        ):
+            # No snapshot-visible index: plain row scan, still off the
+            # event loop (and serialized with batch execution).
+            return await loop.run_in_executor(
+                self.batcher.pool,
+                self._scan_rows,
+                table,
+                cols,
+                box,
+                epoch,
+            )
+        return await self.batcher.submit(
+            (entry.index_name, epoch), (box, table, cols)
+        )
+
+    def _handle_insert(
+        self, client: ClientState, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        table = request.get("table")
+        if not isinstance(table, str):
+            raise ProtocolError("table must be a string")
+        row = request.get("row")
+        if not isinstance(row, list):
+            raise ProtocolError("row must be a list")
+        self.db.catalog.relation(table)  # raise not_found early
+        if client.session is not None:
+            client.session.insert(table, tuple(row))
+            return ok_response(
+                buffered=client.session.pending_ops, epoch=client.epoch
+            )
+        self.db.insert(table, tuple(row))
+        return ok_response(buffered=0, epoch=None)
+
+    def _handle_commit(self, client: ClientState) -> Dict[str, Any]:
+        if client.session is None:
+            return ok_response(epoch=None)
+        epoch = client.session.commit()
+        return ok_response(epoch=epoch)
+
+    def _handle_refresh(self, client: ClientState) -> Dict[str, Any]:
+        if client.session is None:
+            raise ProtocolError("refresh needs a concurrency-enabled db")
+        epoch = client.session.refresh()
+        self._prune_views()
+        return ok_response(epoch=epoch)
+
+    # -- stats and the SERVER trace section ------------------------------
+
+    def cache_counters(self) -> Dict[str, int]:
+        """Aggregated result-cache counters across every index."""
+        out: Dict[str, int] = {}
+        for entry in self.db.catalog.indexes():
+            if entry.cache is None:
+                continue
+            for key, value in entry.cache.counters().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """The ``/stats`` payload: one section per subsystem."""
+        sections: Dict[str, Dict[str, int]] = {
+            "server": {
+                **self.stats,
+                **self.admission.counters(),
+                **self.batcher.counters(),
+            }
+        }
+        cache = self.cache_counters()
+        if cache:
+            sections["cache"] = cache
+        if self.db.snapshots is not None:
+            sections["snapshots"] = dict(self.db.snapshots.counters())
+            sections["leaks"] = dict(self.db.snapshots.leak_stats())
+        return sections
+
+    def trace_section(self) -> QueryTrace:
+        """The ``SERVER`` span tree for EXPLAIN-style rendering: the
+        service counters on the root, one compact ``client[...]`` leaf
+        per remembered client."""
+        trace = QueryTrace("SERVER")
+        root = trace.root
+        for section in self.stats_snapshot().values():
+            root.add_counters({k: v for k, v in section.items()})
+        for name, tallies in self._client_stats.items():
+            leaf = root.child(f"client[{name}]")
+            leaf.add_counters(dict(tallies))
+        return trace

@@ -1,0 +1,170 @@
+"""The asyncio TCP transport: one connection, one session, many frames.
+
+:class:`QueryServer` binds a :class:`~repro.server.service.QueryService`
+to a listening socket.  Each accepted connection registers a client
+(pinning a snapshot session), then loops reading newline-delimited JSON
+frames.  Requests are processed concurrently — a client may pipeline —
+with responses matched by the echoed ``id`` and serialized through a
+per-connection write lock.
+
+Teardown is unconditional: whether the client said goodbye, the socket
+broke mid-frame, or the connection was killed outright, the handler's
+``finally`` cancels in-flight tasks and disconnects the client, closing
+its session so the snapshot pin (and any copy-on-write pages it
+retained) is released.  ``tests/test_server_admission.py`` asserts the
+no-residue property by killing sockets and checking
+``SnapshotManager.leak_stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.server.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+)
+from repro.server.service import ClientState, QueryService
+
+__all__ = ["QueryServer", "serve"]
+
+
+class QueryServer:
+    """A listening TCP/JSON-line front-end over one query service."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set["asyncio.Task[None]"] = set()
+
+    async def start(self) -> "QueryServer":
+        """Bind and start accepting; ``port=0`` picks a free port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, cancel live connection handlers, close the
+        service's batching machinery."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self.service.close()
+
+    # -- per-connection --------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+        peer = writer.get_extra_info("peername")
+        name = f"{peer[0]}:{peer[1]}" if peer else None
+        client = self.service.connect(name)
+        requests: Set["asyncio.Task[None]"] = set()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                subtask = asyncio.create_task(
+                    self._process(client, line, writer, write_lock)
+                )
+                requests.add(subtask)
+                subtask.add_done_callback(requests.discard)
+        except asyncio.CancelledError:
+            # Server shutdown cancelled us; fall through to teardown so
+            # the task finishes cleanly (asyncio's stream protocol logs
+            # handler tasks that die cancelled).
+            pass
+        finally:
+            for subtask in list(requests):
+                subtask.cancel()
+            if requests:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.gather(*requests, return_exceptions=True)
+            self.service.disconnect(client)
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+    async def _process(
+        self,
+        client: ClientState,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            request = decode_frame(line)
+        except ProtocolError as exc:
+            response: Dict[str, Any] = error_response(
+                "bad_request", str(exc)
+            )
+        else:
+            response = await self.service.handle_request(client, request)
+        try:
+            async with write_lock:
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            # The client went away mid-answer; the connection loop's
+            # teardown releases everything.
+            pass
+
+
+async def serve(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> QueryServer:
+    """Start a :class:`QueryServer` and return it (bound, accepting)."""
+    return await QueryServer(service, host, port).start()
