@@ -1,0 +1,222 @@
+"""Multi-predicate planner: does selectivity-ordered filtering pay?
+
+Three WHERE mixes over one uniform table, each compiled twice — with
+the cost-based conjunct ordering (``reorder=True``, the default) and
+with the naive written left-to-right order (``reorder=False``) — and
+timed end to end.  The mixes:
+
+* **selective-attribute** — a loose spatial window, an *expensive*
+  residual written first and a highly selective attribute range written
+  last.  Naive order evaluates the costly residual over every window
+  row; the optimizer runs the cheap selective range first.  This is the
+  gated mix: reordering must win by >= 1.3x.
+* **selective-window** — a tight window does all the work; filter
+  order barely matters (sanity: reordering must not hurt much).
+* **uniform** — equal-selectivity filters; ordering is ~neutral.
+
+Runs as a pytest bench (the CI floor)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_planner_multi.py -q
+
+or standalone, printing the table and the GATE line::
+
+    PYTHONPATH=src python benchmarks/bench_planner_multi.py [--smoke]
+"""
+
+import argparse
+import pathlib
+import random
+import sys
+import time
+
+from repro.core.geometry import Grid
+from repro.db import INTEGER, OID, Schema, SpatialDatabase
+from repro.sql import compile_sql
+
+DEPTH = 8
+NPOINTS = 20_000
+ROUNDS = 5
+SEED = 0
+
+#: An intentionally arithmetic-heavy residual: per-row cost dominates,
+#: so running it over fewer rows is the whole game.
+RESIDUAL = (
+    "(x * 3 + y * 2) * (x - y) + x * x - y * y + x + y "
+    "BETWEEN -999999 AND 999999"
+)
+
+MIXES = {
+    "selective-attribute": (
+        "SELECT id@ FROM pts "
+        "WHERE BOX(0, {hi}, 0, {hi}) CONTAINS POINT(x, y) "
+        f"AND {RESIDUAL} "
+        "AND x BETWEEN 40 AND 44"
+    ),
+    "selective-window": (
+        "SELECT id@ FROM pts "
+        "WHERE BOX(8, 24, 8, 24) CONTAINS POINT(x, y) "
+        f"AND {RESIDUAL} "
+        "AND x BETWEEN 0 AND {hi}"
+    ),
+    "uniform": (
+        "SELECT id@ FROM pts "
+        "WHERE BOX(0, {hi}, 0, {hi}) CONTAINS POINT(x, y) "
+        "AND x BETWEEN 20 AND {mid} AND y BETWEEN 20 AND {mid}"
+    ),
+}
+
+
+def build_db(depth=DEPTH, npoints=NPOINTS, seed=SEED):
+    grid = Grid(ndims=2, depth=depth)
+    db = SpatialDatabase(grid, page_capacity=32)
+    db.create_table(
+        "pts", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    rng = random.Random(seed)
+    side = grid.side
+    db.insert_many(
+        "pts",
+        [
+            (f"p{i}", rng.randrange(side), rng.randrange(side))
+            for i in range(npoints)
+        ],
+    )
+    db.create_index("pts_xy", "pts", ("x", "y"))
+    return db
+
+
+def _time(db, sql, reorder, rounds=ROUNDS):
+    compiled = compile_sql(db, sql, reorder=reorder)
+    compiled.run()  # warm caches (histograms, z statistics)
+    best = float("inf")
+    nrows = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        out = compiled.run()
+        best = min(best, time.perf_counter() - start)
+        nrows = len(out)
+    return best, nrows
+
+
+def run_mix(name, db=None, depth=DEPTH, npoints=NPOINTS, rounds=ROUNDS):
+    db = db or build_db(depth=depth, npoints=npoints)
+    side = db.grid.side
+    sql = MIXES[name].format(hi=side - 1, mid=side // 2)
+    naive_s, naive_rows = _time(db, sql, reorder=False, rounds=rounds)
+    ordered_s, ordered_rows = _time(db, sql, reorder=True, rounds=rounds)
+    assert naive_rows == ordered_rows, (naive_rows, ordered_rows)
+    moved = compile_sql(db, sql).plan().moved
+    return {
+        "mix": name,
+        "rows": ordered_rows,
+        "moved": moved,
+        "naive_s": naive_s,
+        "ordered_s": ordered_s,
+        "speedup": naive_s / ordered_s if ordered_s else float("inf"),
+    }
+
+
+def _format(rows):
+    header = (
+        f"{'mix':<20} {'rows':>6} {'moved':>5} {'naive':>9} "
+        f"{'reordered':>9} {'speedup':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in rows:
+        lines.append(
+            f"{s['mix']:<20} {s['rows']:>6} {s['moved']:>5} "
+            f"{s['naive_s'] * 1e3:>7.1f}ms {s['ordered_s'] * 1e3:>7.1f}ms "
+            f"{s['speedup']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (the CI floor)
+# ----------------------------------------------------------------------
+
+
+def test_selective_attribute_floor(results_dir):
+    """The CI gate: cost-based ordering beats naive left-to-right by
+    >= 1.3x when a cheap selective range is written after an expensive
+    residual."""
+    db = build_db()
+    rows = [run_mix(name, db=db) for name in MIXES]
+    (results_dir / "planner_multi.txt").write_text(_format(rows) + "\n")
+    gated = rows[0]
+    assert gated["mix"] == "selective-attribute"
+    assert gated["moved"] >= 1, gated
+    assert gated["speedup"] >= 1.3, gated
+
+
+def test_other_mixes_do_not_regress():
+    """Reordering must never change results and must not slow the
+    window-dominated mix beyond noise."""
+    db = build_db(depth=7, npoints=4000)
+    stats = run_mix("selective-window", db=db, rounds=3)
+    assert stats["speedup"] >= 0.5, stats
+
+
+def test_smoke_scales_down():
+    """The --smoke configuration stays meaningful (quick CI runs)."""
+    stats = run_mix("selective-attribute", depth=7, npoints=4000, rounds=3)
+    assert stats["moved"] >= 1
+    assert stats["speedup"] >= 1.1, stats
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small table / few rounds for quick checks",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="also write the table to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    kwargs = (
+        {"depth": 7, "npoints": 4000, "rounds": 3} if args.smoke else {}
+    )
+    db = build_db(
+        depth=kwargs.get("depth", DEPTH),
+        npoints=kwargs.get("npoints", NPOINTS),
+    )
+    rows = [
+        run_mix(name, db=db, rounds=kwargs.get("rounds", ROUNDS))
+        for name in MIXES
+    ]
+    table = _format(rows)
+    print(table)
+    if args.out:
+        pathlib.Path(args.out).write_text(table + "\n")
+        print(f"wrote {args.out}")
+    from gates import gate
+
+    gated = rows[0]
+    floor = 1.1 if args.smoke else 1.3
+    notes = ["smoke mode: reduced floor 1.1x"] if args.smoke else []
+    return gate(
+        "planner-multi",
+        [
+            (
+                gated["moved"] >= 1,
+                f"{gated['moved']} conjunct(s) reordered",
+            ),
+            (
+                gated["speedup"] >= floor,
+                f"selective-attribute speedup {gated['speedup']:.2f}x "
+                f"(floor {floor}x)",
+            ),
+        ],
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,7 +92,8 @@ def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
     """Every published counter, summed over the fixed workload.
 
     Range-query counters are prefixed ``range.``, overlap-join counters
-    ``join.``; all values are integers (``elapsed_s`` lives in span
+    ``join.``, SQL statements ``sql.`` (including the ``planner.*``
+    family); all values are integers (``elapsed_s`` lives in span
     timings, not counters, so nothing here is wall-clock-dependent).
     """
     grid, db = _build_database(depth, npoints, capacity, seed)
@@ -121,6 +122,33 @@ def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
             grid=grid, max_depth=max(1, depth - 3),
         )
     fold("join", t.total_counters())
+
+    # The SQL layer: one multi-conjunct single-table statement (z-window
+    # access + reordered attribute/residual filters) and one OVERLAPS
+    # join, so the planner.* counters and the per-filter cardinalities
+    # gate alongside the raw operator counters.
+    from repro.sql import execute_sql
+
+    for table, source in (("pobjs", p_objects), ("qobjs", q_objects)):
+        db.create_table(
+            table, Schema.of(("id@", OID), ("geom", SPATIAL_OBJECT))
+        )
+        db.insert_many(table, list(source.rows))
+    side = grid.side
+    statements = (
+        f"SELECT id@ FROM points "
+        f"WHERE BOX({side // 8}, {5 * side // 8}, {side // 8}, "
+        f"{5 * side // 8}) CONTAINS POINT(x, y) "
+        f"AND x + y > {3 * side // 4} "
+        f"AND x BETWEEN {side // 4} AND {side // 2} ORDER BY id@",
+        "SELECT pobjs.id@, qobjs.id@ FROM pobjs "
+        "JOIN qobjs ON OVERLAPS(pobjs.geom, qobjs.geom) "
+        "WHERE pobjs.id@ != 'p0' ORDER BY pobjs.id@, qobjs.id@",
+    )
+    for statement in statements:
+        with trace("sql") as t:
+            execute_sql(db, statement)
+        fold("sql", t.total_counters())
 
     # The semantic result cache, same range workload run twice against
     # a cache-enabled database: pass one misses and admits, pass two

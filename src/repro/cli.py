@@ -174,6 +174,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write both traces as JSON (implies --explain-analyze)",
     )
 
+    sql = sub.add_parser(
+        "sql",
+        help=(
+            "run one SQL statement against a seeded demo database: "
+            "'points' (id@, x, y; zkd-indexed C-cluster) plus "
+            "'regions' and 'zones' (id@, geom spatial objects) for "
+            "OVERLAPS joins; EXPLAIN / EXPLAIN ANALYZE print the "
+            "multi-predicate plan"
+        ),
+    )
+    sql.add_argument(
+        "query", help="the SQL text, or - to read it from stdin"
+    )
+    sql.add_argument("--points", type=int, default=2000)
+    sql.add_argument(
+        "--objects", type=int, default=40,
+        help="rows per spatial-object table (regions, zones)",
+    )
+    sql.add_argument("--depth", type=int, default=8)
+    sql.add_argument("--capacity", type=int, default=20)
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split the points index into N z-range shards",
+    )
+    sql.add_argument(
+        "--sessions", type=int, default=0, metavar="N",
+        help=(
+            "run the statement inside N snapshot-isolated sessions "
+            "(opened before a burst of writes) and assert every "
+            "session sees identical rows"
+        ),
+    )
+    sql.add_argument(
+        "--no-reorder", action="store_true",
+        help="keep WHERE conjuncts in written order (naive baseline)",
+    )
+    sql.add_argument(
+        "--explain-analyze", action="store_true",
+        help=(
+            "execute with tracing and print the measured span tree "
+            "(same as prefixing the statement with EXPLAIN ANALYZE)"
+        ),
+    )
+    sql.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the result (columns/rows or plan text) as JSON",
+    )
+
     serve = sub.add_parser(
         "serve",
         help=(
@@ -492,6 +544,142 @@ def _cmd_query(args, out) -> None:
         out.write(f"traces written to {args.json_path}\n")
 
 
+def _cmd_sql(args, out) -> int:
+    """``python -m repro sql "SELECT ..."``: parse, bind, plan and run
+    one statement against a seeded demo database.  Parse/bind errors
+    print a caret-annotated source excerpt and exit 2."""
+    import json
+    import random
+
+    from repro.core.geometry import Box
+    from repro.db import (
+        INTEGER,
+        OID,
+        SPATIAL_OBJECT,
+        Schema,
+        SpatialDatabase,
+    )
+    from repro.db.types import SpatialObject
+    from repro.sql import SqlError, compile_sql
+
+    source = args.query
+    if source == "-":
+        source = sys.stdin.read()
+
+    grid = Grid(ndims=2, depth=args.depth)
+    side = grid.side
+    db = SpatialDatabase(
+        grid,
+        page_capacity=args.capacity,
+        concurrency=args.sessions > 0,
+    )
+    db.create_table(
+        "points", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    dataset = make_dataset("C", grid, args.points, seed=args.seed)
+    db.insert_many(
+        "points",
+        [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
+    )
+    entry = db.create_index(
+        "points_xy", "points", ("x", "y"), shards=args.shards
+    )
+    rng = random.Random(args.seed + 1)
+    extent = max(2, side // 16)
+    for table, prefix in (("regions", "r"), ("zones", "z")):
+        db.create_table(
+            table, Schema.of(("id@", OID), ("geom", SPATIAL_OBJECT))
+        )
+        db.insert_many(
+            table,
+            [
+                (
+                    f"{prefix}{i}",
+                    SpatialObject.from_box(
+                        f"{prefix}{i}",
+                        Box(((x, x + extent), (y, y + extent))),
+                    ),
+                )
+                for i in range(args.objects)
+                for x in (rng.randrange(side - extent),)
+                for y in (rng.randrange(side - extent),)
+            ],
+        )
+
+    def run_one(target=None):
+        """→ (mode, relation-or-None, text-or-None)."""
+        compiled = compile_sql(db, source, reorder=not args.no_reorder)
+        mode = compiled.statement.mode
+        if args.explain_analyze and mode is None:
+            mode = "analyze"
+        if mode == "explain":
+            return "explain", None, compiled.explain(target)
+        if mode == "analyze":
+            return "analyze", None, compiled.explain_analyze(target)
+        return "rows", compiled.run(target), None
+
+    try:
+        try:
+            if args.sessions > 0:
+                sessions = [db.session() for _ in range(args.sessions)]
+                try:
+                    # A burst of writes after the snapshots are taken:
+                    # every session must still see identical rows.
+                    db.insert_many(
+                        "points",
+                        [
+                            (f"late{i}", i % side, (3 * i) % side)
+                            for i in range(64)
+                        ],
+                    )
+                    results = [run_one(s) for s in sessions]
+                finally:
+                    for s in sessions:
+                        s.close()
+                mode, relation, text = results[0]
+                if mode == "rows":
+                    rows = relation.rows
+                    for i, (_, other, _) in enumerate(results[1:], 1):
+                        if other.rows != rows:
+                            raise AssertionError(
+                                f"session {i} disagreed with session 0"
+                            )
+                    out.write(
+                        f"{args.sessions} snapshot sessions agreed "
+                        f"({len(rows)} row(s) each, writer ignored)\n"
+                    )
+            else:
+                mode, relation, text = run_one()
+        except SqlError as err:
+            out.write(err.annotate(source) + "\n")
+            return 2
+    finally:
+        if getattr(entry.tree, "partitioner", None) is not None:
+            entry.tree.close()
+
+    if mode == "rows":
+        out.write("  ".join(relation.schema.names) + "\n")
+        for row in relation.rows:
+            out.write("  ".join(str(value) for value in row) + "\n")
+        out.write(f"({len(relation)} row(s))\n")
+    else:
+        out.write(text + "\n")
+
+    if args.json_path:
+        payload = {
+            "mode": mode,
+            "columns": list(relation.schema.names) if relation else [],
+            "rows": [list(row) for row in relation.rows] if relation else [],
+            "text": text or "",
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(
+                payload, handle, indent=2, sort_keys=True, default=str
+            )
+        out.write(f"result written to {args.json_path}\n")
+    return 0
+
+
 def _run_concurrent_sessions(db, window, args, out) -> None:
     """``query --sessions N``: N snapshot-isolated readers racing one
     hot writer.  Every session reads the window query twice and both
@@ -695,6 +883,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _cmd_compare(args, out)
     elif args.command == "query":
         _cmd_query(args, out)
+    elif args.command == "sql":
+        return _cmd_sql(args, out)
     elif args.command == "serve":
         _cmd_serve(args, out)
     elif args.command == "space":

@@ -11,10 +11,31 @@ operator; everything else is conventional relational machinery.
 from repro.db.aggregates import AVG, COUNT, MAX, MIN, SUM, AggregateSpec, aggregate
 from repro.db.catalog import Catalog, IndexEntry
 from repro.db.database import SpatialDatabase
-from repro.db.planner import Plan, estimate_selectivity, plan_range_query
+from repro.db.planner import (
+    Conjunct,
+    Plan,
+    SelectPlan,
+    choose_join_strategy,
+    estimate_selectivity,
+    order_conjuncts,
+    plan_range_query,
+    plan_select,
+)
 from repro.db.query import Query
-from repro.db.statistics import ZHistogram, estimate_matches, estimate_pages
-from repro.db.expr import Expr, col, element_contains, element_precedes, lit
+from repro.db.statistics import (
+    ColumnHistogram,
+    ZHistogram,
+    estimate_matches,
+    estimate_pages,
+)
+from repro.db.expr import (
+    Expr,
+    box_contains_point,
+    col,
+    element_contains,
+    element_precedes,
+    lit,
+)
 from repro.db.operators import (
     cross_product,
     distinct,
@@ -67,6 +88,7 @@ __all__ = [
     "Expr",
     "col",
     "lit",
+    "box_contains_point",
     "element_contains",
     "element_precedes",
     # operators
@@ -91,9 +113,15 @@ __all__ = [
     # query surface, planner + statistics
     "Query",
     "Plan",
+    "Conjunct",
+    "SelectPlan",
     "plan_range_query",
+    "plan_select",
+    "order_conjuncts",
+    "choose_join_strategy",
     "estimate_selectivity",
     "ZHistogram",
+    "ColumnHistogram",
     "estimate_matches",
     "estimate_pages",
     # spatial operators

@@ -73,6 +73,12 @@ class SpatialDatabase:
         # Pending dirty z codes of the open commit, keyed by index name;
         # flushed into each index's cache with the commit epoch.
         self._dirty_codes: dict = {}
+        # Multi-predicate planner bookkeeping: cumulative planner.*
+        # stats (the server's /stats planner section reads these) and a
+        # cache of per-column equi-depth histograms, invalidated by
+        # cardinality change.
+        self.planner_stats: dict = {}
+        self._column_histograms: dict = {}
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -329,6 +335,31 @@ class SpatialDatabase:
         from repro.concurrency.session import Session
 
         return Session(self)
+
+    def column_histogram(self, table: str, column: str) -> "Any":
+        """The equi-depth histogram of one numeric column (None when the
+        column holds no numeric values), cached until the table's
+        cardinality changes — the attribute-selectivity source of the
+        multi-predicate planner."""
+        from repro.db.statistics import ColumnHistogram
+
+        relation = self.catalog.relation(table)
+        key = (table, column, len(relation))
+        cached = self._column_histograms.get(key)
+        if cached is None:
+            index = relation.schema.index_of(column)
+            cached = ColumnHistogram.of_values(
+                row[index] for row in relation
+            )
+            # Drop stale cardinalities for this column before caching.
+            for old in [
+                k
+                for k in self._column_histograms
+                if k[0] == table and k[1] == column
+            ]:
+                del self._column_histograms[old]
+            self._column_histograms[key] = cached
+        return cached if cached.nrecords else None
 
     def _index_for(
         self, table: str, coord_cols: Sequence[str]

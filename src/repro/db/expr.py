@@ -17,12 +17,20 @@ schema once and then evaluated per row, so column lookups are O(1).
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Sequence, Tuple
 
+from repro.core.geometry import Box
 from repro.core.zvalue import ZValue
 from repro.db.schema import Schema
 
-__all__ = ["Expr", "col", "lit", "element_contains", "element_precedes"]
+__all__ = [
+    "Expr",
+    "col",
+    "lit",
+    "box_contains_point",
+    "element_contains",
+    "element_precedes",
+]
 
 Row = Tuple[Any, ...]
 BoundExpr = Callable[[Row], Any]
@@ -147,6 +155,31 @@ def lit(value: Any) -> Expr:
 
 def _as_expr(value: Any) -> Expr:
     return value if isinstance(value, Expr) else _Lit(value)
+
+
+class _BoxContains(Expr):
+    """``box CONTAINS POINT(coord_cols)`` as a row predicate — the
+    filter form of a spatial window (used when a query carries more
+    windows than the one driving the access path)."""
+
+    def __init__(self, box: Box, coord_cols: Sequence[str]) -> None:
+        self.box = box
+        self.coord_cols = tuple(coord_cols)
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        indices = [schema.index_of(name) for name in self.coord_cols]
+        box = self.box
+        return lambda row: box.contains_point(
+            tuple(row[i] for i in indices)
+        )
+
+    def __repr__(self) -> str:
+        return f"box_contains_point({self.box!r}, {self.coord_cols!r})"
+
+
+def box_contains_point(box: Box, coord_cols: Sequence[str]) -> Expr:
+    """Predicate: the row's ``coord_cols`` point lies inside ``box``."""
+    return _BoxContains(box, coord_cols)
 
 
 def element_contains(e1: Any, e2: Any) -> Expr:

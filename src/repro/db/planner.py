@@ -18,14 +18,23 @@ wins — the crossover the benches chart.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Sequence
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box, Grid
 from repro.db.relation import Relation
 from repro.obs.trace import current as _trace_current
 
-__all__ = ["Plan", "estimate_selectivity", "plan_range_query"]
+__all__ = [
+    "Plan",
+    "Conjunct",
+    "SelectPlan",
+    "estimate_selectivity",
+    "plan_range_query",
+    "order_conjuncts",
+    "plan_select",
+    "choose_join_strategy",
+]
 
 
 def estimate_selectivity(box: Box, grid: Grid) -> float:
@@ -176,3 +185,324 @@ def plan_range_query(
             table, coord_cols, box
         ),
     )
+
+
+# -- multi-predicate planning -------------------------------------------
+#
+# The SQL surface (repro.sql) compiles a WHERE clause into a list of
+# Conjunct records; this half of the module orders them by estimated
+# selectivity (cheap, selective filters first), picks the access path,
+# and executes the whole select as one explainable SelectPlan.  The
+# single-box plan_range_query above stays the access-path workhorse.
+
+#: Selectivity charged to a conjunct the statistics cannot see through.
+RESIDUAL_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass
+class Conjunct:
+    """One top-level AND term of a bound WHERE clause.
+
+    ``kind`` is the planner's classification:
+
+    * ``"z-window"`` — ``BOX(...) CONTAINS POINT(cols)`` on the table's
+      coordinate columns; candidate access path (z-index sargable);
+    * ``"attr-range"`` — a comparison/BETWEEN pinning one numeric column
+      between literal bounds; selectivity from the column's equi-depth
+      histogram (attribute-index sargable);
+    * ``"residual"`` — anything else; runs as a filter with the default
+      1/3 selectivity guess.
+
+    ``predicate`` is the executable row filter (every conjunct carries
+    one — a z-window that loses the access-path slot still filters).
+    ``cost`` is the per-row evaluation cost (AST node count) and breaks
+    selectivity ties; ``written_pos`` preserves the author's order for
+    the naive baseline and final tie-break.
+    """
+
+    kind: str
+    text: str
+    predicate: Any
+    written_pos: int
+    selectivity: Optional[float] = None
+    cost: float = 1.0
+    box: Optional[Box] = None
+    coord_cols: Tuple[str, ...] = ()
+    column: Optional[str] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    equality: bool = False
+    estimated_rows: float = 0.0
+
+
+def _estimate_conjunct(database, table: str, conjunct: Conjunct) -> None:
+    """Fill ``conjunct.selectivity`` in place (no-op when preset)."""
+    if conjunct.selectivity is not None:
+        return
+    if conjunct.kind == "z-window" and conjunct.box is not None:
+        conjunct.selectivity = estimate_selectivity(
+            conjunct.box, database.grid
+        )
+        return
+    if conjunct.kind == "attr-range" and conjunct.column is not None:
+        histogram = None
+        column_histogram = getattr(database, "column_histogram", None)
+        if column_histogram is not None:
+            histogram = column_histogram(table, conjunct.column)
+        if histogram is not None and histogram.nrecords:
+            if conjunct.equality and conjunct.low is not None:
+                conjunct.selectivity = histogram.estimate_eq(conjunct.low)
+            else:
+                conjunct.selectivity = histogram.estimate_range(
+                    conjunct.low, conjunct.high
+                )
+            return
+    conjunct.selectivity = RESIDUAL_SELECTIVITY
+
+
+def order_conjuncts(
+    conjuncts: Sequence[Conjunct], reorder: bool = True
+) -> Tuple[Optional[Conjunct], List[Conjunct], int]:
+    """Split conjuncts into (access window, ordered filters, #moved).
+
+    The first z-window (in written order) becomes the access path; every
+    other conjunct is a filter.  With ``reorder`` the filters are sorted
+    by (selectivity asc, cost asc, written order) — most selective and
+    cheapest first, the classic Selinger ordering; without it they run
+    exactly as written (the naive baseline the bench gate measures
+    against).  ``#moved`` counts filters not at their written rank.
+    """
+    window: Optional[Conjunct] = None
+    filters: List[Conjunct] = []
+    for conjunct in sorted(conjuncts, key=lambda c: c.written_pos):
+        if window is None and conjunct.kind == "z-window":
+            window = conjunct
+        else:
+            filters.append(conjunct)
+    written = list(filters)
+    if reorder:
+        filters.sort(
+            key=lambda c: (
+                c.selectivity if c.selectivity is not None else 1.0,
+                c.cost,
+                c.written_pos,
+            )
+        )
+    moved = sum(1 for a, b in zip(written, filters) if a is not b)
+    return window, filters, moved
+
+
+@dataclass
+class SelectPlan:
+    """An ordered multi-predicate plan: one access path plus a chain of
+    selectivity-ordered filters, with the estimates EXPLAIN renders and
+    ``planner.*`` counters/stats published on execution."""
+
+    table: str
+    window: Optional[Conjunct]
+    filters: List[Conjunct]
+    reorder: bool
+    moved: int
+    access: Optional[Plan] = None
+    access_label: str = "table-scan"
+    estimated_rows: float = 0.0
+    notes: List[str] = field(default_factory=list)
+    _fetch: Any = None
+    _stats: Any = None  # database.planner_stats, when present
+
+    def _bump(self, key: str, n: float = 1) -> None:
+        if n and self._stats is not None:
+            self._stats[key] = self._stats.get(key, 0) + n
+        if n:
+            trace = _trace_current()
+            if trace is not None:
+                trace.add(key, n)
+
+    def execute(self) -> Relation:
+        trace = _trace_current()
+        if trace is None:
+            self._bump("planner.plans")
+            self._bump("planner.conjuncts_reordered", self.moved)
+            return self._run(None)
+        with trace.span("plan.multi") as span:
+            span.set("table", self.table)
+            span.set("access", self.access_label)
+            # result_rows is unique to this span, so the est/actual
+            # pairing reads it alone (children each emit rows_out and
+            # total_counters() would sum the whole chain).
+            span.set("est_result_rows", round(self.estimated_rows, 1))
+            span.set(
+                "order", " -> ".join(c.text for c in self.filters) or "-"
+            )
+            self._bump("planner.plans")
+            self._bump("planner.conjuncts_reordered", self.moved)
+            out = self._run(trace)
+            span.add("result_rows", len(out))
+        return out
+
+    def _run(self, trace) -> Relation:
+        return self.apply_filters(self._fetch(), trace)
+
+    def apply_filters(
+        self, out: Relation, trace: Any = "unset"
+    ) -> Relation:
+        """Run the ordered filter chain over ``out`` — the access path's
+        rows, or (on the server's batched path) rows fetched elsewhere."""
+        if trace == "unset":
+            trace = _trace_current()
+        for conjunct in self.filters:
+            rows_in = len(out)
+            if conjunct.kind == "residual":
+                self._bump("planner.residual_rows", rows_in)
+            if trace is None:
+                out = self._apply(out, conjunct)
+                continue
+            with trace.span(f"filter[{conjunct.text}]") as span:
+                span.set("kind", conjunct.kind)
+                span.set(
+                    "est_selectivity",
+                    round(conjunct.selectivity or 0.0, 4),
+                )
+                out = self._apply(out, conjunct)
+                span.add("rows_in", rows_in)
+                span.add("rows_out", len(out))
+        return out
+
+    @staticmethod
+    def _apply(relation: Relation, conjunct: Conjunct) -> Relation:
+        # Direct build (no op.select span): the filter[...] span above
+        # already carries the cardinalities, and nesting both would
+        # double-count rows_in/rows_out in total_counters().
+        bound = conjunct.predicate.bind(relation.schema)
+        return Relation(
+            f"filter({relation.name})",
+            relation.schema,
+            (row for row in relation if bound(row)),
+        )
+
+    def explain(self) -> str:
+        lines = [f"Select({self.table})"]
+        if self.access is not None:
+            lines.extend(
+                "  " + line for line in self.access.explain().splitlines()
+            )
+        elif self.window is not None:
+            lines.append(
+                f"  access: {self.access_label} via {self.window.text}"
+            )
+        else:
+            lines.append(f"  access: {self.access_label}")
+        if self.filters:
+            mode = (
+                "ordered by selectivity"
+                if self.reorder
+                else "as written (naive)"
+            )
+            lines.append(f"  filters ({len(self.filters)}, {mode}):")
+            for rank, conjunct in enumerate(self.filters, 1):
+                lines.append(
+                    f"    {rank}. {conjunct.text}  [{conjunct.kind}]"
+                    f"  sel={conjunct.selectivity:.4f}"
+                    f"  cost={conjunct.cost:.0f}"
+                    f"  (written #{conjunct.written_pos + 1})"
+                )
+            if self.moved:
+                lines.append(f"  reordered: {self.moved} conjunct(s) moved")
+        for note in self.notes:
+            lines.append(f"  {note}")
+        return "\n".join(lines)
+
+
+def plan_select(
+    database,
+    table: str,
+    conjuncts: Sequence[Conjunct],
+    reorder: bool = True,
+    target: Any = None,
+    use_fast: bool = True,
+) -> SelectPlan:
+    """Build a :class:`SelectPlan` over ``conjuncts``.
+
+    ``target`` is the executor — the database itself (default) or a
+    snapshot :class:`~repro.concurrency.session.Session`; both expose
+    ``table()`` and ``range_query()``.  Cost estimates always come from
+    the database's catalog and statistics.  ``reorder=False`` keeps the
+    filters in written order (the naive baseline).
+    """
+    target = database if target is None else target
+    for conjunct in conjuncts:
+        _estimate_conjunct(database, table, conjunct)
+    window, filters, moved = order_conjuncts(conjuncts, reorder=reorder)
+
+    relation = database.catalog.relation(table)
+    stats = getattr(database, "planner_stats", None)
+    plan = SelectPlan(
+        table=table,
+        window=window,
+        filters=filters,
+        reorder=reorder,
+        moved=moved,
+        _stats=stats,
+    )
+
+    if window is not None:
+        window_rows = None
+        if target is database:
+            access = plan_range_query(
+                database, table, window.coord_cols, window.box,
+                use_fast=use_fast,
+            )
+            plan.access = access
+            plan.access_label = access.method
+            plan._fetch = access.execute
+            window_rows = access.estimated_rows
+        else:
+            # Session snapshot: the epoch-pinned range_query of the
+            # session decides index vs scan itself.
+            plan.access_label = "snapshot-range"
+            cols, box = window.coord_cols, window.box
+            plan._fetch = lambda: target.range_query(table, cols, box)
+        if window_rows is None:
+            window_rows = (window.selectivity or 0.0) * len(relation)
+        window.estimated_rows = window_rows
+        estimated = float(window_rows)
+    else:
+        plan.access_label = "table-scan"
+
+        def _scan() -> Relation:
+            base = target.table(table)
+            return Relation(f"scan({table})", base.schema, base.rows)
+
+        plan._fetch = _scan
+        estimated = float(len(relation))
+
+    for conjunct in filters:
+        estimated *= conjunct.selectivity or 1.0
+    plan.estimated_rows = estimated
+    return plan
+
+
+def choose_join_strategy(
+    nleft: int,
+    nright: int,
+    elements_left: float,
+    elements_right: float,
+) -> Tuple[str, float, float]:
+    """Pick the spatial-join strategy by element-level cost.
+
+    z-merge decomposes both sides and sweeps the merged z-ordered
+    element lists — ``O(E log E)`` over ``E`` total elements (Section 4's
+    sort-merge framing).  Nested-loop tests every object pair against
+    each pair's element lists — ``O(nl * nr * (el + er))``.  Returns
+    ``(strategy, cost_zmerge, cost_nested)`` so EXPLAIN can show the
+    rejected branch's cost too.
+    """
+    total_elements = nleft * elements_left + nright * elements_right
+    cost_zmerge = total_elements * max(
+        1.0, math.log2(max(total_elements, 2.0))
+    )
+    cost_nested = (
+        float(nleft) * float(nright) * (elements_left + elements_right)
+    )
+    strategy = "z-merge" if cost_zmerge <= cost_nested else "nested-loop"
+    return strategy, cost_zmerge, cost_nested

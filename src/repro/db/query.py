@@ -45,6 +45,16 @@ class Query:
     canonical order (spatial window, predicates, projection, distinct,
     ordering, limit)."""
 
+    @classmethod
+    def sql(cls, database, text: str):
+        """Compile a SQL statement against ``database`` — the textual
+        twin of this builder (``Query.sql(db, "SELECT ...")``).  Returns
+        a :class:`repro.sql.CompiledQuery`; raises ``ParseError`` /
+        ``BindError`` with source positions."""
+        from repro.sql import compile_sql
+
+        return compile_sql(database, text)
+
     def __init__(self, database, table: str) -> None:
         self._db = database
         self._table = table

@@ -73,6 +73,25 @@ def _render(node: Span, indent: int, out: List[str]) -> None:
                 parts.append(f"{key}={_fmt_num(node.counters[key])}")
         out.append("  ".join(parts))
         return
+    if node.name.startswith("filter[") and not node.children:
+        # Per-conjunct leaves of a multi-predicate plan: one compact
+        # rows_in→rows_out line each so long WHERE chains stay readable.
+        rows_in = node.counters.get("rows_in", 0)
+        rows_out = node.counters.get("rows_out", 0)
+        parts = [
+            f"{pad}{node.name}  rows={_fmt_num(rows_in)}"
+            f"->{_fmt_num(rows_out)}"
+        ]
+        if "kind" in node.attrs:
+            parts.append(f"kind={node.attrs['kind']}")
+        if "est_selectivity" in node.attrs:
+            est = node.attrs["est_selectivity"]
+            actual = rows_out / rows_in if rows_in else 0.0
+            parts.append(
+                f"selectivity: estimated={est:.4f} actual={actual:.4f}"
+            )
+        out.append("  ".join(parts))
+        return
     if node.name.startswith("cache.entry[") and not node.children:
         # Per-entry leaves of a cache.lookup span, same compact style.
         served = node.counters.get("points_served", 0)

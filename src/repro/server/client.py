@@ -253,6 +253,16 @@ class QueryClient:
             {"op": "insert", "table": table, "row": list(row)}
         )
 
+    async def sql(
+        self, query: str, retry: bool = True
+    ) -> Dict[str, Any]:
+        """One SQL statement; the response is mode-discriminated:
+        ``mode="rows"`` carries ``columns``/``rows``/``count``,
+        ``mode="explain"``/``"analyze"`` carry ``text``."""
+        return await self.request(
+            {"op": "sql", "query": query}, retry=retry
+        )
+
     async def commit(self) -> Optional[int]:
         return (await self.request({"op": "commit"}))["epoch"]
 

@@ -25,6 +25,8 @@ out of order.  Ops:
 ``insert`` ``table``, ``row`` — buffered in the connection's session
 ``commit`` apply the session's buffered writes as one group commit
 ``refresh`` re-pin the connection's snapshot at the newest epoch
+``sql``    ``query`` — one SQL statement; EXPLAIN [ANALYZE] answers
+           with the plan/trace text, a SELECT with columns and rows
 ``stats``  the server's counter sections (admission, batching, cache)
 ======== ==========================================================
 """
@@ -55,7 +57,7 @@ __all__ = [
 MAX_FRAME = 4 * 1024 * 1024
 
 OPS = frozenset(
-    {"ping", "range", "point", "insert", "commit", "refresh", "stats"}
+    {"ping", "range", "point", "insert", "commit", "refresh", "sql", "stats"}
 )
 
 

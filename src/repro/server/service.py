@@ -317,6 +317,8 @@ class QueryService:
             return ok_response(stats=self.stats_snapshot())
         if op == "range" or op == "point":
             return await self._handle_query(client, request)
+        if op == "sql":
+            return await self._handle_sql(client, request)
         if op == "insert":
             return self._handle_insert(client, request)
         if op == "commit":
@@ -396,6 +398,84 @@ class QueryService:
             (entry.index_name, epoch), (box, table, cols)
         )
 
+    async def _handle_sql(
+        self, client: ClientState, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """One SQL statement.  A statement that reduces to a cacheable
+        range scan rides the batcher (shared scatter-gather with the
+        ``range``/``point`` traffic pinned at the same epoch), then the
+        filters and operator tail finish on the coordinator; anything
+        else — joins, EXPLAIN ANALYZE — runs whole in the executor."""
+        from repro.sql import BindError, ParseError, compile_sql
+
+        query = request.get("query")
+        if not isinstance(query, str):
+            raise ProtocolError("query must be a string")
+        try:
+            compiled = compile_sql(self.db, query)
+        except ParseError as exc:
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            return error_response("parse_error", exc.annotate(query))
+        except BindError as exc:
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            return error_response("bind_error", exc.annotate(query))
+        if compiled.statement.mode == "explain":
+            return ok_response(
+                mode="explain",
+                text=compiled.explain(client.session),
+                epoch=client.epoch,
+            )
+        async with self.admission.slot(client.name):
+            try:
+                out = await asyncio.wait_for(
+                    self._run_sql(client, compiled),
+                    timeout=self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                return rejection_response(
+                    "timeout",
+                    f"query exceeded {self.request_timeout}s; "
+                    "slot released",
+                    retry_after=self.admission.policy.backoff(1),
+                )
+        if compiled.statement.mode == "analyze":
+            return ok_response(
+                mode="analyze", text=out, epoch=client.epoch
+            )
+        return ok_response(
+            mode="rows",
+            columns=list(out.schema.names),
+            rows=[list(row) for row in out.rows],
+            count=len(out),
+            epoch=client.epoch,
+        )
+
+    async def _run_sql(self, client: ClientState, compiled: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        epoch = client.epoch
+        if compiled.statement.mode == "analyze":
+            return await loop.run_in_executor(
+                self.batcher.pool,
+                compiled.explain_analyze,
+                client.session,
+            )
+        window = compiled.batch_window()
+        if window is not None:
+            table, cols, box = window
+            entry = self.db._index_for(table, cols)
+            if entry is not None and not (
+                epoch is not None and entry.born_epoch > epoch
+            ):
+                rows = await self.batcher.submit(
+                    (entry.index_name, epoch), (box, table, cols)
+                )
+                return compiled.finish_rows(rows)
+        return await loop.run_in_executor(
+            self.batcher.pool, compiled.run, client.session
+        )
+
     def _handle_insert(
         self, client: ClientState, request: Dict[str, Any]
     ) -> Dict[str, Any]:
@@ -451,6 +531,15 @@ class QueryService:
         cache = self.cache_counters()
         if cache:
             sections["cache"] = cache
+        planner = {
+            key: value
+            for key, value in getattr(
+                self.db, "planner_stats", {}
+            ).items()
+            if value
+        }
+        if planner:
+            sections["planner"] = planner
         if self.db.snapshots is not None:
             sections["snapshots"] = dict(self.db.snapshots.counters())
             sections["leaks"] = dict(self.db.snapshots.leak_stats())

@@ -1,0 +1,310 @@
+"""The typed AST of the query language, plus its canonical renderer.
+
+Every node is a frozen dataclass carrying a ``pos`` (source offset,
+excluded from equality so a re-parse of rendered text compares equal to
+the original tree).  :func:`render` emits the canonical spelling —
+upper-case keywords, single spaces, minimal parentheses — and is the
+normal form of the Hypothesis round-trip suite:
+``parse(render(tree)) == tree`` for every valid tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "Node",
+    "ColumnRef",
+    "IntLit",
+    "FloatLit",
+    "StringLit",
+    "BoxLit",
+    "PointRef",
+    "Arith",
+    "Neg",
+    "Compare",
+    "Between",
+    "Contains",
+    "Not",
+    "And",
+    "Or",
+    "Overlaps",
+    "Join",
+    "OrderBy",
+    "Select",
+    "Statement",
+    "render",
+    "render_expr",
+]
+
+
+@dataclass(frozen=True)
+class Node:
+    """Common base: the source offset, ignored by equality."""
+
+    pos: int = field(default=0, compare=False, kw_only=True)
+
+
+# -- scalar expressions -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """``name`` or ``table.name``."""
+
+    table: Optional[str]
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit(Node):
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLit(Node):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoxLit(Node):
+    """``BOX(lo, hi, lo, hi, ...)`` — one (lo, hi) pair per axis."""
+
+    ranges: Tuple[Tuple[Union[int, float], Union[int, float]], ...]
+
+
+@dataclass(frozen=True)
+class PointRef(Node):
+    """``POINT(x, y, ...)`` — coordinate columns, one per axis."""
+
+    columns: Tuple[ColumnRef, ...]
+
+
+@dataclass(frozen=True)
+class Arith(Node):
+    """``left op right`` with op one of ``+ - *``."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Neg(Node):
+    operand: Node
+
+
+# -- predicates ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Compare(Node):
+    """``left op right`` with op one of ``= != < <= > >=``."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Between(Node):
+    """``expr BETWEEN low AND high`` (inclusive both ends)."""
+
+    expr: Node
+    low: Node
+    high: Node
+
+
+@dataclass(frozen=True)
+class Contains(Node):
+    """``BOX(...) CONTAINS POINT(...)`` — the spatial window."""
+
+    box: BoxLit
+    point: PointRef
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    operand: Node
+
+
+@dataclass(frozen=True)
+class And(Node):
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    left: Node
+    right: Node
+
+
+# -- statement structure ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Overlaps(Node):
+    """``OVERLAPS(p.geom, q.geom)`` — the spatial-join condition."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class Join(Node):
+    table: str
+    on: Overlaps
+
+
+@dataclass(frozen=True)
+class OrderBy(Node):
+    columns: Tuple[ColumnRef, ...]
+    descending: bool = False
+    explicit_direction: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """One SELECT statement; ``columns`` is ``None`` for ``*``."""
+
+    columns: Optional[Tuple[ColumnRef, ...]]
+    table: str
+    distinct: bool = False
+    join: Optional[Join] = None
+    where: Optional[Node] = None
+    order: Optional[OrderBy] = None
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Statement(Node):
+    """A SELECT with an optional EXPLAIN prefix (``mode`` is ``None``,
+    ``"explain"``, or ``"analyze"``)."""
+
+    select: Select
+    mode: Optional[str] = None
+
+
+# -- rendering ----------------------------------------------------------
+
+#: Precedence levels for minimal-parenthesis rendering; higher binds
+#: tighter.  Comparisons are non-associative (level 4 on both sides).
+_PREC = {
+    Or: 1,
+    And: 2,
+    Not: 3,
+    Compare: 4,
+    Between: 4,
+    Contains: 4,
+    Arith: 0,  # refined per op below
+    Neg: 7,
+}
+_ARITH_PREC = {"+": 5, "-": 5, "*": 6}
+
+
+def _prec(node: Node) -> int:
+    if isinstance(node, Arith):
+        return _ARITH_PREC[node.op]
+    return _PREC.get(type(node), 8)
+
+
+def _num(value: Union[int, float]) -> str:
+    return repr(value)
+
+
+def _wrap(node: Node, parent_prec: int, right_side: bool = False) -> str:
+    """Render ``node``, parenthesized when its precedence requires it
+    under a parent of ``parent_prec`` (left-associative operators need
+    parens around an equal-precedence *right* child)."""
+    text = render_expr(node)
+    prec = _prec(node)
+    if prec < parent_prec or (right_side and prec == parent_prec):
+        return f"({text})"
+    return text
+
+
+def render_expr(node: Node) -> str:
+    """Canonical text of an expression/predicate subtree."""
+    if isinstance(node, ColumnRef):
+        return f"{node.table}.{node.name}" if node.table else node.name
+    if isinstance(node, (IntLit, FloatLit)):
+        return _num(node.value)
+    if isinstance(node, StringLit):
+        return "'" + node.value.replace("'", "''") + "'"
+    if isinstance(node, BoxLit):
+        flat = ", ".join(
+            f"{_num(lo)}, {_num(hi)}" for lo, hi in node.ranges
+        )
+        return f"BOX({flat})"
+    if isinstance(node, PointRef):
+        return f"POINT({', '.join(render_expr(c) for c in node.columns)})"
+    if isinstance(node, Arith):
+        prec = _ARITH_PREC[node.op]
+        return (
+            f"{_wrap(node.left, prec)} {node.op} "
+            f"{_wrap(node.right, prec, right_side=True)}"
+        )
+    if isinstance(node, Neg):
+        return f"-{_wrap(node.operand, 7)}"
+    if isinstance(node, Compare):
+        op = "!=" if node.op == "<>" else node.op
+        return f"{_wrap(node.left, 5)} {op} {_wrap(node.right, 5)}"
+    if isinstance(node, Between):
+        return (
+            f"{_wrap(node.expr, 5)} BETWEEN {_wrap(node.low, 5)} "
+            f"AND {_wrap(node.high, 5)}"
+        )
+    if isinstance(node, Contains):
+        return (
+            f"{render_expr(node.box)} CONTAINS {render_expr(node.point)}"
+        )
+    if isinstance(node, Not):
+        return f"NOT {_wrap(node.operand, 4)}"
+    if isinstance(node, And):
+        return f"{_wrap(node.left, 2)} AND {_wrap(node.right, 2, True)}"
+    if isinstance(node, Or):
+        return f"{_wrap(node.left, 1)} OR {_wrap(node.right, 1, True)}"
+    raise TypeError(f"cannot render {node!r}")
+
+
+def render(statement: Union[Statement, Select]) -> str:
+    """Canonical text of a whole statement — the language's normal form
+    (``render(parse(q))`` normalizes any accepted spelling of ``q``)."""
+    if isinstance(statement, Statement):
+        prefix = {
+            None: "",
+            "explain": "EXPLAIN ",
+            "analyze": "EXPLAIN ANALYZE ",
+        }[statement.mode]
+        return prefix + render(statement.select)
+    sel = statement
+    parts = ["SELECT"]
+    if sel.distinct:
+        parts.append("DISTINCT")
+    if sel.columns is None:
+        parts.append("*")
+    else:
+        parts.append(", ".join(render_expr(c) for c in sel.columns))
+    parts.append(f"FROM {sel.table}")
+    if sel.join is not None:
+        on = sel.join.on
+        parts.append(
+            f"JOIN {sel.join.table} ON OVERLAPS("
+            f"{render_expr(on.left)}, {render_expr(on.right)})"
+        )
+    if sel.where is not None:
+        parts.append(f"WHERE {render_expr(sel.where)}")
+    if sel.order is not None:
+        cols = ", ".join(render_expr(c) for c in sel.order.columns)
+        direction = " DESC" if sel.order.descending else ""
+        parts.append(f"ORDER BY {cols}{direction}")
+    if sel.limit is not None:
+        parts.append(f"LIMIT {sel.limit}")
+    return " ".join(parts)

@@ -1,0 +1,554 @@
+"""Semantic binding: AST → catalog-checked, planner-ready query.
+
+The binder resolves table and column names against ``db.catalog``,
+type-checks every expression (WHERE must be boolean, arithmetic needs
+numbers, ``CONTAINS`` needs integer coordinate columns matching the
+grid's dimensionality, ``OVERLAPS`` needs one spatial-object column per
+side), splits the WHERE clause into top-level AND conjuncts, classifies
+each one (z-window / attr-range / residual — the planner's taxonomy),
+and lowers it to an executable :class:`repro.db.expr.Expr`.
+
+Every rejection raises :class:`~repro.sql.errors.BindError` anchored at
+the offending node's source position.
+
+Join queries qualify their output columns as ``<table>_<name>`` (the
+geometry columns are consumed by the spatial join and disappear);
+conjuncts touching only one side are pushed below the join, the rest
+filter above it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field as _field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Box
+from repro.db.expr import Expr, box_contains_point, col, lit
+from repro.db.planner import Conjunct
+from repro.db.schema import Schema
+from repro.db.types import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    OID,
+    SPATIAL_OBJECT,
+    STRING,
+    Domain,
+)
+from repro.sql import ast as A
+from repro.sql.ast import render_expr
+from repro.sql.errors import BindError
+
+__all__ = ["BoundQuery", "bind"]
+
+
+def _is_numeric(domain: Domain) -> bool:
+    return domain is INTEGER or domain is FLOAT
+
+def _is_stringlike(domain: Domain) -> bool:
+    return domain is STRING or domain is OID
+
+
+def _node_count(node: A.Node) -> int:
+    """Per-row evaluation cost proxy: the subtree's node count."""
+    total = 1
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        items = value if isinstance(value, tuple) else (value,)
+        for item in items:
+            if isinstance(item, A.Node):
+                total += _node_count(item)
+    return total
+
+
+class _Scope:
+    """Column resolution over one or two tables.
+
+    ``tables`` maps each visible table name to (schema, prefix); the
+    prefix is the qualified output spelling (``"points_"`` in a join,
+    empty for single-table queries).
+    """
+
+    def __init__(
+        self, tables: Sequence[Tuple[str, Schema, str]]
+    ) -> None:
+        self.tables = list(tables)
+
+    def resolve(self, ref: A.ColumnRef) -> Tuple[str, Domain, str]:
+        """→ (internal name, domain, owning table)."""
+        if ref.table is not None:
+            for table, schema, prefix in self.tables:
+                if table == ref.table:
+                    if not schema.has_column(ref.name):
+                        raise BindError(
+                            f"table {table!r} has no column {ref.name!r}"
+                            f" (columns: {', '.join(schema.names)})",
+                            ref.pos,
+                        )
+                    return (
+                        prefix + ref.name,
+                        schema.column(ref.name).domain,
+                        table,
+                    )
+            known = ", ".join(t for t, _, _ in self.tables)
+            raise BindError(
+                f"unknown table {ref.table!r} (in scope: {known})", ref.pos
+            )
+        hits = [
+            (prefix + ref.name, schema.column(ref.name).domain, table)
+            for table, schema, prefix in self.tables
+            if schema.has_column(ref.name)
+        ]
+        if not hits:
+            known = ", ".join(
+                name for _, schema, _ in self.tables for name in schema.names
+            )
+            raise BindError(
+                f"unknown column {ref.name!r} (columns: {known})", ref.pos
+            )
+        if len(hits) > 1:
+            tables = " and ".join(t for _, _, t in hits)
+            raise BindError(
+                f"column {ref.name!r} is ambiguous (in {tables}); "
+                "qualify it as table.column",
+                ref.pos,
+            )
+        return hits[0]
+
+
+@dataclass
+class BoundQuery:
+    """The binder's product: everything the compiler needs."""
+
+    source: str
+    mode: Optional[str]  # None | "explain" | "analyze"
+    table: str
+    join_table: Optional[str] = None
+    left_geom: Optional[str] = None  # base-table geometry column names
+    right_geom: Optional[str] = None
+    conjuncts: List[Conjunct] = _field(default_factory=list)
+    left_push: List[Conjunct] = _field(default_factory=list)
+    right_push: List[Conjunct] = _field(default_factory=list)
+    projection: Optional[List[str]] = None
+    distinct: bool = False
+    order: Optional[Tuple[List[str], bool]] = None
+    limit: Optional[int] = None
+    output_names: List[str] = _field(default_factory=list)
+
+
+class _Binder:
+    def __init__(self, database, statement: A.Statement, source: str) -> None:
+        self.db = database
+        self.statement = statement
+        self.source = source
+        self.grid = database.grid
+
+    def _relation(self, table: str, pos: int):
+        try:
+            return self.db.catalog.relation(table)
+        except KeyError:
+            raise BindError(f"unknown table {table!r}", pos) from None
+
+    def bind(self) -> BoundQuery:
+        select = self.statement.select
+        out = BoundQuery(
+            source=self.source,
+            mode=self.statement.mode,
+            table=select.table,
+            distinct=select.distinct,
+            limit=select.limit,
+        )
+        left_schema = self._relation(select.table, select.pos).schema
+
+        if select.join is None:
+            scope = _Scope([(select.table, left_schema, "")])
+            out.output_names = list(left_schema.names)
+        else:
+            join = select.join
+            out.join_table = join.table
+            right_schema = self._relation(join.table, join.pos).schema
+            if join.table == select.table:
+                raise BindError(
+                    "self-joins need distinct table names", join.pos
+                )
+            scope = _Scope(
+                [
+                    (select.table, left_schema, f"{select.table}_"),
+                    (join.table, right_schema, f"{join.table}_"),
+                ]
+            )
+            out.left_geom, out.right_geom = self._bind_overlaps(
+                join.on, scope, select.table, join.table
+            )
+            out.output_names = [
+                f"{select.table}_{name}"
+                for name in left_schema.names
+                if name != out.left_geom
+            ] + [
+                f"{join.table}_{name}"
+                for name in right_schema.names
+                if name != out.right_geom
+            ]
+
+        if select.where is not None:
+            self._bind_where(select.where, scope, out, left_schema)
+
+        self._bind_projection(select, scope, out)
+        self._bind_order(select, scope, out)
+        return out
+
+    # -- join ------------------------------------------------------------
+
+    def _bind_overlaps(
+        self, on: A.Overlaps, scope: _Scope, left: str, right: str
+    ) -> Tuple[str, str]:
+        sides: Dict[str, str] = {}
+        for ref in (on.left, on.right):
+            name, domain, table = scope.resolve(ref)
+            if domain is not SPATIAL_OBJECT:
+                raise BindError(
+                    f"OVERLAPS needs spatial-object columns; "
+                    f"{ref.name!r} is {domain.name}",
+                    ref.pos,
+                )
+            if table in sides:
+                raise BindError(
+                    f"OVERLAPS needs one column from each table; both "
+                    f"name {table!r}",
+                    ref.pos,
+                )
+            sides[table] = ref.name
+        return sides[left], sides[right]
+
+    # -- WHERE -----------------------------------------------------------
+
+    def _bind_where(
+        self,
+        where: A.Node,
+        scope: _Scope,
+        out: BoundQuery,
+        left_schema: Schema,
+    ) -> None:
+        for position, term in enumerate(_conjuncts_of(where)):
+            if out.join_table is None:
+                conjunct = self._bind_conjunct(
+                    term, scope, position, out.table
+                )
+                out.conjuncts.append(conjunct)
+                continue
+            tables = self._tables_of(term, scope)
+            if tables <= {out.table}:
+                # Touches only the left side: push below the join,
+                # bound against the base (unqualified) schema.
+                base = _Scope([(out.table, left_schema, "")])
+                out.left_push.append(
+                    self._bind_conjunct(term, base, position, out.table)
+                )
+            elif tables <= {out.join_table}:
+                right_schema = self._relation(out.join_table, 0).schema
+                base = _Scope([(out.join_table, right_schema, "")])
+                out.right_push.append(
+                    self._bind_conjunct(
+                        term, base, position, out.join_table
+                    )
+                )
+            else:
+                out.conjuncts.append(
+                    self._bind_conjunct(term, scope, position, None)
+                )
+
+    def _tables_of(self, node: A.Node, scope: _Scope) -> set:
+        tables = set()
+        for ref in _column_refs(node):
+            tables.add(scope.resolve(ref)[2])
+        return tables
+
+    def _bind_conjunct(
+        self,
+        term: A.Node,
+        scope: _Scope,
+        position: int,
+        table: Optional[str],
+    ) -> Conjunct:
+        expr, domain = self._lower(term, scope)
+        if domain is not BOOLEAN:
+            raise BindError(
+                f"WHERE conjunct must be boolean, not {domain.name}",
+                term.pos,
+            )
+        conjunct = Conjunct(
+            kind="residual",
+            text=render_expr(term),
+            predicate=expr,
+            written_pos=position,
+            cost=float(_node_count(term)),
+        )
+        self._classify(term, scope, conjunct)
+        return conjunct
+
+    def _classify(
+        self, term: A.Node, scope: _Scope, conjunct: Conjunct
+    ) -> None:
+        """Refine ``conjunct.kind`` from "residual" when the term is
+        sargable; fills the planner's estimation fields."""
+        if isinstance(term, A.Contains):
+            names = tuple(
+                scope.resolve(ref)[0] for ref in term.point.columns
+            )
+            conjunct.kind = "z-window"
+            conjunct.coord_cols = names
+            conjunct.box = Box(
+                tuple(
+                    (int(lo), int(hi)) for lo, hi in term.box.ranges
+                )
+            )
+            return
+        if isinstance(term, A.Between):
+            column = self._bare_numeric_column(term.expr, scope)
+            low = _literal_number(term.low)
+            high = _literal_number(term.high)
+            if column is not None and low is not None and high is not None:
+                conjunct.kind = "attr-range"
+                conjunct.column = column
+                conjunct.low = low
+                conjunct.high = high
+            return
+        if isinstance(term, A.Compare) and term.op != "!=":
+            column = self._bare_numeric_column(term.left, scope)
+            value = _literal_number(term.right)
+            op = term.op
+            if column is None:
+                # literal <op> column — flip the comparison around.
+                column = self._bare_numeric_column(term.right, scope)
+                value = _literal_number(term.left)
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}[op]
+            if column is None or value is None:
+                return
+            conjunct.kind = "attr-range"
+            conjunct.column = column
+            if op == "=":
+                conjunct.low = conjunct.high = value
+                conjunct.equality = True
+            elif op in ("<", "<="):
+                conjunct.high = value
+            else:
+                conjunct.low = value
+
+    def _bare_numeric_column(
+        self, node: A.Node, scope: _Scope
+    ) -> Optional[str]:
+        if not isinstance(node, A.ColumnRef):
+            return None
+        name, domain, _ = scope.resolve(node)
+        return name if _is_numeric(domain) else None
+
+    # -- expression lowering ---------------------------------------------
+
+    def _lower(self, node: A.Node, scope: _Scope) -> Tuple[Expr, Domain]:
+        if isinstance(node, A.ColumnRef):
+            name, domain, _ = scope.resolve(node)
+            return col(name), domain
+        if isinstance(node, A.IntLit):
+            return lit(node.value), INTEGER
+        if isinstance(node, A.FloatLit):
+            return lit(node.value), FLOAT
+        if isinstance(node, A.StringLit):
+            return lit(node.value), STRING
+        if isinstance(node, A.Neg):
+            inner, domain = self._lower(node.operand, scope)
+            if not _is_numeric(domain):
+                raise BindError(
+                    f"unary minus needs a number, not {domain.name}",
+                    node.pos,
+                )
+            return lit(0) - inner, domain
+        if isinstance(node, A.Arith):
+            left, ldom = self._lower(node.left, scope)
+            right, rdom = self._lower(node.right, scope)
+            if not (_is_numeric(ldom) and _is_numeric(rdom)):
+                raise BindError(
+                    f"arithmetic {node.op!r} needs numbers, got "
+                    f"{ldom.name} and {rdom.name}",
+                    node.pos,
+                )
+            out = FLOAT if FLOAT in (ldom, rdom) else INTEGER
+            if node.op == "+":
+                return left + right, out
+            if node.op == "-":
+                return left - right, out
+            return left * right, out
+        if isinstance(node, A.Compare):
+            left, ldom = self._lower(node.left, scope)
+            right, rdom = self._lower(node.right, scope)
+            self._check_comparable(node, ldom, rdom)
+            ops = {
+                "=": lambda a, b: a == b,
+                "!=": lambda a, b: a != b,
+                "<": lambda a, b: a < b,
+                "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b,
+                ">=": lambda a, b: a >= b,
+            }
+            return ops[node.op](left, right), BOOLEAN
+        if isinstance(node, A.Between):
+            expr, edom = self._lower(node.expr, scope)
+            low, ldom = self._lower(node.low, scope)
+            high, hdom = self._lower(node.high, scope)
+            for bound_dom in (ldom, hdom):
+                self._check_comparable(node, edom, bound_dom)
+            return expr.between(low, high), BOOLEAN
+        if isinstance(node, A.Contains):
+            return self._lower_contains(node, scope), BOOLEAN
+        if isinstance(node, A.Not):
+            inner, domain = self._lower(node.operand, scope)
+            if domain is not BOOLEAN:
+                raise BindError(
+                    f"NOT needs a boolean, not {domain.name}", node.pos
+                )
+            return ~inner, BOOLEAN
+        if isinstance(node, (A.And, A.Or)):
+            left, ldom = self._lower(node.left, scope)
+            right, rdom = self._lower(node.right, scope)
+            for domain in (ldom, rdom):
+                if domain is not BOOLEAN:
+                    raise BindError(
+                        f"{'AND' if isinstance(node, A.And) else 'OR'} "
+                        f"needs booleans, not {domain.name}",
+                        node.pos,
+                    )
+            if isinstance(node, A.And):
+                return left & right, BOOLEAN
+            return left | right, BOOLEAN
+        raise BindError(
+            f"cannot use {type(node).__name__} in this context", node.pos
+        )
+
+    def _check_comparable(
+        self, node: A.Node, left: Domain, right: Domain
+    ) -> None:
+        if _is_numeric(left) and _is_numeric(right):
+            return
+        if _is_stringlike(left) and _is_stringlike(right):
+            return
+        if left is BOOLEAN and right is BOOLEAN:
+            return
+        raise BindError(
+            f"cannot compare {left.name} with {right.name}", node.pos
+        )
+
+    def _lower_contains(self, node: A.Contains, scope: _Scope) -> Expr:
+        ndims = self.grid.ndims
+        if len(node.point.columns) != ndims:
+            raise BindError(
+                f"POINT needs {ndims} coordinate column(s) for this "
+                f"{ndims}-d grid, got {len(node.point.columns)}",
+                node.point.pos,
+            )
+        if len(node.box.ranges) != ndims:
+            raise BindError(
+                f"BOX needs {ndims} (lo, hi) pair(s) for this "
+                f"{ndims}-d grid, got {len(node.box.ranges)}",
+                node.box.pos,
+            )
+        names = []
+        for ref in node.point.columns:
+            name, domain, _ = scope.resolve(ref)
+            if domain is not INTEGER:
+                raise BindError(
+                    f"coordinate column {ref.name!r} must be INTEGER, "
+                    f"is {domain.name}",
+                    ref.pos,
+                )
+            names.append(name)
+        for lo, hi in node.box.ranges:
+            if isinstance(lo, float) or isinstance(hi, float):
+                raise BindError(
+                    "BOX bounds must be integers on this integer grid",
+                    node.box.pos,
+                )
+        box = Box(tuple((int(lo), int(hi)) for lo, hi in node.box.ranges))
+        return box_contains_point(box, names)
+
+    # -- projection / order ----------------------------------------------
+
+    def _bind_projection(
+        self, select: A.Select, scope: _Scope, out: BoundQuery
+    ) -> None:
+        if select.columns is None:
+            return
+        names = []
+        for ref in select.columns:
+            name, domain, _ = scope.resolve(ref)
+            if name not in out.output_names:
+                raise BindError(
+                    f"column {ref.name!r} is consumed by the spatial "
+                    "join and cannot be selected",
+                    ref.pos,
+                )
+            if name in names:
+                raise BindError(
+                    f"duplicate column {ref.name!r} in SELECT list",
+                    ref.pos,
+                )
+            names.append(name)
+        out.projection = names
+
+    def _bind_order(
+        self, select: A.Select, scope: _Scope, out: BoundQuery
+    ) -> None:
+        if select.order is None:
+            return
+        visible = (
+            out.projection
+            if out.projection is not None
+            else out.output_names
+        )
+        names = []
+        for ref in select.order.columns:
+            name, _, _ = scope.resolve(ref)
+            if name not in visible:
+                raise BindError(
+                    f"ORDER BY column {ref.name!r} must appear in the "
+                    "SELECT list",
+                    ref.pos,
+                )
+            names.append(name)
+        out.order = (names, select.order.descending)
+
+
+def _conjuncts_of(node: A.Node):
+    """Top-level AND terms, in written order."""
+    if isinstance(node, A.And):
+        yield from _conjuncts_of(node.left)
+        yield from _conjuncts_of(node.right)
+    else:
+        yield node
+
+
+def _column_refs(node: A.Node):
+    if isinstance(node, A.ColumnRef):
+        yield node
+        return
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        items = value if isinstance(value, tuple) else (value,)
+        for item in items:
+            if isinstance(item, A.Node):
+                yield from _column_refs(item)
+
+
+def _literal_number(node: A.Node) -> Optional[float]:
+    if isinstance(node, (A.IntLit, A.FloatLit)):
+        return node.value
+    if isinstance(node, A.Neg) and isinstance(
+        node.operand, (A.IntLit, A.FloatLit)
+    ):
+        return -node.operand.value
+    return None
+
+
+def bind(database, statement: A.Statement, source: str = "") -> BoundQuery:
+    """Bind a parsed statement against ``database``'s catalog; raises
+    :class:`BindError` (with position) on any name or type problem."""
+    return _Binder(database, statement, source).bind()

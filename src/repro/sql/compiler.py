@@ -1,0 +1,416 @@
+"""Compile bound queries into executable plans over repro.db operators.
+
+Single-table statements become a :class:`~repro.db.planner.SelectPlan`
+(access path + selectivity-ordered filters) followed by the classic
+operator tail (project / distinct / sort / limit).  Join statements
+build the Section 4 pipeline: push single-side conjuncts below the
+join, decompose both sides, run the spatial join by whichever strategy
+the cost model picks (z-merge sweep vs nested-loop interval test), then
+normalize — the join's output is always the *distinct* object pairs in
+one canonical order, so the strategy choice is invisible in the rows.
+
+``CompiledQuery.run(target=...)`` executes against the database or a
+snapshot session (anything with ``table()`` and ``range_query()``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.decompose import Element, decompose
+from repro.db.operators import distinct as distinct_op
+from repro.db.operators import limit as limit_op
+from repro.db.operators import project, rename, sort
+from repro.db.planner import (
+    RESIDUAL_SELECTIVITY,
+    Conjunct,
+    SelectPlan,
+    choose_join_strategy,
+    plan_select,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.db.types import SpatialObject
+from repro.obs.explain import format_trace
+from repro.obs.trace import QueryTrace
+from repro.obs.trace import span as _span
+from repro.obs.trace import trace as _obs_trace
+from repro.sql.ast import Statement, render
+from repro.sql.binder import BoundQuery
+
+__all__ = ["CompiledQuery"]
+
+
+def _ordered(
+    conjuncts: List[Conjunct], reorder: bool
+) -> Tuple[List[Conjunct], int]:
+    """Filters in execution order plus how many left their written rank
+    (the pure-filter variant of :func:`repro.db.planner.order_conjuncts`
+    — nothing here competes for the access path)."""
+    written = sorted(conjuncts, key=lambda c: c.written_pos)
+    if not reorder:
+        return written, 0
+    ordered = sorted(
+        written,
+        key=lambda c: (
+            c.selectivity if c.selectivity is not None else 1.0,
+            c.cost,
+            c.written_pos,
+        ),
+    )
+    moved = sum(1 for a, b in zip(written, ordered) if a is not b)
+    return ordered, moved
+
+
+class CompiledQuery:
+    """An executable, explainable compiled statement."""
+
+    def __init__(
+        self,
+        database,
+        statement: Statement,
+        bound: BoundQuery,
+        reorder: bool = True,
+    ) -> None:
+        self.db = database
+        self.statement = statement
+        self.bound = bound
+        self.reorder = reorder
+        self.canonical = render(statement.select)
+
+    # -- planning --------------------------------------------------------
+
+    def plan(self, target: Any = None) -> SelectPlan:
+        if self.bound.join_table is not None:
+            return self._plan_join(target)
+        return plan_select(
+            self.db,
+            self.bound.table,
+            self.bound.conjuncts,
+            reorder=self.reorder,
+            target=target,
+        )
+
+    def _estimate_post(self, conjunct: Conjunct) -> None:
+        """Selectivity for a post-join filter: strip the table prefix
+        off the qualified column and ask that table's histogram."""
+        if conjunct.selectivity is not None:
+            return
+        if conjunct.kind == "attr-range" and conjunct.column:
+            for table in (self.bound.table, self.bound.join_table):
+                prefix = f"{table}_"
+                if conjunct.column.startswith(prefix):
+                    histogram = self.db.column_histogram(
+                        table, conjunct.column[len(prefix):]
+                    )
+                    if histogram is not None:
+                        if conjunct.equality and conjunct.low is not None:
+                            conjunct.selectivity = histogram.estimate_eq(
+                                conjunct.low
+                            )
+                        else:
+                            conjunct.selectivity = (
+                                histogram.estimate_range(
+                                    conjunct.low, conjunct.high
+                                )
+                            )
+                        return
+        conjunct.selectivity = RESIDUAL_SELECTIVITY
+
+    def _plan_join(self, target: Any = None) -> SelectPlan:
+        from repro.db.planner import _estimate_conjunct
+
+        bound = self.bound
+        target = self.db if target is None else target
+        for conjunct in bound.left_push:
+            _estimate_conjunct(self.db, bound.table, conjunct)
+        for conjunct in bound.right_push:
+            _estimate_conjunct(self.db, bound.join_table, conjunct)
+        for conjunct in bound.conjuncts:
+            self._estimate_post(conjunct)
+        left_push, lmoved = _ordered(bound.left_push, self.reorder)
+        right_push, rmoved = _ordered(bound.right_push, self.reorder)
+        post, pmoved = _ordered(bound.conjuncts, self.reorder)
+
+        nleft, elements_left = self._join_estimate(
+            bound.table, bound.left_geom, left_push
+        )
+        nright, elements_right = self._join_estimate(
+            bound.join_table, bound.right_geom, right_push
+        )
+        strategy, cost_zmerge, cost_nested = choose_join_strategy(
+            nleft, nright, elements_left, elements_right
+        )
+        plan = SelectPlan(
+            table=f"{bound.table} JOIN {bound.join_table}",
+            window=None,
+            filters=post,
+            reorder=self.reorder,
+            moved=lmoved + rmoved + pmoved,
+            access_label=f"spatial-join[{strategy}]",
+            _stats=getattr(self.db, "planner_stats", None),
+        )
+        plan.notes.append(
+            f"join strategy: {strategy} "
+            f"(z-merge ~{cost_zmerge:.0f}, nested-loop ~{cost_nested:.0f})"
+        )
+        plan._fetch = lambda: self._join_fetch(
+            target, plan, left_push, right_push, strategy,
+            cost_zmerge, cost_nested,
+        )
+        for side, pushed in (
+            (bound.table, left_push),
+            (bound.join_table, right_push),
+        ):
+            for conjunct in pushed:
+                plan.notes.append(
+                    f"pushed below join ({side}): {conjunct.text}"
+                    f"  [{conjunct.kind}]"
+                    f"  sel={conjunct.selectivity:.4f}"
+                )
+        return plan
+
+    def _join_estimate(
+        self, table: str, geom: str, pushed: List[Conjunct]
+    ) -> Tuple[float, float]:
+        """(effective cardinality, avg elements/object) for one side:
+        cardinality scaled by the pushed filters' selectivities, element
+        count from a small deterministic sample of decompositions."""
+        relation = self.db.catalog.relation(table)
+        index = relation.schema.index_of(geom)
+        grid = self.db.grid
+        sample = [
+            len(list(decompose(grid, row[index].classify, None)))
+            for row in relation.rows[:8]
+            if isinstance(row[index], SpatialObject)
+        ]
+        elements = sum(sample) / len(sample) if sample else 1.0
+        effective = float(len(relation))
+        for conjunct in pushed:
+            effective *= (
+                conjunct.selectivity
+                if conjunct.selectivity is not None
+                else 1.0
+            )
+        return effective, elements
+
+    # -- join execution --------------------------------------------------
+
+    def _side(
+        self,
+        target: Any,
+        plan: SelectPlan,
+        table: str,
+        geom: str,
+        pushed: List[Conjunct],
+    ) -> Tuple[Relation, str]:
+        base = target.table(table)
+        relation = Relation(f"scan({table})", base.schema, base.rows)
+        if pushed:
+            side_plan = SelectPlan(
+                table=table,
+                window=None,
+                filters=pushed,
+                reorder=self.reorder,
+                moved=0,
+                _stats=plan._stats,
+            )
+            relation = side_plan.apply_filters(relation)
+        mapping = {n: f"{table}_{n}" for n in relation.schema.names}
+        return rename(relation, mapping), f"{table}_{geom}"
+
+    def _join_fetch(
+        self,
+        target: Any,
+        plan: SelectPlan,
+        left_push: List[Conjunct],
+        right_push: List[Conjunct],
+        strategy: str,
+        cost_zmerge: float,
+        cost_nested: float,
+    ) -> Relation:
+        bound = self.bound
+        grid = self.db.grid
+        left, lgeom = self._side(
+            target, plan, bound.table, bound.left_geom, left_push
+        )
+        right, rgeom = self._side(
+            target, plan, bound.join_table, bound.right_geom, right_push
+        )
+
+        ldec = self._decompositions(left, lgeom)
+        rdec = self._decompositions(right, rgeom)
+        nleft, nright = len(ldec), len(rdec)
+
+        lcarried = [
+            c for c in left.schema.columns if c.name != lgeom
+        ]
+        rcarried = [
+            c for c in right.schema.columns if c.name != rgeom
+        ]
+        schema = Schema(lcarried + rcarried)
+        with _span(f"join[{strategy}]") as span:
+            if span is not None:
+                span.set("est_cost_zmerge", round(cost_zmerge, 1))
+                span.set("est_cost_nested", round(cost_nested, 1))
+                span.add("rows_in", nleft + nright)
+            if strategy == "z-merge":
+                pairs = self._zmerge_pairs(grid, ldec, rdec)
+            else:
+                pairs = self._nested_pairs(grid, ldec, rdec)
+            # Normalize: distinct object pairs in one canonical order,
+            # whatever the strategy emitted.
+            seen = set()
+            rows = []
+            for row in pairs:
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+            rows.sort(key=lambda row: tuple(repr(v) for v in row))
+            if span is not None:
+                span.add("rows_out", len(rows))
+        return Relation(
+            f"overlap({bound.table},{bound.join_table})", schema, rows
+        )
+
+    def _decompositions(self, relation: Relation, geom: str):
+        """[(row-without-geometry, [z values])] for every row — each
+        object decomposed once, shared by cost model and either join
+        strategy."""
+        grid = self.db.grid
+        index = relation.schema.index_of(geom)
+        out = []
+        for row in relation:
+            obj = row[index]
+            if not isinstance(obj, SpatialObject):
+                raise TypeError(
+                    f"column {geom!r} holds {obj!r}, not a SpatialObject"
+                )
+            rest = tuple(v for i, v in enumerate(row) if i != index)
+            out.append((rest, list(decompose(grid, obj.classify, None))))
+        return out
+
+    def _zmerge_pairs(self, grid, ldec, rdec):
+        """Sort-merge sweep over both sides' elements, tagged with row
+        ordinals (so duplicate carried values stay distinct rows)."""
+        from repro.core.spatialjoin import spatial_join as _kernel
+
+        def tagged(dec):
+            return [
+                (Element.of(z, grid), ordinal)
+                for ordinal, (_, zvalues) in enumerate(dec)
+                for z in zvalues
+            ]
+
+        for lordinal, rordinal, _, _ in _kernel(tagged(ldec), tagged(rdec)):
+            yield ldec[lordinal][0] + rdec[rordinal][0]
+
+    def _nested_pairs(self, grid, ldec, rdec):
+        def intervals(zvalues):
+            return sorted(
+                (element.zlo, element.zhi)
+                for element in (Element.of(z, grid) for z in zvalues)
+            )
+
+        lints = [(rest, intervals(zs)) for rest, zs in ldec]
+        rints = [(rest, intervals(zs)) for rest, zs in rdec]
+        for lrest, a in lints:
+            for rrest, b in rints:
+                if _interval_overlap(a, b):
+                    yield lrest + rrest
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, target: Any = None) -> Relation:
+        plan = self.plan(target)
+        return self._tail(plan.execute())
+
+    def _tail(self, out: Relation) -> Relation:
+        bound = self.bound
+        if bound.projection is not None:
+            out = project(out, bound.projection)
+        if bound.distinct:
+            out = distinct_op(out)
+        if bound.order is not None:
+            columns, descending = bound.order
+            out = sort(out, columns, reverse=descending)
+        if bound.limit is not None:
+            out = limit_op(out, bound.limit)
+        return out
+
+    def run_traced(
+        self, target: Any = None
+    ) -> Tuple[Relation, QueryTrace]:
+        with _obs_trace(f"sql({self.bound.table})") as t:
+            out = self.run(target)
+        assert t is not None
+        return out, t
+
+    # -- server batching -------------------------------------------------
+
+    def batch_window(
+        self,
+    ) -> Optional[Tuple[str, Tuple[str, ...], Any]]:
+        """``(table, coord_cols, box)`` when this query reduces to one
+        range scan the server's batcher can serve, else ``None``."""
+        if self.bound.join_table is not None:
+            return None
+        plan = self.plan()
+        if plan.window is None or plan.window.box is None:
+            return None
+        return (
+            self.bound.table,
+            plan.window.coord_cols,
+            plan.window.box,
+        )
+
+    def finish_rows(self, rows: List[Tuple[Any, ...]]) -> Relation:
+        """Finish a batched execution: the batcher fetched the window's
+        rows; apply the ordered filters and the operator tail here."""
+        plan = self.plan()
+        relation = Relation(
+            f"range({self.bound.table})",
+            self.db.catalog.relation(self.bound.table).schema,
+            rows,
+        )
+        plan._bump("planner.plans")
+        plan._bump("planner.conjuncts_reordered", plan.moved)
+        return self._tail(plan.apply_filters(relation))
+
+    # -- explain ---------------------------------------------------------
+
+    def explain(self, target: Any = None) -> str:
+        lines = [f"SQL: {self.canonical}", self.plan(target).explain()]
+        bound = self.bound
+        if bound.projection is not None:
+            lines.append(f"  project: {', '.join(bound.projection)}")
+        if bound.distinct:
+            lines.append("  distinct")
+        if bound.order is not None:
+            columns, descending = bound.order
+            direction = "desc" if descending else "asc"
+            lines.append(f"  order by: {', '.join(columns)} {direction}")
+        if bound.limit is not None:
+            lines.append(f"  limit: {bound.limit}")
+        return "\n".join(lines)
+
+    def explain_analyze(self, target: Any = None) -> str:
+        _, t = self.run_traced(target)
+        return f"SQL: {self.canonical}\n" + format_trace(t)
+
+
+def _interval_overlap(a, b) -> bool:
+    """Do two z-sorted inclusive interval lists intersect?  Aligned
+    z-element ranges are either disjoint or nested, so intersection is
+    exactly the ``◇`` containment relation of Section 4."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        alo, ahi = a[i]
+        blo, bhi = b[j]
+        if ahi < blo:
+            i += 1
+        elif bhi < alo:
+            j += 1
+        else:
+            return True
+    return False

@@ -1,0 +1,71 @@
+"""Typed errors for the SQL surface, carrying source positions.
+
+Both error classes know the offset (and derived line/column) where the
+problem starts, so front-ends can render the caret-annotated snippet the
+CLI prints::
+
+    SELECT id@ FROM points WHERE BOX(1, 2) CONTAINS POINT(x, y)
+                                 ^
+    parse error at line 1, column 30: BOX needs one (lo, hi) pair ...
+
+``ParseError`` means the text is not a statement of the grammar;
+``BindError`` means it is, but it names tables, columns or types the
+catalog cannot satisfy.  Nothing else escapes :func:`repro.sql.parse`
+by contract (the Hypothesis byte-soup suite holds the lexer and parser
+to it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["SqlError", "ParseError", "BindError"]
+
+
+class SqlError(ValueError):
+    """Base of both SQL-surface errors: a message anchored at ``pos``
+    (a character offset into the statement text)."""
+
+    kind = "sql"
+
+    def __init__(self, message: str, pos: int = 0) -> None:
+        super().__init__(message)
+        self.message = message
+        self.pos = max(0, pos)
+
+    def line_col(self, source: str) -> Tuple[int, int]:
+        """1-based (line, column) of :attr:`pos` within ``source``."""
+        pos = min(self.pos, len(source))
+        line = source.count("\n", 0, pos) + 1
+        column = pos - (source.rfind("\n", 0, pos) + 1) + 1
+        return line, column
+
+    def annotate(self, source: Optional[str]) -> str:
+        """The offending source line with a caret under the position,
+        followed by the message — what the CLI prints on failure."""
+        if source is None:
+            return f"{self.kind} error: {self.message}"
+        line_no, column = self.line_col(source)
+        line_text = source.splitlines()[line_no - 1] if source.splitlines() else ""
+        caret = " " * (column - 1) + "^"
+        return "\n".join(
+            [
+                line_text,
+                caret,
+                f"{self.kind} error at line {line_no}, column {column}: "
+                f"{self.message}",
+            ]
+        )
+
+
+class ParseError(SqlError):
+    """The statement text does not match the grammar."""
+
+    kind = "parse"
+
+
+class BindError(SqlError):
+    """The statement parsed, but names or types do not bind against the
+    database catalog."""
+
+    kind = "bind"

@@ -1,0 +1,144 @@
+"""Tokenizer for the spatial query language.
+
+A hand-rolled scanner producing :class:`Token` objects that remember
+their source offset, so every later stage (parser, binder) can anchor
+its errors precisely.  Keywords are case-insensitive; identifiers keep
+their case and may end with ``@`` (the paper's object-identifier
+convention: ``id@``).  Any character the grammar has no use for raises
+:class:`~repro.sql.errors.ParseError` — arbitrary byte soup never
+produces anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sql.errors import ParseError
+
+__all__ = ["Token", "KEYWORDS", "tokenize"]
+
+#: Reserved words (upper-cased); an identifier matching one becomes a
+#: keyword token instead.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "JOIN",
+        "ON",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "BETWEEN",
+        "CONTAINS",
+        "OVERLAPS",
+        "POINT",
+        "BOX",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "EXPLAIN",
+        "ANALYZE",
+    }
+)
+
+#: Multi-character operators first so ``<=`` never lexes as ``<`` ``=``.
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "(", ")", ",", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: ``kind`` is ``kw``/``ident``/``int``/``float``/
+    ``string``/``op``/``eof``; ``text`` the canonical spelling (keywords
+    upper-cased); ``pos`` the source offset of its first character."""
+
+    kind: str
+    text: str
+    pos: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.text == word
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into tokens (terminated by one ``eof`` token).
+
+    >>> [t.text for t in tokenize("SELECT x FROM t")][:4]
+    ['SELECT', 'x', 'FROM', 't']
+    """
+    if not isinstance(source, str):
+        raise ParseError("statement must be a string", 0)
+    tokens: List[Token] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_part(source[i]):
+                i += 1
+            if i < n and source[i] == "@":  # id@-style column names
+                i += 1
+            text = source[start:i]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("kw", upper, start))
+            else:
+                tokens.append(Token("ident", text, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            # A fractional part only when a digit follows the dot —
+            # ``1.x`` must lex as ``1`` ``.`` ``x`` never as a float.
+            if i + 1 < n and source[i] == "." and source[i + 1].isdigit():
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("float" if is_float else "int", text, start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: List[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", start)
+                if source[i] == "'":
+                    if i + 1 < n and source[i + 1] == "'":  # '' escape
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(source[i])
+                i += 1
+            tokens.append(Token("string", "".join(parts), start))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -98,3 +98,89 @@ class TestSpace:
         assert "E(109, 91)" in text
         assert "cyclicity check" in text
         assert "coarsening" in text
+
+
+class TestSql:
+    QUERY = (
+        "SELECT id@, x FROM points "
+        "WHERE BOX(0, 64, 0, 64) CONTAINS POINT(x, y) "
+        "AND x > 10 ORDER BY id@ LIMIT 4"
+    )
+    ARGS = ["--points", "300", "--depth", "7", "--objects", "10"]
+
+    def test_rows_output(self):
+        code, text = run(["sql", self.QUERY] + self.ARGS)
+        assert code == 0
+        lines = text.splitlines()
+        assert lines[0] == "id@  x"
+        assert lines[-1].endswith("row(s))")
+
+    def test_stdin_dash(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.QUERY))
+        code, text = run(["sql", "-"] + self.ARGS)
+        assert code == 0
+        assert "row(s))" in text
+
+    def test_parse_error_exits_2_with_caret(self):
+        code, text = run(["sql", "SELECT FROM points"] + self.ARGS)
+        assert code == 2
+        assert "^" in text
+        assert "parse error at line 1" in text
+
+    def test_bind_error_exits_2(self):
+        code, text = run(["sql", "SELECT nope FROM points"] + self.ARGS)
+        assert code == 2
+        assert "bind error" in text and "nope" in text
+
+    def test_explain_statement(self):
+        code, text = run(["sql", "EXPLAIN " + self.QUERY] + self.ARGS)
+        assert code == 0
+        assert "SQL:" in text and "filters" in text
+
+    def test_explain_analyze_flag(self):
+        code, text = run(
+            ["sql", self.QUERY, "--explain-analyze"] + self.ARGS
+        )
+        assert code == 0
+        assert "plan.multi" in text
+        assert "filter[x > 10]" in text
+
+    def test_join_over_demo_objects(self):
+        code, text = run(
+            [
+                "sql",
+                "SELECT regions.id@, zones.id@ FROM regions "
+                "JOIN zones ON OVERLAPS(regions.geom, zones.geom) "
+                "ORDER BY regions.id@, zones.id@",
+            ]
+            + self.ARGS
+        )
+        assert code == 0
+        assert "regions_id@  zones_id@" in text
+
+    def test_sessions_assert_identical(self):
+        code, text = run(["sql", self.QUERY, "--sessions", "3"] + self.ARGS)
+        assert code == 0
+        assert "3 snapshot sessions agreed" in text
+
+    def test_shards(self):
+        code, text = run(["sql", self.QUERY, "--shards", "4"] + self.ARGS)
+        assert code == 0
+        assert "row(s))" in text
+
+    def test_json_output(self, tmp_path):
+        path = tmp_path / "result.json"
+        code, text = run(
+            ["sql", self.QUERY, "--json", str(path)] + self.ARGS
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["mode"] == "rows"
+        assert payload["columns"] == ["id@", "x"]
+
+    def test_no_reorder_same_rows(self):
+        _, ordered = run(["sql", self.QUERY] + self.ARGS)
+        _, naive = run(["sql", self.QUERY, "--no-reorder"] + self.ARGS)
+        assert ordered == naive

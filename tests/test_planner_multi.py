@@ -1,0 +1,247 @@
+"""Unit tests for the multi-predicate planner layer: ColumnHistogram
+estimates, conjunct ordering, plan_select access-path choice, the join
+strategy cost model, and the planner.* stats plumbing."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.db import (
+    INTEGER,
+    OID,
+    ColumnHistogram,
+    Schema,
+    SpatialDatabase,
+    choose_join_strategy,
+    col,
+    order_conjuncts,
+    plan_select,
+)
+from repro.db.expr import box_contains_point
+from repro.db.planner import RESIDUAL_SELECTIVITY, Conjunct
+from repro.obs.trace import trace
+
+
+def window_conjunct(box, pos=0, selectivity=None):
+    return Conjunct(
+        kind="z-window",
+        text=f"window@{pos}",
+        predicate=box_contains_point(box, ("x", "y")),
+        written_pos=pos,
+        selectivity=selectivity,
+        box=box,
+        coord_cols=("x", "y"),
+    )
+
+
+def filter_conjunct(pos, selectivity, kind="attr-range", cost=1.0):
+    return Conjunct(
+        kind=kind,
+        text=f"f@{pos}",
+        predicate=col("x") >= 0,
+        written_pos=pos,
+        selectivity=selectivity,
+        cost=cost,
+    )
+
+
+class TestColumnHistogram:
+    def test_uniform_range_estimate(self):
+        hist = ColumnHistogram.of_values(range(100))
+        assert hist.nrecords == 100
+        assert hist.estimate_range(25, 75) == pytest.approx(0.5, abs=0.1)
+        assert hist.estimate_range(None, None) == pytest.approx(1.0)
+        assert hist.estimate_range(None, 49) == pytest.approx(0.5, abs=0.1)
+
+    def test_fraction_le_is_monotone(self):
+        rng = random.Random(3)
+        hist = ColumnHistogram.of_values(
+            [rng.uniform(0, 50) for _ in range(300)]
+        )
+        fractions = [hist.fraction_le(v) for v in range(0, 51, 5)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] <= 0.05 and fractions[-1] == 1.0
+
+    def test_equality_uses_distinct_count(self):
+        hist = ColumnHistogram.of_values([1, 1, 2, 2, 3, 3, 4, 4])
+        assert hist.ndistinct == 4
+        assert hist.estimate_eq(2) == pytest.approx(0.25)
+        assert hist.estimate_eq(99) == pytest.approx(1 / 8)
+
+    def test_selectivity_floor(self):
+        hist = ColumnHistogram.of_values(range(1000))
+        assert hist.estimate_range(2, 2) >= 1 / 1000
+
+    def test_non_numeric_values_skipped(self):
+        hist = ColumnHistogram.of_values(["a", 1, 2.0, None, True])
+        assert hist.nrecords == 2  # 1 and 2.0; bool excluded
+
+
+class TestOrderConjuncts:
+    def test_most_selective_filter_first(self):
+        conjuncts = [
+            filter_conjunct(0, 0.9),
+            filter_conjunct(1, 0.1),
+            filter_conjunct(2, 0.5),
+        ]
+        window, filters, moved = order_conjuncts(conjuncts)
+        assert window is None
+        assert [f.selectivity for f in filters] == [0.1, 0.5, 0.9]
+        assert moved > 0
+
+    def test_naive_keeps_written_order(self):
+        conjuncts = [filter_conjunct(0, 0.9), filter_conjunct(1, 0.1)]
+        _, filters, moved = order_conjuncts(conjuncts, reorder=False)
+        assert [f.written_pos for f in filters] == [0, 1]
+        assert moved == 0
+
+    def test_first_window_is_access_path(self):
+        box = Box(((0, 4), (0, 4)))
+        conjuncts = [
+            filter_conjunct(0, 0.01),
+            window_conjunct(box, pos=1, selectivity=0.5),
+            window_conjunct(box, pos=2, selectivity=0.001),
+        ]
+        window, filters, _ = order_conjuncts(conjuncts)
+        assert window is not None and window.written_pos == 1
+        # The displaced second window still applies — as a filter.
+        assert {f.written_pos for f in filters} == {0, 2}
+
+    def test_cost_breaks_selectivity_ties(self):
+        conjuncts = [
+            filter_conjunct(0, 0.5, cost=9.0),
+            filter_conjunct(1, 0.5, cost=1.0),
+        ]
+        _, filters, _ = order_conjuncts(conjuncts)
+        assert [f.cost for f in filters] == [1.0, 9.0]
+
+
+@pytest.fixture
+def db():
+    database = SpatialDatabase(Grid(2, 6), page_capacity=8)
+    database.create_table(
+        "points",
+        Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER)),
+    )
+    rng = random.Random(0)
+    database.insert_many(
+        "points",
+        [
+            (f"p{i}", rng.randrange(64), rng.randrange(64))
+            for i in range(200)
+        ],
+    )
+    database.create_index("points_xy", "points", ("x", "y"))
+    return database
+
+
+class TestPlanSelect:
+    def test_window_takes_index_path(self, db):
+        box = Box(((0, 20), (0, 20)))
+        plan = plan_select(
+            db,
+            "points",
+            [window_conjunct(box), filter_conjunct(1, None)],
+        )
+        assert "scan" in plan.access_label
+        out = plan.execute()
+        expected = [
+            row
+            for row in db.table("points").rows
+            if box.contains_point((row[1], row[2])) and row[1] >= 0
+        ]
+        assert sorted(out.rows) == sorted(expected)
+
+    def test_no_window_scans_table(self, db):
+        plan = plan_select(db, "points", [filter_conjunct(0, None)])
+        assert plan.access_label == "table-scan"
+        assert len(plan.execute()) == 200
+
+    def test_estimates_multiply(self, db):
+        box = Box(((0, 31), (0, 31)))
+        plan = plan_select(
+            db,
+            "points",
+            [
+                window_conjunct(box),
+                filter_conjunct(1, 0.5),
+                filter_conjunct(2, 0.1),
+            ],
+        )
+        window_only = plan_select(db, "points", [window_conjunct(box)])
+        assert plan.estimated_rows == pytest.approx(
+            window_only.estimated_rows * 0.05
+        )
+
+    def test_residual_default_selectivity(self, db):
+        plan = plan_select(
+            db,
+            "points",
+            [filter_conjunct(0, None, kind="residual")],
+        )
+        assert plan.filters[0].selectivity == RESIDUAL_SELECTIVITY
+
+    def test_attr_range_estimated_from_histogram(self, db):
+        conjunct = Conjunct(
+            kind="attr-range",
+            text="x <= 31",
+            predicate=col("x") <= 31,
+            written_pos=0,
+            column="x",
+            high=31,
+        )
+        plan = plan_select(db, "points", [conjunct])
+        assert 0.3 < plan.filters[0].selectivity < 0.7
+
+    def test_stats_and_trace_counters(self, db):
+        db.planner_stats.clear()
+        box = Box(((0, 20), (0, 20)))
+        plan = plan_select(
+            db,
+            "points",
+            [
+                window_conjunct(box),
+                filter_conjunct(1, 0.9),
+                filter_conjunct(2, 0.1, kind="residual"),
+            ],
+        )
+        with trace("t") as t:
+            plan.execute()
+        stats = db.planner_stats
+        assert stats["planner.plans"] == 1
+        assert stats["planner.conjuncts_reordered"] >= 1
+        assert stats["planner.residual_rows"] > 0
+        totals = t.total_counters()
+        for key, value in stats.items():
+            assert totals[key] == value
+        # nonzero-only: a plan with nothing reordered adds no key
+        db.planner_stats.clear()
+        plan2 = plan_select(db, "points", [window_conjunct(box)])
+        plan2.execute()
+        assert "planner.conjuncts_reordered" not in db.planner_stats
+        assert "planner.residual_rows" not in db.planner_stats
+
+
+class TestChooseJoinStrategy:
+    def test_small_sides_pick_nested_loop(self):
+        strategy, cost_z, cost_n = choose_join_strategy(3, 3, 2.0, 2.0)
+        assert strategy == "nested-loop"
+        assert cost_n < cost_z
+
+    def test_large_sides_pick_zmerge(self):
+        strategy, cost_z, cost_n = choose_join_strategy(
+            500, 500, 4.0, 4.0
+        )
+        assert strategy == "z-merge"
+        assert cost_z < cost_n
+
+    def test_tie_prefers_zmerge(self):
+        strategy, cost_z, cost_n = choose_join_strategy(0, 0, 0.0, 0.0)
+        assert cost_z == cost_n
+        assert strategy == "z-merge"
+
+    def test_costs_scale_with_elements(self):
+        _, z1, n1 = choose_join_strategy(10, 10, 1.0, 1.0)
+        _, z2, n2 = choose_join_strategy(10, 10, 8.0, 8.0)
+        assert z2 > z1 and n2 > n1

@@ -286,3 +286,87 @@ def test_trace_section_renders_server_counters():
         assert "client[" in rendered
 
     asyncio.run(run())
+
+
+def test_sql_op_rows_explain_and_errors():
+    async def run():
+        db = _build_db()
+        service = QueryService(db)
+        server = await serve(service)
+        query = (
+            "SELECT id@, x FROM points "
+            "WHERE BOX(0, 40, 0, 40) CONTAINS POINT(x, y) "
+            "AND x > 5 ORDER BY id@ LIMIT 8"
+        )
+        try:
+            async with await QueryClient.connect(
+                *server.address
+            ) as client:
+                response = await client.sql(query)
+                assert response["mode"] == "rows"
+                assert response["columns"] == ["id@", "x"]
+                assert response["count"] == len(response["rows"]) <= 8
+
+                explain = await client.sql("EXPLAIN " + query)
+                assert explain["mode"] == "explain"
+                assert "filters" in explain["text"]
+
+                analyze = await client.sql("EXPLAIN ANALYZE " + query)
+                assert analyze["mode"] == "analyze"
+                assert "plan.multi" in analyze["text"]
+
+                with pytest.raises(ServerError) as info:
+                    await client.sql("SELECT bogus FROM points")
+                assert info.value.error_type == "bind_error"
+                assert "^" in str(info.value)
+
+                with pytest.raises(ServerError) as info:
+                    await client.sql("SELEC nope")
+                assert info.value.error_type == "parse_error"
+
+                stats = await client.stats()
+                assert stats["planner"]["planner.plans"] >= 2
+        finally:
+            await server.close()
+
+    asyncio.run(run())
+
+
+def test_sql_rows_match_range_op_and_snapshot_pins():
+    async def run():
+        db = _build_db()
+        service = QueryService(db)
+        server = await serve(service)
+        query = (
+            "SELECT id@, x, y FROM points "
+            "WHERE BOX(10, 60, 10, 60) CONTAINS POINT(x, y)"
+        )
+        try:
+            async with await QueryClient.connect(
+                *server.address
+            ) as client:
+                raw = await client.range_query(
+                    "points", ("x", "y"), [[10, 60], [10, 60]]
+                )
+                response = await client.sql(query)
+                assert sorted(
+                    tuple(row) for row in response["rows"]
+                ) == sorted(raw)
+
+                # The SQL op reads the connection's pinned snapshot:
+                # a commit on another connection must stay invisible.
+                before = response["count"]
+                async with await QueryClient.connect(
+                    *server.address
+                ) as writer:
+                    await writer.insert("points", ["w1", 20, 20])
+                    await writer.commit()
+                after = await client.sql(query)
+                assert after["count"] == before
+                await client.refresh()
+                refreshed = await client.sql(query)
+                assert refreshed["count"] == before + 1
+        finally:
+            await server.close()
+
+    asyncio.run(run())

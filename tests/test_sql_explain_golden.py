@@ -1,0 +1,123 @@
+"""Golden-file tests for EXPLAIN output.
+
+The database is seeded with hand-written rows (no randomness), so the
+histograms, selectivities and cost numbers in the rendered plan are
+fully deterministic.  To regenerate after an intentional planner
+change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_sql_explain_golden.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.geometry import Box, Grid
+from repro.db import (
+    INTEGER,
+    OID,
+    SPATIAL_OBJECT,
+    Schema,
+    SpatialDatabase,
+)
+from repro.db.types import SpatialObject
+from repro.sql import compile_sql
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+POINTS = [
+    ("p0", 2, 3),
+    ("p1", 5, 1),
+    ("p2", 9, 14),
+    ("p3", 11, 11),
+    ("p4", 13, 2),
+    ("p5", 17, 20),
+    ("p6", 21, 25),
+    ("p7", 25, 8),
+    ("p8", 28, 28),
+    ("p9", 30, 5),
+    ("p10", 6, 22),
+    ("p11", 19, 7),
+]
+
+BOXES = {
+    "regions": [((0, 6), (0, 6)), ((8, 14), (8, 14)), ((20, 30), (2, 9))],
+    "zones": [((4, 10), (4, 10)), ((22, 28), (0, 6)), ((12, 18), (12, 18))],
+}
+
+
+@pytest.fixture
+def db():
+    database = SpatialDatabase(Grid(2, 5), page_capacity=4)
+    database.create_table(
+        "points",
+        Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER)),
+    )
+    database.insert_many("points", POINTS)
+    database.create_index("points_xy", "points", ("x", "y"))
+    for table, boxes in BOXES.items():
+        database.create_table(
+            table, Schema.of(("id@", OID), ("geom", SPATIAL_OBJECT))
+        )
+        database.insert_many(
+            table,
+            [
+                (
+                    f"{table[0]}{i}",
+                    SpatialObject.from_box(f"{table[0]}{i}", Box(ranges)),
+                )
+                for i, ranges in enumerate(boxes)
+            ],
+        )
+    return database
+
+
+def check(name, text):
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text + "\n")
+    assert text + "\n" == path.read_text(), (
+        f"EXPLAIN drifted from {path.name}; run with REGEN_GOLDEN=1 "
+        "if the change is intentional"
+    )
+
+
+class TestExplainGolden:
+    def test_multi_conjunct_reordering(self, db):
+        compiled = compile_sql(
+            db,
+            "SELECT id@, x FROM points "
+            "WHERE BOX(0, 16, 0, 16) CONTAINS POINT(x, y) "
+            "AND x + y > 10 AND x BETWEEN 4 AND 12 "
+            "ORDER BY id@ LIMIT 5",
+        )
+        check("sql_explain_multi.txt", compiled.explain())
+
+    def test_naive_order_differs(self, db):
+        compiled = compile_sql(
+            db,
+            "SELECT id@, x FROM points "
+            "WHERE BOX(0, 16, 0, 16) CONTAINS POINT(x, y) "
+            "AND x + y > 10 AND x BETWEEN 4 AND 12 "
+            "ORDER BY id@ LIMIT 5",
+            reorder=False,
+        )
+        check("sql_explain_naive.txt", compiled.explain())
+
+    def test_join_strategy_and_pushdown(self, db):
+        compiled = compile_sql(
+            db,
+            "SELECT regions.id@, zones.id@ FROM regions "
+            "JOIN zones ON OVERLAPS(regions.geom, zones.geom) "
+            "WHERE regions.id@ != 'r0' "
+            "ORDER BY regions.id@, zones.id@",
+        )
+        check("sql_explain_join.txt", compiled.explain())
+
+    def test_equality_via_histogram(self, db):
+        compiled = compile_sql(
+            db, "SELECT id@ FROM points WHERE x = 13 AND x + y < 99"
+        )
+        check("sql_explain_eq.txt", compiled.explain())
