@@ -97,8 +97,12 @@ async def _client_loop(host, port, boxes, requests, latencies):
         for i in range(requests):
             box = boxes[i % len(boxes)]
             start = time.perf_counter()
+            # Every request carries a generous explicit deadline: the
+            # qps/p95 floors therefore price in the armed-deadline path
+            # (scope push, cooperative checks, bounded waits), not just
+            # the unarmed fast path.
             await client.range_query(
-                "points", ("x", "y"), box.ranges
+                "points", ("x", "y"), box.ranges, deadline_ms=60_000
             )
             latencies.append(time.perf_counter() - start)
 
@@ -135,7 +139,9 @@ async def _run_level(db, nclients, requests, batching, use_boxes):
         ])
     finally:
         elapsed = time.perf_counter() - start
-        stats = service.stats_snapshot()["server"]
+        snapshot = service.stats_snapshot()
+        stats = snapshot["server"]
+        breaker = snapshot.get("breaker", {})
         await warm.close()
         await server.close()
     total = nclients * requests
@@ -152,6 +158,11 @@ async def _run_level(db, nclients, requests, batching, use_boxes):
         "rejected": sum(
             v for k, v in stats.items() if k.startswith("server.rejected.")
         ),
+        "deadline_armed": stats.get("server.deadline.armed", 0),
+        "deadline_expired": stats.get("server.deadline.expired", 0),
+        "breaker_visible": bool(breaker),
+        "breaker_open_now": breaker.get("breaker.open_now", 0),
+        "breaker_opened": breaker.get("breaker.opened", 0),
     }
 
 
@@ -242,6 +253,11 @@ def test_smoke_levels(results_dir):
     assert all(r["requests"] == r["clients"] * 6 for r in rows), report
     # Concurrency must actually have produced multi-request batches.
     assert batched16["batch_size_peak"] > 1, report
+    # Deadline + breaker paths were live (and quiet) for every request.
+    assert all(
+        r["deadline_armed"] == r["requests"] and r["breaker_visible"]
+        for r in rows + [batched16, serial]
+    ), report
 
 
 # ----------------------------------------------------------------------
@@ -300,6 +316,24 @@ def main(argv=None):
                 r["rejected"] == 0 for r in rows + [batched16, serial]
             ),
             "no spurious rejections at any level",
+        ),
+        (
+            all(
+                r["deadline_armed"] == r["requests"]
+                and r["deadline_expired"] == 0
+                for r in rows + [batched16, serial]
+            ),
+            "every request armed a deadline; none spuriously expired",
+        ),
+        (
+            all(
+                r["breaker_visible"]
+                and r["breaker_open_now"] == 0
+                and r["breaker_opened"] == 0
+                for r in rows + [batched16, serial]
+            ),
+            "breaker section observable in stats; all breakers stayed "
+            "closed under healthy load",
         ),
     ]
     notes = []

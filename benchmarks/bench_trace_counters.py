@@ -87,6 +87,135 @@ def _object_relation(name, prefix, grid, count, rng):
     return relation
 
 
+def collect_server(depth=DEPTH, capacity=CAPACITY, seed=SEED):
+    """Deterministic request-lifecycle counters from the query service.
+
+    The service runs on a *step clock* (every reading advances a fixed
+    0.5 s), so deadline expiry and breaker transitions are pure
+    functions of the request sequence — no wall clock anywhere.  The
+    scripted lifecycle drives each counter family exactly once:
+
+    * healthy armed requests (``server.deadline.armed``),
+    * a budget that runs out mid row-scan — the cooperative abort
+      (``server.deadline.expired`` + ``server.deadline.scan_aborts``),
+    * injected dispatch faults that trip the backend breaker, one shed
+      on the open circuit, then a clock jump past ``reset_timeout`` so
+      the half-open probe closes it again (``breaker.opened`` /
+      ``breaker.shed`` / ``breaker.probes`` / ``breaker.closed``).
+
+    Only nonzero ``server.deadline.*`` / ``breaker.*`` values are
+    returned: the baseline gates the lifecycle, not the zero padding.
+    """
+    import asyncio
+
+    from repro.faults import FaultInjector
+    from repro.server import QueryService
+
+    grid = Grid(ndims=2, depth=depth)
+    db = SpatialDatabase(grid, page_capacity=capacity)
+    db.create_table(
+        "points", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    dataset = make_dataset("C", grid, 500, seed=seed)
+    db.insert_many(
+        "points",
+        [(f"p{i}", x, y) for i, (x, y) in enumerate(dataset.points)],
+    )
+    db.create_index("points_xy", "points", ("x", "y"))
+    # An index-less table big enough that its row scan passes several
+    # cooperative deadline checks (one per 1024 rows).
+    db.create_table(
+        "bare", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    rng = random.Random(seed + 5)
+    db.insert_many(
+        "bare",
+        [
+            (f"b{i}", rng.randrange(grid.side), rng.randrange(grid.side))
+            for i in range(16_000)
+        ],
+    )
+
+    ticks = [0.0]
+
+    def clock():
+        ticks[0] += 0.5
+        return ticks[0]
+
+    injector = FaultInjector(seed=seed)
+    service = QueryService(
+        db,
+        batching=False,
+        request_timeout=3600.0,
+        faults=injector,
+        clock=clock,
+        breaker_options={
+            "min_samples": 2,
+            "failure_threshold": 0.5,
+            "reset_timeout": 60.0,
+        },
+    )
+    half = grid.side // 2
+    box = [[0, half], [0, half]]
+
+    async def drive():
+        client = service.connect("bench")
+        try:
+            points_req = {
+                "op": "range", "table": "points",
+                "cols": ["x", "y"], "box": box,
+            }
+            # Healthy armed requests (budget capped at request_timeout).
+            for i in range(3):
+                resp = await service.handle_request(
+                    client, dict(points_req, id=i, deadline_ms=7_200_000)
+                )
+                assert resp["ok"], resp
+            # A 6 s budget is 12 clock steps: the bare-table row scan
+            # reads the clock every 1024 rows, so the budget runs out
+            # mid-scan and the cooperative abort fires.
+            resp = await service.handle_request(
+                client,
+                {
+                    "op": "range", "table": "bare", "cols": ["x", "y"],
+                    "box": box, "id": 10, "deadline_ms": 6_000,
+                },
+            )
+            assert resp["rejected"]["reason"] == "deadline", resp
+            # Three dispatch faults: the window reaches 3 ok / 3 fail,
+            # which is exactly the 0.5 failure threshold — trip.
+            injector.rule("server.dispatch", "error", times=3)
+            for i in (20, 21, 22):
+                resp = await service.handle_request(
+                    client, dict(points_req, id=i)
+                )
+                assert resp["error"]["type"] == "internal", resp
+            # The open circuit sheds before any work is queued.
+            resp = await service.handle_request(
+                client, dict(points_req, id=23)
+            )
+            assert resp["rejected"]["reason"] == "breaker", resp
+            # Past reset_timeout the half-open probe succeeds: closed.
+            ticks[0] += 500.0
+            resp = await service.handle_request(
+                client, dict(points_req, id=24)
+            )
+            assert resp["ok"], resp
+        finally:
+            service.disconnect(client)
+            service.close()
+
+    asyncio.run(drive())
+    snapshot = service.stats_snapshot()
+    merged = {**snapshot["server"], **snapshot.get("breaker", {})}
+    return {
+        key: value
+        for key, value in merged.items()
+        if value
+        and (key.startswith("server.deadline.") or key.startswith("breaker."))
+    }
+
+
 def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
             capacity=CAPACITY, seed=SEED):
     """Every published counter, summed over the fixed workload.
@@ -193,6 +322,11 @@ def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
         )
     fold("shard", t.total_counters())
     store.close()
+
+    # The serving lifecycle on a step clock: deadline and breaker
+    # counters land in the same baseline as the operator counters.
+    counters.update(collect_server(depth=depth, capacity=capacity,
+                                   seed=seed))
     return counters
 
 

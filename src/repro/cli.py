@@ -279,6 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=0.0,
         help="serve for N seconds then exit (default: until Ctrl-C)",
     )
+    serve.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "instead of serving, run one seeded chaos episode (fault "
+            "storm + concurrent clients) and print the report; exits "
+            "nonzero unless availability, byte-identity and zero-leak "
+            "all hold — the same episode the nightly chaos-serve CI "
+            "job sweeps over many seeds"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-episodes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --chaos, sweep N consecutive seeds starting at SEED",
+    )
 
     report = sub.add_parser(
         "report", help="run the whole evaluation and emit a markdown report"
@@ -382,6 +402,16 @@ def _cmd_query(args, out) -> None:
         faults = FaultInjector(seed=args.fault_seed)
         for spec in args.inject:
             faults.rule(**parse_rule(spec))
+        # Sites register at import of the instrumented module: pull
+        # them all in, then verify — a typo'd site or a kind the site
+        # class can't fire is a spec error, not a silent no-op.
+        import repro.server.service  # noqa: F401
+        import repro.server.tcp  # noqa: F401
+        import repro.storage.buffer  # noqa: F401
+        import repro.storage.diskstore  # noqa: F401
+        import repro.storage.wal  # noqa: F401
+
+        faults.verify()
         # Hand the index an executor instance carrying the injector so
         # worker-side failpoints (shard.worker) are armed in the pool.
         executor = make_executor(args.executor, faults=faults)
@@ -778,15 +808,33 @@ def _run_concurrent_sessions(db, window, args, out) -> None:
             out.write(f"trace written to {args.json_path}\n")
 
 
-def _cmd_serve(args, out) -> None:
+def _cmd_serve(args, out) -> int:
     """Serve a seeded database over TCP until Ctrl-C (or --duration),
     then print the SERVER trace section: admission, batching and cache
-    counters plus one compact line per remembered client."""
+    counters plus one compact line per remembered client.
+
+    With ``--chaos SEED`` no server is exposed: instead the seeded
+    chaos sweep runs N self-contained episodes (storm of faulty
+    clients against an in-process server under injected faults) and
+    the exit code reports whether every episode held its invariants.
+    """
     import asyncio
 
     from repro.db import INTEGER, OID, Schema, SpatialDatabase
     from repro.obs import format_trace
     from repro.server import QueryService, serve
+
+    if args.chaos is not None:
+        from repro.server.chaos import run_chaos_sweep
+
+        seeds = range(args.chaos, args.chaos + args.chaos_episodes)
+        reports = run_chaos_sweep(seeds, out=out)
+        failed = [r for r in reports if not r.passed]
+        out.write(
+            f"chaos sweep: {len(reports) - len(failed)}/{len(reports)} "
+            "episodes passed\n"
+        )
+        return 1 if failed else 0
 
     grid = Grid(ndims=2, depth=args.depth)
     db = SpatialDatabase(
@@ -845,6 +893,7 @@ def _cmd_serve(args, out) -> None:
     except KeyboardInterrupt:
         pass
     out.write("\n" + format_trace(service.trace_section()) + "\n")
+    return 0
 
 
 def _cmd_space(args, out) -> None:
@@ -886,7 +935,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     elif args.command == "sql":
         return _cmd_sql(args, out)
     elif args.command == "serve":
-        _cmd_serve(args, out)
+        return _cmd_serve(args, out)
     elif args.command == "space":
         _cmd_space(args, out)
     elif args.command == "report":

@@ -39,6 +39,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.core.deadline import check_deadline
 from repro.core.decompose import BoxElementCursor, Element
 from repro.core.geometry import Box, ClassifyFn, Grid
 from repro.core.zorder import bigmin, box_zbounds, zcode_in_box
@@ -289,12 +290,20 @@ def scan_intervals(
     out: List[Tuple[T, ...]] = []
     record = points.current
     for zlo, zhi in intervals:
+        # Cooperative cancellation: a scan whose caller's budget is
+        # spent must not wedge the worker thread (near-zero cost with
+        # no deadline armed — one thread-local load per checkpoint).
+        check_deadline("scan_intervals")
         if record is not None and record.z < zlo:
             record = points.seek(zlo)
         matched: List[T] = []
+        scanned = 0
         while record is not None and record.z <= zhi:
             matched.append(record.payload)
             record = points.step()
+            scanned += 1
+            if not scanned & 1023:
+                check_deadline("scan_intervals")
         out.append(tuple(matched))
     return tuple(out)
 

@@ -207,6 +207,44 @@ class FaultInjector:
         self._rules.setdefault(site, []).append(rule)
         return rule
 
+    def verify(self) -> None:
+        """Check every armed rule against the site registry: the site
+        must be registered (i.e. some instrumented module actually
+        traverses it) and the kind must be legal for the site's class
+        (``torn_write`` at a read site can never fire and is a spec
+        bug, not a no-op).  Raises ``ValueError`` listing *all*
+        problems; CI calls this so an injected-but-unregistered site
+        fails loudly instead of silently testing nothing.
+
+        Call after importing the instrumented modules — sites register
+        at import time.
+        """
+        legal = {
+            "write": WRITE_KINDS,
+            "read": READ_KINDS,
+            "point": POINT_KINDS,
+        }
+        problems: List[str] = []
+        for rule in self.rules():
+            skind = _SITES.get(rule.site)
+            if skind is None:
+                known = ", ".join(registered_sites()) or "<none>"
+                problems.append(
+                    f"rule {rule.site}:{rule.kind} targets an "
+                    f"unregistered site (registered: {known})"
+                )
+            elif rule.kind not in legal[skind]:
+                problems.append(
+                    f"rule {rule.site}:{rule.kind} is illegal at a "
+                    f"{skind} site (legal kinds: "
+                    f"{', '.join(legal[skind])})"
+                )
+        if problems:
+            raise ValueError(
+                "fault injection spec errors:\n  "
+                + "\n  ".join(problems)
+            )
+
     def clear(self, site: Optional[str] = None) -> None:
         if site is None:
             self._rules.clear()

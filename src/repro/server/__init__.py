@@ -21,6 +21,7 @@ over one :class:`~repro.db.database.SpatialDatabase`:
 from repro.server.admission import (
     AdmissionController,
     AdmissionTimeout,
+    DeadlineExpired,
     Overloaded,
     QuotaExceeded,
     Rejection,
@@ -30,16 +31,39 @@ from repro.server.batching import (
     batched_range_matches,
     merge_intervals,
 )
+from repro.server.breaker import (
+    BreakerOpen,
+    CircuitBreaker,
+    HealthWindow,
+    OverloadController,
+)
+from repro.server.chaos import (
+    ChaosReport,
+    run_chaos_episode,
+    run_chaos_sweep,
+)
 from repro.server.client import QueryClient, ServerError, ServerRejected
-from repro.server.protocol import ProtocolError
-from repro.server.service import ClientState, QueryService
-from repro.server.tcp import QueryServer, serve
+from repro.server.protocol import FrameError, ProtocolError
+from repro.server.service import SITE_DISPATCH, ClientState, QueryService
+from repro.server.tcp import (
+    SITE_FRAME_READ,
+    SITE_FRAME_WRITE,
+    QueryServer,
+    serve,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionTimeout",
+    "BreakerOpen",
+    "ChaosReport",
+    "CircuitBreaker",
     "ClientState",
+    "DeadlineExpired",
+    "FrameError",
+    "HealthWindow",
     "Overloaded",
+    "OverloadController",
     "ProtocolError",
     "QueryBatcher",
     "QueryClient",
@@ -47,9 +71,14 @@ __all__ = [
     "QueryService",
     "QuotaExceeded",
     "Rejection",
+    "SITE_DISPATCH",
+    "SITE_FRAME_READ",
+    "SITE_FRAME_WRITE",
     "ServerError",
     "ServerRejected",
     "batched_range_matches",
     "merge_intervals",
+    "run_chaos_episode",
+    "run_chaos_sweep",
     "serve",
 ]

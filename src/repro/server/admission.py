@@ -33,13 +33,15 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from contextlib import asynccontextmanager
-from typing import AsyncIterator, Deque, Dict, Optional
+from typing import AsyncIterator, Callable, Deque, Dict, Optional
 
+from repro.core.deadline import Deadline
 from repro.shard.executor import ResiliencePolicy
 
 __all__ = [
     "AdmissionController",
     "AdmissionTimeout",
+    "DeadlineExpired",
     "Overloaded",
     "QuotaExceeded",
     "Rejection",
@@ -84,6 +86,18 @@ class AdmissionTimeout(Rejection):
     reason = "timeout"
 
 
+class DeadlineExpired(Rejection):
+    """The request's own budget ran out (before or while queued).
+
+    Distinct from :class:`AdmissionTimeout`: the server had capacity
+    headroom by its own policy — the *client's* deadline was tighter.
+    Retrying with a fresh budget may well succeed, hence the small
+    ``retry_after``.
+    """
+
+    reason = "deadline"
+
+
 class AdmissionController:
     """Global in-flight limit + per-client quotas over a bounded queue."""
 
@@ -108,11 +122,16 @@ class AdmissionController:
         self._waiters: Deque["asyncio.Future[None]"] = deque()
         #: client id -> queued + running slot count.
         self._held: Dict[str, int] = {}
+        #: Optional ``queue_depth -> seconds`` hint source (the overload
+        #: controller's drain estimate); when set, overload/timeout
+        #: rejections carry the larger of it and the policy backoff.
+        self.retry_hint: Optional[Callable[[int], float]] = None
         self.stats: Dict[str, int] = {
             "server.admitted": 0,
             "server.rejected.quota": 0,
             "server.rejected.overload": 0,
             "server.rejected.timeout": 0,
+            "server.rejected.deadline": 0,
             "server.inflight_peak": 0,
             "server.queue_peak": 0,
         }
@@ -135,10 +154,21 @@ class AdmissionController:
 
     # -- the slot protocol -----------------------------------------------
 
-    async def acquire(self, client_id: str) -> None:
+    async def acquire(
+        self, client_id: str, deadline: Optional[Deadline] = None
+    ) -> None:
         """Admit one request for ``client_id`` or raise a typed
-        :class:`Rejection`.  On success the caller *must* pair with
+        :class:`Rejection`.  A ``deadline`` bounds the queue wait by
+        its remaining budget (never longer than the policy timeout); a
+        request whose budget is already spent is rejected before it
+        charges anything.  On success the caller *must* pair with
         :meth:`release` (use :meth:`slot`)."""
+        if deadline is not None and deadline.expired():
+            self.stats["server.rejected.deadline"] += 1
+            raise DeadlineExpired(
+                "request deadline expired before admission",
+                retry_after=self.policy.backoff(0),
+            )
         held = self._held.get(client_id, 0)
         if held >= self.client_quota:
             self.stats["server.rejected.quota"] += 1
@@ -157,8 +187,15 @@ class AdmissionController:
             raise Overloaded(
                 f"wait queue full ({self.queue_limit} deep, "
                 f"{self._inflight} in flight)",
-                retry_after=self.policy.backoff(1),
+                retry_after=self._hint(1),
             )
+        timeout = self.policy.timeout
+        deadline_bound = False
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if timeout is None or remaining < timeout:
+                timeout = remaining
+                deadline_bound = True
         waiter: "asyncio.Future[None]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -167,16 +204,24 @@ class AdmissionController:
             self.stats["server.queue_peak"], len(self._waiters)
         )
         try:
-            await asyncio.wait_for(waiter, timeout=self.policy.timeout)
+            await asyncio.wait_for(waiter, timeout=timeout)
         except asyncio.TimeoutError:
             self._discard(waiter)
             self._uncharge(client_id)
+            if deadline_bound:
+                self.stats["server.rejected.deadline"] += 1
+                raise DeadlineExpired(
+                    "request deadline expired while queued "
+                    f"({self._inflight} in flight, "
+                    f"{len(self._waiters)} queued)",
+                    retry_after=self.policy.backoff(0),
+                ) from None
             self.stats["server.rejected.timeout"] += 1
             raise AdmissionTimeout(
                 f"no slot within {self.policy.timeout}s "
                 f"({self._inflight} in flight, "
                 f"{len(self._waiters)} queued)",
-                retry_after=self.policy.backoff(1),
+                retry_after=self._hint(1),
             ) from None
         except asyncio.CancelledError:
             if waiter.done() and not waiter.cancelled():
@@ -200,16 +245,29 @@ class AdmissionController:
         self._pass_on()
 
     @asynccontextmanager
-    async def slot(self, client_id: str) -> AsyncIterator[None]:
+    async def slot(
+        self, client_id: str, deadline: Optional[Deadline] = None
+    ) -> AsyncIterator[None]:
         """``async with admission.slot(client): ...`` — acquire/release
         bracketed; rejections propagate without holding anything."""
-        await self.acquire(client_id)
+        await self.acquire(client_id, deadline)
         try:
             yield
         finally:
             self.release(client_id)
 
     # -- internals -------------------------------------------------------
+
+    def _hint(self, attempt: int) -> float:
+        """The retry hint for a shed request: policy backoff, raised to
+        the overload controller's queue-drain estimate when wired."""
+        backoff = self.policy.backoff(attempt)
+        if self.retry_hint is None:
+            return backoff
+        try:
+            return max(backoff, float(self.retry_hint(len(self._waiters))))
+        except Exception:
+            return backoff
 
     def _grant(self) -> None:
         self._inflight += 1

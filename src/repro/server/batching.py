@@ -48,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.deadline import Deadline, deadline_scope
 from repro.core.geometry import Box, Grid
 
 __all__ = [
@@ -58,6 +59,25 @@ __all__ = [
 
 Point = Tuple[int, ...]
 Interval = Tuple[int, int]
+
+
+def _group_deadline(
+    deadlines: Sequence[Optional[Deadline]],
+) -> Optional[Deadline]:
+    """The deadline a *shared* scan may honour: the latest member
+    expiry, or ``None`` if any member is unbounded.
+
+    Aborting the shared pass any earlier would poison peers that still
+    have budget — a member whose own (tighter) deadline lapses is
+    handled individually on the event loop, not by killing the scan.
+    """
+    latest: Optional[Deadline] = None
+    for deadline in deadlines:
+        if deadline is None:
+            return None
+        if latest is None or deadline.expires_at > latest.expires_at:
+            latest = deadline
+    return latest
 
 
 def merge_intervals(intervals: Sequence[Interval]) -> List[Interval]:
@@ -240,7 +260,7 @@ class QueryBatcher:
         self._execute = execute
         self.max_batch = max_batch
         self._pending: Deque[
-            Tuple[Hashable, Any, "asyncio.Future[Any]"]
+            Tuple[Hashable, Any, "asyncio.Future[Any]", Optional[Deadline]]
         ] = deque()
         self._wakeup: Optional["asyncio.Future[None]"] = None
         self._task: Optional["asyncio.Task[None]"] = None
@@ -252,6 +272,7 @@ class QueryBatcher:
             "server.batches": 0,
             "server.batched_requests": 0,
             "server.batch_size_peak": 0,
+            "server.batch_skipped": 0,
         }
 
     @property
@@ -260,14 +281,28 @@ class QueryBatcher:
         everything store-touching serializes on one thread)."""
         return self._pool
 
-    async def submit(self, key: Hashable, payload: Any) -> Any:
+    async def submit(
+        self,
+        key: Hashable,
+        payload: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> Any:
         """Queue one request; resolves with its slice of the group
-        result (or raises what the group's execution raised)."""
+        result (or raises what the group's execution raised).
+
+        ``deadline`` is the request's remaining budget.  The group it
+        lands in executes under the *most patient* member's deadline
+        (``None`` if any member is unbounded), so one impatient request
+        can never abort a shared scan its batch peers still want — the
+        impatient request is cut loose individually (its caller times
+        out, its future is abandoned, its entry skipped if the group
+        has not started), while the scan runs on for the others.
+        """
         if self._closed:
             raise RuntimeError("batcher is closed")
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
-        self._pending.append((key, payload, future))
+        self._pending.append((key, payload, future, deadline))
         if self._task is None or self._task.done():
             self._task = loop.create_task(self._drain(loop))
         elif self._wakeup is not None and not self._wakeup.done():
@@ -294,20 +329,36 @@ class QueryBatcher:
             if not batch:
                 continue
             groups: Dict[
-                Hashable, List[Tuple[Any, "asyncio.Future[Any]"]]
+                Hashable,
+                List[Tuple[Any, "asyncio.Future[Any]", Optional[Deadline]]],
             ] = {}
-            for key, payload, future in batch:
-                groups.setdefault(key, []).append((payload, future))
+            for key, payload, future, deadline in batch:
+                if future.done():
+                    # The caller already gave up (deadline/timeout or a
+                    # dropped connection): its slot is released; do not
+                    # spend scan time on an answer nobody will read.
+                    self.stats["server.batch_skipped"] += 1
+                    continue
+                groups.setdefault(key, []).append(
+                    (payload, future, deadline)
+                )
             for key, items in groups.items():
-                payloads = [payload for payload, _ in items]
+                payloads = [payload for payload, _, _ in items]
                 self.stats["server.batches"] += 1
                 self.stats["server.batched_requests"] += len(items)
                 self.stats["server.batch_size_peak"] = max(
                     self.stats["server.batch_size_peak"], len(items)
                 )
+                group_deadline = _group_deadline(
+                    [deadline for _, _, deadline in items]
+                )
                 try:
                     results = await loop.run_in_executor(
-                        self._pool, self._execute, key, payloads
+                        self._pool,
+                        self._run_group,
+                        key,
+                        payloads,
+                        group_deadline,
                     )
                     if len(results) != len(items):
                         raise RuntimeError(
@@ -316,18 +367,30 @@ class QueryBatcher:
                             "requests"
                         )
                 except asyncio.CancelledError:
-                    for _, future in items:
+                    for _, future, _ in items:
                         if not future.done():
                             future.cancel()
                     raise
                 except BaseException as exc:
-                    for _, future in items:
+                    for _, future, _ in items:
                         if not future.done():
                             future.set_exception(exc)
                 else:
-                    for (_, future), result in zip(items, results):
+                    for (_, future, _), result in zip(items, results):
                         if not future.done():
                             future.set_result(result)
+
+    def _run_group(
+        self,
+        key: Hashable,
+        payloads: List[Any],
+        deadline: Optional[Deadline],
+    ) -> List[Any]:
+        """Worker-thread entry: arm the group deadline around the
+        shared execution so the cooperative checks deep in the scan and
+        scatter loops observe it."""
+        with deadline_scope(deadline):
+            return self._execute(key, payloads)
 
     def close(self) -> None:
         """Stop the drain loop and the worker thread; pending requests
@@ -340,7 +403,7 @@ class QueryBatcher:
         if self._task is not None:
             self._task.cancel()
         while self._pending:
-            _, _, future = self._pending.popleft()
+            _, _, future, _ = self._pending.popleft()
             if not future.done():
                 future.set_exception(RuntimeError("batcher closed"))
         self._pool.shutdown(wait=False)

@@ -216,16 +216,17 @@ class QueryClient:
         cols: Sequence[str],
         box: Sequence[Sequence[int]],
         retry: bool = True,
+        deadline_ms: Optional[float] = None,
     ) -> List[Tuple[Any, ...]]:
-        response = await self.request(
-            {
-                "op": "range",
-                "table": table,
-                "cols": list(cols),
-                "box": [list(pair) for pair in box],
-            },
-            retry=retry,
-        )
+        payload: Dict[str, Any] = {
+            "op": "range",
+            "table": table,
+            "cols": list(cols),
+            "box": [list(pair) for pair in box],
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        response = await self.request(payload, retry=retry)
         return [tuple(row) for row in response["rows"]]
 
     async def point_query(
@@ -234,16 +235,17 @@ class QueryClient:
         cols: Sequence[str],
         point: Sequence[int],
         retry: bool = True,
+        deadline_ms: Optional[float] = None,
     ) -> List[Tuple[Any, ...]]:
-        response = await self.request(
-            {
-                "op": "point",
-                "table": table,
-                "cols": list(cols),
-                "point": list(point),
-            },
-            retry=retry,
-        )
+        payload: Dict[str, Any] = {
+            "op": "point",
+            "table": table,
+            "cols": list(cols),
+            "point": list(point),
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        response = await self.request(payload, retry=retry)
         return [tuple(row) for row in response["rows"]]
 
     async def insert(
@@ -254,14 +256,18 @@ class QueryClient:
         )
 
     async def sql(
-        self, query: str, retry: bool = True
+        self,
+        query: str,
+        retry: bool = True,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """One SQL statement; the response is mode-discriminated:
         ``mode="rows"`` carries ``columns``/``rows``/``count``,
         ``mode="explain"``/``"analyze"`` carry ``text``."""
-        return await self.request(
-            {"op": "sql", "query": query}, retry=retry
-        )
+        payload: Dict[str, Any] = {"op": "sql", "query": query}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return await self.request(payload, retry=retry)
 
     async def commit(self) -> Optional[int]:
         return (await self.request({"op": "commit"}))["epoch"]

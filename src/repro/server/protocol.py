@@ -15,7 +15,9 @@ three shapes, discriminated by two keys:
 
 Requests may carry a client-chosen ``id``; the response echoes it, so
 clients can pipeline many requests on one connection and match answers
-out of order.  Ops:
+out of order.  Query ops may also carry ``deadline_ms``, a per-request
+budget: a request that cannot finish inside it answers a typed
+``deadline`` rejection instead of burning server time.  Ops:
 
 ======== ==========================================================
 ``ping``   liveness; answers ``{"ok": true, "pong": true, "epoch": E}``
@@ -41,12 +43,14 @@ from repro.core.geometry import Box
 __all__ = [
     "MAX_FRAME",
     "OPS",
+    "FrameError",
     "ProtocolError",
     "decode_frame",
     "encode_frame",
     "error_response",
     "ok_response",
     "parse_box",
+    "parse_deadline",
     "parse_point",
     "rejection_response",
     "validate_request",
@@ -65,6 +69,17 @@ class ProtocolError(ValueError):
     """A frame that cannot be parsed into a valid request."""
 
 
+class FrameError(ProtocolError):
+    """An *envelope*-level failure: undecodable JSON, an oversized
+    frame, a non-object payload, an unknown op, a malformed id.
+
+    These answer with a typed ``protocol_error`` (the frame never named
+    a meaningful operation), as opposed to plain :class:`ProtocolError`
+    operand failures, which answer ``bad_request`` — a known op with
+    bad arguments.  Neither ever drops the connection.
+    """
+
+
 def encode_frame(payload: Dict[str, Any]) -> bytes:
     """One JSON object as a newline-terminated frame."""
     return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
@@ -73,13 +88,13 @@ def encode_frame(payload: Dict[str, Any]) -> bytes:
 def decode_frame(line: bytes) -> Dict[str, Any]:
     """Parse one frame into a dict (the raw request/response object)."""
     if len(line) > MAX_FRAME:
-        raise ProtocolError(f"frame exceeds {MAX_FRAME} bytes")
+        raise FrameError(f"frame exceeds {MAX_FRAME} bytes")
     try:
         obj = json.loads(line)
     except ValueError as exc:
-        raise ProtocolError(f"not valid JSON: {exc}") from None
+        raise FrameError(f"not valid JSON: {exc}") from None
     if not isinstance(obj, dict):
-        raise ProtocolError("frame must be a JSON object")
+        raise FrameError("frame must be a JSON object")
     return obj
 
 
@@ -87,13 +102,26 @@ def validate_request(obj: Dict[str, Any]) -> Dict[str, Any]:
     """Check the envelope: a known ``op`` and a well-formed ``id``."""
     op = obj.get("op")
     if not isinstance(op, str) or op not in OPS:
-        raise ProtocolError(
+        raise FrameError(
             f"unknown op {op!r}; expected one of {sorted(OPS)}"
         )
     request_id = obj.get("id")
     if request_id is not None and not isinstance(request_id, (str, int)):
-        raise ProtocolError("id must be a string or integer")
+        raise FrameError("id must be a string or integer")
     return obj
+
+
+def parse_deadline(request: Dict[str, Any]) -> Optional[float]:
+    """The optional per-request budget: ``deadline_ms`` (a positive
+    number of milliseconds) as seconds, or ``None`` when absent."""
+    spec = request.get("deadline_ms")
+    if spec is None:
+        return None
+    if isinstance(spec, bool) or not isinstance(spec, (int, float)):
+        raise ProtocolError("deadline_ms must be a positive number")
+    if not spec > 0 or spec != spec or spec == float("inf"):
+        raise ProtocolError("deadline_ms must be a positive finite number")
+    return float(spec) / 1000.0
 
 
 def parse_box(spec: Any, ndims: int) -> Box:

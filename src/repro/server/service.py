@@ -29,27 +29,44 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.core.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    deadline_scope,
+)
 from repro.core.geometry import Box
 from repro.db.relation import VersionedRelation
+from repro.faults import CrashPoint, FaultInjector, register_site
 from repro.obs.trace import QueryTrace
 from repro.server.admission import AdmissionController, Rejection
 from repro.server.batching import QueryBatcher, batched_range_matches
+from repro.server.breaker import OverloadController
 from repro.server.protocol import (
+    FrameError,
     ProtocolError,
     error_response,
     ok_response,
     parse_box,
+    parse_deadline,
     parse_point,
     rejection_response,
     validate_request,
 )
 from repro.shard.executor import ResiliencePolicy
 
-__all__ = ["ClientState", "QueryService"]
+__all__ = ["ClientState", "QueryService", "SITE_DISPATCH"]
 
 Point = Tuple[int, ...]
+
+#: Failpoint at the head of batch execution (the worker thread): an
+#: ``error`` rule is a failing backend, ``latency`` a hung executor,
+#: ``crash`` a worker death the service must contain as one failed
+#: request (the real process-death path lives at ``shard.worker``).
+SITE_DISPATCH = register_site("server.dispatch", "point")
 
 #: Retain per-client served/rejected tallies for at most this many
 #: clients (oldest evicted) so the SERVER trace section stays bounded.
@@ -84,6 +101,10 @@ class QueryService:
         request_timeout: float = 5.0,
         policy: Optional[ResiliencePolicy] = None,
         use_fast: bool = True,
+        breaker: bool = True,
+        breaker_options: Optional[Dict[str, Any]] = None,
+        faults: Optional[FaultInjector] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.db = db
         self.admission = AdmissionController(
@@ -98,6 +119,18 @@ class QueryService:
         )
         self.request_timeout = request_timeout
         self.use_fast = use_fast
+        self.faults = faults
+        self._clock = clock
+        self.overload: Optional[OverloadController] = None
+        if breaker:
+            options = dict(breaker_options or {})
+            options.setdefault("policy", self.admission.policy)
+            options.setdefault("max_inflight", max_inflight)
+            options.setdefault("clock", clock)
+            options.setdefault("escalate", self._escalate_backend)
+            self.overload = OverloadController(**options)
+            # Shed hints become honest: queue depth over measured rate.
+            self.admission.retry_hint = self.overload.retry_after
         self._names = itertools.count(1)
         #: (index name, epoch) -> shared snapshot view.  Guarded by a
         #: lock: built lazily from either the loop or the worker thread.
@@ -116,6 +149,9 @@ class QueryService:
             "server.requests": 0,
             "server.served": 0,
             "server.errors": 0,
+            "server.deadline.armed": 0,
+            "server.deadline.expired": 0,
+            "server.deadline.scan_aborts": 0,
         }
         self._client_stats: Dict[str, Dict[str, int]] = {}
 
@@ -180,6 +216,8 @@ class QueryService:
         scatter-gather scan, then the O(matches) row filter per
         request — so each request costs a single executor handoff."""
         index_name, epoch = key  # type: ignore[misc]
+        if self.faults is not None:
+            self.faults.hit(SITE_DISPATCH, index=index_name)
         entry = self.db.catalog.index(index_name)
         target = (
             entry.tree if epoch is None else self._view_for(entry, epoch)
@@ -212,11 +250,21 @@ class QueryService:
             if isinstance(relation, VersionedRelation) and epoch is not None
             else relation.rows
         )
-        return [
-            row
-            for row in rows
-            if box.contains_point(db._coords(relation, row, cols))
-        ]
+        out: List[Tuple[Any, ...]] = []
+        for position, row in enumerate(rows):
+            if not position & 1023:
+                check_deadline("server.scan_rows")
+            if box.contains_point(db._coords(relation, row, cols)):
+                out.append(row)
+        return out
+
+    def _scoped(
+        self, fn: Callable[..., Any], deadline: Optional[Deadline], *args: Any
+    ) -> Any:
+        """Worker-thread entry for unbatched work: arm the request's
+        deadline so the cooperative checks in scan/gather loops see it."""
+        with deadline_scope(deadline):
+            return fn(*args)
 
     def _row_map(
         self, table: str, cols: Tuple[str, ...], epoch: int
@@ -273,6 +321,12 @@ class QueryService:
         try:
             request = validate_request(request)
             response = await self._dispatch(client, request)
+        except FrameError as exc:
+            # Envelope-level garbage (unknown op, malformed id): the
+            # frame never named a meaningful operation.
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            response = error_response("protocol_error", str(exc))
         except ProtocolError as exc:
             self.stats["server.errors"] += 1
             self._tally(client, "errors")
@@ -286,6 +340,15 @@ class QueryService:
             self.stats["server.errors"] += 1
             self._tally(client, "errors")
             response = error_response("not_found", str(exc))
+        except asyncio.CancelledError:
+            raise
+        except CrashPoint as exc:
+            # An injected worker death at a server dispatch site is
+            # contained as one failed request — the process (and every
+            # other connection) keeps serving.
+            self.stats["server.errors"] += 1
+            self._tally(client, "errors")
+            response = error_response("internal", f"CrashPoint: {exc}")
         except Exception as exc:  # terminal, but never a crashed server
             self.stats["server.errors"] += 1
             self._tally(client, "errors")
@@ -346,24 +409,60 @@ class QueryService:
             box = parse_box(request.get("box"), self.db.grid.ndims)
         return table, cols, box
 
+    def _request_deadline(
+        self, request: Dict[str, Any]
+    ) -> Tuple[Deadline, bool]:
+        """Every request runs on a budget: the client's ``deadline_ms``
+        when given (capped at the server's ``request_timeout``), the
+        server's ``request_timeout`` otherwise.  Returns the armed
+        deadline and whether it was client-chosen (which decides the
+        rejection's wire reason: ``deadline`` vs ``timeout``)."""
+        budget = parse_deadline(request)
+        explicit = budget is not None
+        if explicit:
+            self.stats["server.deadline.armed"] += 1
+            budget = min(budget, self.request_timeout)
+        else:
+            budget = self.request_timeout
+        return Deadline(budget, clock=self._clock), explicit
+
+    def _expired_rejection(
+        self, explicit: bool, cooperative: bool = False
+    ) -> Dict[str, Any]:
+        """The typed answer for a request whose budget ran out during
+        execution — its slot is released, its batch peers unharmed."""
+        self.stats["server.deadline.expired"] += 1
+        if cooperative:
+            self.stats["server.deadline.scan_aborts"] += 1
+        if explicit:
+            return rejection_response(
+                "deadline",
+                "request deadline exceeded during execution; "
+                "slot released",
+                retry_after=self.admission.policy.backoff(0),
+            )
+        return rejection_response(
+            "timeout",
+            f"query exceeded {self.request_timeout}s; slot released",
+            retry_after=self.admission.policy.backoff(1),
+        )
+
     async def _handle_query(
         self, client: ClientState, request: Dict[str, Any]
     ) -> Dict[str, Any]:
         table, cols, box = self._query_target(request)
+        deadline, explicit = self._request_deadline(request)
         self.db.catalog.relation(table)  # raise not_found early
-        async with self.admission.slot(client.name):
+        async with self.admission.slot(client.name, deadline):
             try:
                 rows = await asyncio.wait_for(
-                    self._run_query(client, table, cols, box),
-                    timeout=self.request_timeout,
+                    self._run_query(client, table, cols, box, deadline),
+                    timeout=max(deadline.remaining(), 0.001),
                 )
             except asyncio.TimeoutError:
-                return rejection_response(
-                    "timeout",
-                    f"query exceeded {self.request_timeout}s; "
-                    "slot released",
-                    retry_after=self.admission.policy.backoff(1),
-                )
+                return self._expired_rejection(explicit)
+            except DeadlineExceeded:
+                return self._expired_rejection(explicit, cooperative=True)
         return ok_response(
             rows=[list(row) for row in rows],
             count=len(rows),
@@ -376,6 +475,7 @@ class QueryService:
         table: str,
         cols: Tuple[str, ...],
         box: Box,
+        deadline: Optional[Deadline] = None,
     ) -> List[Tuple[Any, ...]]:
         db = self.db
         epoch = client.epoch
@@ -388,15 +488,51 @@ class QueryService:
             # event loop (and serialized with batch execution).
             return await loop.run_in_executor(
                 self.batcher.pool,
+                self._scoped,
                 self._scan_rows,
+                deadline,
                 table,
                 cols,
                 box,
                 epoch,
             )
-        return await self.batcher.submit(
-            (entry.index_name, epoch), (box, table, cols)
+        return await self._guarded_submit(
+            entry.index_name,
+            (entry.index_name, epoch),
+            (box, table, cols),
+            deadline,
         )
+
+    async def _guarded_submit(
+        self,
+        backend: str,
+        key: Hashable,
+        payload: Any,
+        deadline: Optional[Deadline],
+    ) -> Any:
+        """Batch submission under the backend's circuit breaker: an
+        open circuit sheds before any work is queued; every outcome
+        (and its latency) feeds the health window.  A request's own
+        expiry is *not* a backend failure and never trips the breaker."""
+        overload = self.overload
+        if overload is not None:
+            overload.check(backend, queue_depth=self.admission.queue_depth)
+        started = self._clock()
+        try:
+            result = await self.batcher.submit(key, payload, deadline)
+        except (asyncio.CancelledError, DeadlineExceeded):
+            raise
+        except BaseException:  # CrashPoint included: a dead backend
+            if overload is not None:
+                overload.record(
+                    backend, False, max(0.0, self._clock() - started)
+                )
+            raise
+        if overload is not None:
+            overload.record(
+                backend, True, max(0.0, self._clock() - started)
+            )
+        return result
 
     async def _handle_sql(
         self, client: ClientState, request: Dict[str, Any]
@@ -427,19 +563,17 @@ class QueryService:
                 text=compiled.explain(client.session),
                 epoch=client.epoch,
             )
-        async with self.admission.slot(client.name):
+        deadline, explicit = self._request_deadline(request)
+        async with self.admission.slot(client.name, deadline):
             try:
                 out = await asyncio.wait_for(
-                    self._run_sql(client, compiled),
-                    timeout=self.request_timeout,
+                    self._run_sql(client, compiled, deadline),
+                    timeout=max(deadline.remaining(), 0.001),
                 )
             except asyncio.TimeoutError:
-                return rejection_response(
-                    "timeout",
-                    f"query exceeded {self.request_timeout}s; "
-                    "slot released",
-                    retry_after=self.admission.policy.backoff(1),
-                )
+                return self._expired_rejection(explicit)
+            except DeadlineExceeded:
+                return self._expired_rejection(explicit, cooperative=True)
         if compiled.statement.mode == "analyze":
             return ok_response(
                 mode="analyze", text=out, epoch=client.epoch
@@ -452,13 +586,20 @@ class QueryService:
             epoch=client.epoch,
         )
 
-    async def _run_sql(self, client: ClientState, compiled: Any) -> Any:
+    async def _run_sql(
+        self,
+        client: ClientState,
+        compiled: Any,
+        deadline: Optional[Deadline] = None,
+    ) -> Any:
         loop = asyncio.get_running_loop()
         epoch = client.epoch
         if compiled.statement.mode == "analyze":
             return await loop.run_in_executor(
                 self.batcher.pool,
+                self._scoped,
                 compiled.explain_analyze,
+                deadline,
                 client.session,
             )
         window = compiled.batch_window()
@@ -468,12 +609,19 @@ class QueryService:
             if entry is not None and not (
                 epoch is not None and entry.born_epoch > epoch
             ):
-                rows = await self.batcher.submit(
-                    (entry.index_name, epoch), (box, table, cols)
+                rows = await self._guarded_submit(
+                    entry.index_name,
+                    (entry.index_name, epoch),
+                    (box, table, cols),
+                    deadline,
                 )
                 return compiled.finish_rows(rows)
         return await loop.run_in_executor(
-            self.batcher.pool, compiled.run, client.session
+            self.batcher.pool,
+            self._scoped,
+            compiled.run,
+            deadline,
+            client.session,
         )
 
     def _handle_insert(
@@ -507,6 +655,31 @@ class QueryService:
         self._prune_views()
         return ok_response(epoch=epoch)
 
+    # -- overload escalation ---------------------------------------------
+
+    def _escalate_backend(self, key: str, opens: int) -> None:
+        """A breaker that keeps re-opening wants structural help, not
+        more probes: first force the index's scatter pool to rebuild
+        (dead workers), and if the circuit trips again, degrade the
+        store to serial execution — the strategy that cannot lose a
+        worker — per the admission policy's ``degrade_serial``."""
+        try:
+            entry = self.db.catalog.index(key)
+        except KeyError:
+            return
+        tree = entry.tree
+        threshold = (
+            self.overload.escalate_after if self.overload is not None else 2
+        )
+        if opens <= threshold:
+            reset = getattr(tree, "reset_executor", None)
+            if reset is not None and reset():
+                return
+        if self.admission.policy.degrade_serial:
+            degrade = getattr(tree, "degrade_to_serial", None)
+            if degrade is not None:
+                degrade()
+
     # -- stats and the SERVER trace section ------------------------------
 
     def cache_counters(self) -> Dict[str, int]:
@@ -528,6 +701,8 @@ class QueryService:
                 **self.batcher.counters(),
             }
         }
+        if self.overload is not None:
+            sections["breaker"] = self.overload.counters()
         cache = self.cache_counters()
         if cache:
             sections["cache"] = cache

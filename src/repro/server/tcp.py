@@ -7,6 +7,32 @@ frames.  Requests are processed concurrently — a client may pipeline —
 with responses matched by the echoed ``id`` and serialized through a
 per-connection write lock.
 
+Framing is done by an explicit :class:`_FrameStream` rather than
+``StreamReader.readline`` so a hostile or broken peer cannot take the
+connection down: an **oversized frame** answers one typed
+``protocol_error`` response, the offending bytes are discarded through
+the next newline, and the connection keeps serving (``readline``'s
+``LimitOverrunError`` leaves the buffer unrecoverable, which is why the
+old code had to drop the connection).
+
+Two failpoint sites make the transport chaos-testable
+(:mod:`repro.faults`):
+
+* ``server.frame_read`` (read) — ``short_read`` tears an inbound frame,
+  ``bit_flip`` corrupts it into undecodable JSON (both answered as
+  ``protocol_error``, never a crash), ``latency`` stalls a slow client,
+  ``error`` breaks the connection;
+* ``server.frame_write`` (write) — ``torn_write`` writes a response
+  prefix then aborts the transport (a disconnect mid-frame),
+  ``bit_flip`` corrupts the response on the wire, ``error`` fails the
+  send.
+
+At these *connection*-scoped sites a :class:`~repro.faults.CrashPoint`
+means "this connection dies", never "the process dies": the handler's
+unconditional teardown still runs, so the session pin, admission slots
+and batch memberships are released exactly as for a real dropped peer
+(``tests/test_chaos_serve.py`` sweeps this under seeded schedules).
+
 Teardown is unconditional: whether the client said goodbye, the socket
 broke mid-frame, or the connection was killed outright, the handler's
 ``finally`` cancels in-flight tasks and disconnects the client, closing
@@ -23,6 +49,12 @@ import contextlib
 import socket
 from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.faults import (
+    CrashPoint,
+    FaultError,
+    FaultInjector,
+    register_site,
+)
 from repro.server.protocol import (
     MAX_FRAME,
     ProtocolError,
@@ -32,7 +64,65 @@ from repro.server.protocol import (
 )
 from repro.server.service import ClientState, QueryService
 
-__all__ = ["QueryServer", "serve"]
+__all__ = ["QueryServer", "SITE_FRAME_READ", "SITE_FRAME_WRITE", "serve"]
+
+#: Inbound frame bytes (reads off the socket).
+SITE_FRAME_READ = register_site("server.frame_read", "read")
+#: Outbound response bytes (writes to the socket).
+SITE_FRAME_WRITE = register_site("server.frame_write", "write")
+
+#: Socket read granularity for the frame stream.
+_READ_CHUNK = 64 * 1024
+
+
+class _FrameOverflow(Exception):
+    """An inbound line exceeded ``MAX_FRAME`` — report and recover."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(f"frame exceeds {MAX_FRAME} bytes ({size}+ read)")
+
+
+class _FrameStream:
+    """Newline framing over raw reads, with bounded buffering and
+    overflow *recovery* (skip to the next newline, keep serving)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self._reader = reader
+        self._faults = faults
+        self._buf = bytearray()
+        self._discarding = False
+
+    async def next_frame(self) -> Optional[bytes]:
+        """The next complete line (without the newline), ``None`` at
+        EOF, or :class:`_FrameOverflow` once per oversized line (the
+        stream then discards through the terminating newline)."""
+        while True:
+            newline = self._buf.find(b"\n")
+            if self._discarding:
+                if newline >= 0:
+                    del self._buf[: newline + 1]
+                    self._discarding = False
+                    continue
+                self._buf.clear()
+            elif newline >= 0:
+                line = bytes(self._buf[:newline])
+                del self._buf[: newline + 1]
+                return line
+            elif len(self._buf) > MAX_FRAME:
+                self._discarding = True
+                raise _FrameOverflow(len(self._buf))
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                return None
+            if self._faults is not None:
+                chunk = self._faults.filter_read(
+                    SITE_FRAME_READ, chunk, size=len(chunk)
+                )
+            self._buf += chunk
 
 
 class QueryServer:
@@ -43,10 +133,12 @@ class QueryServer:
         service: QueryService,
         host: str = "127.0.0.1",
         port: int = 0,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.faults = faults
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: Set["asyncio.Task[None]"] = set()
 
@@ -103,19 +195,36 @@ class QueryServer:
         client = self.service.connect(name)
         requests: Set["asyncio.Task[None]"] = set()
         write_lock = asyncio.Lock()
+        stream = _FrameStream(reader, self.faults)
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    line = await stream.next_frame()
+                except _FrameOverflow as exc:
+                    # Answer once, drop the oversized bytes, keep the
+                    # connection: an overlong line is the peer's bug,
+                    # not grounds for losing its session.
+                    self.service.stats["server.errors"] += 1
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response("protocol_error", str(exc)),
+                    )
+                    continue
                 except (
                     asyncio.IncompleteReadError,
                     ConnectionError,
-                    asyncio.LimitOverrunError,
+                    FaultError,
+                    OSError,
                 ):
                     break
-                if not line:
+                except CrashPoint:
+                    # Injected connection death: the peer vanished
+                    # mid-read.  Teardown below releases everything.
                     break
-                if line.strip() == b"":
+                if line is None:
+                    break
+                if not line.strip():
                     continue
                 subtask = asyncio.create_task(
                     self._process(client, line, writer, write_lock)
@@ -148,23 +257,54 @@ class QueryServer:
         try:
             request = decode_frame(line)
         except ProtocolError as exc:
+            # Envelope-level garbage (byte soup, non-object JSON):
+            # typed answer, connection survives.
+            self.service.stats["server.errors"] += 1
             response: Dict[str, Any] = error_response(
-                "bad_request", str(exc)
+                "protocol_error", str(exc)
             )
         else:
             response = await self.service.handle_request(client, request)
+        await self._send(writer, write_lock, response)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Dict[str, Any],
+    ) -> None:
+        payload = encode_frame(response)
         try:
             async with write_lock:
-                writer.write(encode_frame(response))
+                if self.faults is not None:
+                    self.faults.do_write(
+                        SITE_FRAME_WRITE,
+                        writer.write,
+                        payload,
+                        size=len(payload),
+                    )
+                else:
+                    writer.write(payload)
                 await writer.drain()
-        except (ConnectionError, RuntimeError):
+        except (ConnectionError, RuntimeError, FaultError):
             # The client went away mid-answer; the connection loop's
             # teardown releases everything.
             pass
+        except CrashPoint:
+            # torn_write / crash at the frame-write site: the response
+            # is torn mid-frame and the connection dies — from the
+            # peer's side, a server that hung up mid-sentence.  Abort
+            # the transport so the read loop sees EOF and tears down.
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
 
 
 async def serve(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    faults: Optional[FaultInjector] = None,
 ) -> QueryServer:
     """Start a :class:`QueryServer` and return it (bound, accepting)."""
-    return await QueryServer(service, host, port).start()
+    return await QueryServer(service, host, port, faults=faults).start()

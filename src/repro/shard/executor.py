@@ -72,6 +72,11 @@ from typing import (
     Tuple,
 )
 
+from repro.core.deadline import (
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+)
 from repro.faults import CrashPoint, FaultInjector, register_site
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -327,13 +332,20 @@ class SerialExecutor(ShardExecutor):
         for index, call in enumerate(calls):
             attempt = 0
             while True:
+                check_deadline("shard.scatter")
                 try:
                     results[index] = _run_shard_call(store, call)
                     break
+                except DeadlineExceeded:
+                    # A cooperative abort inside the shard call is the
+                    # caller's budget speaking, not a shard failure —
+                    # never retried, never degraded.
+                    raise
                 except Exception as exc:
                     if attempt >= policy.max_retries:
                         pending[index] = exc
                         break
+                    check_deadline("shard.scatter")
                     time.sleep(policy.backoff(attempt))
                     attempt += 1
                     stats.retries += 1
@@ -381,21 +393,42 @@ class _PoolExecutorBase(ShardExecutor):
         ]
         attempts = [0] * len(calls)
         pending: Dict[int, BaseException] = {}
+        deadline = current_deadline()
         for index, call in enumerate(calls):
             while True:
-                try:
-                    results[index] = futures[index].result(
-                        timeout=policy.timeout
+                wait = policy.timeout
+                if deadline is not None:
+                    # A gather that outlives its request's budget is
+                    # wasted work: bound the wait by whichever is
+                    # tighter, the policy's hang detector or the
+                    # caller's remaining budget.
+                    deadline.check("shard.scatter")
+                    remaining = deadline.remaining()
+                    wait = (
+                        remaining if wait is None else min(wait, remaining)
                     )
+                try:
+                    results[index] = futures[index].result(timeout=wait)
                     break
                 except Exception as exc:
                     if isinstance(exc, (BrokenExecutor, FutureTimeoutError)):
                         # Dead or hung worker: the pool itself is
                         # suspect, not just this call.
                         self._note_broken()
+                    if (
+                        deadline is not None
+                        and deadline.expired()
+                        and isinstance(exc, FutureTimeoutError)
+                    ):
+                        # The wait above was cut short by the request
+                        # budget, not a hung worker — surface the
+                        # deadline, don't burn retries.
+                        deadline.check("shard.scatter")
                     if attempts[index] >= policy.max_retries:
                         pending[index] = exc
                         break
+                    if deadline is not None:
+                        deadline.check("shard.scatter")
                     time.sleep(policy.backoff(attempts[index]))
                     attempts[index] += 1
                     stats.retries += 1

@@ -43,6 +43,7 @@ from typing import (
     Union,
 )
 
+from repro.core.deadline import check_deadline
 from repro.core.fastz import DecomposeCache
 from repro.core.geometry import Box, ClassifyFn, Grid
 from repro.core.rangesearch import MergeStats
@@ -85,6 +86,9 @@ def gather_in_z_order(
     heapq.heapify(heap)
     out: List[Any] = []
     while heap:
+        # One checkpoint per stream: a gather over many shards aborts
+        # cooperatively when the requesting client's budget is spent.
+        check_deadline("shard.gather")
         _, i = heapq.heappop(heap)
         out.extend(streams[i])
     return tuple(out)
@@ -304,6 +308,26 @@ class ShardedSpatialStore:
         self._executor = self._coerce_executor(executor)
         if previous is not self._executor:
             previous.close()
+
+    def reset_executor(self) -> bool:
+        """Mark the scatter pool suspect so it rebuilds on next use —
+        the overload controller's first escalation rung (a pool with
+        dead or wedged workers gets fresh ones without changing
+        strategy).  Returns whether the executor supports it."""
+        note = getattr(self._executor, "_note_broken", None)
+        if note is None:
+            return False
+        note()
+        return True
+
+    def degrade_to_serial(self) -> bool:
+        """Swap to the serial scatter strategy — the escalation of last
+        resort: byte-identical answers with no pool left to break.
+        Returns ``True`` if a swap happened."""
+        if self._executor.kind == "serial":
+            return False
+        self.set_executor("serial")
+        return True
 
     def shard_sizes(self) -> List[int]:
         return [len(shard) for shard in self.shards]

@@ -1,0 +1,41 @@
+"""The chaos-serve sweep: seeded fault storms against the live server.
+
+Each episode (see :mod:`repro.server.chaos`) must end with the server
+available, every surviving answer byte-identical to the pre-computed
+reference, and zero slot/pin/COW residue.  A 3-seed smoke runs in
+tier 1; the full sweep (20 seeds, the acceptance bar) is marked
+``slow`` and runs nightly alongside the crash matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.chaos import run_chaos_episode
+
+pytestmark = pytest.mark.chaos
+
+SMOKE_SEEDS = (1, 2, 3)
+FULL_SEEDS = tuple(range(1, 21))
+
+
+def _assert_episode(seed: int, **kwargs) -> None:
+    report = run_chaos_episode(seed, **kwargs)
+    assert report.passed, report.summary()
+    assert report.requests > 0
+    assert report.mismatches == 0
+    assert report.available
+    assert all(v == 0 for v in report.leaks.values())
+
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_chaos_episode_smoke(seed):
+    # Reduced storm so the smoke stays inside the tier-1 budget; the
+    # full-strength episodes run in the nightly sweep below.
+    _assert_episode(seed, npoints=200, nreaders=3, nrequests=10, nrules=6)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", FULL_SEEDS)
+def test_chaos_episode_full_sweep(seed):
+    _assert_episode(seed)

@@ -1,0 +1,140 @@
+"""Property fuzzing for the frame codec and deadline arithmetic.
+
+Two surfaces where hostile or degenerate inputs must never escape the
+typed taxonomy:
+
+* the frame codec — arbitrary byte soup either decodes to a dict or
+  raises :class:`ProtocolError` (the `FrameError` subclass for
+  envelope failures); nothing else ever escapes, and well-formed
+  frames round-trip exactly;
+* deadline arithmetic — any float budget (NaN, infinities, negatives)
+  saturates into ``[0, MAX_BUDGET]``, ``remaining()`` never goes
+  negative at any clock value, and ``expired()`` agrees with
+  ``remaining() == 0``.
+
+Example counts stay modest: this file runs in tier 1 on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline import MAX_BUDGET, Deadline, DeadlineExceeded
+from repro.server.protocol import (
+    FrameError,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    parse_deadline,
+)
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=512))
+def test_decode_frame_total_over_byte_soup(blob):
+    """Any byte soup: a dict out or ProtocolError — never another
+    exception type, never a crash."""
+    try:
+        out = decode_frame(blob)
+    except ProtocolError:
+        return
+    assert isinstance(out, dict)
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.dictionaries(st.text(max_size=10), json_values, max_size=5))
+def test_encode_decode_round_trip(payload):
+    frame = encode_frame(payload)
+    assert frame.endswith(b"\n")
+    assert frame.count(b"\n") == 1  # framing invariant: one line
+    assert decode_frame(frame[:-1]) == json.loads(json.dumps(payload))
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_values)
+def test_parse_deadline_total(spec):
+    """Any JSON value in deadline_ms: a positive finite float (in
+    seconds) out, or ProtocolError — and FrameError is never used for
+    an operand failure."""
+    try:
+        out = parse_deadline({"deadline_ms": spec})
+    except ProtocolError as exc:
+        assert not isinstance(exc, FrameError)
+        return
+    if out is None:
+        assert spec is None
+        return
+    assert isinstance(out, float)
+    assert out > 0.0
+    assert math.isfinite(out)
+
+
+# ----------------------------------------------------------------------
+# Deadline arithmetic
+# ----------------------------------------------------------------------
+
+any_float = st.floats(allow_nan=True, allow_infinity=True)
+finite_clock = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(budget=any_float, start=finite_clock, elapsed=any_float)
+def test_deadline_arithmetic_saturates(budget, start, elapsed):
+    now = [start]
+    d = Deadline(budget, clock=lambda: now[0])
+    assert 0.0 <= d.budget <= MAX_BUDGET
+    # remaining() never negative, never above the clamped budget (up
+    # to one rounding ulp of the absolute expiry).
+    slack = 2.0 * math.ulp(abs(d.expires_at) + 1.0)
+    assert 0.0 <= d.remaining() <= d.budget + slack
+    # Jump the clock anywhere (including NaN/inf deltas): remaining
+    # still never goes negative and never raises.
+    if elapsed == elapsed:  # NaN clock deltas are not a real clock
+        now[0] = start + elapsed
+    remaining = d.remaining()
+    assert remaining >= 0.0
+    if d.expired():
+        assert remaining == 0.0
+        try:
+            d.check("fuzz")
+            raise AssertionError("expired deadline must raise on check")
+        except DeadlineExceeded as exc:
+            assert exc.site == "fuzz"
+    else:
+        d.check("fuzz")  # must not raise
+
+
+@settings(max_examples=200, deadline=None)
+@given(budget=st.floats(min_value=1e-6, max_value=1e6), start=finite_clock)
+def test_deadline_expires_exactly_at_budget(budget, start):
+    # A budget below the clock's float resolution at this magnitude
+    # legitimately rounds to instant expiry; skip those.
+    assume(start + budget > start)
+    now = [start]
+    d = Deadline(budget, clock=lambda: now[0])
+    assert not d.expired()
+    now[0] = start + d.budget
+    assert d.expired()
+    assert d.remaining() == 0.0

@@ -202,7 +202,10 @@ def test_protocol_and_lookup_errors_are_typed():
             ) as client:
                 with pytest.raises(ServerError) as excinfo:
                     await client.request({"op": "explode"})
-                assert excinfo.value.error_type == "bad_request"
+                # An unknown op never named a meaningful operation:
+                # that is an envelope-level (protocol) error, not a
+                # bad operand.
+                assert excinfo.value.error_type == "protocol_error"
                 with pytest.raises(ServerError) as excinfo:
                     await client.range_query(
                         "nope", ("x", "y"), [[0, 1], [0, 1]]
