@@ -1,0 +1,167 @@
+"""k-NN and epsilon cross-matching at astronomy scale.
+
+Runs the sky-survey workload of :mod:`repro.workloads.sky` through the
+proximity operators:
+
+* **k-NN** — shifted-ordering ``knn`` in exact mode over every query
+  center, checked byte-for-byte against the tree's own doubling-radius
+  ``nearest_neighbours`` (the refinement pass makes recall 1.0 a
+  structural guarantee; the gate still measures it);
+* **epsilon join** — the Zones sweep against the exhaustive nested
+  loop on one cross-match catalog pair (identical pairs required), with
+  the wall-clock speedup gated.
+
+Usable two ways:
+
+* under pytest-benchmark (smoke-sized, correctness asserted);
+* as a standalone script for CI gating::
+
+      PYTHONPATH=src python benchmarks/bench_knn_zones.py --smoke
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.geometry import Grid
+from repro.proximity import knn, zmerge_epsilon_join
+from repro.proximity import nested_epsilon_join, zones_epsilon_join
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads import cross_match_catalogs, knn_workload
+
+DEPTH = 10  # 1024 x 1024 sky
+K = 8
+EPS = 3.0
+
+
+def run(npoints: int, nqueries: int, k: int = K, eps: float = EPS):
+    """Build the two-epoch sky and measure both operators.
+
+    Returns a dict with the k-NN recall, per-strategy join times, the
+    zones speedup over the nested loop, and the pair counts (which must
+    agree exactly across strategies).
+    """
+    grid = Grid(2, DEPTH)
+    primary, secondary = cross_match_catalogs(
+        grid, npoints, scatter=2, seed=3
+    )
+    tree = ZkdTree(grid, page_capacity=32)
+    tree.bulk_load(set(primary.points))
+    centers = knn_workload(grid, primary, nqueries, seed=4)
+
+    t0 = time.perf_counter()
+    answers = [knn(tree, grid, c, k, mode="exact") for c in centers]
+    knn_time = time.perf_counter() - t0
+    exact = [tree.nearest_neighbours(c, k) for c in centers]
+    hits = sum(1 for got, want in zip(answers, exact) if got == want)
+    recall = hits / len(centers) if centers else 1.0
+
+    pts_a, pts_b = list(primary.points), list(secondary.points)
+    t0 = time.perf_counter()
+    zones_pairs = zones_epsilon_join(pts_a, pts_b, eps)
+    zones_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    zmerge_pairs = zmerge_epsilon_join(grid, pts_a, pts_b, eps)
+    zmerge_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    nested_pairs = nested_epsilon_join(pts_a, pts_b, eps)
+    nested_time = time.perf_counter() - t0
+
+    return {
+        "npoints": npoints,
+        "nqueries": nqueries,
+        "recall": recall,
+        "knn_time": knn_time,
+        "zones_time": zones_time,
+        "zmerge_time": zmerge_time,
+        "nested_time": nested_time,
+        "speedup": nested_time / zones_time if zones_time else float("inf"),
+        "pairs": len(zones_pairs),
+        "pairs_match": zones_pairs == nested_pairs == zmerge_pairs,
+    }
+
+
+# ---------------------------------------------------------------------
+# pytest-benchmark entry points (smoke-sized, correctness asserted)
+# ---------------------------------------------------------------------
+
+
+def test_knn_zones_smoke(benchmark, results_dir):
+    from conftest import save_result
+
+    stats = benchmark.pedantic(
+        lambda: run(npoints=800, nqueries=30), rounds=1, iterations=1
+    )
+    save_result(
+        results_dir,
+        "knn_zones.txt",
+        "\n".join(
+            f"{key}: {value}" for key, value in sorted(stats.items())
+        ),
+    )
+    assert stats["recall"] == 1.0
+    assert stats["pairs_match"]
+
+
+# ---------------------------------------------------------------------
+# CLI entry point (CI gate)
+# ---------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small catalogs + relaxed speedup floor, for CI runs",
+    )
+    parser.add_argument("--points", type=int, default=6000)
+    parser.add_argument("--queries", type=int, default=60)
+    args = parser.parse_args(argv)
+    notes = []
+    if args.smoke:
+        npoints, nqueries, floor = 1200, 25, 1.2
+        notes.append(
+            "smoke mode: 1200-point catalogs, speedup floor relaxed "
+            "to 1.2x (full run gates 1.5x)"
+        )
+    else:
+        npoints, nqueries, floor = args.points, args.queries, 1.5
+    from gates import gate
+
+    stats = run(npoints=npoints, nqueries=nqueries)
+    print(
+        f"{'catalog':>10} {'recall':>7} {'zones':>9} {'z-merge':>9} "
+        f"{'nested':>9} {'speedup':>8} {'pairs':>7}"
+    )
+    print(
+        f"{stats['npoints']:>10} {stats['recall']:>7.3f} "
+        f"{stats['zones_time']:>8.2f}s {stats['zmerge_time']:>8.2f}s "
+        f"{stats['nested_time']:>8.2f}s {stats['speedup']:>7.1f}x "
+        f"{stats['pairs']:>7}"
+    )
+    return gate(
+        "knn-zones",
+        [
+            (
+                stats["recall"] == 1.0,
+                f"exact-mode k-NN recall {stats['recall']:.3f} "
+                "(floor 1.0)",
+            ),
+            (
+                stats["pairs_match"],
+                "zones == z-merge == nested-loop pairs "
+                f"({stats['pairs']})",
+            ),
+            (
+                stats["speedup"] >= floor,
+                f"zones speedup {stats['speedup']:.1f}x over "
+                f"nested-loop (floor {floor}x)",
+            ),
+        ],
+        notes=notes,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

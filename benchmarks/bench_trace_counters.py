@@ -323,6 +323,36 @@ def collect(depth=DEPTH, npoints=NPOINTS, nobjects=NOBJECTS,
     fold("shard", t.total_counters())
     store.close()
 
+    # The proximity operators: a k-NN sweep over the shifted orderings
+    # and one epsilon cross-match per join strategy.  Their counters
+    # already carry the ``knn.`` / ``zones.`` prefixes, so they merge
+    # unprefixed — new baseline sections, existing keys untouched.
+    from repro.proximity import (
+        knn as knn_search,
+        nested_epsilon_join,
+        zmerge_epsilon_join,
+        zones_epsilon_join,
+    )
+    from repro.storage.prefix_btree import ZkdTree
+    from repro.workloads import cross_match_catalogs, knn_workload
+
+    primary, secondary = cross_match_catalogs(grid, 400, seed=seed + 3)
+    tree = ZkdTree(grid, page_capacity=capacity)
+    tree.bulk_load(sorted(set(primary.points)))
+    pts_a, pts_b = list(primary.points), list(secondary.points)
+    with trace("proximity") as t:
+        for center in knn_workload(grid, primary, 8, seed=seed + 4):
+            knn_search(tree, grid, center, 8)
+        zones_epsilon_join(pts_a, pts_b, 2.5)
+        zmerge_epsilon_join(grid, pts_a, pts_b, 2.5)
+        nested_epsilon_join(pts_a, pts_b, 2.5)
+    for key, value in t.total_counters().items():
+        # Keep only the operator families; the refinement box queries
+        # also publish raw storage counters, which the ``range.`` fold
+        # already gates in its own workload.
+        if key.startswith(("knn.", "zones.")):
+            counters[key] = counters.get(key, 0) + value
+
     # The serving lifecycle on a step clock: deadline and breaker
     # counters land in the same baseline as the operator counters.
     counters.update(collect_server(depth=depth, capacity=capacity,

@@ -635,6 +635,23 @@ def _cmd_sql(args, out) -> int:
                 for y in (rng.randrange(side - extent),)
             ],
         )
+    # A second point catalog — a displaced re-observation of ``points``
+    # — so the WITHIN epsilon-join examples have a partner table.
+    db.create_table(
+        "points2", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    db.insert_many(
+        "points2",
+        [
+            (
+                f"q{i}",
+                min(side - 1, max(0, x + rng.randint(-2, 2))),
+                min(side - 1, max(0, y + rng.randint(-2, 2))),
+            )
+            for i, (x, y) in enumerate(dataset.points)
+        ],
+    )
+    db.create_index("points2_xy", "points2", ("x", "y"))
 
     def run_one(target=None):
         """→ (mode, relation-or-None, text-or-None)."""

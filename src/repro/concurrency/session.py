@@ -31,6 +31,31 @@ Point = Tuple[int, ...]
 Row = Tuple[Any, ...]
 
 
+class _RowStore:
+    """A snapshot's visible coordinate set as a minimal point store —
+    just enough surface (``points`` / ``range_query`` / ``__len__``) for
+    the k-NN operator when no snapshot-visible index exists."""
+
+    class _Result:
+        def __init__(self, matches: List[Point]) -> None:
+            self.matches = matches
+
+    def __init__(self, grid: "Any", points: List[Point]) -> None:
+        self._grid = grid
+        self._points = points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def points(self) -> List[Point]:
+        return list(self._points)
+
+    def range_query(self, box: Box) -> "_RowStore._Result":
+        return self._Result(
+            [p for p in self._points if box.contains_point(p)]
+        )
+
+
 class Session:
     """One client's consistent view of a :class:`~repro.db.database.
     SpatialDatabase` built with ``concurrency=True``.
@@ -227,6 +252,105 @@ class Session:
             ):
                 out.insert(row)
         return out
+
+    def knn_query(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        center: Sequence[int],
+        k: int = 1,
+        mode: str = "exact",
+    ) -> Relation:
+        """The ``k`` visible rows nearest ``center`` at the snapshot.
+
+        Runs the shifted-ordering k-NN operator of
+        :mod:`repro.proximity` over the frozen snapshot view when a
+        matching index predates the pin; otherwise over the visible row
+        set directly (same operator, same answer — the candidates and
+        the refinement box query just come from different stores).
+        """
+        self._check_open()
+        from repro.proximity import knn as knn_points
+
+        db = self._db
+        relation = db.catalog.relation(table)
+        cols = tuple(coord_cols)
+        rows = self._visible_rows(relation)
+        view = self._index_view(table, cols)
+        if view is None:
+            # Index missing or younger than the snapshot: wrap the
+            # visible coordinate multiset in a minimal point store.
+            view = _RowStore(
+                db.grid,
+                sorted(
+                    {db._coords(relation, row, cols) for row in rows},
+                    key=lambda p: db.grid.zvalue(p).bits,
+                ),
+            )
+        ranked = knn_points(view, db.grid, center, k, mode=mode)
+        rank = {point: i for i, point in enumerate(ranked)}
+        out = sorted(
+            (
+                row
+                for row in rows
+                if db._coords(relation, row, cols) in rank
+            ),
+            key=lambda row: rank[db._coords(relation, row, cols)],
+        )[:k]
+        return Relation(f"knn({table})", relation.schema, out)
+
+    def epsilon_join(
+        self,
+        table_a: str,
+        cols_a: Sequence[str],
+        table_b: str,
+        cols_b: Sequence[str],
+        eps: float,
+        strategy: Optional[str] = None,
+    ) -> Relation:
+        """All visible row pairs within Euclidean ``eps`` at the
+        snapshot — same contract (and byte-identical rows) as
+        :meth:`~repro.db.database.SpatialDatabase.epsilon_join`, over
+        this session's pinned row versions."""
+        self._check_open()
+        from repro.db.planner import choose_epsilon_strategy
+        from repro.proximity import (
+            nested_epsilon_join,
+            zmerge_epsilon_join,
+            zones_epsilon_join,
+        )
+
+        db = self._db
+        relation_a = db.catalog.relation(table_a)
+        relation_b = db.catalog.relation(table_b)
+        rows_a = self._visible_rows(relation_a)
+        rows_b = self._visible_rows(relation_b)
+        pts_a = [
+            db._coords(relation_a, row, tuple(cols_a)) for row in rows_a
+        ]
+        pts_b = [
+            db._coords(relation_b, row, tuple(cols_b)) for row in rows_b
+        ]
+        if strategy is None:
+            strategy, _ = choose_epsilon_strategy(
+                len(pts_a), len(pts_b), eps, db.grid
+            )
+        if strategy == "zones":
+            pairs = zones_epsilon_join(pts_a, pts_b, eps)
+        elif strategy == "z-merge":
+            pairs = zmerge_epsilon_join(db.grid, pts_a, pts_b, eps)
+        elif strategy == "nested-loop":
+            pairs = nested_epsilon_join(pts_a, pts_b, eps)
+        else:
+            raise ValueError(f"unknown epsilon-join strategy {strategy!r}")
+        schema = relation_a.schema.concat(
+            relation_b.schema, f"{table_a}_", f"{table_b}_"
+        )
+        return Relation(
+            f"epsjoin({table_a},{table_b})",
+            schema,
+            (rows_a[i] + rows_b[j] for i, j in pairs),
+        )
 
     def join_points(
         self,

@@ -537,6 +537,110 @@ class SpatialDatabase:
         )[:k]
         return Relation(f"knn({table})", relation.schema, rows)
 
+    def knn_query(
+        self,
+        table: str,
+        coord_cols: Sequence[str],
+        center: Sequence[int],
+        k: int = 1,
+        mode: str = "exact",
+    ) -> Relation:
+        """The ``k`` rows nearest ``center`` via the shifted-ordering
+        k-NN operator of :mod:`repro.proximity` (requires an index).
+
+        Distinct nearest points are fetched first, then their rows are
+        gathered in point rank order (relation order within a point), so
+        the result is byte-identical to stable-sorting every row by
+        ``(distance^2, z code)`` and truncating — whatever store backs
+        the index.  ``mode="approx"`` skips the refinement box query and
+        is only guaranteed within the proven approximation factor.
+        """
+        from repro.proximity import knn as knn_points
+
+        entry = self._index_for(table, coord_cols)
+        if entry is None:
+            raise ValueError(
+                f"no index on {table}({', '.join(coord_cols)})"
+            )
+        relation = self.catalog.relation(table)
+        ranked = knn_points(entry.tree, self.grid, center, k, mode=mode)
+        rank = {point: i for i, point in enumerate(ranked)}
+        rows = sorted(
+            (
+                row
+                for row in relation
+                if self._coords(relation, row, entry.coord_cols) in rank
+            ),
+            key=lambda row: rank[
+                self._coords(relation, row, entry.coord_cols)
+            ],
+        )[:k]
+        return Relation(f"knn({table})", relation.schema, rows)
+
+    def epsilon_join(
+        self,
+        table_a: str,
+        cols_a: Sequence[str],
+        table_b: str,
+        cols_b: Sequence[str],
+        eps: float,
+        strategy: Optional[str] = None,
+    ) -> Relation:
+        """All row pairs of ``table_a`` x ``table_b`` whose coordinate
+        points lie within Euclidean ``eps`` — the cross-match join.
+
+        ``strategy`` forces ``"zones"``, ``"z-merge"`` or
+        ``"nested-loop"``; by default the planner's
+        :func:`~repro.db.planner.choose_epsilon_strategy` cost model
+        picks (all three produce identical rows).  Output columns are
+        qualified ``{table}_{column}``; rows are sorted canonically by
+        ``(point_a, point_b, ordinal_a, ordinal_b)``.
+        """
+        from repro.db.planner import choose_epsilon_strategy
+        from repro.proximity import (
+            nested_epsilon_join,
+            zmerge_epsilon_join,
+            zones_epsilon_join,
+        )
+
+        relation_a = self.catalog.relation(table_a)
+        relation_b = self.catalog.relation(table_b)
+        pts_a = [
+            self._coords(relation_a, row, tuple(cols_a))
+            for row in relation_a
+        ]
+        pts_b = [
+            self._coords(relation_b, row, tuple(cols_b))
+            for row in relation_b
+        ]
+        if strategy is None:
+            strategy, _ = choose_epsilon_strategy(
+                len(pts_a), len(pts_b), eps, self.grid
+            )
+        if strategy == "zones":
+            pairs = zones_epsilon_join(pts_a, pts_b, eps)
+        elif strategy == "z-merge":
+            pairs = zmerge_epsilon_join(self.grid, pts_a, pts_b, eps)
+        elif strategy == "nested-loop":
+            pairs = nested_epsilon_join(pts_a, pts_b, eps)
+        else:
+            raise ValueError(f"unknown epsilon-join strategy {strategy!r}")
+        self.planner_stats["planner.eps_joins"] = (
+            self.planner_stats.get("planner.eps_joins", 0) + 1
+        )
+        key = f"planner.eps_strategy[{strategy}]"
+        self.planner_stats[key] = self.planner_stats.get(key, 0) + 1
+        rows_a = list(relation_a)
+        rows_b = list(relation_b)
+        schema = relation_a.schema.concat(
+            relation_b.schema, f"{table_a}_", f"{table_b}_"
+        )
+        return Relation(
+            f"epsjoin({table_a},{table_b})",
+            schema,
+            (rows_a[i] + rows_b[j] for i, j in pairs),
+        )
+
     def overlap_query(
         self,
         table_p: str,

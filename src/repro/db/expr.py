@@ -28,6 +28,7 @@ __all__ = [
     "col",
     "lit",
     "box_contains_point",
+    "point_within",
     "element_contains",
     "element_precedes",
 ]
@@ -180,6 +181,48 @@ class _BoxContains(Expr):
 def box_contains_point(box: Box, coord_cols: Sequence[str]) -> Expr:
     """Predicate: the row's ``coord_cols`` point lies inside ``box``."""
     return _BoxContains(box, coord_cols)
+
+
+class _PointWithin(Expr):
+    """``POINT(coord_cols) WITHIN eps OF center`` as a row predicate —
+    the exact Euclidean ball test, used both as the eps-refine filter
+    behind an eps-window access path and as a plain filter when the
+    window loses the access slot."""
+
+    def __init__(
+        self,
+        coord_cols: Sequence[str],
+        center: Sequence[float],
+        radius: float,
+    ) -> None:
+        self.coord_cols = tuple(coord_cols)
+        self.center = tuple(center)
+        self.radius = radius
+
+    def bind(self, schema: Schema) -> BoundExpr:
+        indices = [schema.index_of(name) for name in self.coord_cols]
+        center = self.center
+        limit = self.radius * self.radius
+        return lambda row: (
+            sum((row[i] - c) ** 2 for i, c in zip(indices, center))
+            <= limit
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"point_within({self.coord_cols!r}, {self.center!r}, "
+            f"{self.radius!r})"
+        )
+
+
+def point_within(
+    coord_cols: Sequence[str],
+    center: Sequence[float],
+    radius: float,
+) -> Expr:
+    """Predicate: the row's ``coord_cols`` point lies within Euclidean
+    distance ``radius`` of ``center``."""
+    return _PointWithin(coord_cols, center, radius)
 
 
 def element_contains(e1: Any, e2: Any) -> Expr:

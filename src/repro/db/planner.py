@@ -34,6 +34,8 @@ __all__ = [
     "order_conjuncts",
     "plan_select",
     "choose_join_strategy",
+    "choose_epsilon_strategy",
+    "ball_selectivity",
 ]
 
 
@@ -210,6 +212,11 @@ class Conjunct:
     * ``"attr-range"`` — a comparison/BETWEEN pinning one numeric column
       between literal bounds; selectivity from the column's equi-depth
       histogram (attribute-index sargable);
+    * ``"eps-window"`` — ``POINT(cols) WITHIN eps OF POINT(literal)``;
+      its eps-ball *bounding box* is z-index sargable exactly like a
+      z-window (the box is necessary but not sufficient, so when it
+      wins the access slot the exact ball test re-runs as the
+      ``eps-refine`` filter :func:`plan_select` inserts);
     * ``"residual"`` — anything else; runs as a filter with the default
       1/3 selectivity guess.
 
@@ -233,6 +240,7 @@ class Conjunct:
     high: Optional[float] = None
     equality: bool = False
     estimated_rows: float = 0.0
+    eps: Optional[float] = None  # ball radius of an eps-window
 
 
 def _estimate_conjunct(database, table: str, conjunct: Conjunct) -> None:
@@ -243,6 +251,12 @@ def _estimate_conjunct(database, table: str, conjunct: Conjunct) -> None:
         conjunct.selectivity = estimate_selectivity(
             conjunct.box, database.grid
         )
+        return
+    if conjunct.kind == "eps-window" and conjunct.box is not None:
+        # Bounding-box volume discounted by the ball/box volume ratio.
+        conjunct.selectivity = estimate_selectivity(
+            conjunct.box, database.grid
+        ) * ball_selectivity(database.grid.ndims)
         return
     if conjunct.kind == "attr-range" and conjunct.column is not None:
         histogram = None
@@ -265,8 +279,8 @@ def order_conjuncts(
 ) -> Tuple[Optional[Conjunct], List[Conjunct], int]:
     """Split conjuncts into (access window, ordered filters, #moved).
 
-    The first z-window (in written order) becomes the access path; every
-    other conjunct is a filter.  With ``reorder`` the filters are sorted
+    The first z-window or eps-window (in written order) becomes the
+    access path; every other conjunct is a filter.  With ``reorder`` the filters are sorted
     by (selectivity asc, cost asc, written order) — most selective and
     cheapest first, the classic Selinger ordering; without it they run
     exactly as written (the naive baseline the bench gate measures
@@ -275,7 +289,7 @@ def order_conjuncts(
     window: Optional[Conjunct] = None
     filters: List[Conjunct] = []
     for conjunct in sorted(conjuncts, key=lambda c: c.written_pos):
-        if window is None and conjunct.kind == "z-window":
+        if window is None and conjunct.kind in ("z-window", "eps-window"):
             window = conjunct
         else:
             filters.append(conjunct)
@@ -433,6 +447,22 @@ def plan_select(
     for conjunct in conjuncts:
         _estimate_conjunct(database, table, conjunct)
     window, filters, moved = order_conjuncts(conjuncts, reorder=reorder)
+    if window is not None and window.kind == "eps-window":
+        # The access path only proves the bounding box; the exact ball
+        # test re-runs first in the filter chain (its superset just got
+        # fetched, so it is maximally selective among the filters).
+        filters.insert(
+            0,
+            Conjunct(
+                kind="eps-refine",
+                text=window.text,
+                predicate=window.predicate,
+                written_pos=window.written_pos,
+                selectivity=ball_selectivity(database.grid.ndims),
+                cost=window.cost,
+                eps=window.eps,
+            ),
+        )
 
     relation = database.catalog.relation(table)
     stats = getattr(database, "planner_stats", None)
@@ -506,3 +536,67 @@ def choose_join_strategy(
     )
     strategy = "z-merge" if cost_zmerge <= cost_nested else "nested-loop"
     return strategy, cost_zmerge, cost_nested
+
+
+def ball_selectivity(ndims: int) -> float:
+    """Volume fraction of an L2 ball inside its bounding box —
+    ``pi^(d/2) / Gamma(d/2 + 1) / 2^d`` (~0.785 in 2-d).  Discounts an
+    eps-window's box selectivity, and is the selectivity charged to the
+    eps-refine filter that runs over the box's rows."""
+    return (
+        math.pi ** (ndims / 2.0)
+        / math.gamma(ndims / 2.0 + 1.0)
+        / 2.0**ndims
+    )
+
+
+def choose_epsilon_strategy(
+    nleft: int,
+    nright: int,
+    eps: float,
+    grid: Grid,
+) -> Tuple[str, dict]:
+    """Pick the epsilon-join strategy by estimated comparison cost.
+
+    Three candidates, all producing identical pairs:
+
+    * ``nested-loop`` — every pair: ``na * nb * d``;
+    * ``zones`` — sort both catalogs into zones (``(na+nb) log``) then
+      test only candidates inside a ``(2eps+1) x 3h`` strip per probe:
+      ``na * nb * frac_zones * d`` with
+      ``frac_zones = ((2eps+1)/side)^(d-1) * 3h/side``;
+    * ``z-merge`` — decompose each left ball into <= ``3^d`` coarse
+      elements, binary-search the z-sorted right catalog per element:
+      ``(na*3^d + nb) log`` plus ``na * nb * frac_box * d`` exact tests
+      with ``frac_box = ((2eps+1)/side)^d``.
+
+    The strip is taller than the box (``3h >= 2eps+1``), so z-merge's
+    per-candidate term undercuts zones at large eps while its ``3^d``
+    decomposition overhead loses at small eps — the crossover EXPLAIN
+    makes visible.  Returns ``(strategy, costs)`` with ``costs`` keyed
+    by strategy name for EXPLAIN.
+    """
+    from repro.proximity.zones import zone_height_for
+
+    d = grid.ndims
+    side = float(2**grid.depth)
+    na, nb = float(max(nleft, 1)), float(max(nright, 1))
+    h = float(zone_height_for(eps))
+    width = min(2.0 * eps + 1.0, side)
+    frac_zones = (width / side) ** (d - 1) * min(3.0 * h / side, 1.0)
+    frac_box = (width / side) ** d
+    elements = 3.0**d
+    cost_nested = na * nb * d
+    cost_zones = (na + nb) * max(
+        1.0, math.log2(max(na + nb, 2.0))
+    ) + na * nb * frac_zones * d
+    cost_zmerge = (na * elements + nb) * max(
+        1.0, math.log2(max(na * elements + nb, 2.0))
+    ) + na * nb * frac_box * d
+    costs = {
+        "zones": cost_zones,
+        "z-merge": cost_zmerge,
+        "nested-loop": cost_nested,
+    }
+    strategy = min(costs, key=lambda name: (costs[name], name))
+    return strategy, costs

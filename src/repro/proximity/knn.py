@@ -1,0 +1,117 @@
+"""k-nearest-neighbour search over any z-ordered point store.
+
+The operator runs against anything exposing ``points()``,
+``range_query(box)`` and ``__len__`` — a :class:`~repro.storage.
+prefix_btree.ZkdTree`, a :class:`~repro.shard.store.
+ShardedSpatialStore`, or the frozen snapshot views of
+:mod:`repro.concurrency.view` — and is byte-identical across them by
+construction: candidates come from the store's own point set and the
+refinement pass is one ordinary box query against the same store.
+
+Two modes:
+
+* ``"approx"`` — rank the shifted-ordering window candidates directly.
+  Fast (no extra store access) and within the proven
+  :func:`~repro.proximity.shifted.approximation_factor` of the true
+  k-th distance.
+* ``"exact"`` (default) — take the approximate k-th distance ``r`` and
+  verify the candidate ball with *one* box query ``[q - r, q + r]^d``:
+  the candidate set proves at least ``k`` points lie within ``r``, so
+  the true k nearest all sit inside that box and the refined ranking
+  has recall 1.0 — structurally, whatever the approximation quality.
+
+Ties break by ``(distance^2, z code)``, the same convention as
+``ZkdTree.nearest_neighbours``, so results are deterministic and
+monotone: the result for ``k`` is a prefix of the result for ``k + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.geometry import Box, Grid
+from repro.obs.trace import current as _trace_current
+from repro.proximity.shifted import ShiftedOrderings
+
+__all__ = ["knn", "shifted_index_for"]
+
+Point = Tuple[int, ...]
+
+
+def shifted_index_for(store: Any, grid: Grid) -> ShiftedOrderings:
+    """The store's :class:`ShiftedOrderings`, cached on the store and
+    rebuilt when its contents change (keyed on ``(len,
+    mutation_epoch)``; snapshot views are frozen, so length alone pins
+    them)."""
+    key = (len(store), getattr(store, "mutation_epoch", None))
+    cached = getattr(store, "_shifted_orderings", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    index = ShiftedOrderings(grid, store.points())
+    try:
+        store._shifted_orderings = (key, index)
+    except AttributeError:  # a store that rejects attributes: no cache
+        pass
+    return index
+
+
+def _rank(
+    candidates: List[Point], center: Point, grid: Grid
+) -> List[Tuple[float, int, Point]]:
+    ranked = [
+        (
+            sum((a - b) ** 2 for a, b in zip(p, center)),
+            grid.zvalue(p).bits,
+            p,
+        )
+        for p in candidates
+    ]
+    ranked.sort()
+    return ranked
+
+
+def knn(
+    store: Any,
+    grid: Grid,
+    center: Sequence[int],
+    k: int,
+    mode: str = "exact",
+) -> List[Point]:
+    """The ``k`` stored points nearest ``center`` (see module docs)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    if mode not in ("exact", "approx"):
+        raise ValueError(f"unknown knn mode {mode!r}")
+    n = len(store)
+    if n == 0:
+        return []
+    center = tuple(center)
+    grid.validate_point(center)
+    k = min(k, n)
+
+    index = shifted_index_for(store, grid)
+    candidates = index.candidates(center, k)
+    ranked = _rank(candidates, center, grid)
+
+    trace = _trace_current()
+    if trace is not None:
+        trace.add("knn.queries", 1)
+        trace.add("knn.orderings", len(index.shifts))
+        trace.add("knn.candidates", len(candidates))
+
+    if mode == "approx":
+        return [p for _, _, p in ranked[:k]]
+
+    # Exact refinement: >= k candidates lie within r of the query, so
+    # the true k nearest are inside [center - r, center + r]^d — one
+    # box query returns a superset, and re-ranking it is exact.
+    radius = math.isqrt(int(ranked[k - 1][0]))
+    if radius * radius < ranked[k - 1][0]:
+        radius += 1
+    box = Box(tuple((c - radius, c + radius) for c in center))
+    matches = list(store.range_query(box).matches)
+    if trace is not None:
+        trace.add("knn.refined", 1)
+        trace.add("knn.refine_rows", len(matches))
+    return [p for _, _, p in _rank(matches, center, grid)[:k]]

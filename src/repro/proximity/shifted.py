@@ -1,0 +1,140 @@
+"""Shifted z-orderings: the locality-sensitive-ordering k-NN substrate.
+
+One z-order curve preserves proximity only approximately — two points a
+pixel apart can land ``2**total_bits`` apart in z order when they
+straddle a high bit boundary (the paper's Section 5.2 measures exactly
+this).  Chan's shifting trick repairs the worst case: take ``m > d``
+*shifted copies* of the ordering, copy ``j`` sorting points by the z
+code of ``p + v_j`` for a fixed diagonal shift vector ``v_j``.  The
+lemma behind it (Chan 2002; Har-Peled; "On Locality-Sensitive
+Orderings"): for any point ``q`` and radius ``r``, *some* shift places
+the whole L∞ ball ``B(q, r)`` inside one aligned quadtree cell of side
+``<= (2m / (m - d)) * (2r)`` — so in that copy the ball's points are
+*contiguous* in z order, and a small window around ``q``'s position
+contains every near neighbour.  With the ``m = 2**d`` copies used here
+the cell-side blow-up is ``2m/(m-d) <= 4`` for ``d = 2``.
+
+**Saturation, not wrap.**  Shifting can push a coordinate past the grid
+edge.  Reducing it mod ``side`` (wrap-around) silently teleports the
+point to the far edge of the space and breaks the lemma — the shifted
+ordering is no longer a monotone re-embedding, and a query at
+``side - 1`` sees candidates from coordinate ``0``.  The correct edge
+treatment is to *saturate*: ``min(c + shift, side - 1)``.  Aligned
+cells of side ``s`` (``s`` dividing the grid side) never straddle the
+domain boundary, so collapsing the overflow into the last pixel keeps
+every shifted ordering monotone per axis and preserves the containment
+lemma (points saturated onto the boundary can only move *closer* to an
+in-range query window, never out of it).  ``tests/test_knn_oracle.py``
+pins this at 0 and ``2**bits - 1``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.geometry import Grid
+
+__all__ = [
+    "shift_vectors",
+    "shifted_point",
+    "shifted_code",
+    "approximation_factor",
+    "ShiftedOrderings",
+]
+
+Point = Tuple[int, ...]
+
+
+def shift_vectors(grid: Grid, nshifts: int | None = None) -> Tuple[int, ...]:
+    """The diagonal shift amounts, one per ordering copy.
+
+    Copy ``j`` shifts every axis by ``(j * side) // m`` — evenly spread
+    sub-``side`` diagonal offsets, ``j = 0`` being the unshifted
+    ordering.  The default ``m = 2**d`` satisfies the lemma's
+    ``m > d`` requirement for every dimensionality.
+    """
+    m = (1 << grid.ndims) if nshifts is None else nshifts
+    if m <= grid.ndims:
+        raise ValueError(
+            f"need more shifts than dimensions (m > {grid.ndims})"
+        )
+    side = grid.side
+    return tuple((j * side) // m for j in range(m))
+
+
+def shifted_point(point: Sequence[int], shift: int, side: int) -> Point:
+    """``point + shift`` on every axis, *saturated* at ``side - 1``
+    (never wrapped — see the module docstring)."""
+    top = side - 1
+    return tuple(min(c + shift, top) for c in point)
+
+
+def shifted_code(grid: Grid, point: Sequence[int], shift: int) -> int:
+    """The z code of the saturate-shifted point in ordering ``shift``."""
+    return grid.zvalue(shifted_point(point, shift, grid.side)).bits
+
+
+def approximation_factor(ndims: int) -> float:
+    """Proven L2 approximation factor of the windowed candidate set.
+
+    Some shift puts the true k-NN L∞ ball inside an aligned cell whose
+    side is at most ``4 * (d + 1)`` times the ball radius (the lemma's
+    ``2m/(m-d)`` blow-up, relaxed to the dimension-only bound so the
+    factor is independent of the shift count used); the window then
+    reports a candidate no farther than that cell's L2 diameter —
+    ``side * sqrt(d)``.  ``tests/test_proximity_properties.py`` holds
+    the approximate k-th distance under this factor.
+    """
+    return 4.0 * (ndims + 1) * math.sqrt(ndims)
+
+
+class ShiftedOrderings:
+    """``m`` sorted copies of a point set under shifted z orderings.
+
+    Built once per (store contents); :meth:`candidates` answers a k-NN
+    probe by opening a ``+/- k`` window around the query's position in
+    *every* copy and unioning the windows — the lemma guarantees the
+    union contains a point within :func:`approximation_factor` of the
+    true k-th distance, and usually contains the exact answer.
+    """
+
+    def __init__(self, grid: Grid, points: Sequence[Sequence[int]]) -> None:
+        self.grid = grid
+        self.shifts = shift_vectors(grid)
+        self.npoints = len(points)
+        side = grid.side
+        pts = [tuple(p) for p in points]
+        self.orderings: List[Tuple[List[int], List[Point]]] = []
+        for shift in self.shifts:
+            pairs = sorted(
+                (grid.zvalue(shifted_point(p, shift, side)).bits, p)
+                for p in pts
+            )
+            self.orderings.append(
+                ([code for code, _ in pairs], [p for _, p in pairs])
+            )
+
+    def candidates(self, center: Sequence[int], k: int) -> List[Point]:
+        """Distinct candidate points from a ``+/- window`` probe of each
+        shifted copy (window starts at ``k`` and doubles until the union
+        holds ``min(k, n)`` points — one doubling step is rare)."""
+        center = tuple(center)
+        grid, side = self.grid, self.grid.side
+        need = min(k, self.npoints)
+        window = max(k, 1)
+        while True:
+            seen = {}
+            for shift, (codes, points) in zip(self.shifts, self.orderings):
+                probe = grid.zvalue(
+                    shifted_point(center, shift, side)
+                ).bits
+                at = bisect.bisect_left(codes, probe)
+                lo = max(0, at - window)
+                hi = min(len(points), at + window)
+                for p in points[lo:hi]:
+                    seen[p] = True
+            if len(seen) >= need or window >= self.npoints:
+                return list(seen)
+            window *= 2

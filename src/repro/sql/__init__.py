@@ -7,12 +7,18 @@ The pipeline is classical::
 
 with two typed, position-carrying error classes (:class:`ParseError`,
 :class:`BindError`) and a cost-based multi-predicate planner underneath
-(:mod:`repro.db.planner`).  The grammar (see docs/ALGORITHMS.md §18)::
+(:mod:`repro.db.planner`).  The grammar (see docs/ALGORITHMS.md §18
+and §20 for the proximity clauses)::
 
     SELECT [DISTINCT] cols | * FROM t
-        [JOIN u ON OVERLAPS(t.geom, u.geom)]
+        [JOIN u ON OVERLAPS(t.geom, u.geom)
+         | JOIN u ON POINT(t.x, t.y) WITHIN eps OF POINT(u.x, u.y)]
         [WHERE conjunct AND conjunct AND ...]
+        [NEAREST k TO POINT(cx, cy) BY POINT(x, y)]
         [ORDER BY cols [ASC|DESC]] [LIMIT n]
+
+where a WHERE conjunct may also be the ball predicate
+``POINT(x, y) WITHIN eps OF POINT(cx, cy)``.
 
 >>> from repro.core.geometry import Grid
 >>> from repro.db import SpatialDatabase, Schema, OID, INTEGER

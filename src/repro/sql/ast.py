@@ -21,17 +21,20 @@ __all__ = [
     "StringLit",
     "BoxLit",
     "PointRef",
+    "PointLit",
     "Arith",
     "Neg",
     "Compare",
     "Between",
     "Contains",
+    "Within",
     "Not",
     "And",
     "Or",
     "Overlaps",
     "Join",
     "OrderBy",
+    "Nearest",
     "Select",
     "Statement",
     "render",
@@ -87,6 +90,14 @@ class PointRef(Node):
 
 
 @dataclass(frozen=True)
+class PointLit(Node):
+    """``POINT(3, 40, ...)`` — numeric literal coordinates, one per
+    axis (a fixed location, e.g. the center of a proximity query)."""
+
+    coords: Tuple[Union[int, float], ...]
+
+
+@dataclass(frozen=True)
 class Arith(Node):
     """``left op right`` with op one of ``+ - *``."""
 
@@ -130,6 +141,21 @@ class Contains(Node):
 
 
 @dataclass(frozen=True)
+class Within(Node):
+    """``left WITHIN eps OF right`` — the Euclidean-ball predicate.
+
+    As a WHERE conjunct ``left`` is a :class:`PointRef` (the row's
+    coordinates) and ``right`` a :class:`PointLit` (the fixed center);
+    as a ``JOIN ... ON`` condition both sides are column points, one
+    per table (the epsilon join).
+    """
+
+    left: Union[PointRef, PointLit]
+    eps: Union[int, float]
+    right: Union[PointRef, PointLit]
+
+
+@dataclass(frozen=True)
 class Not(Node):
     operand: Node
 
@@ -160,7 +186,7 @@ class Overlaps(Node):
 @dataclass(frozen=True)
 class Join(Node):
     table: str
-    on: Overlaps
+    on: Union[Overlaps, Within]
 
 
 @dataclass(frozen=True)
@@ -168,6 +194,17 @@ class OrderBy(Node):
     columns: Tuple[ColumnRef, ...]
     descending: bool = False
     explicit_direction: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class Nearest(Node):
+    """``NEAREST k TO POINT(lits) BY POINT(cols)`` — the k-NN clause:
+    keep only the ``k`` rows whose ``by`` point is nearest ``center``
+    (ties broken by z code, then the LIMIT/ORDER tail applies)."""
+
+    k: int
+    center: PointLit
+    by: PointRef
 
 
 @dataclass(frozen=True)
@@ -181,6 +218,7 @@ class Select(Node):
     where: Optional[Node] = None
     order: Optional[OrderBy] = None
     limit: Optional[int] = None
+    nearest: Optional[Nearest] = None
 
 
 @dataclass(frozen=True)
@@ -203,6 +241,7 @@ _PREC = {
     Compare: 4,
     Between: 4,
     Contains: 4,
+    Within: 4,
     Arith: 0,  # refined per op below
     Neg: 7,
 }
@@ -245,6 +284,8 @@ def render_expr(node: Node) -> str:
         return f"BOX({flat})"
     if isinstance(node, PointRef):
         return f"POINT({', '.join(render_expr(c) for c in node.columns)})"
+    if isinstance(node, PointLit):
+        return f"POINT({', '.join(_num(c) for c in node.coords)})"
     if isinstance(node, Arith):
         prec = _ARITH_PREC[node.op]
         return (
@@ -264,6 +305,11 @@ def render_expr(node: Node) -> str:
     if isinstance(node, Contains):
         return (
             f"{render_expr(node.box)} CONTAINS {render_expr(node.point)}"
+        )
+    if isinstance(node, Within):
+        return (
+            f"{render_expr(node.left)} WITHIN {_num(node.eps)} "
+            f"OF {render_expr(node.right)}"
         )
     if isinstance(node, Not):
         return f"NOT {_wrap(node.operand, 4)}"
@@ -295,12 +341,23 @@ def render(statement: Union[Statement, Select]) -> str:
     parts.append(f"FROM {sel.table}")
     if sel.join is not None:
         on = sel.join.on
-        parts.append(
-            f"JOIN {sel.join.table} ON OVERLAPS("
-            f"{render_expr(on.left)}, {render_expr(on.right)})"
-        )
+        if isinstance(on, Within):
+            parts.append(
+                f"JOIN {sel.join.table} ON {render_expr(on)}"
+            )
+        else:
+            parts.append(
+                f"JOIN {sel.join.table} ON OVERLAPS("
+                f"{render_expr(on.left)}, {render_expr(on.right)})"
+            )
     if sel.where is not None:
         parts.append(f"WHERE {render_expr(sel.where)}")
+    if sel.nearest is not None:
+        near = sel.nearest
+        parts.append(
+            f"NEAREST {near.k} TO {render_expr(near.center)} "
+            f"BY {render_expr(near.by)}"
+        )
     if sel.order is not None:
         cols = ", ".join(render_expr(c) for c in sel.order.columns)
         direction = " DESC" if sel.order.descending else ""

@@ -20,11 +20,12 @@ filter above it.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field as _field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Box
-from repro.db.expr import Expr, box_contains_point, col, lit
+from repro.db.expr import Expr, box_contains_point, col, lit, point_within
 from repro.db.planner import Conjunct
 from repro.db.schema import Schema
 from repro.db.types import (
@@ -125,8 +126,12 @@ class BoundQuery:
     mode: Optional[str]  # None | "explain" | "analyze"
     table: str
     join_table: Optional[str] = None
+    join_kind: str = "overlaps"  # "overlaps" | "eps"
     left_geom: Optional[str] = None  # base-table geometry column names
     right_geom: Optional[str] = None
+    eps: Optional[float] = None  # epsilon-join radius
+    left_coords: Optional[Tuple[str, ...]] = None  # eps-join point columns
+    right_coords: Optional[Tuple[str, ...]] = None
     conjuncts: List[Conjunct] = _field(default_factory=list)
     left_push: List[Conjunct] = _field(default_factory=list)
     right_push: List[Conjunct] = _field(default_factory=list)
@@ -134,6 +139,7 @@ class BoundQuery:
     distinct: bool = False
     order: Optional[Tuple[List[str], bool]] = None
     limit: Optional[int] = None
+    nearest: Optional[Tuple[int, Tuple[int, ...], Tuple[str, ...]]] = None
     output_names: List[str] = _field(default_factory=list)
 
 
@@ -178,21 +184,42 @@ class _Binder:
                     (join.table, right_schema, f"{join.table}_"),
                 ]
             )
-            out.left_geom, out.right_geom = self._bind_overlaps(
-                join.on, scope, select.table, join.table
-            )
-            out.output_names = [
-                f"{select.table}_{name}"
-                for name in left_schema.names
-                if name != out.left_geom
-            ] + [
-                f"{join.table}_{name}"
-                for name in right_schema.names
-                if name != out.right_geom
-            ]
+            if isinstance(join.on, A.Within):
+                out.join_kind = "eps"
+                (
+                    out.eps,
+                    out.left_coords,
+                    out.right_coords,
+                ) = self._bind_within_join(
+                    join.on, scope, select.table, join.table
+                )
+                # The coordinate columns are ordinary data (nothing is
+                # consumed, unlike OVERLAPS geometry): keep every
+                # column, qualified.
+                out.output_names = [
+                    f"{select.table}_{name}" for name in left_schema.names
+                ] + [
+                    f"{join.table}_{name}" for name in right_schema.names
+                ]
+            else:
+                out.left_geom, out.right_geom = self._bind_overlaps(
+                    join.on, scope, select.table, join.table
+                )
+                out.output_names = [
+                    f"{select.table}_{name}"
+                    for name in left_schema.names
+                    if name != out.left_geom
+                ] + [
+                    f"{join.table}_{name}"
+                    for name in right_schema.names
+                    if name != out.right_geom
+                ]
 
         if select.where is not None:
             self._bind_where(select.where, scope, out, left_schema)
+
+        if select.nearest is not None:
+            self._bind_nearest(select, scope, out)
 
         self._bind_projection(select, scope, out)
         self._bind_order(select, scope, out)
@@ -220,6 +247,109 @@ class _Binder:
                 )
             sides[table] = ref.name
         return sides[left], sides[right]
+
+    def _bind_within_join(
+        self, on: A.Within, scope: _Scope, left: str, right: str
+    ) -> Tuple[float, Tuple[str, ...], Tuple[str, ...]]:
+        if on.eps < 0:
+            raise BindError("WITHIN radius must be non-negative", on.pos)
+        sides: Dict[str, Tuple[str, ...]] = {}
+        for point in (on.left, on.right):
+            if not isinstance(point, A.PointRef):
+                raise BindError(
+                    "JOIN ... ON WITHIN needs column POINTs on both "
+                    "sides",
+                    point.pos,
+                )
+            names, tables = self._coord_columns(point, scope)
+            if len(tables) != 1:
+                raise BindError(
+                    "a WITHIN join POINT must name columns of a single "
+                    "table",
+                    point.pos,
+                )
+            table = next(iter(tables))
+            if table in sides:
+                raise BindError(
+                    f"WITHIN join needs one POINT from each table; "
+                    f"both name {table!r}",
+                    point.pos,
+                )
+            # Base (unqualified) names: the join executes against each
+            # table's own relation.
+            sides[table] = tuple(ref.name for ref in point.columns)
+        if left not in sides or right not in sides:
+            raise BindError(
+                "WITHIN join needs one POINT from each joined table",
+                on.pos,
+            )
+        return float(on.eps), sides[left], sides[right]
+
+    def _coord_columns(
+        self, point: A.PointRef, scope: _Scope
+    ) -> Tuple[Tuple[str, ...], set]:
+        """Resolve a coordinate POINT: ndims INTEGER columns.  Returns
+        (resolved names, owning tables)."""
+        ndims = self.grid.ndims
+        if len(point.columns) != ndims:
+            raise BindError(
+                f"POINT needs {ndims} coordinate column(s) for this "
+                f"{ndims}-d grid, got {len(point.columns)}",
+                point.pos,
+            )
+        names = []
+        tables = set()
+        for ref in point.columns:
+            name, domain, table = scope.resolve(ref)
+            if domain is not INTEGER:
+                raise BindError(
+                    f"coordinate column {ref.name!r} must be INTEGER, "
+                    f"is {domain.name}",
+                    ref.pos,
+                )
+            names.append(name)
+            tables.add(table)
+        return tuple(names), tables
+
+    def _center_point(self, point: A.PointLit) -> Tuple[int, ...]:
+        """Validate a literal center: ndims integer coordinates inside
+        the grid."""
+        ndims = self.grid.ndims
+        if len(point.coords) != ndims:
+            raise BindError(
+                f"POINT needs {ndims} coordinate(s) for this "
+                f"{ndims}-d grid, got {len(point.coords)}",
+                point.pos,
+            )
+        side = 2**self.grid.depth
+        coords = []
+        for value in point.coords:
+            if isinstance(value, float):
+                raise BindError(
+                    "POINT coordinates must be integers on this "
+                    "integer grid",
+                    point.pos,
+                )
+            if not 0 <= value < side:
+                raise BindError(
+                    f"POINT coordinate {value} outside the grid "
+                    f"[0, {side})",
+                    point.pos,
+                )
+            coords.append(int(value))
+        return tuple(coords)
+
+    def _bind_nearest(
+        self, select: A.Select, scope: _Scope, out: BoundQuery
+    ) -> None:
+        near = select.nearest
+        if out.join_table is not None:
+            raise BindError(
+                "NEAREST applies to single-table queries", near.pos
+            )
+        center = self._center_point(near.center)
+        names, _ = self._coord_columns(near.by, scope)
+        out.nearest = (near.k, center, names)
 
     # -- WHERE -----------------------------------------------------------
 
@@ -302,6 +432,20 @@ class _Binder:
                 tuple(
                     (int(lo), int(hi)) for lo, hi in term.box.ranges
                 )
+            )
+            return
+        if isinstance(term, A.Within):
+            point, center_lit = self._within_sides(term)
+            names = tuple(
+                scope.resolve(ref)[0] for ref in point.columns
+            )
+            center = self._center_point(center_lit)
+            reach = math.ceil(term.eps)
+            conjunct.kind = "eps-window"
+            conjunct.coord_cols = names
+            conjunct.eps = float(term.eps)
+            conjunct.box = Box(
+                tuple((v - reach, v + reach) for v in center)
             )
             return
         if isinstance(term, A.Between):
@@ -400,6 +544,8 @@ class _Binder:
             return expr.between(low, high), BOOLEAN
         if isinstance(node, A.Contains):
             return self._lower_contains(node, scope), BOOLEAN
+        if isinstance(node, A.Within):
+            return self._lower_within(node, scope), BOOLEAN
         if isinstance(node, A.Not):
             inner, domain = self._lower(node.operand, scope)
             if domain is not BOOLEAN:
@@ -469,6 +615,33 @@ class _Binder:
                 )
         box = Box(tuple((int(lo), int(hi)) for lo, hi in node.box.ranges))
         return box_contains_point(box, names)
+
+    def _within_sides(
+        self, node: A.Within
+    ) -> Tuple[A.PointRef, A.PointLit]:
+        """Normalize a WHERE-clause WITHIN to (column point, literal
+        center), whichever way it was written."""
+        if isinstance(node.left, A.PointRef) and isinstance(
+            node.right, A.PointLit
+        ):
+            return node.left, node.right
+        if isinstance(node.left, A.PointLit) and isinstance(
+            node.right, A.PointRef
+        ):
+            return node.right, node.left
+        raise BindError(
+            "WITHIN in WHERE needs a column POINT and a literal POINT "
+            "(two-table WITHIN belongs in JOIN ... ON)",
+            node.pos,
+        )
+
+    def _lower_within(self, node: A.Within, scope: _Scope) -> Expr:
+        if node.eps < 0:
+            raise BindError("WITHIN radius must be non-negative", node.pos)
+        point, center_lit = self._within_sides(node)
+        names, _ = self._coord_columns(point, scope)
+        center = self._center_point(center_lit)
+        return point_within(names, center, float(node.eps))
 
     # -- projection / order ----------------------------------------------
 

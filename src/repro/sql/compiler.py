@@ -25,6 +25,8 @@ from repro.db.planner import (
     RESIDUAL_SELECTIVITY,
     Conjunct,
     SelectPlan,
+    ball_selectivity,
+    choose_epsilon_strategy,
     choose_join_strategy,
     plan_select,
 )
@@ -82,14 +84,54 @@ class CompiledQuery:
 
     def plan(self, target: Any = None) -> SelectPlan:
         if self.bound.join_table is not None:
+            if self.bound.join_kind == "eps":
+                return self._plan_eps_join(target)
             return self._plan_join(target)
-        return plan_select(
+        plan = plan_select(
             self.db,
             self.bound.table,
             self.bound.conjuncts,
             reorder=self.reorder,
             target=target,
         )
+        if self.bound.nearest is not None:
+            self._attach_nearest(plan, target)
+        return plan
+
+    def _attach_nearest(self, plan: SelectPlan, target: Any) -> None:
+        """Wire the NEAREST clause into the plan: with no WHERE clause
+        and a matching index, the shifted-ordering k-NN operator *is*
+        the access path (it fetches exactly the k rows); otherwise the
+        filtered rows are ranked afterwards (post-filter)."""
+        k, center, cols = self.bound.nearest
+        table = self.bound.table
+        executor = self.db if target is None else target
+        probe = (
+            plan.window is None
+            and not plan.filters
+            and self.db._index_for(table, cols) is not None
+            and hasattr(executor, "knn_query")
+        )
+        center_text = f"POINT({', '.join(str(c) for c in center)})"
+        if probe:
+            plan.access_label = "knn-probe"
+            plan.estimated_rows = float(k)
+
+            def _fetch() -> Relation:
+                plan._bump("planner.knn_probes")
+                return executor.knn_query(table, cols, center, k)
+
+            plan._fetch = _fetch
+            plan.notes.append(
+                f"nearest: {k} to {center_text} by "
+                f"({', '.join(cols)})  [knn-probe via shifted orderings]"
+            )
+        else:
+            plan.estimated_rows = min(plan.estimated_rows, float(k))
+            plan.notes.append(
+                f"nearest: {k} to {center_text} by "
+                f"({', '.join(cols)})  [ranked after filters]"
+            )
 
     def _estimate_post(self, conjunct: Conjunct) -> None:
         """Selectivity for a post-join filter: strip the table prefix
@@ -319,11 +361,176 @@ class CompiledQuery:
                 if _interval_overlap(a, b):
                     yield lrest + rrest
 
+    # -- epsilon join ----------------------------------------------------
+
+    def _plan_eps_join(self, target: Any = None) -> SelectPlan:
+        from repro.db.planner import _estimate_conjunct
+
+        bound = self.bound
+        target = self.db if target is None else target
+        for conjunct in bound.left_push:
+            _estimate_conjunct(self.db, bound.table, conjunct)
+        for conjunct in bound.right_push:
+            _estimate_conjunct(self.db, bound.join_table, conjunct)
+        for conjunct in bound.conjuncts:
+            self._estimate_post(conjunct)
+        left_push, lmoved = _ordered(bound.left_push, self.reorder)
+        right_push, rmoved = _ordered(bound.right_push, self.reorder)
+        post, pmoved = _ordered(bound.conjuncts, self.reorder)
+
+        grid = self.db.grid
+        nleft = float(len(self.db.catalog.relation(bound.table)))
+        nright = float(len(self.db.catalog.relation(bound.join_table)))
+        for conjunct in left_push:
+            nleft *= conjunct.selectivity or 1.0
+        for conjunct in right_push:
+            nright *= conjunct.selectivity or 1.0
+        strategy, costs = choose_epsilon_strategy(
+            int(nleft), int(nright), bound.eps, grid
+        )
+        side = float(2**grid.depth)
+        width = min(2.0 * bound.eps + 1.0, side)
+        est_pairs = (
+            nleft
+            * nright
+            * (width / side) ** grid.ndims
+            * ball_selectivity(grid.ndims)
+        )
+        plan = SelectPlan(
+            table=f"{bound.table} JOIN {bound.join_table}",
+            window=None,
+            filters=post,
+            reorder=self.reorder,
+            moved=lmoved + rmoved + pmoved,
+            access_label=f"eps-join[{strategy}]",
+            estimated_rows=est_pairs,
+            _stats=getattr(self.db, "planner_stats", None),
+        )
+        plan.notes.append(
+            f"eps-join strategy: {strategy} at eps={bound.eps:g} ("
+            + ", ".join(
+                f"{name} ~{cost:.0f}"
+                for name, cost in sorted(costs.items())
+            )
+            + ")"
+        )
+        plan._fetch = lambda: self._eps_join_fetch(
+            target, plan, left_push, right_push, strategy
+        )
+        for side_name, pushed in (
+            (bound.table, left_push),
+            (bound.join_table, right_push),
+        ):
+            for conjunct in pushed:
+                plan.notes.append(
+                    f"pushed below join ({side_name}): {conjunct.text}"
+                    f"  [{conjunct.kind}]"
+                    f"  sel={conjunct.selectivity:.4f}"
+                )
+        return plan
+
+    def _eps_side(
+        self,
+        target: Any,
+        plan: SelectPlan,
+        table: str,
+        pushed: List[Conjunct],
+    ) -> Relation:
+        base = target.table(table)
+        relation = Relation(f"scan({table})", base.schema, base.rows)
+        if pushed:
+            side_plan = SelectPlan(
+                table=table,
+                window=None,
+                filters=pushed,
+                reorder=self.reorder,
+                moved=0,
+                _stats=plan._stats,
+            )
+            relation = side_plan.apply_filters(relation)
+        mapping = {n: f"{table}_{n}" for n in relation.schema.names}
+        return rename(relation, mapping)
+
+    def _eps_join_fetch(
+        self,
+        target: Any,
+        plan: SelectPlan,
+        left_push: List[Conjunct],
+        right_push: List[Conjunct],
+        strategy: str,
+    ) -> Relation:
+        from repro.proximity import (
+            nested_epsilon_join,
+            zmerge_epsilon_join,
+            zones_epsilon_join,
+        )
+
+        bound = self.bound
+        grid = self.db.grid
+        left = self._eps_side(target, plan, bound.table, left_push)
+        right = self._eps_side(
+            target, plan, bound.join_table, right_push
+        )
+        lidx = [
+            left.schema.index_of(f"{bound.table}_{name}")
+            for name in bound.left_coords
+        ]
+        ridx = [
+            right.schema.index_of(f"{bound.join_table}_{name}")
+            for name in bound.right_coords
+        ]
+        lrows = list(left)
+        rrows = list(right)
+        pts_a = [tuple(row[i] for i in lidx) for row in lrows]
+        pts_b = [tuple(row[i] for i in ridx) for row in rrows]
+        plan._bump("planner.eps_joins")
+        plan._bump(f"planner.eps_strategy[{strategy}]")
+        with _span(f"join[eps-{strategy}]") as span:
+            if span is not None:
+                span.set("eps", bound.eps)
+                span.add("rows_in", len(lrows) + len(rrows))
+            if strategy == "zones":
+                pairs = zones_epsilon_join(pts_a, pts_b, bound.eps)
+            elif strategy == "z-merge":
+                pairs = zmerge_epsilon_join(grid, pts_a, pts_b, bound.eps)
+            else:
+                pairs = nested_epsilon_join(pts_a, pts_b, bound.eps)
+            rows = [lrows[i] + rrows[j] for i, j in pairs]
+            if span is not None:
+                span.add("rows_out", len(rows))
+        schema = Schema(
+            list(left.schema.columns) + list(right.schema.columns)
+        )
+        return Relation(
+            f"epsjoin({bound.table},{bound.join_table})", schema, rows
+        )
+
     # -- execution -------------------------------------------------------
 
     def run(self, target: Any = None) -> Relation:
         plan = self.plan(target)
-        return self._tail(plan.execute())
+        out = plan.execute()
+        if self.bound.nearest is not None:
+            out = self._nearest_rows(out)
+        return self._tail(out)
+
+    def _nearest_rows(self, relation: Relation) -> Relation:
+        """Rank ``relation`` by distance to the NEAREST center (ties by
+        z code, then input order — a stable sort) and keep ``k`` rows.
+        Idempotent over a knn-probe access path's output."""
+        k, center, cols = self.bound.nearest
+        grid = self.db.grid
+        indices = [relation.schema.index_of(name) for name in cols]
+
+        def key(row: Tuple[Any, ...]) -> Tuple[int, int]:
+            point = tuple(row[i] for i in indices)
+            return (
+                sum((a - b) ** 2 for a, b in zip(point, center)),
+                grid.zvalue(point).bits,
+            )
+
+        rows = sorted(relation, key=key)[:k]
+        return Relation(f"nearest({relation.name})", relation.schema, rows)
 
     def _tail(self, out: Relation) -> Relation:
         bound = self.bound
@@ -375,7 +582,10 @@ class CompiledQuery:
         )
         plan._bump("planner.plans")
         plan._bump("planner.conjuncts_reordered", plan.moved)
-        return self._tail(plan.apply_filters(relation))
+        out = plan.apply_filters(relation)
+        if self.bound.nearest is not None:
+            out = self._nearest_rows(out)
+        return self._tail(out)
 
     # -- explain ---------------------------------------------------------
 

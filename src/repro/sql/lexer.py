@@ -43,6 +43,10 @@ KEYWORDS = frozenset(
         "LIMIT",
         "EXPLAIN",
         "ANALYZE",
+        "NEAREST",
+        "WITHIN",
+        "OF",
+        "TO",
     }
 )
 

@@ -4,20 +4,25 @@ Grammar (keywords case-insensitive)::
 
     statement  := [ EXPLAIN [ ANALYZE ] ] select
     select     := SELECT [ DISTINCT ] select_list FROM ident [ join ]
-                  [ WHERE expr ] [ ORDER BY column { , column } [ ASC | DESC ] ]
+                  [ WHERE expr ] [ nearest ]
+                  [ ORDER BY column { , column } [ ASC | DESC ] ]
                   [ LIMIT int ]
     select_list:= * | column { , column }
-    join       := JOIN ident ON OVERLAPS ( column , column )
+    join       := JOIN ident ON ( OVERLAPS ( column , column )
+                                | point WITHIN number OF point )
+    nearest    := NEAREST int TO point BY point
     expr       := and_expr { OR and_expr }
     and_expr   := not_expr { AND not_expr }
     not_expr   := [ NOT ] predicate
-    predicate  := sum [ cmp_op sum | BETWEEN sum AND sum | CONTAINS point ]
+    predicate  := sum [ cmp_op sum | BETWEEN sum AND sum
+                      | CONTAINS point | WITHIN number OF point ]
     sum        := term { (+ | -) term }
     term       := factor { * factor }
     factor     := number | string | column | box | point
                 | ( expr ) | - factor
     box        := BOX ( signed , signed { , signed , signed } )
     point      := POINT ( column { , column } )
+                | POINT ( signed { , signed } )
     column     := ident [ . ident ]
 
 A parenthesized group is parsed as a full ``expr``, so ``(x + 1) * 2``
@@ -44,15 +49,18 @@ from repro.sql.ast import (
     FloatLit,
     IntLit,
     Join,
+    Nearest,
     Neg,
     Not,
     Or,
     OrderBy,
     Overlaps,
+    PointLit,
     PointRef,
     Select,
     Statement,
     StringLit,
+    Within,
 )
 from repro.sql.ast import Node
 from repro.sql.errors import ParseError
@@ -150,6 +158,7 @@ class _Parser:
         table = self.expect_ident("table name").text
         join = self._join() if self.tok.is_kw("JOIN") else None
         where = self.expr() if self.accept_kw("WHERE") else None
+        nearest = self._nearest() if self.tok.is_kw("NEAREST") else None
         order = self._order_by() if self.tok.is_kw("ORDER") else None
         limit = self._limit() if self.tok.is_kw("LIMIT") else None
         return Select(
@@ -160,6 +169,7 @@ class _Parser:
             where=where,
             order=order,
             limit=limit,
+            nearest=nearest,
             pos=pos,
         )
 
@@ -180,6 +190,16 @@ class _Parser:
         pos = self.expect_kw("JOIN").pos
         table = self.expect_ident("table name").text
         self.expect_kw("ON")
+        if self.tok.is_kw("POINT"):
+            left_pt = self.point()
+            within = self.expect_kw("WITHIN")
+            eps = self._eps()
+            self.expect_kw("OF")
+            right_pt = self.point()
+            return Join(
+                table, Within(left_pt, eps, right_pt, pos=within.pos),
+                pos=pos,
+            )
         ov_pos = self.expect_kw("OVERLAPS").pos
         self.expect_op("(")
         left = self.column("geometry column")
@@ -187,6 +207,45 @@ class _Parser:
         right = self.column("geometry column")
         self.expect_op(")")
         return Join(table, Overlaps(left, right, pos=ov_pos), pos=pos)
+
+    def _eps(self) -> Union[int, float]:
+        token = self.tok
+        if token.kind == "int":
+            self.advance()
+            return int(token.text)
+        if token.kind == "float":
+            self.advance()
+            return float(token.text)
+        raise ParseError(
+            f"WITHIN needs a non-negative number, found "
+            f"{self._describe(token)}",
+            token.pos,
+        )
+
+    def _nearest(self) -> Nearest:
+        pos = self.expect_kw("NEAREST").pos
+        token = self.tok
+        if token.kind != "int" or int(token.text) < 1:
+            raise ParseError(
+                f"NEAREST needs a positive integer, found "
+                f"{self._describe(token)}",
+                token.pos,
+            )
+        self.advance()
+        self.expect_kw("TO")
+        center = self.point()
+        if not isinstance(center, PointLit):
+            raise ParseError(
+                "NEAREST ... TO needs a literal POINT(number, ...)",
+                center.pos,
+            )
+        self.expect_kw("BY")
+        by = self.point()
+        if not isinstance(by, PointRef):
+            raise ParseError(
+                "NEAREST ... BY needs a column POINT(col, ...)", by.pos
+            )
+        return Nearest(int(token.text), center, by, pos=pos)
 
     def _order_by(self) -> OrderBy:
         pos = self.expect_kw("ORDER").pos
@@ -253,7 +312,23 @@ class _Parser:
                     token.pos,
                 )
             point = self.point()
+            if not isinstance(point, PointRef):
+                raise ParseError(
+                    "CONTAINS needs a column POINT(col, ...) on its "
+                    "right",
+                    point.pos,
+                )
             return Contains(left, point, pos=token.pos)
+        if token.is_kw("WITHIN"):
+            self.advance()
+            if not isinstance(left, (PointRef, PointLit)):
+                raise ParseError(
+                    "WITHIN needs a POINT(...) on its left", token.pos
+                )
+            eps = self._eps()
+            self.expect_kw("OF")
+            right = self.point()
+            return Within(left, eps, right, pos=token.pos)
         return left
 
     def sum(self) -> Node:
@@ -339,9 +414,19 @@ class _Parser:
                 )
         return BoxLit(ranges, pos=pos)
 
-    def point(self) -> PointRef:
+    def point(self) -> Union[PointRef, PointLit]:
+        """``POINT(...)`` — columns or (all) numeric literals, told
+        apart by the first token after the paren."""
         pos = self.expect_kw("POINT").pos
         self.expect_op("(")
+        if self.tok.kind in ("int", "float") or (
+            self.tok.kind == "op" and self.tok.text == "-"
+        ):
+            coords = [self._signed_number()]
+            while self.accept_op(","):
+                coords.append(self._signed_number())
+            self.expect_op(")")
+            return PointLit(tuple(coords), pos=pos)
         columns = [self.column("coordinate column")]
         while self.accept_op(","):
             columns.append(self.column("coordinate column"))

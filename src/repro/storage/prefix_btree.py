@@ -91,6 +91,7 @@ class ZkdTree:
     ) -> None:
         self.grid = grid
         self._decompose_cache = decompose_cache
+        self._mutation_epoch = 0
         self.store = store if store is not None else PageStore(page_capacity)
         self.buffer = BufferManager(self.store, buffer_frames, policy)
         self._snapshots = snapshots
@@ -133,6 +134,7 @@ class ZkdTree:
         tree = cls.__new__(cls)
         tree.grid = grid
         tree._decompose_cache = None
+        tree._mutation_epoch = 0
         tree.store = store
         tree.buffer = BufferManager(store, buffer_frames, policy)
         tree._snapshots = snapshots
@@ -191,15 +193,24 @@ class ZkdTree:
             yield self
             self.buffer.flush()
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Counter bumped on every mutating call — derived read-side
+        structures (e.g. the shifted-ordering k-NN index) key their
+        caches on ``(len, mutation_epoch)`` to stay coherent."""
+        return self._mutation_epoch
+
     def insert(self, point: Sequence[int]) -> None:
         point = tuple(point)
         self.grid.validate_point(point)
+        self._mutation_epoch += 1
         with self.transaction():
             self.tree.insert(self.grid.zvalue(point).bits, point)
 
     def insert_many(
         self, points: Iterable[Sequence[int]], use_fast: bool = True
     ) -> None:
+        self._mutation_epoch += 1
         if not use_fast:
             with self.transaction():
                 for point in points:
@@ -224,6 +235,7 @@ class ZkdTree:
         shuffles the whole batch through the table kernels of
         :mod:`repro.core.fastz` (bit-identical keys)."""
 
+        self._mutation_epoch += 1
         if use_fast:
             from repro.core.fastz import interleave_many
 
@@ -245,6 +257,7 @@ class ZkdTree:
     def delete(self, point: Sequence[int]) -> bool:
         point = tuple(point)
         self.grid.validate_point(point)
+        self._mutation_epoch += 1
         with self.transaction():
             return self.tree.delete(self.grid.zvalue(point).bits, point)
 

@@ -10,6 +10,11 @@ from repro.workloads.datasets import (
     make_dataset,
     uniform_dataset,
 )
+from repro.workloads.sky import (
+    cross_match_catalogs,
+    knn_workload,
+    sky_catalog,
+)
 from repro.workloads.queries import (
     PAPER_ASPECTS,
     PAPER_LOCATIONS,
@@ -37,4 +42,7 @@ __all__ = [
     "PAPER_VOLUMES",
     "PAPER_ASPECTS",
     "PAPER_LOCATIONS",
+    "sky_catalog",
+    "cross_match_catalogs",
+    "knn_workload",
 ]

@@ -1,0 +1,428 @@
+"""Brute-force oracle differential suite for the shifted-ordering k-NN.
+
+Every surface that serves a k-NN — the raw :func:`repro.proximity.knn`
+operator over a :class:`ZkdTree` or a :class:`ShardedSpatialStore`, the
+database facade, snapshot sessions (index-backed and row-store paths),
+semantic-cache-enabled indexes, the SQL ``NEAREST`` clause on both of
+its plans, and the TCP server — must return rows *byte-identical* to an
+O(n) brute-force oracle that sorts by ``(distance^2, z code)`` and
+truncates.
+
+Also pins the **saturation** edge treatment of the shifted orderings:
+shifting near the domain boundary must clamp at ``2**bits - 1``, never
+wrap to coordinate 0 (wrap-around breaks the locality lemma and makes a
+corner query see candidates from the far corner).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.geometry import Grid
+from repro.db.database import SpatialDatabase
+from repro.db.schema import Schema
+from repro.db.types import INTEGER, OID
+from repro.proximity import (
+    knn,
+    shift_vectors,
+    shifted_code,
+    shifted_point,
+    ShiftedOrderings,
+)
+from repro.server import QueryClient, QueryService, serve
+from repro.shard.store import ShardedSpatialStore
+from repro.sql import execute_sql
+from repro.storage.prefix_btree import ZkdTree
+from repro.workloads import knn_workload, sky_catalog
+
+GRID = Grid(ndims=2, depth=6)
+
+
+def oracle_points(grid, points, center, k):
+    """The k nearest distinct points, ties by z code — O(n log n)."""
+    ranked = sorted(
+        (
+            sum((a - b) ** 2 for a, b in zip(p, center)),
+            grid.zvalue(p).bits,
+            p,
+        )
+        for p in set(points)
+    )
+    return [p for _, _, p in ranked[: min(k, len(ranked))]]
+
+
+def oracle_rows(grid, rows, coord_idx, center, k):
+    """The k nearest rows: stable sort by ``(distance^2, z code)``."""
+
+    def key(row):
+        point = tuple(row[i] for i in coord_idx)
+        return (
+            sum((a - b) ** 2 for a, b in zip(point, center)),
+            grid.zvalue(point).bits,
+        )
+
+    return sorted(rows, key=key)[: min(k, len(rows))]
+
+
+def unique_points(rng, grid, n):
+    side = grid.side
+    points = set()
+    while len(points) < n:
+        points.add(tuple(rng.randrange(side) for _ in range(grid.ndims)))
+    return sorted(points)
+
+
+def centers(rng, grid, n):
+    side = grid.side
+    return [
+        tuple(rng.randrange(side) for _ in range(grid.ndims))
+        for _ in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------
+# Raw operator vs oracle, across stores
+# ---------------------------------------------------------------------
+
+
+class TestStoreOracle:
+    def test_tree_matches_oracle(self):
+        rng = random.Random(11)
+        points = unique_points(rng, GRID, 180)
+        tree = ZkdTree(GRID, page_capacity=8)
+        tree.bulk_load(points)
+        for center in centers(rng, GRID, 12):
+            for k in (1, 3, 8, 200):
+                assert knn(tree, GRID, center, k) == oracle_points(
+                    GRID, points, center, k
+                )
+
+    def test_sharded_store_matches_oracle_and_tree(self):
+        rng = random.Random(12)
+        points = unique_points(rng, GRID, 150)
+        tree = ZkdTree(GRID, page_capacity=8)
+        tree.bulk_load(points)
+        store = ShardedSpatialStore.build(GRID, points, nshards=3)
+        for center in centers(rng, GRID, 10):
+            want = oracle_points(GRID, points, center, 6)
+            assert knn(store, GRID, center, 6) == want
+            assert knn(tree, GRID, center, 6) == want
+
+    def test_exact_mode_equals_tree_growing_radius_search(self):
+        """Same tie-break convention as ``ZkdTree.nearest_neighbours``
+        makes the two searches byte-identical, not just set-equal."""
+        rng = random.Random(13)
+        points = unique_points(rng, GRID, 120)
+        tree = ZkdTree(GRID, page_capacity=8)
+        tree.bulk_load(points)
+        for center in centers(rng, GRID, 10):
+            assert knn(tree, GRID, center, 5) == tree.nearest_neighbours(
+                center, 5
+            )
+
+    def test_mutation_rebuilds_cached_orderings(self):
+        """The per-store orderings cache keys on ``mutation_epoch`` —
+        an insert after the first query must be visible."""
+        tree = ZkdTree(GRID, page_capacity=8)
+        tree.insert_many([(50, 50), (60, 60)])
+        assert knn(tree, GRID, (10, 10), 1) == [(50, 50)]
+        tree.insert((10, 11))
+        assert knn(tree, GRID, (10, 10), 1) == [(10, 11)]
+        tree.delete((10, 11))
+        assert knn(tree, GRID, (10, 10), 1) == [(50, 50)]
+
+    def test_k_larger_than_store_returns_everything(self):
+        points = [(1, 1), (2, 2), (3, 3)]
+        tree = ZkdTree(GRID, page_capacity=8)
+        tree.bulk_load(points)
+        assert knn(tree, GRID, (0, 0), 99) == oracle_points(
+            GRID, points, (0, 0), 99
+        )
+
+    def test_empty_store_and_bad_arguments(self):
+        tree = ZkdTree(GRID, page_capacity=8)
+        assert knn(tree, GRID, (0, 0), 3) == []
+        with pytest.raises(ValueError):
+            knn(tree, GRID, (0, 0), 0)
+        with pytest.raises(ValueError):
+            knn(tree, GRID, (0, 0), 1, mode="fuzzy")
+
+
+# ---------------------------------------------------------------------
+# Database facade, cache twin, sessions
+# ---------------------------------------------------------------------
+
+
+def _build_db(rng, n=160, concurrency=False, cache=False, index=True):
+    db = SpatialDatabase(
+        GRID, page_capacity=8, concurrency=concurrency, cache=cache
+    )
+    db.create_table(
+        "points", Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+    )
+    rows = [
+        (f"p{i}", x, y)
+        for i, (x, y) in enumerate(unique_points(rng, GRID, n))
+    ]
+    db.insert_many("points", rows)
+    if index:
+        db.create_index("points_xy", "points", ("x", "y"))
+    return db, rows
+
+
+class TestDatabaseOracle:
+    def test_rows_match_row_oracle(self):
+        rng = random.Random(21)
+        db, rows = _build_db(rng)
+        for center in centers(rng, GRID, 8):
+            for k in (1, 5, 11):
+                got = list(
+                    db.knn_query("points", ("x", "y"), center, k).rows
+                )
+                assert got == oracle_rows(GRID, rows, (1, 2), center, k)
+
+    def test_cache_enabled_index_is_byte_identical(self):
+        rng_a, rng_b = random.Random(22), random.Random(22)
+        cached, rows = _build_db(rng_a, cache=True)
+        plain, _ = _build_db(rng_b, cache=False)
+        for center in centers(random.Random(23), GRID, 8):
+            got = list(
+                cached.knn_query("points", ("x", "y"), center, 7).rows
+            )
+            want = list(
+                plain.knn_query("points", ("x", "y"), center, 7).rows
+            )
+            assert got == want == oracle_rows(
+                GRID, rows, (1, 2), center, 7
+            )
+
+    def test_requires_index(self):
+        db, _ = _build_db(random.Random(24), n=20, index=False)
+        with pytest.raises(ValueError):
+            db.knn_query("points", ("x", "y"), (0, 0), 1)
+
+    def test_session_serves_pinned_snapshot(self):
+        """A row inserted after the pin is invisible to the session's
+        k-NN but visible to the database's."""
+        rng = random.Random(25)
+        db, rows = _build_db(rng, concurrency=True)
+        center = (7, 9)
+        with db.session() as session:
+            before = oracle_rows(GRID, rows, (1, 2), center, 4)
+            assert (
+                list(
+                    session.knn_query("points", ("x", "y"), center, 4).rows
+                )
+                == before
+            )
+            nearest = ("new", center[0], center[1])
+            db.insert("points", nearest)
+            assert (
+                list(
+                    session.knn_query("points", ("x", "y"), center, 4).rows
+                )
+                == before
+            )
+            after = list(
+                db.knn_query("points", ("x", "y"), center, 4).rows
+            )
+            assert after == oracle_rows(
+                GRID, rows + [nearest], (1, 2), center, 4
+            )
+            assert after[0] == nearest
+
+    def test_session_row_store_path_without_visible_index(self):
+        """An index born *after* the pin has no snapshot capture: the
+        session falls back to the visible-row point store — and the
+        answer must not change."""
+        rng = random.Random(26)
+        db, rows = _build_db(rng, concurrency=True, index=False)
+        with db.session() as session:
+            db.create_index("points_xy", "points", ("x", "y"))
+            for center in centers(rng, GRID, 6):
+                got = list(
+                    session.knn_query("points", ("x", "y"), center, 5).rows
+                )
+                assert got == oracle_rows(GRID, rows, (1, 2), center, 5)
+
+
+# ---------------------------------------------------------------------
+# SQL NEAREST: knn-probe plan and ranked-after-filters plan
+# ---------------------------------------------------------------------
+
+
+class TestSqlNearest:
+    def test_probe_plan_matches_row_oracle(self):
+        rng = random.Random(31)
+        db, rows = _build_db(rng)
+        before = db.planner_stats.get("planner.knn_probes", 0)
+        out = execute_sql(
+            db,
+            "SELECT id@, x, y FROM points "
+            "NEAREST 6 TO POINT(30, 40) BY POINT(x, y)",
+        )
+        assert out.rows == oracle_rows(GRID, rows, (1, 2), (30, 40), 6)
+        assert db.planner_stats["planner.knn_probes"] == before + 1
+
+    def test_filtered_plan_matches_row_oracle(self):
+        rng = random.Random(32)
+        db, rows = _build_db(rng)
+        out = execute_sql(
+            db,
+            "SELECT id@, x, y FROM points WHERE x >= 20 "
+            "NEAREST 5 TO POINT(10, 10) BY POINT(x, y)",
+        )
+        kept = [row for row in rows if row[1] >= 20]
+        assert out.rows == oracle_rows(GRID, kept, (1, 2), (10, 10), 5)
+
+    def test_tautological_filter_agrees_with_probe_plan(self):
+        """``WHERE x >= 0`` forces the ranked-after-filters plan; the
+        rows must equal the knn-probe plan's."""
+        db, _ = _build_db(random.Random(33))
+        probe = execute_sql(
+            db,
+            "SELECT id@, x, y FROM points "
+            "NEAREST 7 TO POINT(50, 12) BY POINT(x, y)",
+        )
+        filtered = execute_sql(
+            db,
+            "SELECT id@, x, y FROM points WHERE x >= 0 "
+            "NEAREST 7 TO POINT(50, 12) BY POINT(x, y)",
+        )
+        assert probe.rows == filtered.rows
+
+    def test_session_target_matches_database(self):
+        rng = random.Random(34)
+        db, rows = _build_db(rng, concurrency=True)
+        query = (
+            "SELECT id@, x, y FROM points "
+            "NEAREST 4 TO POINT(14, 58) BY POINT(x, y)"
+        )
+        with db.session() as session:
+            assert (
+                execute_sql(db, query).rows
+                == execute_sql(db, query, session=session).rows
+                == oracle_rows(GRID, rows, (1, 2), (14, 58), 4)
+            )
+
+
+# ---------------------------------------------------------------------
+# Server path (NEAREST over the wire)
+# ---------------------------------------------------------------------
+
+
+class TestServerNearest:
+    def test_server_rows_match_local_execution(self):
+        rng = random.Random(41)
+        db, rows = _build_db(rng, concurrency=True)
+        query = (
+            "SELECT id@, x, y FROM points "
+            "NEAREST 5 TO POINT(33, 21) BY POINT(x, y)"
+        )
+        want = oracle_rows(GRID, rows, (1, 2), (33, 21), 5)
+        assert execute_sql(db, query).rows == want
+
+        async def run():
+            service = QueryService(db)
+            server = await serve(service)
+            try:
+                async with await QueryClient.connect(
+                    *server.address
+                ) as client:
+                    return await client.sql(query)
+            finally:
+                await server.close()
+
+        response = asyncio.run(run())
+        assert response["mode"] == "rows"
+        assert [tuple(row) for row in response["rows"]] == want
+
+
+# ---------------------------------------------------------------------
+# Saturation at the domain boundary (satellite: no wrap-around)
+# ---------------------------------------------------------------------
+
+
+class TestSaturation:
+    def test_shifted_point_saturates_never_wraps(self):
+        side = GRID.side
+        top = side - 1
+        for shift in shift_vectors(GRID):
+            shifted = shifted_point((top, top), shift, side)
+            assert shifted == (top, top)
+            for c in (0, 1, top - 1, top):
+                (sc,) = shifted_point((c,), shift, side)
+                # Never below the original coordinate: wrap-around
+                # (``(c + shift) % side``) would violate this.
+                assert c <= sc <= top
+
+    def test_shifted_orderings_stay_monotone_per_axis(self):
+        """Saturation keeps each shifted copy monotone: a larger
+        coordinate never maps to a smaller shifted coordinate."""
+        side = GRID.side
+        for shift in shift_vectors(GRID):
+            mapped = [
+                shifted_point((c, 0), shift, side)[0] for c in range(side)
+            ]
+            assert mapped == sorted(mapped)
+
+    def test_top_corner_keeps_maximal_z_code(self):
+        """Under wrap-around the fully-shifted far corner would get a
+        tiny z code and sort next to the origin; saturation pins it at
+        the maximum."""
+        top = GRID.side - 1
+        corner = (top,) * GRID.ndims
+        want = GRID.zvalue(corner).bits
+        for shift in shift_vectors(GRID):
+            assert shifted_code(GRID, corner, shift) == want
+
+    def test_knn_correct_at_both_corners(self):
+        """Clusters hugging (0, 0) and (top, top): a corner query must
+        return its own cluster, in every store."""
+        top = GRID.side - 1
+        low = [(dx, dy) for dx in range(3) for dy in range(3)]
+        high = [(top - dx, top - dy) for dx in range(3) for dy in range(3)]
+        points = sorted(set(low + high))
+        tree = ZkdTree(GRID, page_capacity=8)
+        tree.bulk_load(points)
+        store = ShardedSpatialStore.build(GRID, points, nshards=2)
+        for center, cluster in (((0, 0), low), ((top, top), high)):
+            want = oracle_points(GRID, points, center, len(cluster))
+            assert set(want) == set(cluster)
+            assert knn(tree, GRID, center, len(cluster)) == want
+            assert knn(store, GRID, center, len(cluster)) == want
+
+    def test_boundary_candidates_come_from_the_near_corner(self):
+        """The raw candidate windows at a boundary query must surface
+        the adjacent cluster even in approx mode — the regression a
+        wrapped ordering fails."""
+        top = GRID.side - 1
+        low = [(dx, dy) for dx in range(3) for dy in range(3)]
+        high = [(top - dx, top - dy) for dx in range(3) for dy in range(3)]
+        index = ShiftedOrderings(GRID, sorted(set(low + high)))
+        for center, cluster in (((0, 0), low), ((top, top), high)):
+            candidates = index.candidates(center, 1)
+            assert any(p in cluster for p in candidates)
+
+
+# ---------------------------------------------------------------------
+# Nightly sweep (slow tier)
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestNightlySweep:
+    def test_sky_scale_sweep_all_stores(self):
+        grid = Grid(ndims=2, depth=9)
+        catalog = sky_catalog(grid, 2500, seed=51)
+        points = sorted(set(catalog.points))
+        tree = ZkdTree(grid, page_capacity=32)
+        tree.bulk_load(points)
+        store = ShardedSpatialStore.build(grid, points, nshards=4)
+        for center in knn_workload(grid, catalog, 40, seed=52):
+            for k in (1, 4, 16):
+                want = oracle_points(grid, points, center, k)
+                assert knn(tree, grid, center, k) == want
+                assert knn(store, grid, center, k) == want
+                assert tree.nearest_neighbours(center, k) == want

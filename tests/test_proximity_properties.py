@@ -1,0 +1,157 @@
+"""Property tests for the proximity operators.
+
+Hypothesis-driven invariants over random catalogs:
+
+* **approximation bound** — the approx-mode k-th distance never exceeds
+  :func:`approximation_factor` times the true k-th distance (the
+  shifted-orderings lemma, checked empirically over random scenes);
+* **zone invariant** — any pair within ``eps`` differs by at most one
+  zone id for every legal zone height ``h >= eps``;
+* **k-NN monotonicity** — the result for ``k`` is a byte-identical
+  prefix of the result for ``k + 1`` (the tie-break makes the ranking
+  a total order, so growing ``k`` only appends);
+* **exactness under mutation** — exact mode equals the oracle on a
+  store grown incrementally, not just bulk-loaded.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import Grid
+from repro.proximity import (
+    ZonesIndex,
+    approximation_factor,
+    knn,
+    nested_epsilon_join,
+    zone_height_for,
+    zones_epsilon_join,
+)
+from repro.storage.prefix_btree import ZkdTree
+
+seeds = st.integers(0, 10**6)
+
+GRID = Grid(ndims=2, depth=6)
+
+
+def _scene(seed, n=80):
+    rng = random.Random(seed)
+    side = GRID.side
+    points = set()
+    while len(points) < n:
+        points.add(tuple(rng.randrange(side) for _ in range(GRID.ndims)))
+    center = tuple(rng.randrange(side) for _ in range(GRID.ndims))
+    return sorted(points), center, rng
+
+
+def _kth_distance(points, center, k):
+    return sorted(
+        math.dist(p, center) for p in points
+    )[k - 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seeds)
+def test_approx_mode_within_proven_factor(seed):
+    """approx-mode k-th distance <= factor * exact k-th distance."""
+    points, center, rng = _scene(seed)
+    tree = ZkdTree(GRID, page_capacity=8)
+    tree.bulk_load(points)
+    factor = approximation_factor(GRID.ndims)
+    for k in (1, 3, 7):
+        approx = knn(tree, GRID, center, k, mode="approx")
+        got = math.dist(approx[-1], center)
+        true = _kth_distance(points, center, k)
+        assert got <= factor * true + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seeds)
+def test_exact_mode_is_exact(seed):
+    """exact mode returns the true k nearest regardless of how loose
+    the candidate windows were."""
+    points, center, rng = _scene(seed)
+    tree = ZkdTree(GRID, page_capacity=8)
+    tree.bulk_load(points)
+    for k in (1, 4, 9):
+        got = knn(tree, GRID, center, k)
+        want = sorted(
+            (
+                sum((a - b) ** 2 for a, b in zip(p, center)),
+                GRID.zvalue(p).bits,
+                p,
+            )
+            for p in points
+        )[:k]
+        assert got == [p for _, _, p in want]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seeds)
+def test_knn_k_is_prefix_of_k_plus_1(seed):
+    points, center, rng = _scene(seed, n=40)
+    tree = ZkdTree(GRID, page_capacity=8)
+    tree.bulk_load(points)
+    previous = []
+    for k in range(1, 12):
+        current = knn(tree, GRID, center, k)
+        assert current[: len(previous)] == previous
+        assert len(current) == min(k, len(points))
+        previous = current
+
+
+@settings(max_examples=30, deadline=None)
+@given(seeds, st.floats(0.0, 8.0))
+def test_zone_invariant_and_join_exactness(seed, eps):
+    """Pairs within eps sit in adjacent zones for any h >= eps, and the
+    zones join equals the nested loop at every (seed, eps)."""
+    rng = random.Random(seed)
+    side = GRID.side
+    pts_a = [
+        tuple(rng.randrange(side) for _ in range(GRID.ndims))
+        for _ in range(40)
+    ]
+    pts_b = [
+        tuple(rng.randrange(side) for _ in range(GRID.ndims))
+        for _ in range(40)
+    ]
+    for height in (zone_height_for(eps), zone_height_for(eps) + 3):
+        index = ZonesIndex(pts_b, height)
+        limit = eps * eps
+        for a in pts_a:
+            for b in pts_b:
+                if sum((x - y) ** 2 for x, y in zip(a, b)) <= limit:
+                    assert abs(index.zone_of(a) - index.zone_of(b)) <= 1
+        assert zones_epsilon_join(
+            pts_a, pts_b, eps, zone_height=height
+        ) == nested_epsilon_join(pts_a, pts_b, eps)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_exactness_survives_incremental_growth(seed):
+    """Insert points one batch at a time; the orderings cache must
+    track ``mutation_epoch`` and exact mode must stay an oracle."""
+    rng = random.Random(seed)
+    side = GRID.side
+    tree = ZkdTree(GRID, page_capacity=8)
+    live = set()
+    center = tuple(rng.randrange(side) for _ in range(GRID.ndims))
+    for _ in range(4):
+        batch = {
+            tuple(rng.randrange(side) for _ in range(GRID.ndims))
+            for _ in range(15)
+        }
+        for p in batch - live:
+            tree.insert(p)
+        live |= batch
+        want = sorted(
+            (
+                sum((a - b) ** 2 for a, b in zip(p, center)),
+                GRID.zvalue(p).bits,
+                p,
+            )
+            for p in live
+        )[:5]
+        assert knn(tree, GRID, center, 5) == [p for _, _, p in want]

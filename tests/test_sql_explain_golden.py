@@ -10,6 +10,7 @@ change::
 
 import os
 import pathlib
+import random
 
 import pytest
 
@@ -73,6 +74,35 @@ def db():
     return database
 
 
+@pytest.fixture
+def sky():
+    """Two seeded point catalogs large enough that the epsilon-join
+    cost model switches strategy with ``eps``, plus a tiny third where
+    the nested loop wins outright.  ``random.Random`` is deterministic
+    across platforms, so the plans (and their cost numbers) are stable
+    golden material."""
+    database = SpatialDatabase(Grid(2, 5), page_capacity=8)
+    rng = random.Random(5)
+    side = database.grid.side
+    for table, count in (("stars", 400), ("gals", 400), ("dwarfs", 3)):
+        database.create_table(
+            table, Schema.of(("id@", OID), ("x", INTEGER), ("y", INTEGER))
+        )
+        database.insert_many(
+            table,
+            [
+                (
+                    f"{table[0]}{i}",
+                    rng.randrange(side),
+                    rng.randrange(side),
+                )
+                for i in range(count)
+            ],
+        )
+        database.create_index(f"{table}_xy", table, ("x", "y"))
+    return database
+
+
 def check(name, text):
     path = GOLDEN_DIR / name
     if os.environ.get("REGEN_GOLDEN"):
@@ -121,3 +151,58 @@ class TestExplainGolden:
             db, "SELECT id@ FROM points WHERE x = 13 AND x + y < 99"
         )
         check("sql_explain_eq.txt", compiled.explain())
+
+
+class TestProximityExplainGolden:
+    def test_nearest_knn_probe(self, db):
+        """No WHERE + a matching index: the plan probes the shifted
+        orderings directly instead of scanning."""
+        compiled = compile_sql(
+            db,
+            "SELECT id@, x, y FROM points "
+            "NEAREST 3 TO POINT(12, 9) BY POINT(x, y)",
+        )
+        check("sql_explain_nearest_probe.txt", compiled.explain())
+
+    def test_nearest_ranked_after_filters(self, db):
+        """A WHERE clause forces the rank-after-filters shape."""
+        compiled = compile_sql(
+            db,
+            "SELECT id@, x, y FROM points WHERE x > 4 "
+            "NEAREST 3 TO POINT(12, 9) BY POINT(x, y)",
+        )
+        check("sql_explain_nearest_filtered.txt", compiled.explain())
+
+    def test_within_eps_window_access(self, db):
+        """WITHIN compiles to an eps-window access box plus an exact
+        eps-refine filter discounted by the ball/box ratio."""
+        compiled = compile_sql(
+            db,
+            "SELECT id@, x, y FROM points "
+            "WHERE POINT(x, y) WITHIN 6 OF POINT(12, 9) AND x + y > 4",
+        )
+        check("sql_explain_within.txt", compiled.explain())
+
+    def test_epsjoin_picks_zones_at_small_eps(self, sky):
+        compiled = compile_sql(
+            sky,
+            "SELECT * FROM stars JOIN gals "
+            "ON POINT(stars.x, stars.y) WITHIN 6 OF POINT(gals.x, gals.y)",
+        )
+        check("sql_explain_epsjoin_zones.txt", compiled.explain())
+
+    def test_epsjoin_picks_zmerge_at_wide_eps(self, sky):
+        compiled = compile_sql(
+            sky,
+            "SELECT * FROM stars JOIN gals "
+            "ON POINT(stars.x, stars.y) WITHIN 12 OF POINT(gals.x, gals.y)",
+        )
+        check("sql_explain_epsjoin_zmerge.txt", compiled.explain())
+
+    def test_epsjoin_picks_nested_loop_for_tiny_tables(self, sky):
+        compiled = compile_sql(
+            sky,
+            "SELECT * FROM dwarfs JOIN gals "
+            "ON POINT(dwarfs.x, dwarfs.y) WITHIN 6 OF POINT(gals.x, gals.y)",
+        )
+        check("sql_explain_epsjoin_nested.txt", compiled.explain())
